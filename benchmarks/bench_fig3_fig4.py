@@ -1,0 +1,84 @@
+"""Fig. 3 (ls / ls -l DFGs) and Fig. 4 (filtered file-level DFG).
+
+These figures are combinatorially exact: the bench asserts the paper's
+edge weights verbatim while timing the synthesis steps (mapping
+application, DFG construction, statistics).
+"""
+
+import pytest
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallPathTail, CallTopDirs
+from repro.core.statistics import IOStatistics
+
+from conftest import paper_vs_measured
+
+
+def test_fig3_dfg_construction(benchmark, ls_trace_dir):
+    base = EventLog.from_strace_dir(ls_trace_dir)
+
+    def synthesize():
+        log = base.with_mapping(CallTopDirs(levels=2))
+        return DFG(log)
+
+    dfg = benchmark(synthesize)
+    # Fig. 3d combined-graph weights.
+    checks = [
+        ("• -> read:/usr/lib", 6,
+         dfg.edge_count(START_ACTIVITY, "read:/usr/lib")),
+        ("read:/usr/lib self-loop", 12,
+         dfg.edge_count("read:/usr/lib", "read:/usr/lib")),
+        ("locale.alias -> write:/dev/pts", 3,
+         dfg.edge_count("read:/etc/locale.alias", "write:/dev/pts")),
+        ("passwd -> group", 3,
+         dfg.edge_count("read:/etc/passwd", "read:/etc/group")),
+        ("write:/dev/pts -> ■", 6,
+         dfg.edge_count("write:/dev/pts", END_ACTIVITY)),
+    ]
+    for name, expected, got in checks:
+        assert got == expected, name
+    paper_vs_measured("Fig. 3 — DFG edge weights (exact)", [
+        (name, str(expected), str(got)) for name, expected, got in checks
+    ])
+
+
+def test_fig3_statistics(benchmark, ls_trace_dir):
+    log = EventLog.from_strace_dir(ls_trace_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+
+    stats = benchmark(lambda: IOStatistics(log))
+    rd_sum = sum(stats[a].relative_duration for a in stats.activities())
+    assert abs(rd_sum - 1.0) < 1e-9
+    assert stats["read:/usr/lib"].total_bytes == 6 * 3 * 832
+    paper_vs_measured("Fig. 3 — node statistics", [
+        ("Σ rd_f", "1.00 (definition)", f"{rd_sum:.2f}"),
+        ("bytes(read:/usr/lib)", "14.98 KB", stats[
+            "read:/usr/lib"].load_label.split("(")[1].rstrip(")")),
+    ])
+
+
+def test_fig4_filtered_dfg(benchmark, ls_trace_dir):
+    base = EventLog.from_strace_dir(ls_trace_dir)
+
+    def synthesize():
+        log = base.filtered_fp("/usr/lib")
+        log.apply_mapping_fn(CallPathTail(levels=2))
+        return DFG(log)
+
+    dfg = benchmark(synthesize)
+    selinux = "read:x86_64-linux-gnu/libselinux.so.1"
+    libc = "read:x86_64-linux-gnu/libc.so.6"
+    pcre = "read:x86_64-linux-gnu/libpcre2-8.so.0.10.4"
+    assert dfg.activities() == {selinux, libc, pcre}
+    paper_vs_measured("Fig. 4 — /usr/lib chain weights (exact)", [
+        ("• -> libselinux", "6",
+         str(dfg.edge_count(START_ACTIVITY, selinux))),
+        ("libselinux -> libc", "6", str(dfg.edge_count(selinux, libc))),
+        ("libc -> libpcre2", "6", str(dfg.edge_count(libc, pcre))),
+        ("libpcre2 -> ■", "6",
+         str(dfg.edge_count(pcre, END_ACTIVITY))),
+    ])
+    assert dfg.edge_count(selinux, libc) == 6
+    assert dfg.edge_count(libc, pcre) == 6

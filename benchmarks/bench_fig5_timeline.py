@@ -1,0 +1,53 @@
+"""Fig. 5: the timeline plot and the max-concurrency statistic.
+
+The figure shows t_f̂("read:/usr/lib", Cb) with mc = 2. The bench
+asserts that reading and times both the sweep-line computation and the
+timeline rendering; the naive O(n²) reference is timed in the
+concurrency ablation (bench_ablation_concurrency).
+"""
+
+import pytest
+
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.render.timeline import (
+    render_timeline_ascii,
+    render_timeline_svg,
+)
+from repro.core.statistics import IOStatistics
+
+from conftest import paper_vs_measured
+
+
+@pytest.fixture(scope="module")
+def cb_stats(ls_trace_dir):
+    log = EventLog.from_strace_dir(ls_trace_dir, cids={"b"})
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return IOStatistics(log)
+
+
+def test_fig5_max_concurrency(benchmark, ls_trace_dir):
+    log = EventLog.from_strace_dir(ls_trace_dir, cids={"b"})
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+
+    stats = benchmark(lambda: IOStatistics(log))
+    mc = stats["read:/usr/lib"].max_concurrency
+    paper_vs_measured("Fig. 5 — max-concurrency of read:/usr/lib (Cb)", [
+        ("mc_f̂", "2", str(mc)),
+    ])
+    assert mc == 2
+
+
+def test_fig5_timeline_svg_render(benchmark, cb_stats):
+    rows = cb_stats.timeline("read:/usr/lib")
+    text = benchmark(render_timeline_svg, rows,
+                     activity="read:/usr/lib")
+    assert text.count('fill="#4292c6"') == 9  # 3 reads × 3 cases
+    assert "b9157" in text
+
+
+def test_fig5_timeline_ascii_render(benchmark, cb_stats):
+    rows = cb_stats.timeline("read:/usr/lib")
+    text = benchmark(render_timeline_ascii, rows,
+                     activity="read:/usr/lib")
+    assert text.count("|") == 6  # 3 case rows, 2 bars each

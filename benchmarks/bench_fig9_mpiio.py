@@ -1,0 +1,102 @@
+"""Fig. 9: IOR with vs without the MPI-IO interface (partition DFG).
+
+Both runs in SSF mode at paper scale, traced with lseek included
+(experiment B). Reproduced and checked:
+
+- MPI-IO replaces read/write with pread64/pwrite64 (green-exclusive
+  nodes) while the POSIX run keeps read/write (red-exclusive);
+- lseek:$SCRATCH is a shared node whose count is dominated by the
+  POSIX run (one seek per transfer) with only a per-rank probe from
+  the MPI-IO run;
+- the syscall-count reduction lowers the MPI-IO run's relative load
+  (paper: pwrite64 0.21 vs write 0.31).
+"""
+
+import pytest
+
+from repro.core.coloring import PartitionColoring
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import SiteVariables
+from repro.core.partition import PartitionEL
+from repro.core.statistics import IOStatistics
+from repro.simulate.workloads.ior import JUWELS_SITE_VARIABLES
+
+from conftest import PAPER_RANKS, paper_vs_measured
+
+#: transfers per rank: 3 segments × 16 transfers.
+TRANSFERS = 3 * 16
+
+
+@pytest.fixture(scope="module")
+def exp_b_log(ior_exp_b_dir):
+    log = EventLog.from_strace_dir(ior_exp_b_dir)
+    # The paper skips rendering openat calls in Fig. 9.
+    log = log.filtered(~log.frame.call_in(["openat", "open"]))
+    log.apply_mapping_fn(SiteVariables(JUWELS_SITE_VARIABLES))
+    return log
+
+
+def test_fig9_partition_coloring(benchmark, exp_b_log):
+    def synthesize():
+        green_log, red_log = PartitionEL(exp_b_log, ["mpiio"])
+        coloring = PartitionColoring(DFG(green_log), DFG(red_log),
+                                     IOStatistics(exp_b_log))
+        return green_log, red_log, coloring
+
+    green_log, red_log, coloring = benchmark.pedantic(
+        synthesize, rounds=3, iterations=1)
+    summary = coloring.summary()
+    stats = coloring.stats
+
+    green_lseeks = int(green_log.frame.call_in(["lseek"]).sum())
+    red_scratch_lseeks = int(
+        (red_log.frame.call_in(["lseek"])
+         & red_log.frame.fp_contains("/p/scratch")).sum())
+    rd = {a: stats[a].relative_duration for a in stats.activities()}
+
+    paper_vs_measured("Fig. 9 — MPI-IO (green) vs POSIX (red)", [
+        ("green-exclusive nodes", "pread64, pwrite64 ($SCRATCH)",
+         ", ".join(n.split(":")[0] for n in summary["green_nodes"])),
+        ("red-exclusive $SCRATCH nodes", "read, write",
+         ", ".join(sorted(n.split(":")[0]
+                          for n in summary["red_nodes"]
+                          if "$SCRATCH" in n))),
+        ("lseek:$SCRATCH (POSIX)", "9216 (2×96×48)",
+         str(red_scratch_lseeks)),
+        ("rd(pwrite64) vs rd(write)", "0.21 < 0.31",
+         f"{rd['pwrite64:$SCRATCH']:.2f} < {rd['write:$SCRATCH']:.2f}"),
+        ("rd(pread64) vs rd(read)", "0.21 ≤ 0.25",
+         f"{rd['pread64:$SCRATCH']:.2f} ≤ {rd['read:$SCRATCH']:.2f}"),
+    ])
+
+    # Exclusivity (the paper's core observation).
+    assert summary["green_nodes"] == ["pread64:$SCRATCH",
+                                      "pwrite64:$SCRATCH"]
+    assert {"read:$SCRATCH", "write:$SCRATCH"} <= \
+        set(summary["red_nodes"])
+    assert "lseek:$SCRATCH" in summary["shared_nodes"]
+    # lseek volume: POSIX seeks before every one of 2×48 transfers per
+    # rank; MPI-IO probes once per rank.
+    assert red_scratch_lseeks == 2 * TRANSFERS * PAPER_RANKS
+    assert green_lseeks < red_scratch_lseeks / 5
+    # Load reduction with MPI-IO.
+    assert rd["pwrite64:$SCRATCH"] < rd["write:$SCRATCH"]
+    # Exclusive edges: seek→transfer chains exist only in POSIX.
+    assert coloring.classify_edge(
+        ("lseek:$SCRATCH", "write:$SCRATCH")) == "red"
+    assert coloring.classify_edge(
+        ("lseek:$SCRATCH", "pwrite64:$SCRATCH")) == "green"
+
+
+def test_fig9_render_dot(benchmark, exp_b_log):
+    green_log, red_log = PartitionEL(exp_b_log, ["mpiio"])
+    stats = IOStatistics(exp_b_log)
+    coloring = PartitionColoring(DFG(green_log), DFG(red_log), stats)
+    dfg = DFG(exp_b_log)
+
+    from repro.core.render.dot import render_dot
+
+    text = benchmark(render_dot, dfg, stats, coloring)
+    assert "pwrite64" in text
+    assert text.count("->") == dfg.n_edges

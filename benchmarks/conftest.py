@@ -1,0 +1,79 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+The full-scale runs (96 ranks over 2 nodes — the paper's setup) are
+simulated once per session and shared across benches. Each bench both
+*times* its pipeline stage (pytest-benchmark) and *asserts* the paper's
+shape; the printed paper-vs-measured rows land in stdout (run with
+``-s`` to see them live) and are summarized in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.simulate.strace_writer import (
+    EXPERIMENT_A_CALLS,
+    EXPERIMENT_B_CALLS,
+    write_trace_files,
+)
+from repro.simulate.workloads.ior import IORConfig, simulate_ior
+from repro.simulate.workloads.ls import generate_fig1_traces
+
+#: The paper's experiment scale (Sec. V): 96 ranks on 2 nodes,
+#: -t 1m -b 16m -s 3.
+PAPER_RANKS = 96
+PAPER_RANKS_PER_NODE = 48
+
+
+@pytest.fixture(scope="session")
+def ls_trace_dir(tmp_path_factory) -> Path:
+    directory = tmp_path_factory.mktemp("bench_ls")
+    generate_fig1_traces(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def ior_exp_a_dir(tmp_path_factory) -> Path:
+    """Experiment A (Fig. 8): SSF + FPP runs at paper scale."""
+    directory = tmp_path_factory.mktemp("bench_ior_a")
+    ssf = simulate_ior(IORConfig(
+        ranks=PAPER_RANKS, ranks_per_node=PAPER_RANKS_PER_NODE,
+        cid="ssf", test_file="/p/scratch/ssf/test", seed=4242))
+    fpp = simulate_ior(IORConfig(
+        ranks=PAPER_RANKS, ranks_per_node=PAPER_RANKS_PER_NODE,
+        cid="fpp", file_per_process=True,
+        test_file="/p/scratch/fpp/test", base_rid=30000, seed=4243))
+    write_trace_files(ssf.recorders, directory,
+                      trace_calls=EXPERIMENT_A_CALLS)
+    write_trace_files(fpp.recorders, directory,
+                      trace_calls=EXPERIMENT_A_CALLS)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def ior_exp_b_dir(tmp_path_factory) -> Path:
+    """Experiment B (Fig. 9): POSIX vs MPI-IO, both SSF, incl. lseek."""
+    directory = tmp_path_factory.mktemp("bench_ior_b")
+    posix = simulate_ior(IORConfig(
+        ranks=PAPER_RANKS, ranks_per_node=PAPER_RANKS_PER_NODE,
+        cid="posix", test_file="/p/scratch/ssf/test", seed=5151))
+    mpiio = simulate_ior(IORConfig(
+        ranks=PAPER_RANKS, ranks_per_node=PAPER_RANKS_PER_NODE,
+        cid="mpiio", api="mpiio", test_file="/p/scratch/ssf/test2",
+        base_rid=40000, seed=5152))
+    write_trace_files(posix.recorders, directory,
+                      trace_calls=EXPERIMENT_B_CALLS)
+    write_trace_files(mpiio.recorders, directory,
+                      trace_calls=EXPERIMENT_B_CALLS)
+    return directory
+
+
+def paper_vs_measured(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a compact paper-vs-measured table (visible with -s)."""
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"\n=== {title} ===")
+    print(f"{'quantity'.ljust(width)}  {'paper':>18}  {'measured':>18}")
+    for name, paper, measured in rows:
+        print(f"{name.ljust(width)}  {paper:>18}  {measured:>18}")

@@ -1,0 +1,101 @@
+"""Reproduction of *Inspection of I/O Operations from System Call Traces
+using Directly-Follows-Graph* (Sankaran, Zhukov, Frings, Bientinesi —
+SC-W 2024, arXiv:2408.07378).
+
+The library synthesizes I/O system-call traces into Directly-Follows
+Graphs (DFGs) annotated with I/O statistics, and compares programs or
+configurations via graph coloring. Subpackages:
+
+- :mod:`repro.strace` — strace trace parsing (Sec. III).
+- :mod:`repro.elstore` — the single-file event-log container (the
+  paper's HDF5 store, reimplemented; see DESIGN.md §2).
+- :mod:`repro.core` — event-log formalism, DFG synthesis, statistics,
+  coloring, rendering (Sec. IV).
+- :mod:`repro.simulate` — discrete-event simulator of HPC I/O workloads
+  (IOR, ``ls``) over a GPFS-like filesystem model, emitting authentic
+  strace text (substitute for the paper's JUWELS testbed).
+- :mod:`repro.pipeline` — end-to-end sessions, reports.
+- :mod:`repro.st_inspector` — facade exposing the paper's exact Fig. 6
+  API names.
+
+Quickstart::
+
+    from repro import EventLog, CallTopDirs, DFG, IOStatistics, DFGViewer
+    log = EventLog.from_strace_dir("traces/")
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    dfg = DFG(log)
+    stats = IOStatistics(log)
+    print(DFGViewer(dfg, stats).render("ascii"))
+"""
+
+from repro.core import (
+    DFG,
+    ActivityLog,
+    CallOnly,
+    CallPath,
+    CallPathTail,
+    CallTopDirs,
+    END_ACTIVITY,
+    Event,
+    EventFrame,
+    EventLog,
+    IOStatistics,
+    Mapping,
+    PartitionColoring,
+    PartitionEL,
+    PlainColoring,
+    RegexMapping,
+    RestrictedMapping,
+    START_ACTIVITY,
+    SiteVariables,
+    StatisticsColoring,
+    Style,
+    mapping_from_callable,
+)
+from repro.core.render import (
+    DFGViewer,
+    render_ascii,
+    render_dot,
+    render_svg,
+    render_timeline_ascii,
+    render_timeline_svg,
+)
+from repro.elstore import EventLogStore, convert_strace_dir, read_event_log, write_event_log
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFG",
+    "ActivityLog",
+    "CallOnly",
+    "CallPath",
+    "CallPathTail",
+    "CallTopDirs",
+    "END_ACTIVITY",
+    "Event",
+    "EventFrame",
+    "EventLog",
+    "IOStatistics",
+    "Mapping",
+    "PartitionColoring",
+    "PartitionEL",
+    "PlainColoring",
+    "RegexMapping",
+    "RestrictedMapping",
+    "START_ACTIVITY",
+    "SiteVariables",
+    "StatisticsColoring",
+    "Style",
+    "mapping_from_callable",
+    "DFGViewer",
+    "render_ascii",
+    "render_dot",
+    "render_svg",
+    "render_timeline_ascii",
+    "render_timeline_svg",
+    "EventLogStore",
+    "convert_strace_dir",
+    "read_event_log",
+    "write_event_log",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the st_inspector reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class. Subclasses
+partition errors by subsystem, mirroring the package layout.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TraceParseError(ReproError):
+    """A line of strace output could not be parsed.
+
+    Carries optional context so tools can point users at the offending
+    trace line.
+
+    Attributes
+    ----------
+    path:
+        Trace file the line came from (``None`` for in-memory input).
+    lineno:
+        1-based line number within the trace file.
+    line:
+        The raw offending line (possibly truncated by the caller).
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 lineno: int | None = None, line: str | None = None) -> None:
+        self.path = path
+        self.lineno = lineno
+        self.line = line
+        location = ""
+        if path is not None:
+            location = f" [{path}"
+            if lineno is not None:
+                location += f":{lineno}"
+            location += "]"
+        super().__init__(message + location)
+
+
+class StoreFormatError(ReproError):
+    """An ``.elog`` event-log container is malformed or unsupported."""
+
+
+class MappingError(ReproError):
+    """A mapping function ``f : E ⇀ A_f`` misbehaved (wrong type, etc.)."""
+
+
+class PartitionError(ReproError):
+    """An event-log partition request is invalid (overlapping / empty)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class RenderError(ReproError):
+    """A DFG or timeline could not be rendered."""

@@ -1,0 +1,139 @@
+"""A multiset (bag) over hashable elements.
+
+The paper models an activity-log as a *multiset of traces*
+``L_f(C) ∈ B(A_f*)`` — e.g. ``{⟨a,a,b⟩², ⟨a,c⟩}`` (Sec. IV). Python's
+:class:`collections.Counter` is close, but we want the algebra the
+process-mining formalism uses (multiset union keeping multiplicities,
+scalar multiplication, sub-multiset tests) with invariant enforcement
+(multiplicities are strictly positive), so we wrap it in a small value
+type of our own.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Generic, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Bag(Generic[T]):
+    """An immutable-by-convention multiset with process-mining algebra.
+
+    Examples
+    --------
+    >>> b = Bag(["x", "x", "y"])
+    >>> b.multiplicity("x")
+    2
+    >>> (b + Bag(["x"])).multiplicity("x")
+    3
+    >>> sorted(b.support())
+    ['x', 'y']
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        counts: Counter[T] = Counter()
+        for item in items:
+            counts[item] += 1
+        self._counts = counts
+
+    @classmethod
+    def from_counts(cls, counts: dict[T, int]) -> "Bag[T]":
+        """Build from an explicit ``{element: multiplicity}`` dict.
+
+        Zero multiplicities are dropped; negative ones are rejected.
+        """
+        bag: Bag[T] = cls()
+        for item, count in counts.items():
+            if count < 0:
+                raise ValueError(
+                    f"negative multiplicity {count} for {item!r}")
+            if count > 0:
+                bag._counts[item] = count
+        return bag
+
+    # -- queries ---------------------------------------------------------
+
+    def multiplicity(self, item: T) -> int:
+        """Number of occurrences of ``item`` (0 if absent)."""
+        return self._counts.get(item, 0)
+
+    def support(self) -> frozenset[T]:
+        """The set of distinct elements."""
+        return frozenset(self._counts)
+
+    def total(self) -> int:
+        """Total number of elements counting multiplicity (|L|)."""
+        return sum(self._counts.values())
+
+    def items(self) -> Iterator[tuple[T, int]]:
+        """Iterate ``(element, multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate elements, each repeated by its multiplicity."""
+        return iter(self._counts.elements())
+
+    def __len__(self) -> int:
+        """Number of *distinct* elements (|support|)."""
+        return len(self._counts)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._counts
+
+    # -- algebra ----------------------------------------------------------
+
+    def __add__(self, other: "Bag[T]") -> "Bag[T]":
+        """Multiset union keeping multiplicities (⊎)."""
+        if not isinstance(other, Bag):
+            return NotImplemented
+        result: Bag[T] = Bag()
+        result._counts = self._counts + other._counts
+        return result
+
+    def __sub__(self, other: "Bag[T]") -> "Bag[T]":
+        """Multiset difference, truncated at zero."""
+        if not isinstance(other, Bag):
+            return NotImplemented
+        result: Bag[T] = Bag()
+        result._counts = self._counts - other._counts
+        return result
+
+    def __mul__(self, factor: int) -> "Bag[T]":
+        """Scale every multiplicity by a non-negative integer."""
+        if not isinstance(factor, int):
+            return NotImplemented
+        if factor < 0:
+            raise ValueError("multiset scale factor must be >= 0")
+        result: Bag[T] = Bag()
+        if factor:
+            result._counts = Counter(
+                {k: v * factor for k, v in self._counts.items()})
+        return result
+
+    __rmul__ = __mul__
+
+    def issubbag(self, other: "Bag[T]") -> bool:
+        """True iff every multiplicity here is ≤ the one in ``other``."""
+        return all(other.multiplicity(k) >= v for k, v in self._counts.items())
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{item!r}^{count}" if count > 1 else repr(item)
+            for item, count in sorted(
+                self._counts.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"Bag({{{inner}}})"

@@ -1,0 +1,19 @@
+"""Alternative event-log inputs (beyond strace).
+
+Sec. II of the paper: "The methodology by itself does not depend on
+strace and can be applied over data instrumented by one of the other
+existing tools." These adapters make that claim concrete: any tool that
+can dump events with the Eq. 1 attributes can feed the pipeline.
+
+- :mod:`repro.adapters.csv_log` — delimited text with the columns
+  ``cid,host,rid,pid,call,start,dur,fp,size`` (the lingua franca every
+  tracing tool can export to).
+"""
+
+from repro.adapters.csv_log import (
+    CSV_COLUMNS,
+    read_csv_log,
+    write_csv_log,
+)
+
+__all__ = ["CSV_COLUMNS", "read_csv_log", "write_csv_log"]

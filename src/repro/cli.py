@@ -1,0 +1,424 @@
+"""Command-line interface: ``st-inspector`` / ``python -m repro``.
+
+Subcommands cover the full paper pipeline plus the simulator:
+
+- ``simulate-ls <dir>`` — generate the Fig. 1 example traces.
+- ``simulate-ior <dir>`` — run the IOR simulator (Fig. 7 options) and
+  write strace files.
+- ``convert <trace-dir> <out.elog>`` — parse + pack into the columnar
+  store (the paper's HDF5 step).
+- ``synthesize <source>`` — build the DFG and print it (ascii/dot/svg),
+  with filtering, mapping and coloring options.
+- ``report <source>`` — per-activity statistics table.
+- ``compare <source> --green <cid>`` — partition-colored comparison.
+- ``timeline <source> --activity <a>`` — the Fig. 5 plot.
+
+``<source>`` is either a directory of ``.st`` files or an ``.elog``
+store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._util.errors import ReproError
+from repro.core.coloring import PartitionColoring, StatisticsColoring
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallOnly, CallPath, CallTopDirs, SiteVariables
+from repro.core.partition import PartitionEL
+from repro.core.render.viewer import DFGViewer
+from repro.core.statistics import IOStatistics
+from repro.pipeline.report import activity_report, comparison_report
+
+
+def _load(source: str) -> EventLog:
+    path = Path(source)
+    if path.is_dir():
+        return EventLog.from_strace_dir(path)
+    if path.suffix.lower() == ".csv":
+        from repro.adapters.csv_log import read_csv_log
+
+        return read_csv_log(path)
+    return EventLog.from_store(path)
+
+
+def _mapping(args: argparse.Namespace):
+    if args.mapping == "topdirs":
+        return CallTopDirs(levels=args.levels)
+    if args.mapping == "path":
+        return CallPath()
+    if args.mapping == "call":
+        return CallOnly()
+    if args.mapping == "site":
+        from repro.simulate.workloads.ior import JUWELS_SITE_VARIABLES
+        return SiteVariables(JUWELS_SITE_VARIABLES,
+                             extra_levels=args.levels - 1)
+    raise ReproError(f"unknown mapping {args.mapping!r}")
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", help=".st directory or .elog store")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="keep only events whose path contains SUBSTR")
+    parser.add_argument("--mapping", default="topdirs",
+                        choices=("topdirs", "path", "call", "site"),
+                        help="event→activity mapping (default: the "
+                             "paper's call+top-2-dirs)")
+    parser.add_argument("--levels", type=int, default=2,
+                        help="directory levels for the mapping")
+    parser.add_argument("--exclude-calls", default=None, metavar="A,B",
+                        help="drop these syscalls before synthesis "
+                             "(Fig. 9 skips openat)")
+
+
+def _prepared_log(args: argparse.Namespace) -> EventLog:
+    log = _load(args.source)
+    if args.filter:
+        log.apply_fp_filter(args.filter)
+    if args.exclude_calls:
+        names = [n.strip() for n in args.exclude_calls.split(",") if n]
+        log = log.filtered(~log.frame.call_in(names))
+    log.apply_mapping_fn(_mapping(args))
+    return log
+
+
+def cmd_simulate_ls(args: argparse.Namespace) -> int:
+    from repro.simulate.workloads.ls import generate_fig1_traces
+
+    ls_paths, lsl_paths = generate_fig1_traces(args.directory)
+    print(f"wrote {len(ls_paths)} 'ls' traces and {len(lsl_paths)} "
+          f"'ls -l' traces to {args.directory}")
+    return 0
+
+
+def cmd_simulate_ior(args: argparse.Namespace) -> int:
+    from repro.simulate.strace_writer import (
+        EXPERIMENT_A_CALLS,
+        EXPERIMENT_B_CALLS,
+        write_trace_files,
+    )
+    from repro.simulate.workloads.ior import IORConfig, simulate_ior
+
+    config = IORConfig(
+        ranks=args.ranks,
+        ranks_per_node=args.ranks_per_node,
+        transfer_size=args.transfer_kib << 10,
+        block_size=args.block_mib << 20,
+        segments=args.segments,
+        file_per_process=args.fpp,
+        api=args.api,
+        cid=args.cid,
+        test_file=args.test_file,
+        seed=args.seed,
+    )
+    result = simulate_ior(config)
+    calls = (EXPERIMENT_B_CALLS if args.trace_lseek
+             else EXPERIMENT_A_CALLS)
+    paths = write_trace_files(result.recorders, args.directory,
+                              trace_calls=calls)
+    print(f"simulated {config.ranks} ranks "
+          f"({result.total_syscalls()} syscalls, makespan "
+          f"{result.makespan_us / 1e6:.2f} s); wrote {len(paths)} "
+          f"trace files to {args.directory}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    from repro.elstore.convert import convert_strace_dir
+
+    out = convert_strace_dir(args.trace_dir, args.output)
+    from repro.elstore.reader import EventLogStore
+
+    store = EventLogStore(out)
+    print(f"wrote {out} ({store.n_cases} cases, "
+          f"{store.n_events} events)")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    log = _prepared_log(args)
+    dfg = DFG(log)
+    stats = IOStatistics(log)
+    viewer = DFGViewer(dfg, stats, StatisticsColoring(stats),
+                       show_ranks=args.show_ranks)
+    text = viewer.render(args.format)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    log = _prepared_log(args)
+    stats = IOStatistics(log)
+    print(activity_report(stats, top=args.top), end="")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    log = _prepared_log(args)
+    green = [c.strip() for c in args.green.split(",") if c.strip()]
+    green_log, red_log = PartitionEL(log, green)
+    stats = IOStatistics(log)
+    coloring = PartitionColoring(DFG(green_log), DFG(red_log), stats)
+    print(comparison_report(coloring, stats), end="")
+    viewer = DFGViewer(DFG(log), stats, coloring)
+    text = viewer.render(args.format)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_variants(args: argparse.Namespace) -> int:
+    from repro.pipeline.report import variants_report
+
+    log = _prepared_log(args)
+    print(variants_report(log, top=args.top), end="")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.diff import DFGDiff
+
+    log = _prepared_log(args)
+    green = [c.strip() for c in args.green.split(",") if c.strip()]
+    green_log, red_log = PartitionEL(log, green)
+    diff = DFGDiff.between(green_log, red_log)
+    print(diff.report(top=args.top), end="")
+    return 0
+
+
+def cmd_html_report(args: argparse.Namespace) -> int:
+    from repro.pipeline.html import save_html_report
+
+    log = _prepared_log(args)
+    styler = None
+    if args.green:
+        from repro.core.coloring import PartitionColoring
+
+        green = [c.strip() for c in args.green.split(",") if c.strip()]
+        green_log, red_log = PartitionEL(log, green)
+        styler = PartitionColoring(DFG(green_log), DFG(red_log),
+                                   IOStatistics(log))
+    else:
+        styler = StatisticsColoring(IOStatistics(log))
+    timelines = ([a.strip() for a in args.timelines.split(",")]
+                 if args.timelines else None)
+    out = save_html_report(log, args.output, title=args.title,
+                           styler=styler,
+                           timeline_activities=timelines)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core.render.timeline import (
+        render_timeline_ascii,
+        render_timeline_svg,
+    )
+
+    log = _prepared_log(args)
+    stats = IOStatistics(log)
+    rows = stats.timeline(args.activity)
+    if args.format == "svg":
+        text = render_timeline_svg(rows, activity=args.activity)
+    else:
+        text = render_timeline_ascii(rows, activity=args.activity)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.render.profile import (
+        render_profile_ascii,
+        render_profile_svg,
+    )
+
+    log = _prepared_log(args)
+    stats = IOStatistics(log)
+    rows = stats.timeline(args.activity)
+    if args.format == "svg":
+        text = render_profile_svg(rows, activity=args.activity)
+    else:
+        text = render_profile_ascii(rows, activity=args.activity)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_counters(args: argparse.Namespace) -> int:
+    from repro.pipeline.counters import counters_report
+
+    log = _load(args.source)
+    if args.filter:
+        log.apply_fp_filter(args.filter)
+    print(counters_report(log, top=args.top), end="")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.pipeline.validate import validate_event_log, \
+        validation_report
+
+    log = _load(args.source)
+    print(validation_report(log), end="")
+    issues = validate_event_log(log)
+    return 1 if any(i.severity == "error" for i in issues) else 0
+
+
+def cmd_export_csv(args: argparse.Namespace) -> int:
+    from repro.adapters.csv_log import write_csv_log
+
+    log = _load(args.source)
+    out = write_csv_log(log, args.output)
+    print(f"wrote {out} ({log.n_events} events)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="st-inspector",
+        description="DFG synthesis of I/O system-call traces "
+                    "(SC-W 2024 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate-ls",
+                       help="generate the paper's Fig. 1 example traces")
+    p.add_argument("directory")
+    p.set_defaults(fn=cmd_simulate_ls)
+
+    p = sub.add_parser("simulate-ior", help="run the IOR simulator")
+    p.add_argument("directory")
+    p.add_argument("--ranks", type=int, default=96)
+    p.add_argument("--ranks-per-node", type=int, default=48)
+    p.add_argument("--transfer-kib", type=int, default=1024,
+                   help="-t, in KiB (default 1m)")
+    p.add_argument("--block-mib", type=int, default=16,
+                   help="-b, in MiB (default 16m)")
+    p.add_argument("--segments", type=int, default=3, help="-s")
+    p.add_argument("--fpp", action="store_true", help="-F")
+    p.add_argument("--api", choices=("posix", "mpiio"), default="posix")
+    p.add_argument("--cid", default="ior")
+    p.add_argument("--test-file", default="/p/scratch/ssf/test")
+    p.add_argument("--trace-lseek", action="store_true",
+                   help="include lseek in the -e set (experiment B)")
+    p.add_argument("--seed", type=int, default=4242)
+    p.set_defaults(fn=cmd_simulate_ior)
+
+    p = sub.add_parser("convert",
+                       help="pack .st traces into an .elog store")
+    p.add_argument("trace_dir")
+    p.add_argument("output")
+    p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser("synthesize", help="build and render the DFG")
+    _add_pipeline_options(p)
+    p.add_argument("--format", choices=("ascii", "dot", "svg"),
+                   default="ascii")
+    p.add_argument("--show-ranks", action="store_true")
+    p.add_argument("--output", default=None)
+    p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser("report", help="per-activity statistics table")
+    _add_pipeline_options(p)
+    p.add_argument("--top", type=int, default=None)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("compare",
+                       help="partition-colored comparison of cids")
+    _add_pipeline_options(p)
+    p.add_argument("--green", required=True,
+                   help="comma-separated cids for the green subset")
+    p.add_argument("--format", choices=("ascii", "dot", "svg"),
+                   default="ascii")
+    p.add_argument("--output", default=None)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("timeline", help="Fig. 5 timeline of an activity")
+    _add_pipeline_options(p)
+    p.add_argument("--activity", required=True)
+    p.add_argument("--format", choices=("ascii", "svg"), default="ascii")
+    p.add_argument("--output", default=None)
+    p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser("profile",
+                       help="concurrency-over-time profile of an activity")
+    _add_pipeline_options(p)
+    p.add_argument("--activity", required=True)
+    p.add_argument("--format", choices=("ascii", "svg"), default="ascii")
+    p.add_argument("--output", default=None)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("counters",
+                       help="Darshan-style per-case counters")
+    p.add_argument("source", help=".st directory or .elog store")
+    p.add_argument("--filter", default=None, metavar="SUBSTR")
+    p.add_argument("--top", type=int, default=None)
+    p.set_defaults(fn=cmd_counters)
+
+    p = sub.add_parser("validate",
+                       help="check the log against the Sec. III/IV "
+                            "preconditions")
+    p.add_argument("source", help=".st directory or .elog store")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("export-csv",
+                       help="export the event-log as CSV (tool-agnostic)")
+    p.add_argument("source", help=".st directory or .elog store")
+    p.add_argument("output")
+    p.set_defaults(fn=cmd_export_csv)
+
+    p = sub.add_parser("variants",
+                       help="trace variants with multiplicities")
+    _add_pipeline_options(p)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_variants)
+
+    p = sub.add_parser("diff",
+                       help="quantitative DFG diff between cid groups")
+    _add_pipeline_options(p)
+    p.add_argument("--green", required=True,
+                   help="comma-separated cids for the green subset")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("html-report",
+                       help="standalone HTML report (SVG + tables)")
+    _add_pipeline_options(p)
+    p.add_argument("--output", required=True)
+    p.add_argument("--title", default="st_inspector report")
+    p.add_argument("--green", default=None,
+                   help="optional: partition-color by these cids")
+    p.add_argument("--timelines", default=None,
+                   help="comma-separated activities to add timelines for")
+    p.set_defaults(fn=cmd_html_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""The paper's primary contribution: event-log formalism → DFG synthesis.
+
+This package implements Sec. IV of the paper end to end:
+
+- :mod:`repro.core.frame` — columnar event storage (NumPy-backed
+  substitute for the pandas DataFrame of the paper's Fig. 6 listing).
+- :mod:`repro.core.event` — the event record
+  ``e = [cid, host, rid, pid, call, start, dur, fp, size]`` (Eq. 1).
+- :mod:`repro.core.eventlog` — cases and event-logs (Eq. 2-3) with the
+  paper's ``apply_fp_filter`` / ``apply_mapping_fn`` query interface.
+- :mod:`repro.core.mapping` — mappings ``f : E ⇀ A_f`` (Eq. 4) with the
+  built-in f̂ (call + top-2 directories) and f̄ (site variables).
+- :mod:`repro.core.activity` — activity traces σ_f(c) (Eq. 5) and
+  activity-logs L_f(C) ∈ B(A_f*) with • / ■ sentinels.
+- :mod:`repro.core.dfg` — Directly-Follows-Graph construction
+  (Sec. IV-A) and graph algebra for comparisons.
+- :mod:`repro.core.statistics` — rd_f, b_f, dr̄_f, mc_f (Sec. IV-B).
+- :mod:`repro.core.partition` — event-log partitioning (Sec. IV-C).
+- :mod:`repro.core.coloring` — statistics- and partition-based stylers.
+- :mod:`repro.core.render` — DOT / SVG / ASCII / timeline renderers.
+"""
+
+from repro.core.event import Event
+from repro.core.frame import EventFrame, FramePools
+from repro.core.eventlog import EventLog
+from repro.core.mapping import (
+    Mapping,
+    CallTopDirs,
+    CallPath,
+    CallPathTail,
+    CallOnly,
+    SiteVariables,
+    RegexMapping,
+    RestrictedMapping,
+    ComposedMapping,
+    mapping_from_callable,
+)
+from repro.core.activity import START_ACTIVITY, END_ACTIVITY, ActivityLog
+from repro.core.dfg import DFG
+from repro.core.statistics import ActivityStats, IOStatistics
+from repro.core.partition import PartitionEL, partition_by_cid, partition_by_predicate
+from repro.core.coloring import (
+    Style,
+    StatisticsColoring,
+    PartitionColoring,
+    PlainColoring,
+)
+from repro.core.diff import ActivityDelta, DFGDiff, EdgeDelta
+from repro.core.analysis import (
+    bottleneck_activities,
+    dominant_path,
+    edge_probabilities,
+    entropy_of_successors,
+    find_cycles,
+    reachable_activities,
+    variant_coverage,
+)
+
+__all__ = [
+    "Event",
+    "EventFrame",
+    "FramePools",
+    "EventLog",
+    "Mapping",
+    "CallTopDirs",
+    "CallPath",
+    "CallPathTail",
+    "CallOnly",
+    "SiteVariables",
+    "RegexMapping",
+    "RestrictedMapping",
+    "ComposedMapping",
+    "mapping_from_callable",
+    "START_ACTIVITY",
+    "END_ACTIVITY",
+    "ActivityLog",
+    "DFG",
+    "ActivityStats",
+    "IOStatistics",
+    "PartitionEL",
+    "partition_by_cid",
+    "partition_by_predicate",
+    "Style",
+    "StatisticsColoring",
+    "PartitionColoring",
+    "PlainColoring",
+    "ActivityDelta",
+    "DFGDiff",
+    "EdgeDelta",
+    "bottleneck_activities",
+    "dominant_path",
+    "edge_probabilities",
+    "entropy_of_successors",
+    "find_cycles",
+    "reachable_activities",
+    "variant_coverage",
+]

@@ -1,0 +1,165 @@
+"""Activity traces and activity-logs (Eq. 5 and the multiset B(A_f*)).
+
+For a mapping f and a case c, the *trace* is the sequence of activities
+of c's mapped events in start-time order: ``σ_f(c) = ⟨f(e1), ...⟩``.
+The *activity-log* ``L_f(C)`` is the multiset of traces over all cases —
+cases with identical traces collapse into one element with a
+multiplicity, exactly like the paper's ``L_f̂(Ca) = {⟨•, read:/usr/lib,
+...⟩³}`` where all three ``ls`` ranks produced the same trace.
+
+Following the paper, every trace is wrapped in an artificial start
+(``●``) and end (``■``) activity before DFG construction, so the DFG
+shows where cases begin and end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from repro._util.multiset import Bag
+from repro.core.frame import MISSING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventlog import EventLog
+
+#: The artificial start activity (the paper's ``•`` bullet, rendered as
+#: a filled circle in its figures).
+START_ACTIVITY = "●"
+#: The artificial end activity (the paper's ``■``).
+END_ACTIVITY = "■"
+
+#: Both sentinels, for membership tests.
+SENTINELS = frozenset({START_ACTIVITY, END_ACTIVITY})
+
+Trace = tuple[str, ...]
+
+
+class ActivityLog:
+    """The multiset of activity traces ``L_f(C) ∈ B(A_f*)``.
+
+    Construct via :meth:`from_event_log` (requires an applied mapping)
+    or directly from trace tuples (useful in tests and for synthetic
+    logs).
+    """
+
+    def __init__(self, traces: Bag[Trace] | Iterable[Trace],
+                 *, case_traces: dict[str, Trace] | None = None) -> None:
+        self._traces: Bag[Trace] = (
+            traces if isinstance(traces, Bag) else Bag(traces))
+        #: Per-case trace (case_id -> trace), kept when built from an
+        #: event-log; lets callers relate variants back to cases.
+        self.case_traces = case_traces or {}
+
+    @classmethod
+    def from_event_log(cls, event_log: "EventLog",
+                       *, add_endpoints: bool = True) -> "ActivityLog":
+        """Build L_f(C) from an event-log with an applied mapping.
+
+        Unmapped events (f is partial) are skipped. A case in which no
+        event maps still contributes the empty trace — wrapped as
+        ``⟨●, ■⟩`` when ``add_endpoints`` — so the DFG records that the
+        case ran without touching any mapped activity.
+        """
+        event_log._require_mapping()
+        frame = event_log.frame
+        pool = frame.pools.activities
+        case_pool = frame.pools.cases
+        activity_col = frame.column("activity")
+        case_traces: dict[str, Trace] = {}
+        traces: list[Trace] = []
+        for case_code, rows in frame.case_slices():
+            codes = activity_col[rows]
+            codes = codes[codes != MISSING]
+            body = tuple(pool.decode(int(c)) for c in codes)
+            if add_endpoints:
+                trace: Trace = (START_ACTIVITY, *body, END_ACTIVITY)
+            else:
+                trace = body
+            traces.append(trace)
+            case_traces[case_pool.decode(int(case_code))] = trace
+        return cls(Bag(traces), case_traces=case_traces)
+
+    # -- multiset access ---------------------------------------------------
+
+    @property
+    def traces(self) -> Bag[Trace]:
+        """The underlying multiset of traces."""
+        return self._traces
+
+    def variants(self) -> list[tuple[Trace, int]]:
+        """Distinct traces with multiplicities, most frequent first.
+
+        The paper's ``{⟨a,a,b⟩², ⟨a,c⟩}`` notation, as data.
+        """
+        return sorted(self._traces.items(),
+                      key=lambda tm: (-tm[1], tm[0]))
+
+    def n_traces(self) -> int:
+        """Total number of traces counting multiplicity (= #cases)."""
+        return self._traces.total()
+
+    def n_variants(self) -> int:
+        """Number of *distinct* traces."""
+        return len(self._traces)
+
+    def activities(self) -> set[str]:
+        """All activities occurring in any trace, excluding sentinels."""
+        result: set[str] = set()
+        for trace, _ in self._traces.items():
+            result.update(trace)
+        return result - SENTINELS
+
+    # -- directly-follows ----------------------------------------------------
+
+    def directly_follows_counts(self) -> dict[tuple[str, str], int]:
+        """Count every directly-follows pair across the multiset.
+
+        The single O(n) pass of Sec. V: one iteration through the
+        activity-log; consecutive pairs within each distinct trace are
+        weighted by the trace's multiplicity.
+        """
+        counts: dict[tuple[str, str], int] = {}
+        for trace, multiplicity in self._traces.items():
+            for a1, a2 in zip(trace, trace[1:]):
+                key = (a1, a2)
+                counts[key] = counts.get(key, 0) + multiplicity
+        return counts
+
+    def activity_frequencies(self) -> dict[str, int]:
+        """Occurrences of each activity across all traces (with
+        multiplicity), sentinels included."""
+        freq: dict[str, int] = {}
+        for trace, multiplicity in self._traces.items():
+            for activity in trace:
+                freq[activity] = freq.get(activity, 0) + multiplicity
+        return freq
+
+    # -- algebra ------------------------------------------------------------------
+
+    def union(self, other: "ActivityLog") -> "ActivityLog":
+        """Multiset union: ``L(Ca) ⊎ L(Cb)`` (the paper's L(Cx))."""
+        merged_cases = dict(self.case_traces)
+        merged_cases.update(other.case_traces)
+        return ActivityLog(self._traces + other._traces,
+                           case_traces=merged_cases)
+
+    def __add__(self, other: "ActivityLog") -> "ActivityLog":
+        return self.union(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActivityLog):
+            return NotImplemented
+        return self._traces == other._traces
+
+    def __hash__(self) -> int:
+        return hash(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ActivityLog({self.n_traces()} traces, "
+                f"{self.n_variants()} variants, "
+                f"{len(self.activities())} activities)")

@@ -1,0 +1,164 @@
+"""Graph analytics over DFGs.
+
+The DFG is a plain weighted digraph, so standard graph questions have
+direct I/O interpretations:
+
+- :func:`dominant_path` — the highest-probability walk ● → ■: "what
+  does a typical case do, in order?"
+- :func:`variant_coverage` — how many cases the k most frequent trace
+  variants explain (process-mining's classic 80/20 check; a DFG of a
+  log with low coverage at small k mixes heterogeneous behaviours and
+  may deserve partitioning).
+- :func:`find_cycles` — repeated-phase structure (segment loops in IOR
+  show up as cycles through the write/read nodes).
+- :func:`edge_probabilities` — outgoing-edge transition probabilities,
+  turning the DFG into a Markov-chain view.
+- :func:`bottleneck_activities` — activities ranked by share of total
+  I/O time (rd_f), with cumulative share, for "where do I look first".
+
+These helpers lean on networkx where a well-known algorithm exists
+(simple cycles), and stay direct elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY, ActivityLog
+from repro.core.dfg import DFG, Edge
+from repro.core.statistics import IOStatistics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventlog import EventLog
+
+
+def edge_probabilities(dfg: DFG) -> dict[Edge, float]:
+    """P(next = a2 | current = a1) for every edge.
+
+    Probabilities over each node's outgoing edges sum to 1 (■ has no
+    outgoing edges).
+    """
+    totals: dict[str, int] = {}
+    for (a1, _a2), count in dfg.edges().items():
+        totals[a1] = totals.get(a1, 0) + count
+    return {edge: count / totals[edge[0]]
+            for edge, count in dfg.edges().items()}
+
+
+def dominant_path(dfg: DFG, *, max_length: int = 200) -> list[str]:
+    """The most probable ● → ■ walk (greedy on transition probability,
+    avoiding node revisits so self-loops/cycles cannot trap it).
+
+    Returns the node sequence including the sentinels; an empty list if
+    the DFG has no start node.
+    """
+    if START_ACTIVITY not in dfg.nodes():
+        return []
+    probs = edge_probabilities(dfg)
+    path = [START_ACTIVITY]
+    visited = {START_ACTIVITY}
+    current = START_ACTIVITY
+    while current != END_ACTIVITY and len(path) < max_length:
+        candidates = [
+            (probs[(current, nxt)], nxt)
+            for nxt in dfg.successors(current)
+            if nxt not in visited or nxt == END_ACTIVITY
+        ]
+        if not candidates:
+            break
+        _, best = max(candidates, key=lambda pn: (pn[0], pn[1]))
+        path.append(best)
+        visited.add(best)
+        current = best
+    return path
+
+
+def variant_coverage(log: ActivityLog | "EventLog",
+                     k: int | None = None) -> list[tuple[int, float]]:
+    """Cumulative case coverage of the k most frequent variants.
+
+    Returns ``[(k, coverage_fraction), ...]`` for k = 1..K (or up to the
+    given k). A log where ``coverage[0]`` is already high is homogeneous
+    (the paper's ls example: one variant covers 100 %).
+    """
+    activity_log = _as_activity_log(log)
+    total = activity_log.n_traces()
+    if total == 0:
+        return []
+    coverage: list[tuple[int, float]] = []
+    cumulative = 0
+    for i, (_trace, multiplicity) in enumerate(
+            activity_log.variants(), start=1):
+        cumulative += multiplicity
+        coverage.append((i, cumulative / total))
+        if k is not None and i >= k:
+            break
+    return coverage
+
+
+def find_cycles(dfg: DFG, *, max_cycles: int = 100) -> list[list[str]]:
+    """Simple cycles through the DFG (self-loops excluded), shortest
+    first — the repeated-phase structure of the traced program."""
+    graph = dfg.to_networkx()
+    graph.remove_edges_from([(a, a) for a in dfg.self_loops()])
+    cycles = []
+    for cycle in nx.simple_cycles(graph):
+        cycles.append(cycle)
+        if len(cycles) >= max_cycles:
+            break
+    return sorted(cycles, key=lambda c: (len(c), c))
+
+
+def bottleneck_activities(
+    stats: IOStatistics, *, threshold: float = 0.9,
+) -> list[tuple[str, float, float]]:
+    """Activities by descending rd_f with cumulative share, truncated
+    once the cumulative share passes ``threshold``.
+
+    The Fig. 8 reading in one call: for the SSF/FPP log this returns
+    [(openat:$SCRATCH, 0.55, 0.55), (write:$SCRATCH, 0.43, 0.98)].
+    """
+    result = []
+    cumulative = 0.0
+    for activity in stats.activities():
+        rd = stats[activity].relative_duration
+        cumulative += rd
+        result.append((activity, rd, cumulative))
+        if cumulative >= threshold:
+            break
+    return result
+
+
+def reachable_activities(dfg: DFG, origin: str) -> set[str]:
+    """All activities reachable from ``origin`` by directly-follows
+    edges (useful for slicing the graph under a suspect node)."""
+    graph = dfg.to_networkx()
+    if origin not in graph:
+        return set()
+    return set(nx.descendants(graph, origin))
+
+
+def entropy_of_successors(dfg: DFG, activity: str) -> float:
+    """Shannon entropy (bits) of the successor distribution of a node.
+
+    0 = deterministic continuation; high entropy marks branch points
+    where cases diverge (candidates for partition-based comparison).
+    """
+    successors = dfg.successors(activity)
+    total = sum(successors.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in successors.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def _as_activity_log(log: "ActivityLog | EventLog") -> ActivityLog:
+    if isinstance(log, ActivityLog):
+        return log
+    return ActivityLog.from_event_log(log)

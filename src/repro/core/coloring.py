@@ -1,0 +1,185 @@
+"""Graph coloring strategies (Sec. IV-C).
+
+Two strategies, exactly as the paper defines them:
+
+1. **Statistics-based** (:class:`StatisticsColoring`): nodes shaded by a
+   statistic — "the higher the value of rd_f, the darker the shade of
+   blue" (Fig. 3b/3c/8). Any metric exposed by
+   :meth:`~repro.core.statistics.IOStatistics.metric` can drive the
+   shading.
+2. **Partition-based** (:class:`PartitionColoring`): given the DFGs of
+   two mutually exclusive sub-logs G and R, color nodes/edges exclusive
+   to G green, exclusive to R red, and leave shared elements uncolored
+   (Fig. 3d / Fig. 9).
+
+A coloring is a *styler*: a pair of functions from node / edge to
+:class:`Style`. Renderers (DOT/SVG/ASCII) consume stylers, so coloring
+logic stays independent of output format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro._util.errors import ReproError
+from repro.core.activity import SENTINELS
+from repro.core.dfg import DFG, Edge
+from repro.core.palette import (
+    BLUES,
+    GREEN_EDGE,
+    GREEN_FILL,
+    RED_EDGE,
+    RED_FILL,
+    pick_font_color,
+    shade,
+)
+from repro.core.statistics import IOStatistics
+
+
+@dataclass(frozen=True, slots=True)
+class Style:
+    """Visual attributes for one node or edge (format-agnostic)."""
+
+    fill: str | None = None        #: node background (hex)
+    color: str | None = None       #: border / edge stroke (hex)
+    fontcolor: str | None = None   #: label text color (hex)
+    penwidth: float | None = None  #: border / edge width
+
+    def merged_over(self, base: "Style") -> "Style":
+        """This style with unset attributes inherited from ``base``."""
+        return Style(
+            fill=self.fill if self.fill is not None else base.fill,
+            color=self.color if self.color is not None else base.color,
+            fontcolor=(self.fontcolor if self.fontcolor is not None
+                       else base.fontcolor),
+            penwidth=(self.penwidth if self.penwidth is not None
+                      else base.penwidth),
+        )
+
+
+#: Style applied when a styler has no opinion.
+DEFAULT_NODE_STYLE = Style(fill="#ffffff", color="#333333",
+                           fontcolor="#000000", penwidth=1.0)
+DEFAULT_EDGE_STYLE = Style(color="#555555", fontcolor="#333333",
+                           penwidth=1.0)
+
+
+class Styler(Protocol):
+    """Anything that can style DFG nodes and edges."""
+
+    def node_style(self, activity: str) -> Style: ...
+
+    def edge_style(self, edge: Edge) -> Style: ...
+
+
+class PlainColoring:
+    """No coloring: every node/edge gets the defaults."""
+
+    def node_style(self, activity: str) -> Style:
+        return DEFAULT_NODE_STYLE
+
+    def edge_style(self, edge: Edge) -> Style:
+        return DEFAULT_EDGE_STYLE
+
+
+class StatisticsColoring:
+    """Shade nodes by a statistic (default: relative duration).
+
+    Values are normalized by the maximum across activities so the
+    heaviest activity gets the darkest shade; the font flips to white
+    on dark fills for readability.
+    """
+
+    def __init__(self, stats: IOStatistics,
+                 metric: str = "relative_duration",
+                 palette: list[str] = BLUES) -> None:
+        self.stats = stats
+        self.metric = metric
+        self.palette = palette
+        values = [stats.metric(a, metric) for a in stats.activities()]
+        self._max = max(values) if values else 0.0
+
+    def node_style(self, activity: str) -> Style:
+        if activity in SENTINELS or activity not in self.stats:
+            return DEFAULT_NODE_STYLE
+        value = self.stats.metric(activity, self.metric)
+        t = value / self._max if self._max > 0 else 0.0
+        fill = shade(self.palette, t)
+        return Style(fill=fill, color="#333333",
+                     fontcolor=pick_font_color(fill), penwidth=1.0)
+
+    def edge_style(self, edge: Edge) -> Style:
+        return DEFAULT_EDGE_STYLE
+
+
+class PartitionColoring:
+    """Green/red coloring from two partition DFGs (Sec. IV-C, Fig. 9).
+
+    Parameters
+    ----------
+    green_dfg, red_dfg:
+        DFGs built from the two mutually exclusive event-log subsets.
+    stats:
+        Optional; accepted for signature compatibility with the paper's
+        Fig. 6 listing (``PartitionColoring(green_dfg, red_dfg, stats)``)
+        — the statistics themselves are rendered by the viewer, not the
+        styler.
+    """
+
+    def __init__(self, green_dfg: DFG, red_dfg: DFG,
+                 stats: IOStatistics | None = None) -> None:
+        self.green_dfg = green_dfg
+        self.red_dfg = red_dfg
+        self.stats = stats
+        self._green_nodes = green_dfg.exclusive_nodes(red_dfg)
+        self._red_nodes = red_dfg.exclusive_nodes(green_dfg)
+        self._green_edges = green_dfg.exclusive_edges(red_dfg)
+        self._red_edges = red_dfg.exclusive_edges(green_dfg)
+
+    def classify_node(self, activity: str) -> str:
+        """``'green'`` / ``'red'`` / ``'shared'`` for reports."""
+        if activity in self._green_nodes:
+            return "green"
+        if activity in self._red_nodes:
+            return "red"
+        return "shared"
+
+    def classify_edge(self, edge: Edge) -> str:
+        if edge in self._green_edges:
+            return "green"
+        if edge in self._red_edges:
+            return "red"
+        return "shared"
+
+    def node_style(self, activity: str) -> Style:
+        kind = self.classify_node(activity)
+        if kind == "green":
+            return Style(fill=GREEN_FILL, color=GREEN_EDGE,
+                         fontcolor="#000000", penwidth=1.4)
+        if kind == "red":
+            return Style(fill=RED_FILL, color=RED_EDGE,
+                         fontcolor="#000000", penwidth=1.4)
+        return DEFAULT_NODE_STYLE
+
+    def edge_style(self, edge: Edge) -> Style:
+        kind = self.classify_edge(edge)
+        if kind == "green":
+            return Style(color=GREEN_EDGE, fontcolor=GREEN_EDGE,
+                         penwidth=1.6)
+        if kind == "red":
+            return Style(color=RED_EDGE, fontcolor=RED_EDGE, penwidth=1.6)
+        return DEFAULT_EDGE_STYLE
+
+    def summary(self) -> dict[str, list]:
+        """Exclusive/shared element listing for textual reports."""
+        return {
+            "green_nodes": sorted(self._green_nodes),
+            "red_nodes": sorted(self._red_nodes),
+            "green_edges": sorted(self._green_edges),
+            "red_edges": sorted(self._red_edges),
+            "shared_nodes": sorted(
+                self.green_dfg.shared_nodes(self.red_dfg)),
+            "shared_edges": sorted(
+                self.green_dfg.shared_edges(self.red_dfg)),
+        }

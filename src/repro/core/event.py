@@ -1,0 +1,112 @@
+"""The event record of Eq. 1.
+
+    e = [cid, host, rid, pid, call, start, dur, fp, size]
+
+Events are what mapping functions ``f : E ⇀ A_f`` receive. The paper's
+reference implementation hands mappings a ``pandas.Series`` accessed as
+``event['fp']`` (Fig. 6, step 2a); :class:`Event` supports both that
+item-style access and attribute access, so the paper's listing runs
+against this library unchanged.
+
+Uniqueness (Sec. IV): "no two events are exactly the same" — the paper
+discusses that omitting ``-f`` can collapse two physical calls into one
+identical tuple, which is undesired. :meth:`Event.identity` exposes the
+full attribute tuple so logs can be audited for violations
+(:func:`check_event_uniqueness`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, fields
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One I/O system-call event.
+
+    Attributes
+    ----------
+    cid:
+        Command identifier (from the trace-file name).
+    host:
+        Host machine name (from the trace-file name).
+    rid:
+        Launching (MPI) process identifier (from the trace-file name).
+    pid:
+        Identifier of the process that executed the call (``-f``).
+    call:
+        System-call name, e.g. ``"read"``.
+    start:
+        Start wall-clock in microseconds since midnight (``-tt``).
+    dur:
+        Duration in microseconds (``-T``); None if unrecorded.
+    fp:
+        Accessed file path (``-y``); None if the call carries none.
+    size:
+        Bytes actually transferred — return value, parsed "only for the
+        variants of read and write system calls" (Sec. III item 6).
+    """
+
+    cid: str
+    host: str
+    rid: int
+    pid: int
+    call: str
+    start: int
+    dur: int | None
+    fp: str | None
+    size: int | None
+
+    def __getitem__(self, key: str):
+        """pandas-Series-style access: ``event['fp']``."""
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def keys(self) -> tuple[str, ...]:
+        """Attribute names, in Eq. 1 order."""
+        return tuple(f.name for f in fields(self))
+
+    def identity(self) -> tuple:
+        """The full attribute tuple; equal tuples mean duplicate events."""
+        return (self.cid, self.host, self.rid, self.pid, self.call,
+                self.start, self.dur, self.fp, self.size)
+
+    @property
+    def end(self) -> int | None:
+        """``start + dur`` (Eq. 14), or None when dur is unrecorded."""
+        if self.dur is None:
+            return None
+        return self.start + self.dur
+
+    @property
+    def data_rate(self) -> float | None:
+        """Per-event data rate ``size / dur`` in bytes/second (Eq. 11).
+
+        None when size or duration is unavailable or the duration is
+        zero (strace microsecond resolution can round tiny calls to 0;
+        those cannot contribute a finite rate).
+        """
+        if self.size is None or self.dur is None or self.dur == 0:
+            return None
+        return self.size / (self.dur / 1e6)
+
+    @property
+    def case_id(self) -> str:
+        """Paper-style case label: cid followed by rid, e.g. ``a9042``."""
+        return f"{self.cid}{self.rid}"
+
+
+def check_event_uniqueness(events: Iterable[Event]) -> list[tuple]:
+    """Return identity tuples that occur more than once.
+
+    An empty result certifies the log satisfies the paper's "no two
+    events are exactly the same" requirement; a non-empty result most
+    commonly indicates traces recorded without ``-f`` (Sec. IV's
+    example of how duplicates arise).
+    """
+    counts = Counter(e.identity() for e in events)
+    return [identity for identity, n in counts.items() if n > 1]

@@ -1,0 +1,413 @@
+"""Mappings ``f : E ⇀ A_f`` from events to activities (Sec. IV).
+
+A mapping is a *partial* function: an event maps to at most one activity
+and may map to none, in which case the event is excluded from the
+activity-log — "not all e ∈ E are required to have a mapping". The
+reverse image ``f⁻¹(a)`` (the events behind an activity) is what the
+statistics of Sec. IV-B aggregate over.
+
+Built-in mappings reproduce the paper's:
+
+- :class:`CallTopDirs` — the paper's f̂ (Eq. 4): syscall name plus the
+  file path truncated to at most the top two directory levels
+  (``read(… /usr/lib/x86_64-linux-gnu/libc.so.6)`` → ``read:/usr/lib``).
+- :class:`CallPathTail` — syscall plus the *last* k path components,
+  the file-level view used in Fig. 4
+  (``read:x86_64-linux-gnu/libselinux.so.1``).
+- :class:`SiteVariables` — the paper's f̄ (Sec. V): "abstracts the file
+  paths based on site-specific variable" — path prefixes become labels
+  like ``$SCRATCH``, ``$HOME``, ``$SOFTWARE``, ``Node Local``,
+  optionally keeping directory levels below the variable (Fig. 8b shows
+  ``$SCRATCH/ssf`` vs ``$SCRATCH/fpp``).
+- :class:`RestrictedMapping` — the f₁ construction: "maps an event to
+  an activity only if the file path contains the sub-string /usr/lib".
+
+Performance: mappings that depend only on (call, fp) declare
+``uses_only_call_fp = True``, letting the event-log evaluate them once
+per *distinct* (call, fp) pair and broadcast via vectorized indexing —
+the O(n) row-wise application of Fig. 6 drops to O(distinct pairs) of
+Python-level work. ``bench_ablation_interning`` measures the win.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro._util.errors import MappingError
+from repro.core.event import Event
+
+#: Separator between the call and path parts of built-in activity names.
+#: The paper's prose writes ``read:/usr/lib``; its Fig. 6 listing uses a
+#: newline (so the two parts render as separate label lines). We default
+#: to ``:`` and let the renderer split for display.
+DEFAULT_SEPARATOR = ":"
+
+
+class Mapping(ABC):
+    """Base class for event → activity mappings."""
+
+    #: Human-readable mapping name (shows up in reports).
+    name: str = "mapping"
+
+    #: True iff the result depends only on (call, fp) — enables the
+    #: distinct-pair fast path in EventLog.apply_mapping.
+    uses_only_call_fp: bool = False
+
+    @abstractmethod
+    def map_event(self, event: Event) -> str | None:
+        """Activity for ``event``, or None to exclude it (partiality)."""
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        """Fast path for call/fp-only mappings; others raise."""
+        raise MappingError(
+            f"{type(self).__name__} does not support the call/fp fast path")
+
+    def __call__(self, event: Event) -> str | None:
+        return self.map_event(event)
+
+    def restricted_to_fp(self, substring: str) -> "RestrictedMapping":
+        """Derive the paper's f₁-style restriction of this mapping."""
+        return RestrictedMapping(self, fp_substring=substring)
+
+
+def truncate_topdirs(fp: str, levels: int) -> str:
+    """Truncate a path to its top ``levels`` components (paper Eq. 4).
+
+    >>> truncate_topdirs("/usr/lib/x86_64-linux-gnu/libc.so.6", 2)
+    '/usr/lib'
+    >>> truncate_topdirs("/proc/filesystems", 2)
+    '/proc/filesystems'
+    >>> truncate_topdirs("test.0", 2)
+    'test.0'
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if fp.startswith("/"):
+        parts = fp.split("/")  # leading '' + components
+        kept = parts[1: 1 + levels]
+        return "/" + "/".join(kept)
+    parts = fp.split("/")
+    return "/".join(parts[:levels])
+
+
+def path_tail(fp: str, levels: int) -> str:
+    """The last ``levels`` components of a path (Fig. 4 node style).
+
+    >>> path_tail("/usr/lib/x86_64-linux-gnu/libselinux.so.1", 2)
+    'x86_64-linux-gnu/libselinux.so.1'
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    parts = [p for p in fp.split("/") if p]
+    return "/".join(parts[-levels:])
+
+
+class CallTopDirs(Mapping):
+    """The paper's f̂: ``call`` + path truncated to top-k directories.
+
+    Events without a file path are excluded (mapped to None) — f̂ is
+    partial exactly as Eq. 4 implies.
+    """
+
+    uses_only_call_fp = True
+
+    def __init__(self, levels: int = 2,
+                 separator: str = DEFAULT_SEPARATOR) -> None:
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.levels = levels
+        self.separator = separator
+        self.name = f"call+top{levels}dirs"
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        if fp is None:
+            return None
+        return f"{call}{self.separator}{truncate_topdirs(fp, self.levels)}"
+
+    def map_event(self, event: Event) -> str | None:
+        return self.map_call_fp(event.call, event.fp)
+
+
+class CallPathTail(Mapping):
+    """``call`` + last-k path components: the file-level view of Fig. 4."""
+
+    uses_only_call_fp = True
+
+    def __init__(self, levels: int = 2,
+                 separator: str = DEFAULT_SEPARATOR) -> None:
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.levels = levels
+        self.separator = separator
+        self.name = f"call+tail{levels}"
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        if fp is None:
+            return None
+        return f"{call}{self.separator}{path_tail(fp, self.levels)}"
+
+    def map_event(self, event: Event) -> str | None:
+        return self.map_call_fp(event.call, event.fp)
+
+
+class CallPath(Mapping):
+    """``call`` + the full untruncated path (finest path granularity)."""
+
+    uses_only_call_fp = True
+
+    def __init__(self, separator: str = DEFAULT_SEPARATOR) -> None:
+        self.separator = separator
+        self.name = "call+path"
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        if fp is None:
+            return None
+        return f"{call}{self.separator}{fp}"
+
+    def map_event(self, event: Event) -> str | None:
+        return self.map_call_fp(event.call, event.fp)
+
+
+class CallOnly(Mapping):
+    """Just the syscall name; total (maps events without paths too)."""
+
+    uses_only_call_fp = True
+    name = "call"
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        return call
+
+    def map_event(self, event: Event) -> str | None:
+        return event.call
+
+
+class SiteVariables(Mapping):
+    """The paper's f̄: abstract path prefixes into site variables.
+
+    Parameters
+    ----------
+    variables:
+        ``{label: prefix-or-prefixes}`` — e.g. ``{"$SCRATCH":
+        "/p/scratch", "$HOME": "/p/home", "$SOFTWARE": "/p/software",
+        "Node Local": ("/dev/shm", "/tmp")}``. Longest-prefix wins, so
+        nested prefixes behave intuitively regardless of dict order.
+    extra_levels:
+        Directory levels kept *below* the variable: 0 gives
+        ``write:$SCRATCH`` (Fig. 8a); 1 gives ``write:$SCRATCH/ssf``
+        (Fig. 8b).
+    unmatched:
+        Policy for paths under no known prefix: ``"topdirs"`` falls back
+        to f̂-style truncation, ``"exclude"`` makes the mapping partial
+        there, ``"keep"`` uses the raw path.
+    """
+
+    uses_only_call_fp = True
+
+    def __init__(
+        self,
+        variables: dict[str, "str | tuple[str, ...] | list[str]"],
+        *,
+        extra_levels: int = 0,
+        unmatched: str = "topdirs",
+        topdirs_levels: int = 2,
+        separator: str = DEFAULT_SEPARATOR,
+    ) -> None:
+        if unmatched not in ("topdirs", "exclude", "keep"):
+            raise ValueError(f"bad unmatched policy: {unmatched!r}")
+        if extra_levels < 0:
+            raise ValueError("extra_levels must be >= 0")
+        pairs: list[tuple[str, str]] = []
+        for label, prefixes in variables.items():
+            if isinstance(prefixes, str):
+                prefixes = (prefixes,)
+            for prefix in prefixes:
+                pairs.append((prefix.rstrip("/"), label))
+        # Longest prefix first so "/p/scratch/ssd" beats "/p/scratch".
+        self._prefixes = sorted(
+            pairs, key=lambda pl: len(pl[0]), reverse=True)
+        self.extra_levels = extra_levels
+        self.unmatched = unmatched
+        self.topdirs_levels = topdirs_levels
+        self.separator = separator
+        self.name = f"site-variables[{','.join(variables)}]"
+
+    def _abstract(self, fp: str) -> str | None:
+        for prefix, label in self._prefixes:
+            if fp == prefix or fp.startswith(prefix + "/"):
+                if self.extra_levels == 0:
+                    return label
+                below = fp[len(prefix):].strip("/")
+                kept = [p for p in below.split("/") if p][: self.extra_levels]
+                return label + ("/" + "/".join(kept) if kept else "")
+        if self.unmatched == "topdirs":
+            return truncate_topdirs(fp, self.topdirs_levels)
+        if self.unmatched == "keep":
+            return fp
+        return None
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        if fp is None:
+            return None
+        abstracted = self._abstract(fp)
+        if abstracted is None:
+            return None
+        return f"{call}{self.separator}{abstracted}"
+
+    def map_event(self, event: Event) -> str | None:
+        return self.map_call_fp(event.call, event.fp)
+
+
+class RegexMapping(Mapping):
+    """Activity from a regex over the path, e.g. grouping by extension.
+
+    ``template`` is a ``str.format`` template receiving ``call`` and the
+    regex's named/positional groups (``g1``…): non-matching paths are
+    excluded.
+    """
+
+    uses_only_call_fp = True
+
+    def __init__(self, pattern: str, template: str,
+                 *, name: str | None = None) -> None:
+        self._regex = re.compile(pattern)
+        self._template = template
+        self.name = name or f"regex[{pattern}]"
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        if fp is None:
+            return None
+        match = self._regex.search(fp)
+        if match is None:
+            return None
+        groups = {f"g{i}": g for i, g in
+                  enumerate(match.groups(), start=1)}
+        groups.update(match.groupdict())
+        try:
+            return self._template.format(call=call, **groups)
+        except (KeyError, IndexError) as exc:
+            raise MappingError(
+                f"template {self._template!r} references missing "
+                f"group: {exc}") from exc
+
+    def map_event(self, event: Event) -> str | None:
+        return self.map_call_fp(event.call, event.fp)
+
+
+class RestrictedMapping(Mapping):
+    """Make any mapping partial on a path condition (the paper's f₁).
+
+    "define a mapping f₁ such that it maps an event to an activity only
+    if the file path contains the sub-string /usr/lib" (Sec. IV-A).
+    """
+
+    def __init__(self, inner: Mapping, *,
+                 fp_substring: str | None = None,
+                 predicate: Callable[[Event], bool] | None = None) -> None:
+        if (fp_substring is None) == (predicate is None):
+            raise MappingError(
+                "provide exactly one of fp_substring / predicate")
+        self.inner = inner
+        self.fp_substring = fp_substring
+        self._predicate = predicate
+        self.uses_only_call_fp = (
+            inner.uses_only_call_fp and fp_substring is not None)
+        self.name = (f"{inner.name}|fp~{fp_substring}"
+                     if fp_substring is not None
+                     else f"{inner.name}|predicate")
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        if not self.uses_only_call_fp:
+            raise MappingError(
+                "predicate-restricted mapping has no call/fp fast path")
+        if fp is None or self.fp_substring not in fp:
+            return None
+        return self.inner.map_call_fp(call, fp)
+
+    def map_event(self, event: Event) -> str | None:
+        if self.fp_substring is not None:
+            if event.fp is None or self.fp_substring not in event.fp:
+                return None
+        elif not self._predicate(event):
+            return None
+        return self.inner.map_event(event)
+
+
+class ComposedMapping(Mapping):
+    """First-match-wins chain of partial mappings.
+
+    Partial mappings compose naturally: try each in order, take the
+    first non-None activity. This builds layered views — e.g. "site
+    variables for the parallel filesystem, full paths for /etc, drop
+    everything else":
+
+    >>> f = ComposedMapping([
+    ...     RestrictedMapping(SiteVariables({"$S": "/p/scratch"},
+    ...                       unmatched="exclude"),
+    ...                       fp_substring="/p/scratch"),
+    ...     RestrictedMapping(CallPath(), fp_substring="/etc"),
+    ... ])
+    """
+
+    def __init__(self, mappings: "list[Mapping]",
+                 name: str | None = None) -> None:
+        if not mappings:
+            raise MappingError("ComposedMapping needs at least one "
+                               "inner mapping")
+        self.mappings = list(mappings)
+        self.uses_only_call_fp = all(
+            m.uses_only_call_fp for m in self.mappings)
+        self.name = name or "|".join(m.name for m in self.mappings)
+
+    def map_call_fp(self, call: str, fp: str | None) -> str | None:
+        if not self.uses_only_call_fp:
+            raise MappingError(
+                "composed mapping contains event-level members; "
+                "no call/fp fast path")
+        for mapping in self.mappings:
+            activity = mapping.map_call_fp(call, fp)
+            if activity is not None:
+                return activity
+        return None
+
+    def map_event(self, event: Event) -> str | None:
+        for mapping in self.mappings:
+            activity = mapping.map_event(event)
+            if activity is not None:
+                return activity
+        return None
+
+
+class _CallableMapping(Mapping):
+    """Adapter for plain callables (the paper's user-defined ``f``)."""
+
+    def __init__(self, fn: Callable[[Event], str | None],
+                 name: str | None = None) -> None:
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "custom")
+
+    def map_event(self, event: Event) -> str | None:
+        result = self._fn(event)
+        if result is not None and not isinstance(result, str):
+            raise MappingError(
+                f"mapping {self.name!r} returned {type(result).__name__}, "
+                f"expected str or None")
+        return result
+
+
+def mapping_from_callable(
+    fn: Callable[[Event], str | None] | Mapping,
+    name: str | None = None,
+) -> Mapping:
+    """Coerce a user function (or pass through a Mapping) to a Mapping.
+
+    This is what ``EventLog.apply_mapping_fn`` calls, so the paper's
+    Fig. 6 listing — which passes a bare ``def f(event): ...`` — works
+    as printed.
+    """
+    if isinstance(fn, Mapping):
+        return fn
+    if not callable(fn):
+        raise MappingError(f"not a mapping or callable: {fn!r}")
+    return _CallableMapping(fn, name)

@@ -1,0 +1,76 @@
+"""Color palettes for DFG rendering.
+
+The paper shades nodes in blues ("higher the value of rd_f, the darker
+the shade of blue") and uses green/red for partition coloring. The blue
+ramp below is the ColorBrewer *Blues* sequential scheme, the de-facto
+standard for this kind of quantitative shading.
+"""
+
+from __future__ import annotations
+
+#: Sequential blues, light → dark (ColorBrewer Blues-9).
+BLUES: list[str] = [
+    "#f7fbff", "#deebf7", "#c6dbef", "#9ecae1", "#6baed6",
+    "#4292c6", "#2171b5", "#08519c", "#08306b",
+]
+
+#: Sequential greens, light → dark (available for byte-based shading).
+GREENS: list[str] = [
+    "#f7fcf5", "#e5f5e0", "#c7e9c0", "#a1d99b", "#74c476",
+    "#41ab5d", "#238b45", "#006d2c", "#00441b",
+]
+
+#: Partition coloring fills/strokes (Sec. IV-C green/red).
+GREEN_FILL = "#a1d99b"
+GREEN_EDGE = "#1a7a1a"
+RED_FILL = "#fc9272"
+RED_EDGE = "#b30000"
+
+
+def _hex_to_rgb(color: str) -> tuple[int, int, int]:
+    color = color.lstrip("#")
+    return (int(color[0:2], 16), int(color[2:4], 16), int(color[4:6], 16))
+
+
+def _rgb_to_hex(rgb: tuple[float, float, float]) -> str:
+    return "#{:02x}{:02x}{:02x}".format(
+        *(max(0, min(255, round(c))) for c in rgb))
+
+
+def shade(palette: list[str], t: float) -> str:
+    """Continuous shade from a discrete ramp: t ∈ [0, 1] → hex color.
+
+    Linear interpolation between adjacent palette stops; t is clamped.
+
+    >>> shade(["#000000", "#ffffff"], 0.5)
+    '#808080'
+    """
+    if not palette:
+        raise ValueError("palette must not be empty")
+    if len(palette) == 1:
+        return palette[0]
+    t = max(0.0, min(1.0, t))
+    position = t * (len(palette) - 1)
+    low = int(position)
+    high = min(low + 1, len(palette) - 1)
+    frac = position - low
+    rgb_low = _hex_to_rgb(palette[low])
+    rgb_high = _hex_to_rgb(palette[high])
+    blended = tuple(
+        (1 - frac) * lo + frac * hi for lo, hi in zip(rgb_low, rgb_high))
+    return _rgb_to_hex(blended)  # type: ignore[arg-type]
+
+
+def relative_luminance(color: str) -> float:
+    """WCAG relative luminance of an sRGB hex color (0=black, 1=white)."""
+    def channel(c: int) -> float:
+        s = c / 255
+        return s / 12.92 if s <= 0.03928 else ((s + 0.055) / 1.055) ** 2.4
+
+    r, g, b = (_hex_to_rgb(color))
+    return 0.2126 * channel(r) + 0.7152 * channel(g) + 0.0722 * channel(b)
+
+
+def pick_font_color(fill: str) -> str:
+    """Black on light fills, white on dark fills."""
+    return "#000000" if relative_luminance(fill) > 0.35 else "#ffffff"

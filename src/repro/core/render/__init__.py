@@ -1,0 +1,57 @@
+"""DFG and timeline renderers (DOT / SVG / ASCII).
+
+Graphviz is not a dependency: :func:`render_dot` emits DOT *text* that
+external tooling may consume, while :func:`render_svg` (via the layered
+layout in :mod:`repro.core.render.layout`) and :func:`render_ascii` are
+fully self-contained. :class:`DFGViewer` is the paper's Fig. 6 facade
+over all three.
+"""
+
+from repro.core.render.ascii import render_ascii
+from repro.core.render.dot import render_dot
+from repro.core.render.labels import activity_label_lines, node_label_lines
+from repro.core.render.layout import Layout, NodeBox, layout_dfg
+from repro.core.palette import (
+    BLUES,
+    GREENS,
+    GREEN_EDGE,
+    GREEN_FILL,
+    RED_EDGE,
+    RED_FILL,
+    pick_font_color,
+    shade,
+)
+from repro.core.render.profile import (
+    render_profile_ascii,
+    render_profile_svg,
+)
+from repro.core.render.svg import render_svg
+from repro.core.render.timeline import (
+    render_timeline_ascii,
+    render_timeline_svg,
+)
+from repro.core.render.viewer import DFGViewer
+
+__all__ = [
+    "render_ascii",
+    "render_dot",
+    "render_svg",
+    "render_timeline_ascii",
+    "render_timeline_svg",
+    "render_profile_ascii",
+    "render_profile_svg",
+    "activity_label_lines",
+    "node_label_lines",
+    "Layout",
+    "NodeBox",
+    "layout_dfg",
+    "BLUES",
+    "GREENS",
+    "GREEN_EDGE",
+    "GREEN_FILL",
+    "RED_EDGE",
+    "RED_FILL",
+    "pick_font_color",
+    "shade",
+    "DFGViewer",
+]

@@ -1,0 +1,111 @@
+"""Graphviz DOT emission for DFGs.
+
+The paper renders its figures with Graphviz; this emitter produces DOT
+text that, piped through ``dot -Tpdf``, reproduces the Fig. 3/8/9 style:
+box nodes with multi-line labels (call, path, ``Load:``, ``DR:``),
+edge labels with observation counts, a filled circle for ● and a filled
+square for ■. Output is deterministic (nodes and edges sorted) so tests
+can assert on exact text.
+
+Graphviz itself is *not* a dependency — the emitter only writes text;
+the self-contained rendering path is :mod:`repro.core.render.svg`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.coloring import (
+    DEFAULT_EDGE_STYLE,
+    DEFAULT_NODE_STYLE,
+    PlainColoring,
+    Styler,
+)
+from repro.core.dfg import DFG
+from repro.core.mapping import DEFAULT_SEPARATOR
+from repro.core.render.labels import node_label_lines
+from repro.core.statistics import IOStatistics
+
+
+def _escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted DOT literal."""
+    return (text.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n"))
+
+
+def _node_id(activity: str) -> str:
+    """Stable DOT identifier for an activity (quoted literal)."""
+    return f'"{_escape(activity)}"'
+
+
+def render_dot(
+    dfg: DFG,
+    stats: IOStatistics | None = None,
+    styler: Styler | None = None,
+    *,
+    graph_name: str = "DFG",
+    rankdir: str = "TB",
+    show_ranks: bool = False,
+    separator: str = DEFAULT_SEPARATOR,
+    scale_edge_width: bool = False,
+) -> str:
+    """Render a DFG (optionally with statistics and a styler) to DOT.
+
+    Parameters mirror the figures: ``rankdir="TB"`` gives the paper's
+    top-to-bottom flow; ``show_ranks`` adds the Fig. 3c ``Ranks:``
+    lines. ``scale_edge_width`` thickens edges logarithmically with
+    their observation count so heavy relations pop visually (an
+    explicit styler's penwidth wins over the scaling).
+    """
+    styler = styler or PlainColoring()
+    max_count = max(dfg.edges().values(), default=1)
+
+    def scaled_width(count: int) -> float:
+        if max_count <= 1:
+            return 1.0
+        return 1.0 + 2.5 * math.log1p(count) / math.log1p(max_count)
+    out: list[str] = []
+    out.append(f"digraph {graph_name} {{")
+    out.append(f"  rankdir={rankdir};")
+    out.append('  node [shape=box, style="rounded,filled", '
+               'fontname="Helvetica", fontsize=10];')
+    out.append('  edge [fontname="Helvetica", fontsize=9];')
+
+    for activity in sorted(dfg.nodes()):
+        style = styler.node_style(activity).merged_over(DEFAULT_NODE_STYLE)
+        attrs: list[str] = []
+        if activity == START_ACTIVITY:
+            attrs = ['shape=circle', 'label=""', 'width=0.25',
+                     'style=filled', 'fillcolor="#000000"']
+        elif activity == END_ACTIVITY:
+            attrs = ['shape=square', 'label=""', 'width=0.22',
+                     'style=filled', 'fillcolor="#000000"']
+        else:
+            label = "\n".join(node_label_lines(
+                activity, stats, show_ranks=show_ranks,
+                separator=separator))
+            attrs.append(f'label="{_escape(label)}"')
+            attrs.append(f'fillcolor="{style.fill}"')
+            attrs.append(f'color="{style.color}"')
+            attrs.append(f'fontcolor="{style.fontcolor}"')
+            if style.penwidth is not None:
+                attrs.append(f'penwidth={style.penwidth:g}')
+        out.append(f"  {_node_id(activity)} [{', '.join(attrs)}];")
+
+    for (a1, a2), count in sorted(dfg.edges().items()):
+        style = styler.edge_style((a1, a2)).merged_over(DEFAULT_EDGE_STYLE)
+        attrs = [f'label="{count}"',
+                 f'color="{style.color}"',
+                 f'fontcolor="{style.fontcolor}"']
+        penwidth = style.penwidth
+        if scale_edge_width and (penwidth is None or penwidth == 1.0):
+            penwidth = scaled_width(count)
+        if penwidth is not None:
+            attrs.append(f'penwidth={penwidth:g}')
+        out.append(
+            f"  {_node_id(a1)} -> {_node_id(a2)} [{', '.join(attrs)}];")
+
+    out.append("}")
+    return "\n".join(out) + "\n"

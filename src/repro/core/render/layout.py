@@ -1,0 +1,192 @@
+"""Layered (Sugiyama-style) layout for self-contained SVG rendering.
+
+Graphviz is unavailable as a dependency, so the SVG renderer computes
+its own coordinates. DFGs are usually shallow, mostly-forward graphs
+rooted at the ● sentinel, which suits the classic three-phase layered
+approach:
+
+1. **Cycle handling** — DFGs may contain cycles (retry loops, repeated
+   phases). A depth-first sweep from the start node marks back edges;
+   layering treats them as reversed. Self-loops are excluded from the
+   layout entirely (drawn as arcs on the node).
+2. **Layer assignment** — longest-path layering from the roots: a node
+   sits one layer below its deepest predecessor, so every forward edge
+   points strictly downward.
+3. **Crossing reduction** — a few barycenter sweeps order nodes within
+   layers by the mean position of their neighbours.
+
+Coordinates are then assigned on a regular grid, centering each layer
+horizontally. The output is deliberately simple: the goal is readable,
+deterministic diagrams, not Graphviz parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dfg import DFG, Edge
+
+
+@dataclass(frozen=True, slots=True)
+class NodeBox:
+    """Placed node: center coordinates (abstract units)."""
+
+    activity: str
+    layer: int
+    x: float
+    y: float
+
+
+@dataclass
+class Layout:
+    """Result of the layered layout."""
+
+    boxes: dict[str, NodeBox]
+    layers: list[list[str]]
+    forward_edges: list[Edge]
+    back_edges: list[Edge]
+    self_loops: list[str]
+
+
+def _acyclic_orientation(
+    nodes: list[str], edges: list[Edge], roots: list[str],
+) -> tuple[set[Edge], set[Edge]]:
+    """Split edges into forward and back sets via iterative DFS."""
+    adjacency: dict[str, list[str]] = {n: [] for n in nodes}
+    for a1, a2 in edges:
+        adjacency[a1].append(a2)
+    for neighbours in adjacency.values():
+        neighbours.sort()
+
+    color: dict[str, int] = {n: 0 for n in nodes}  # 0 white 1 grey 2 black
+    back: set[Edge] = set()
+    order = roots + [n for n in sorted(nodes) if n not in roots]
+    for root in order:
+        if color[root] != 0:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        color[root] = 1
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(adjacency[node]):
+                stack[-1] = (node, idx + 1)
+                nxt = adjacency[node][idx]
+                if color[nxt] == 1:
+                    back.add((node, nxt))
+                elif color[nxt] == 0:
+                    color[nxt] = 1
+                    stack.append((nxt, 0))
+            else:
+                color[node] = 2
+                stack.pop()
+    forward = {e for e in edges if e not in back}
+    return forward, back
+
+
+def _longest_path_layers(
+    nodes: list[str], forward: set[Edge], roots: list[str],
+) -> dict[str, int]:
+    """Layer = longest path length from any root (Kahn-style)."""
+    preds: dict[str, list[str]] = {n: [] for n in nodes}
+    succs: dict[str, list[str]] = {n: [] for n in nodes}
+    indeg: dict[str, int] = {n: 0 for n in nodes}
+    for a1, a2 in forward:
+        succs[a1].append(a2)
+        preds[a2].append(a1)
+        indeg[a2] += 1
+    layer: dict[str, int] = {n: 0 for n in nodes}
+    queue = [n for n in sorted(nodes) if indeg[n] == 0]
+    seen = 0
+    while queue:
+        node = queue.pop(0)
+        seen += 1
+        for nxt in sorted(succs[node]):
+            layer[nxt] = max(layer[nxt], layer[node] + 1)
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    # Cycles that survived (disconnected cyclic components) — break
+    # deterministically by leaving their nodes at their current layers.
+    return layer
+
+
+def _barycenter_order(
+    layers: list[list[str]], forward: set[Edge], sweeps: int = 4,
+) -> list[list[str]]:
+    """Reduce crossings by ordering each layer by neighbour means."""
+    preds: dict[str, list[str]] = {}
+    succs: dict[str, list[str]] = {}
+    for a1, a2 in forward:
+        succs.setdefault(a1, []).append(a2)
+        preds.setdefault(a2, []).append(a1)
+
+    position = {n: i for layer in layers for i, n in enumerate(layer)}
+
+    def mean_pos(neigh: list[str], fallback: float) -> float:
+        known = [position[n] for n in neigh if n in position]
+        return sum(known) / len(known) if known else fallback
+
+    for sweep in range(sweeps):
+        downward = sweep % 2 == 0
+        sequence = range(1, len(layers)) if downward \
+            else range(len(layers) - 2, -1, -1)
+        for li in sequence:
+            neigh_map = preds if downward else succs
+            layer = layers[li]
+            keyed = sorted(
+                layer,
+                key=lambda n: (mean_pos(neigh_map.get(n, []),
+                                        position[n]), n))
+            layers[li] = keyed
+            for i, n in enumerate(keyed):
+                position[n] = i
+    return layers
+
+
+def layout_dfg(
+    dfg: DFG,
+    *,
+    x_spacing: float = 1.0,
+    y_spacing: float = 1.0,
+) -> Layout:
+    """Compute a layered layout for a DFG.
+
+    Coordinates are abstract: node centers on a grid with the given
+    spacings; renderers scale to pixels.
+    """
+    nodes = sorted(dfg.nodes())
+    self_loops = sorted(a for (a, b) in dfg.edges() if a == b)
+    plain_edges = [(a, b) for (a, b) in dfg.edges() if a != b]
+    roots = [dfg.start_node()] if dfg.start_node() in set(nodes) else []
+
+    forward, back = _acyclic_orientation(nodes, plain_edges, roots)
+    # Back edges participate in layering reversed, keeping flow downward.
+    layering_edges = forward | {(b, a) for (a, b) in back}
+    layer_of = _longest_path_layers(nodes, layering_edges, roots)
+
+    n_layers = (max(layer_of.values()) + 1) if layer_of else 0
+    layers: list[list[str]] = [[] for _ in range(n_layers)]
+    for node in nodes:
+        layers[layer_of[node]].append(node)
+    for layer in layers:
+        layer.sort()
+    layers = _barycenter_order(layers, layering_edges)
+
+    max_width = max((len(layer) for layer in layers), default=0)
+    boxes: dict[str, NodeBox] = {}
+    for li, layer in enumerate(layers):
+        offset = (max_width - len(layer)) / 2
+        for i, node in enumerate(layer):
+            boxes[node] = NodeBox(
+                activity=node,
+                layer=li,
+                x=(offset + i) * x_spacing,
+                y=li * y_spacing,
+            )
+    return Layout(
+        boxes=boxes,
+        layers=layers,
+        forward_edges=sorted(forward),
+        back_edges=sorted(back),
+        self_loops=self_loops,
+    )

@@ -1,0 +1,124 @@
+"""Concurrency-profile plots: mc_f over time, not just its maximum.
+
+Fig. 5 shows the raw event timeline; the max-concurrency statistic
+(Eq. 16) compresses it to one number. The profile in between — how many
+events of an activity are in flight at each instant — explains *where*
+the maximum happens (e.g. the token-queue pile-up at the start of the
+SSF write phase). Rendered as a step-function SVG or an ASCII
+sparkline.
+"""
+
+from __future__ import annotations
+
+from repro._util.intervals import concurrency_profile
+from repro.core.render.timeline import TimelineRow
+
+_SVG_W = 720
+_SVG_H = 180
+_MARGIN = 34
+
+#: Eighth-block characters for the ASCII sparkline.
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def _intervals_of(rows: list[TimelineRow]) -> list[tuple[float, float]]:
+    return [(float(start), float(end)) for _, start, end in rows]
+
+
+def render_profile_svg(rows: list[TimelineRow], *,
+                       activity: str = "", width: int = _SVG_W) -> str:
+    """Step-function SVG of in-flight event count over time."""
+    profile = concurrency_profile(_intervals_of(rows))
+    if not profile:
+        return ('<svg xmlns="http://www.w3.org/2000/svg" width="200" '
+                'height="40"><text x="8" y="24" font-size="12">'
+                "(empty profile)</text></svg>\n")
+    t0 = profile[0][0]
+    t1 = profile[-1][0]
+    span = max(t1 - t0, 1.0)
+    peak = max(count for _, count in profile) or 1
+    plot_w = width - 2 * _MARGIN
+    plot_h = _SVG_H - 2 * _MARGIN
+
+    def x_of(t: float) -> float:
+        return _MARGIN + plot_w * (t - t0) / span
+
+    def y_of(count: int) -> float:
+        return _SVG_H - _MARGIN - plot_h * count / peak
+
+    # Build the step path.
+    points: list[str] = [f"M {x_of(t0):.1f} {y_of(0):.1f}"]
+    previous = 0
+    for t, count in profile:
+        points.append(f"L {x_of(t):.1f} {y_of(previous):.1f}")
+        points.append(f"L {x_of(t):.1f} {y_of(count):.1f}")
+        previous = count
+    path = " ".join(points)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{_SVG_H}" viewBox="0 0 {width} {_SVG_H}">',
+        '<rect width="100%" height="100%" fill="#ffffff"/>',
+    ]
+    if activity:
+        display = activity.replace("\n", " ")
+        parts.append(
+            f'<text x="{_MARGIN}" y="18" font-family="monospace" '
+            f'font-size="12">concurrency: {display} '
+            f"(peak {peak})</text>")
+    parts.append(
+        f'<path d="{path}" fill="none" stroke="#2171b5" '
+        'stroke-width="1.5"/>')
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN}" y1="{_SVG_H - _MARGIN}" '
+        f'x2="{width - _MARGIN}" y2="{_SVG_H - _MARGIN}" '
+        'stroke="#333333"/>')
+    parts.append(
+        f'<line x1="{_MARGIN}" y1="{_MARGIN}" x2="{_MARGIN}" '
+        f'y2="{_SVG_H - _MARGIN}" stroke="#333333"/>')
+    parts.append(
+        f'<text x="{_MARGIN - 26}" y="{y_of(peak) + 4:.0f}" '
+        f'font-family="monospace" font-size="10">{peak}</text>')
+    span_ms = span / 1000
+    parts.append(
+        f'<text x="{width - _MARGIN - 64}" y="{_SVG_H - _MARGIN + 14}" '
+        f'font-family="monospace" font-size="10">{span_ms:.2f} ms</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def render_profile_ascii(rows: list[TimelineRow], *,
+                         activity: str = "", width: int = 72) -> str:
+    """ASCII sparkline of in-flight event count over time.
+
+    Each column shows the *maximum* concurrency within its time bucket
+    so short spikes stay visible.
+    """
+    profile = concurrency_profile(_intervals_of(rows))
+    header = (f"concurrency: {activity.replace(chr(10), ' ')}"
+              if activity else "concurrency")
+    if not profile:
+        return header + "\n  (empty)\n"
+    t0 = profile[0][0]
+    t1 = profile[-1][0]
+    span = max(t1 - t0, 1.0)
+    peak = max(count for _, count in profile) or 1
+
+    # Bucket-maximum sampling of the step function.
+    buckets = [0] * width
+    for i in range(len(profile)):
+        t, count = profile[i]
+        t_next = profile[i + 1][0] if i + 1 < len(profile) else t1
+        b0 = min(int((t - t0) / span * width), width - 1)
+        b1 = min(int((t_next - t0) / span * width), width - 1)
+        for b in range(b0, b1 + 1):
+            buckets[b] = max(buckets[b], count)
+
+    cells = "".join(
+        _SPARK[min(len(_SPARK) - 1,
+                   round(c / peak * (len(_SPARK) - 1)))]
+        for c in buckets)
+    span_ms = span / 1000
+    return (f"{header} (peak {peak})\n  |{cells}|\n"
+            f"   0{'':{width - 10}}{span_ms:.2f} ms\n")

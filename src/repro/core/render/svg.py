@@ -1,0 +1,170 @@
+"""Self-contained SVG rendering of DFGs (no Graphviz required).
+
+Combines the layered layout of :mod:`repro.core.render.layout` with the
+shared label/styling machinery to emit standalone ``.svg`` documents:
+rounded-rectangle nodes with the Fig. 3a label stack, count-labelled
+edges with arrowheads, the ● / ■ sentinels as filled glyph shapes, and
+self-loops as arcs on the node's right flank.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.coloring import (
+    DEFAULT_EDGE_STYLE,
+    DEFAULT_NODE_STYLE,
+    PlainColoring,
+    Styler,
+)
+from repro.core.dfg import DFG
+from repro.core.mapping import DEFAULT_SEPARATOR
+from repro.core.render.labels import node_label_lines
+from repro.core.render.layout import layout_dfg
+from repro.core.statistics import IOStatistics
+
+#: Geometry constants (pixels).
+CHAR_W = 7.0          #: estimated monospace character advance
+LINE_H = 14.0         #: text line height
+PAD_X = 10.0          #: node horizontal padding
+PAD_Y = 6.0           #: node vertical padding
+MIN_NODE_W = 48.0
+X_GAP = 46.0          #: horizontal gap between node slots
+Y_GAP = 70.0          #: vertical gap between layers
+MARGIN = 30.0
+SENTINEL_R = 9.0      #: radius/half-size of ● / ■ glyph shapes
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def render_svg(
+    dfg: DFG,
+    stats: IOStatistics | None = None,
+    styler: Styler | None = None,
+    *,
+    show_ranks: bool = False,
+    separator: str = DEFAULT_SEPARATOR,
+    title: str | None = None,
+) -> str:
+    """Render a DFG to an SVG document string."""
+    styler = styler or PlainColoring()
+
+    # -- measure nodes ------------------------------------------------------
+    labels: dict[str, list[str]] = {}
+    sizes: dict[str, tuple[float, float]] = {}
+    for activity in dfg.nodes():
+        if activity in (START_ACTIVITY, END_ACTIVITY):
+            labels[activity] = []
+            sizes[activity] = (2 * SENTINEL_R, 2 * SENTINEL_R)
+            continue
+        lines = node_label_lines(activity, stats, show_ranks=show_ranks,
+                                 separator=separator)
+        labels[activity] = lines
+        width = max(MIN_NODE_W,
+                    max(len(line) for line in lines) * CHAR_W + 2 * PAD_X)
+        height = len(lines) * LINE_H + 2 * PAD_Y
+        sizes[activity] = (width, height)
+
+    # -- place --------------------------------------------------------------
+    layout = layout_dfg(dfg)
+    slot_w = max((w for w, _ in sizes.values()), default=MIN_NODE_W) + X_GAP
+    slot_h = max((h for _, h in sizes.values()), default=LINE_H) + Y_GAP
+    centers: dict[str, tuple[float, float]] = {}
+    for activity, box in layout.boxes.items():
+        centers[activity] = (
+            MARGIN + box.x * slot_w + slot_w / 2,
+            MARGIN + box.y * slot_h + slot_h / 2,
+        )
+    width = MARGIN * 2 + slot_w * max(
+        (len(layer) for layer in layout.layers), default=1)
+    height = MARGIN * 2 + slot_h * max(len(layout.layers), 1)
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">')
+    parts.append(
+        '<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="7" markerHeight="7" orient="auto-start-reverse">'
+        '<path d="M 0 0 L 10 5 L 0 10 z" fill="context-stroke"/>'
+        "</marker></defs>")
+    parts.append(f'<rect width="100%" height="100%" fill="#ffffff"/>')
+    if title:
+        parts.append(
+            f'<text x="{MARGIN}" y="{MARGIN - 10:.0f}" '
+            f'font-family="monospace" font-size="13" fill="#000000">'
+            f"{_esc(title)}</text>")
+
+    # -- edges (under nodes) ----------------------------------------------------
+    edge_counts = dfg.edges()
+    for a1, a2 in layout.forward_edges + layout.back_edges:
+        count = edge_counts[(a1, a2)]
+        style = styler.edge_style((a1, a2)).merged_over(DEFAULT_EDGE_STYLE)
+        x1, y1 = centers[a1]
+        x2, y2 = centers[a2]
+        h1 = sizes[a1][1] / 2
+        h2 = sizes[a2][1] / 2
+        if y2 >= y1:
+            sy, ty = y1 + h1, y2 - h2
+        else:
+            sy, ty = y1 - h1, y2 + h2
+        midx, midy = (x1 + x2) / 2, (sy + ty) / 2
+        parts.append(
+            f'<path d="M {x1:.1f} {sy:.1f} C {x1:.1f} {midy:.1f}, '
+            f'{x2:.1f} {midy:.1f}, {x2:.1f} {ty:.1f}" fill="none" '
+            f'stroke="{style.color}" stroke-width='
+            f'"{style.penwidth or 1.0:.1f}" marker-end="url(#arrow)"/>')
+        parts.append(
+            f'<text x="{midx + 4:.1f}" y="{midy - 3:.1f}" '
+            f'font-family="monospace" font-size="10" '
+            f'fill="{style.fontcolor}">{count}</text>')
+    for activity in layout.self_loops:
+        count = edge_counts[(activity, activity)]
+        style = styler.edge_style(
+            (activity, activity)).merged_over(DEFAULT_EDGE_STYLE)
+        x, y = centers[activity]
+        w, h = sizes[activity]
+        rx = x + w / 2
+        parts.append(
+            f'<path d="M {rx:.1f} {y - h / 4:.1f} C {rx + 26:.1f} '
+            f'{y - h / 2:.1f}, {rx + 26:.1f} {y + h / 2:.1f}, '
+            f'{rx:.1f} {y + h / 4:.1f}" fill="none" '
+            f'stroke="{style.color}" stroke-width='
+            f'"{style.penwidth or 1.0:.1f}" marker-end="url(#arrow)"/>')
+        parts.append(
+            f'<text x="{rx + 28:.1f}" y="{y + 3:.1f}" '
+            f'font-family="monospace" font-size="10" '
+            f'fill="{style.fontcolor}">{count}</text>')
+
+    # -- nodes ----------------------------------------------------------------
+    for activity in sorted(dfg.nodes()):
+        x, y = centers[activity]
+        if activity == START_ACTIVITY:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{SENTINEL_R}" '
+                f'fill="#000000"/>')
+            continue
+        if activity == END_ACTIVITY:
+            s = SENTINEL_R
+            parts.append(
+                f'<rect x="{x - s:.1f}" y="{y - s:.1f}" width="{2 * s}" '
+                f'height="{2 * s}" fill="#000000"/>')
+            continue
+        w, h = sizes[activity]
+        style = styler.node_style(activity).merged_over(DEFAULT_NODE_STYLE)
+        parts.append(
+            f'<rect x="{x - w / 2:.1f}" y="{y - h / 2:.1f}" '
+            f'width="{w:.1f}" height="{h:.1f}" rx="6" '
+            f'fill="{style.fill}" stroke="{style.color}" '
+            f'stroke-width="{style.penwidth or 1.0:.1f}"/>')
+        for i, line in enumerate(labels[activity]):
+            ty = y - h / 2 + PAD_Y + (i + 0.8) * LINE_H
+            parts.append(
+                f'<text x="{x:.1f}" y="{ty:.1f}" text-anchor="middle" '
+                f'font-family="monospace" font-size="11" '
+                f'fill="{style.fontcolor}">{_esc(line)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,126 @@
+"""Timeline plots of activity events (Fig. 5 of the paper).
+
+Fig. 5 visualizes ``t_f̂("read:/usr/lib", Cb)``: one row per case, one
+horizontal bar per event from start to end timestamp, with the maximum
+vertical overlap being the max-concurrency statistic. Both an SVG and a
+plain-text renderer are provided; they consume the
+``IOStatistics.timeline(activity)`` rows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro._util.timefmt import micros_to_seconds
+
+#: (case_id, start_us, end_us) — the IOStatistics.timeline row type.
+TimelineRow = tuple[str, int, int]
+
+_SVG_ROW_H = 26
+_SVG_BAR_H = 12
+_SVG_W = 720
+_SVG_LABEL_W = 110
+_SVG_MARGIN = 24
+
+
+def _group_rows(rows: list[TimelineRow]) -> dict[str, list[tuple[int, int]]]:
+    by_case: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for case_id, start, end in rows:
+        by_case[case_id].append((start, end))
+    return dict(sorted(by_case.items()))
+
+
+def render_timeline_svg(
+    rows: list[TimelineRow],
+    *,
+    activity: str = "",
+    width: int = _SVG_W,
+) -> str:
+    """Render timeline rows to a standalone SVG document."""
+    by_case = _group_rows(rows)
+    if not rows:
+        return ('<svg xmlns="http://www.w3.org/2000/svg" width="200" '
+                'height="40"><text x="8" y="24" font-size="12">'
+                "(empty timeline)</text></svg>\n")
+    t0 = min(start for _, start, _ in rows)
+    t1 = max(end for _, _, end in rows)
+    span = max(t1 - t0, 1)
+    plot_w = width - _SVG_LABEL_W - 2 * _SVG_MARGIN
+    height = _SVG_MARGIN * 2 + _SVG_ROW_H * len(by_case) + 22
+
+    def x_of(t: int) -> float:
+        return _SVG_LABEL_W + _SVG_MARGIN + plot_w * (t - t0) / span
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height:.0f}" viewBox="0 0 {width} {height:.0f}">')
+    parts.append('<rect width="100%" height="100%" fill="#ffffff"/>')
+    if activity:
+        display = activity.replace("\n", " ")
+        parts.append(
+            f'<text x="{_SVG_MARGIN}" y="16" font-family="monospace" '
+            f'font-size="12">timeline: {display}</text>')
+    for i, (case_id, intervals) in enumerate(by_case.items()):
+        y = _SVG_MARGIN + 10 + i * _SVG_ROW_H
+        parts.append(
+            f'<text x="{_SVG_MARGIN}" y="{y + _SVG_BAR_H - 1:.0f}" '
+            f'font-family="monospace" font-size="11">{case_id}</text>')
+        parts.append(
+            f'<line x1="{_SVG_LABEL_W + _SVG_MARGIN}" y1='
+            f'"{y + _SVG_BAR_H / 2:.0f}" x2="{width - _SVG_MARGIN}" '
+            f'y2="{y + _SVG_BAR_H / 2:.0f}" stroke="#dddddd"/>')
+        for start, end in intervals:
+            x_start = x_of(start)
+            bar_w = max(x_of(end) - x_start, 1.5)
+            parts.append(
+                f'<rect x="{x_start:.1f}" y="{y:.0f}" '
+                f'width="{bar_w:.1f}" height="{_SVG_BAR_H}" '
+                f'fill="#4292c6" stroke="#08519c" stroke-width="0.5"/>')
+    # Axis with duration annotation (the paper's "0 .. 5 ms" style).
+    axis_y = height - 14
+    parts.append(
+        f'<line x1="{_SVG_LABEL_W + _SVG_MARGIN}" y1="{axis_y:.0f}" '
+        f'x2="{width - _SVG_MARGIN}" y2="{axis_y:.0f}" stroke="#333333"/>')
+    span_ms = micros_to_seconds(span) * 1000
+    parts.append(
+        f'<text x="{_SVG_LABEL_W + _SVG_MARGIN}" y="{axis_y + 12:.0f}" '
+        f'font-family="monospace" font-size="10">0</text>')
+    parts.append(
+        f'<text x="{width - _SVG_MARGIN - 60}" y="{axis_y + 12:.0f}" '
+        f'font-family="monospace" font-size="10">{span_ms:.2f} ms</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def render_timeline_ascii(
+    rows: list[TimelineRow],
+    *,
+    activity: str = "",
+    width: int = 72,
+) -> str:
+    """Render timeline rows as fixed-width text.
+
+    Each case is one line; ``█`` cells are instants with at least one
+    in-flight event (bars shorter than a cell still print one ``█``).
+    """
+    by_case = _group_rows(rows)
+    header = (f"timeline: {activity.replace(chr(10), ' ')}"
+              if activity else "timeline")
+    if not rows:
+        return header + "\n  (empty)\n"
+    t0 = min(start for _, start, _ in rows)
+    t1 = max(end for _, _, end in rows)
+    span = max(t1 - t0, 1)
+    lines = [header]
+    for case_id, intervals in by_case.items():
+        cells = [" "] * width
+        for start, end in intervals:
+            c0 = int((start - t0) / span * (width - 1))
+            c1 = max(int((end - t0) / span * (width - 1)), c0)
+            for c in range(c0, c1 + 1):
+                cells[c] = "█"
+        lines.append(f"  {case_id:>10} |{''.join(cells)}|")
+    span_ms = micros_to_seconds(span) * 1000
+    lines.append(f"  {'':>10}  0{'':{width - 10}}{span_ms:.2f} ms")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,78 @@
+"""The paper's ``DFGViewer`` (Fig. 6, step 5).
+
+``DFGViewer(dfg, styler=StatisticsColoring(stats)).render()`` produces
+the styled graph. Our viewer supports three output formats — ``dot``
+(Graphviz text, as the paper's implementation emits), ``svg``
+(self-contained, no Graphviz needed) and ``ascii`` (terminals) — and
+can write straight to a file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro._util.errors import RenderError
+from repro.core.coloring import Styler
+from repro.core.dfg import DFG
+from repro.core.render.ascii import render_ascii
+from repro.core.render.dot import render_dot
+from repro.core.render.svg import render_svg
+from repro.core.statistics import IOStatistics
+
+_FORMATS = ("dot", "svg", "ascii")
+
+
+class DFGViewer:
+    """Bundle a DFG with statistics and a styler; render on demand."""
+
+    def __init__(
+        self,
+        dfg: DFG,
+        stats: IOStatistics | None = None,
+        styler: Styler | None = None,
+        *,
+        show_ranks: bool = False,
+        title: str | None = None,
+    ) -> None:
+        self.dfg = dfg
+        # The paper's listing passes stats into the styler; stylers that
+        # carry stats (StatisticsColoring/PartitionColoring) share them
+        # with the viewer automatically so labels get Load/DR lines.
+        if stats is None and styler is not None:
+            stats = getattr(styler, "stats", None)
+        self.stats = stats
+        self.styler = styler
+        self.show_ranks = show_ranks
+        self.title = title
+
+    def render(self, fmt: str = "dot") -> str:
+        """Render to the requested format and return the document text."""
+        if fmt not in _FORMATS:
+            raise RenderError(
+                f"unknown format {fmt!r}; expected one of {_FORMATS}")
+        if fmt == "dot":
+            return render_dot(self.dfg, self.stats, self.styler,
+                              show_ranks=self.show_ranks)
+        if fmt == "svg":
+            return render_svg(self.dfg, self.stats, self.styler,
+                              show_ranks=self.show_ranks, title=self.title)
+        return render_ascii(self.dfg, self.stats, self.styler,
+                            show_ranks=self.show_ranks)
+
+    def save(self, path: str | os.PathLike[str],
+             fmt: str | None = None) -> Path:
+        """Render and write to ``path``; format inferred from suffix
+        when not given (``.dot``/``.gv`` → dot, ``.svg`` → svg,
+        ``.txt`` → ascii)."""
+        file_path = Path(path)
+        if fmt is None:
+            suffix = file_path.suffix.lower()
+            fmt = {".dot": "dot", ".gv": "dot", ".svg": "svg",
+                   ".txt": "ascii"}.get(suffix)
+            if fmt is None:
+                raise RenderError(
+                    f"cannot infer format from suffix {suffix!r}; "
+                    f"pass fmt=")
+        file_path.write_text(self.render(fmt), encoding="utf-8")
+        return file_path

@@ -1,0 +1,259 @@
+"""Activity statistics (Sec. IV-B): Load and DR node annotations.
+
+For every activity ``a ∈ A_f`` occurring in an event-log ``C``:
+
+- **relative duration** ``rd_f(a, C)`` (Eq. 6-8): the summed duration of
+  the events in ``f⁻¹(a)`` divided by the summed duration over *all*
+  activities — "the proportion of system time spent relative to the
+  other activities";
+- **total bytes moved** ``b_f(a, C)`` (Eq. 9): sum of the ``size``
+  attribute (only read/write variants carry one);
+- **process data rate** ``dr̄_f(a, C)`` (Eq. 11-13): the arithmetic mean
+  over events of the per-event rate ``size/dur`` — the average
+  per-process transfer speed;
+- **max concurrency** ``mc_f(a, C)`` (Eq. 14-16): the largest number of
+  simultaneously in-flight events of the activity, via the sweep-line
+  of :func:`repro._util.intervals.max_concurrency`;
+- plus **ranks** (distinct rids — the unexplained ``Ranks:`` annotation
+  of Fig. 3c, see DESIGN.md §6), **cases**, and the raw counts.
+
+The node labels in the paper's figures combine these as
+``Load: rd (bytes)`` and ``DR: mc × rate`` (Eq. 10/17); the renderers
+call :meth:`IOStatistics.load_label` / :meth:`IOStatistics.dr_label`
+to produce exactly those strings.
+
+Complexity: one pass over the frame plus a group-by on the activity
+column — the O(mn) of Sec. V, implemented as a stable sort + split so
+the Python-level cost is O(m), not O(mn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro._util.errors import ReproError
+from repro._util.intervals import max_concurrency
+from repro._util.sizes import format_bytes, format_rate
+from repro.core.frame import MISSING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventlog import EventLog
+
+
+@dataclass(frozen=True, slots=True)
+class ActivityStats:
+    """Computed statistics of one activity."""
+
+    activity: str
+    event_count: int
+    total_dur_us: int
+    relative_duration: float
+    total_bytes: int
+    has_transfers: bool
+    process_data_rate: float | None  #: mean bytes/second, None w/o transfers
+    max_concurrency: int
+    ranks: int
+    cases: int
+
+    @property
+    def load_label(self) -> str:
+        """``Load:0.22 (14.98 KB)`` — Eq. 10 / Fig. 3 node line.
+
+        Activities without transfer events (e.g. ``openat``) render the
+        relative duration only, as in Fig. 8a.
+        """
+        base = f"Load:{self.relative_duration:.2f}"
+        if self.has_transfers:
+            return f"{base} ({format_bytes(self.total_bytes)})"
+        return base
+
+    @property
+    def dr_label(self) -> str | None:
+        """``DR: 2x10.15 MB/s`` — Eq. 17 / Fig. 3 node line.
+
+        None for activities without a data rate (no transfer events).
+        """
+        if self.process_data_rate is None:
+            return None
+        return (f"DR: {self.max_concurrency}x"
+                f"{format_rate(self.process_data_rate)}")
+
+
+class IOStatistics:
+    """Per-activity statistics over an event-log (paper Fig. 6, step 4).
+
+    Usage mirrors the paper's listing::
+
+        stats = IOStatistics()
+        stats.compute_statistics(event_log)
+
+    or the one-step form ``IOStatistics(event_log)``.
+    """
+
+    def __init__(self, event_log: "EventLog | None" = None) -> None:
+        self._stats: dict[str, ActivityStats] = {}
+        self._timelines: dict[str, list[tuple[str, int, int]]] = {}
+        self._total_dur_us = 0
+        if event_log is not None:
+            self.compute_statistics(event_log)
+
+    # -- computation ---------------------------------------------------------
+
+    def compute_statistics(self, event_log: "EventLog") -> "IOStatistics":
+        """Compute all statistics; replaces any previous results."""
+        event_log._require_mapping()
+        frame = event_log.frame
+        pools = frame.pools
+        dur = frame.column("dur")
+        size = frame.column("size")
+        start = frame.column("start")
+        rid = frame.column("rid")
+        case = frame.column("case")
+
+        groups = frame.groupby_activity()
+        # Denominator of Eq. 8: total duration across all activities.
+        total_dur = 0
+        per_activity: list[tuple[str, np.ndarray]] = []
+        for code, rows in groups:
+            activity = pools.activities.decode(code)
+            per_activity.append((activity, rows))
+            durs = dur[rows]
+            total_dur += int(durs[durs != MISSING].sum())
+        self._total_dur_us = total_dur
+
+        self._stats = {}
+        self._timelines = {}
+        for activity, rows in per_activity:
+            durs = dur[rows]
+            sizes = size[rows]
+            starts = start[rows]
+            valid_dur = durs != MISSING
+            act_dur = int(durs[valid_dur].sum())
+            has_transfers = bool((sizes != MISSING).any())
+            total_bytes = int(sizes[sizes != MISSING].sum())
+            # Eq. 11-13: mean of per-event size/dur over events that
+            # have both; zero-duration events cannot contribute.
+            rate_mask = (sizes != MISSING) & valid_dur & (durs > 0)
+            if rate_mask.any():
+                rates = sizes[rate_mask] / (durs[rate_mask] / 1e6)
+                mean_rate: float | None = float(rates.mean())
+            else:
+                mean_rate = None
+            # Eq. 14-16: intervals (start, start+dur); missing dur -> 0.
+            ends = starts + np.where(valid_dur, durs, 0)
+            intervals = np.stack(
+                [starts.astype(np.float64), ends.astype(np.float64)],
+                axis=1)
+            mc = max_concurrency(intervals)
+            self._stats[activity] = ActivityStats(
+                activity=activity,
+                event_count=int(len(rows)),
+                total_dur_us=act_dur,
+                relative_duration=(act_dur / total_dur
+                                   if total_dur > 0 else 0.0),
+                total_bytes=total_bytes,
+                has_transfers=has_transfers,
+                process_data_rate=mean_rate,
+                max_concurrency=mc,
+                ranks=int(np.unique(rid[rows]).size),
+                cases=int(np.unique(case[rows]).size),
+            )
+            # Timeline rows for Fig. 5: (case_id, start, end) per event.
+            case_pool = pools.cases
+            self._timelines[activity] = [
+                (case_pool.decode(int(case[r])), int(start[r]),
+                 int(start[r]) + (int(dur[r]) if dur[r] != MISSING else 0))
+                for r in rows
+            ]
+        return self
+
+    # -- access -------------------------------------------------------------------
+
+    def activities(self) -> list[str]:
+        """Activities with computed statistics, sorted by descending
+        relative duration (the paper's notion of importance)."""
+        return sorted(self._stats,
+                      key=lambda a: (-self._stats[a].relative_duration, a))
+
+    def __getitem__(self, activity: str) -> ActivityStats:
+        try:
+            return self._stats[activity]
+        except KeyError:
+            raise ReproError(
+                f"no statistics for activity {activity!r}; "
+                f"known: {sorted(self._stats)[:5]}...") from None
+
+    def __contains__(self, activity: str) -> bool:
+        return activity in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def get(self, activity: str) -> ActivityStats | None:
+        """Stats for the activity or None (sentinel nodes have none)."""
+        return self._stats.get(activity)
+
+    @property
+    def total_duration_us(self) -> int:
+        """Denominator of Eq. 8: Σ_a Σ_{e ∈ f⁻¹(a)} dur(e)."""
+        return self._total_dur_us
+
+    def relative_duration(self, activity: str) -> float:
+        """rd_f(a, C) — Eq. 8."""
+        return self[activity].relative_duration
+
+    def total_bytes(self, activity: str) -> int:
+        """b_f(a, C) — Eq. 9."""
+        return self[activity].total_bytes
+
+    def process_data_rate(self, activity: str) -> float | None:
+        """dr̄_f(a, C) in bytes/second — Eq. 13."""
+        return self[activity].process_data_rate
+
+    def max_concurrency_of(self, activity: str) -> int:
+        """mc_f(a, C) — Eq. 16."""
+        return self[activity].max_concurrency
+
+    def timeline(self, activity: str) -> list[tuple[str, int, int]]:
+        """The t_f(a, C) list (Eq. 15) as (case_id, start_us, end_us).
+
+        This is the input to the Fig. 5 timeline plot.
+        """
+        if activity not in self._timelines:
+            raise ReproError(f"no timeline for activity {activity!r}")
+        return list(self._timelines[activity])
+
+    def metric(self, activity: str, name: str) -> float:
+        """Numeric metric accessor used by statistics-based coloring."""
+        stats = self[activity]
+        if name == "relative_duration":
+            return stats.relative_duration
+        if name == "total_bytes":
+            return float(stats.total_bytes)
+        if name == "max_concurrency":
+            return float(stats.max_concurrency)
+        if name == "event_count":
+            return float(stats.event_count)
+        if name == "process_data_rate":
+            return stats.process_data_rate or 0.0
+        raise ReproError(f"unknown metric {name!r}")
+
+    def as_rows(self) -> list[dict]:
+        """All stats as dict rows (report/CSV export)."""
+        return [
+            {
+                "activity": s.activity,
+                "events": s.event_count,
+                "total_dur_us": s.total_dur_us,
+                "relative_duration": s.relative_duration,
+                "total_bytes": s.total_bytes,
+                "process_data_rate": s.process_data_rate,
+                "max_concurrency": s.max_concurrency,
+                "ranks": s.ranks,
+                "cases": s.cases,
+            }
+            for s in (self._stats[a] for a in self.activities())
+        ]

@@ -1,0 +1,39 @@
+"""strace directory → ``.elog`` conversion.
+
+The paper's pipeline: "after recording the traces ... the relevant data
+from individual trace files are parsed and combined efficiently into a
+suitable data format (such as a single HDF5 file)" (Sec. III, fn. 2).
+:func:`convert_strace_dir` is that step — parse every
+``<cid>_<host>_<rid>.st`` file and stream the cases into a single
+container.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.strace.reader import read_trace_dir
+from repro.elstore.writer import DEFAULT_CHUNK_VALUES, EventLogWriter
+
+
+def convert_strace_dir(
+    source_dir: str | os.PathLike[str],
+    dest_path: str | os.PathLike[str],
+    *,
+    cids: set[str] | None = None,
+    strict: bool = True,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+) -> Path:
+    """Parse a directory of strace files into one ``.elog`` container.
+
+    Returns the destination path. Raises
+    :class:`~repro._util.errors.TraceParseError` if any file fails to
+    parse (the container is not left half-written — the writer removes
+    the file on error).
+    """
+    cases = read_trace_dir(source_dir, cids=cids, strict=strict)
+    with EventLogWriter(dest_path, chunk_values=chunk_values) as writer:
+        for case in cases:
+            writer.add_case_records(case.name, case.records)
+    return Path(dest_path)

@@ -1,0 +1,268 @@
+"""Writing ``.elog`` event-log containers.
+
+:class:`EventLogWriter` streams cases into a single file: column data
+is appended in bounded-size chunks as cases are added (O(chunk_size)
+memory regardless of trace length), and the JSON table of contents is
+written at close, after which the header is patched with its location.
+
+The convenience :func:`write_event_log` serializes an in-memory
+:class:`~repro.core.eventlog.EventLog` in one call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro._util.errors import StoreFormatError
+from repro.elstore.schema import (
+    CASE_COLUMNS,
+    FORMAT_VERSION,
+    HEADER_FMT,
+    HEADER_SIZE,
+    MAGIC,
+    CaseMeta,
+    ChunkRef,
+    ColumnMeta,
+    POOL_NAMES,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventlog import EventLog
+    from repro.strace.naming import TraceFileName
+    from repro.strace.parser import ParsedRecord
+
+#: Default chunk size in *values* per chunk (not bytes).
+DEFAULT_CHUNK_VALUES = 65536
+
+
+class EventLogWriter:
+    """Streaming writer; use as a context manager.
+
+    >>> with EventLogWriter(tmp / "log.elog") as writer:   # doctest: +SKIP
+    ...     writer.add_case_records(name, records)
+    """
+
+    def __init__(self, path: str | os.PathLike[str], *,
+                 chunk_values: int = DEFAULT_CHUNK_VALUES) -> None:
+        if chunk_values < 1:
+            raise StoreFormatError("chunk_values must be >= 1")
+        self.path = Path(path)
+        self.chunk_values = chunk_values
+        self._handle = open(self.path, "wb")
+        self._handle.write(struct.pack(
+            HEADER_FMT, MAGIC, FORMAT_VERSION, 0, 0, 0))
+        self._cases: list[CaseMeta] = []
+        self._case_ids: set[str] = set()
+        # File-global string pools, built as cases stream in.
+        self._pools: dict[str, list[str]] = {n: [] for n in POOL_NAMES}
+        self._pool_index: dict[str, dict[str, int]] = {
+            n: {} for n in POOL_NAMES}
+        self._closed = False
+
+    # -- pool helpers -----------------------------------------------------
+
+    def _intern(self, pool: str, value: str) -> int:
+        index = self._pool_index[pool]
+        code = index.get(value)
+        if code is None:
+            code = len(self._pools[pool])
+            index[value] = code
+            self._pools[pool].append(value)
+        return code
+
+    # -- chunk writing -----------------------------------------------------
+
+    def _write_column(self, values: np.ndarray, dtype: str,
+                      name: str) -> ColumnMeta:
+        array = np.ascontiguousarray(values.astype(dtype))
+        column = ColumnMeta(name=name, dtype=dtype)
+        for chunk_start in range(0, len(array) or 1, self.chunk_values):
+            chunk = array[chunk_start: chunk_start + self.chunk_values]
+            raw = chunk.tobytes()
+            offset = self._handle.tell()
+            self._handle.write(raw)
+            column.chunks.append(ChunkRef(
+                offset=offset, nbytes=len(raw),
+                crc32=zlib.crc32(raw)))
+            if len(array) == 0:
+                break
+        return column
+
+    # -- public API ----------------------------------------------------------
+
+    def add_case_arrays(
+        self,
+        *,
+        case_id: str,
+        cid: str,
+        host: str,
+        rid: int,
+        columns: dict[str, np.ndarray],
+        call_strings: list[str],
+        path_strings: list[str],
+    ) -> None:
+        """Add one case from raw column arrays.
+
+        ``columns`` must contain every name in :data:`CASE_COLUMNS`;
+        the ``call``/``fp`` columns hold codes into ``call_strings`` /
+        ``path_strings`` (local to this call) which are re-encoded
+        against the file-global pools. ``fp`` code -1 means "no path".
+        """
+        if self._closed:
+            raise StoreFormatError("writer is closed")
+        if case_id in self._case_ids:
+            raise StoreFormatError(f"duplicate case {case_id!r}")
+        missing = set(CASE_COLUMNS) - set(columns)
+        if missing:
+            raise StoreFormatError(f"missing columns: {sorted(missing)}")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise StoreFormatError(f"ragged case columns: {lengths}")
+        n_events = lengths.pop() if lengths else 0
+
+        # Re-encode local string codes into file-global pools.
+        call_map = np.array(
+            [self._intern("calls", s) for s in call_strings] or [0],
+            dtype=np.int32)
+        path_map = np.array(
+            [self._intern("paths", s) for s in path_strings] or [0],
+            dtype=np.int32)
+        call_codes = columns["call"].astype(np.int64)
+        fp_codes = columns["fp"].astype(np.int64)
+        if len(call_codes) and call_codes.max(initial=-1) >= len(call_strings):
+            raise StoreFormatError("call code out of range of call_strings")
+        if len(fp_codes) and fp_codes.max(initial=-1) >= len(path_strings):
+            raise StoreFormatError("fp code out of range of path_strings")
+        global_calls = np.where(
+            call_codes >= 0, call_map[np.clip(call_codes, 0, None)],
+            -1).astype(np.int32)
+        global_fps = np.where(
+            fp_codes >= 0, path_map[np.clip(fp_codes, 0, None)],
+            -1).astype(np.int32)
+
+        case = CaseMeta(
+            case_id=case_id, cid=cid, host=host, rid=rid,
+            n_events=n_events)
+        self._intern("cases", case_id)
+        self._intern("cids", cid)
+        self._intern("hosts", host)
+        encoded = dict(columns)
+        encoded["call"] = global_calls
+        encoded["fp"] = global_fps
+        for name, dtype in CASE_COLUMNS.items():
+            case.columns[name] = self._write_column(
+                encoded[name], dtype, name)
+        self._cases.append(case)
+        self._case_ids.add(case_id)
+
+    def add_case_records(self, name: "TraceFileName",
+                         records: "list[ParsedRecord]") -> None:
+        """Add one case from parsed strace records (reader output)."""
+        calls: list[str] = []
+        call_index: dict[str, int] = {}
+        paths: list[str] = []
+        path_index: dict[str, int] = {}
+
+        def intern_local(value: str, strings: list[str],
+                         index: dict[str, int]) -> int:
+            code = index.get(value)
+            if code is None:
+                code = len(strings)
+                index[value] = code
+                strings.append(value)
+            return code
+
+        n = len(records)
+        columns = {
+            "pid": np.empty(n, dtype=np.int64),
+            "call": np.empty(n, dtype=np.int32),
+            "start": np.empty(n, dtype=np.int64),
+            "dur": np.empty(n, dtype=np.int64),
+            "fp": np.empty(n, dtype=np.int32),
+            "size": np.empty(n, dtype=np.int64),
+        }
+        for i, record in enumerate(records):
+            columns["pid"][i] = record.pid
+            columns["call"][i] = intern_local(record.call, calls, call_index)
+            columns["start"][i] = record.start_us
+            columns["dur"][i] = (record.dur_us
+                                 if record.dur_us is not None else -1)
+            columns["fp"][i] = (intern_local(record.fp, paths, path_index)
+                                if record.fp is not None else -1)
+            columns["size"][i] = (record.size
+                                  if record.size is not None else -1)
+        self.add_case_arrays(
+            case_id=name.case_id, cid=name.cid, host=name.host,
+            rid=name.rid, columns=columns,
+            call_strings=calls, path_strings=paths)
+
+    def close(self) -> None:
+        """Write the TOC, patch the header, close the file."""
+        if self._closed:
+            return
+        toc = {
+            "version": FORMAT_VERSION,
+            "pools": self._pools,
+            "cases": [c.to_json() for c in self._cases],
+        }
+        raw = json.dumps(toc, separators=(",", ":")).encode("utf-8")
+        toc_offset = self._handle.tell()
+        self._handle.write(raw)
+        self._handle.seek(0)
+        self._handle.write(struct.pack(
+            HEADER_FMT, MAGIC, FORMAT_VERSION, 0, toc_offset, len(raw)))
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # leave no half-written file behind on error
+            self._handle.close()
+            self._closed = True
+            self.path.unlink(missing_ok=True)
+
+
+def write_event_log(event_log: "EventLog",
+                    path: str | os.PathLike[str], *,
+                    chunk_values: int = DEFAULT_CHUNK_VALUES) -> Path:
+    """Serialize an in-memory event-log to an ``.elog`` file.
+
+    Cases are written in sorted case-id order; within each case, events
+    keep their start-time order (the EventLog invariant).
+    """
+    frame = event_log.frame
+    pools = frame.pools
+    call_pool = list(pools.calls)
+    path_pool = list(pools.paths)
+    with EventLogWriter(path, chunk_values=chunk_values) as writer:
+        for case_id, case_frame in event_log.iter_cases():
+            cid_code = int(case_frame.column("cid")[0])
+            host_code = int(case_frame.column("host")[0])
+            writer.add_case_arrays(
+                case_id=case_id,
+                cid=pools.cids.decode(cid_code),
+                host=pools.hosts.decode(host_code),
+                rid=int(case_frame.column("rid")[0]),
+                columns={
+                    "pid": case_frame.column("pid"),
+                    "call": case_frame.column("call"),
+                    "start": case_frame.column("start"),
+                    "dur": case_frame.column("dur"),
+                    "fp": case_frame.column("fp"),
+                    "size": case_frame.column("size"),
+                },
+                call_strings=call_pool,
+                path_strings=path_pool,
+            )
+    return Path(path)

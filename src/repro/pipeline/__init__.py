@@ -1,0 +1,36 @@
+"""End-to-end orchestration: sessions, queries, reports.
+
+- :class:`~repro.pipeline.session.InspectionSession` — one object from
+  trace directory (or ``.elog`` store) to rendered, colored DFG; the
+  programmatic equivalent of the paper's Fig. 6 listing.
+- :mod:`repro.pipeline.query` — composable event-log filters.
+- :mod:`repro.pipeline.report` — plain-text activity/statistics/
+  comparison reports for terminals and CI logs.
+"""
+
+from repro.pipeline.session import InspectionSession
+from repro.pipeline.query import Query
+from repro.pipeline.report import (
+    activity_report,
+    comparison_report,
+    variants_report,
+)
+from repro.pipeline.html import render_html_report, save_html_report
+from repro.pipeline.counters import (
+    CaseCounters,
+    case_counters,
+    counters_report,
+)
+
+__all__ = [
+    "CaseCounters",
+    "case_counters",
+    "counters_report",
+    "InspectionSession",
+    "Query",
+    "activity_report",
+    "comparison_report",
+    "variants_report",
+    "render_html_report",
+    "save_html_report",
+]

@@ -1,0 +1,136 @@
+"""Darshan-style per-case counters.
+
+Darshan (the paper's most prominent related tool) reports per-process
+aggregate counters — bytes read/written, call counts, cumulative I/O
+time. The DFG methodology is complementary, and having the same
+counters next to the graph makes a familiar cross-check: these rows
+answer "how much", the DFG answers "in what pattern".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.frame import MISSING
+from repro.strace.syscalls import SyscallFamily, spec_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventlog import EventLog
+
+
+@dataclass(frozen=True, slots=True)
+class CaseCounters:
+    """Aggregate I/O counters of one case (one rank's trace file)."""
+
+    case_id: str
+    cid: str
+    host: str
+    rid: int
+    n_events: int
+    n_reads: int
+    n_writes: int
+    n_opens: int
+    n_seeks: int
+    bytes_read: int
+    bytes_written: int
+    io_time_us: int          #: Σ dur over all recorded events
+    read_time_us: int
+    write_time_us: int
+    first_start_us: int
+    last_end_us: int
+    distinct_files: int
+
+    @property
+    def span_us(self) -> int:
+        """Wall-clock span from first event start to last event end."""
+        return self.last_end_us - self.first_start_us
+
+    @property
+    def io_fraction(self) -> float:
+        """Share of the case's span spent inside recorded syscalls."""
+        span = self.span_us
+        return self.io_time_us / span if span > 0 else 0.0
+
+
+def case_counters(event_log: "EventLog") -> list[CaseCounters]:
+    """Counters for every case, sorted by case id.
+
+    Works on unmapped logs — counters classify by syscall family, not
+    by activity.
+    """
+    frame = event_log.frame
+    pools = frame.pools
+    call_col = frame.column("call")
+    dur_col = frame.column("dur")
+    size_col = frame.column("size")
+    start_col = frame.column("start")
+    fp_col = frame.column("fp")
+
+    # Family classification per distinct call code (vectorized apply).
+    family_of: dict[int, SyscallFamily] = {
+        int(code): spec_for(pools.calls.decode(int(code))).family
+        for code in np.unique(call_col)
+    }
+
+    results: list[CaseCounters] = []
+    for case_code, rows in frame.case_slices():
+        calls = call_col[rows]
+        durs = dur_col[rows]
+        sizes = size_col[rows]
+        starts = start_col[rows]
+        fps = fp_col[rows]
+        valid_durs = np.where(durs != MISSING, durs, 0)
+        families = np.array([family_of[int(c)].value for c in calls])
+        is_read = families == "read"
+        is_write = families == "write"
+        sizes_or_zero = np.where(sizes != MISSING, sizes, 0)
+        ends = starts + valid_durs
+        cid_code = int(frame.column("cid")[rows[0]])
+        host_code = int(frame.column("host")[rows[0]])
+        results.append(CaseCounters(
+            case_id=pools.cases.decode(case_code),
+            cid=pools.cids.decode(cid_code),
+            host=pools.hosts.decode(host_code),
+            rid=int(frame.column("rid")[rows[0]]),
+            n_events=int(len(rows)),
+            n_reads=int(is_read.sum()),
+            n_writes=int(is_write.sum()),
+            n_opens=int((families == "open").sum()),
+            n_seeks=int((families == "seek").sum()),
+            bytes_read=int(sizes_or_zero[is_read].sum()),
+            bytes_written=int(sizes_or_zero[is_write].sum()),
+            io_time_us=int(valid_durs.sum()),
+            read_time_us=int(valid_durs[is_read].sum()),
+            write_time_us=int(valid_durs[is_write].sum()),
+            first_start_us=int(starts.min()),
+            last_end_us=int(ends.max()),
+            distinct_files=int(np.unique(fps[fps != MISSING]).size),
+        ))
+    results.sort(key=lambda c: c.case_id)
+    return results
+
+
+def counters_report(event_log: "EventLog", *,
+                    top: int | None = None) -> str:
+    """Tabular per-case counter report (heaviest I/O time first)."""
+    from repro._util.sizes import format_bytes
+
+    counters = sorted(case_counters(event_log),
+                      key=lambda c: -c.io_time_us)
+    if top is not None:
+        counters = counters[:top]
+    header = (f"{'case':>12} {'events':>7} {'reads':>6} {'writes':>6} "
+              f"{'opens':>6} {'seeks':>6} {'read B':>10} {'written B':>10} "
+              f"{'io time':>10} {'io frac':>8}")
+    lines = [header, "-" * len(header)]
+    for c in counters:
+        lines.append(
+            f"{c.case_id:>12} {c.n_events:>7} {c.n_reads:>6} "
+            f"{c.n_writes:>6} {c.n_opens:>6} {c.n_seeks:>6} "
+            f"{format_bytes(c.bytes_read):>10} "
+            f"{format_bytes(c.bytes_written):>10} "
+            f"{c.io_time_us / 1e6:>8.3f} s {c.io_fraction:>7.1%}")
+    return "\n".join(lines) + "\n"

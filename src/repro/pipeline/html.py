@@ -1,0 +1,164 @@
+"""Self-contained HTML reports.
+
+The related-work section of the paper points at Darshan's PDF summaries
+and PyDarshan's interactive HTML reports as the established synthesis
+outputs; this module provides that deliverable for the DFG methodology:
+one static ``.html`` file embedding the rendered SVG graph, the
+per-activity statistics table, the trace-variant listing, optional
+timelines, and (for partitioned logs) the comparison summary — no
+JavaScript dependencies, viewable offline.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro._util.sizes import format_bytes, format_rate
+from repro.core.activity import ActivityLog
+from repro.core.coloring import PartitionColoring, Styler
+from repro.core.dfg import DFG
+from repro.core.render.svg import render_svg
+from repro.core.render.timeline import render_timeline_svg
+from repro.core.statistics import IOStatistics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventlog import EventLog
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif;
+       margin: 2rem auto; max-width: 1100px; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+     border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+table { border-collapse: collapse; font-size: .85rem; }
+th, td { padding: .25rem .6rem; border: 1px solid #ddd;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f5f5f5; }
+.graph { overflow-x: auto; border: 1px solid #eee; }
+.tag-green { color: #1a7a1a; font-weight: 600; }
+.tag-red { color: #b30000; font-weight: 600; }
+code { background: #f6f6f6; padding: 0 .25rem; }
+.meta { color: #666; font-size: .85rem; }
+"""
+
+
+def _esc(text: str) -> str:
+    return html.escape(text.replace("\n", " "))
+
+
+def _stats_table(stats: IOStatistics, top: int | None = None) -> str:
+    rows = []
+    activities = stats.activities()
+    if top is not None:
+        activities = activities[:top]
+    for activity in activities:
+        s = stats[activity]
+        rows.append(
+            "<tr><td>{a}</td><td>{n}</td><td>{rd:.3f}</td><td>{b}</td>"
+            "<td>{r}</td><td>{mc}</td><td>{ranks}</td><td>{cases}</td>"
+            "</tr>".format(
+                a=_esc(activity), n=s.event_count,
+                rd=s.relative_duration,
+                b=format_bytes(s.total_bytes) if s.has_transfers else "–",
+                r=(format_rate(s.process_data_rate)
+                   if s.process_data_rate is not None else "–"),
+                mc=s.max_concurrency, ranks=s.ranks, cases=s.cases))
+    return (
+        "<table><thead><tr><th>activity</th><th>events</th>"
+        "<th>rel. dur</th><th>bytes</th><th>proc. rate</th>"
+        "<th>max conc.</th><th>ranks</th><th>cases</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>")
+
+
+def _variants_section(event_log: "EventLog", top: int = 10) -> str:
+    activity_log = ActivityLog.from_event_log(event_log)
+    items = []
+    for trace, multiplicity in activity_log.variants()[:top]:
+        shown = " → ".join(_esc(a) for a in trace[:8])
+        if len(trace) > 8:
+            shown += f" … ({len(trace)} activities)"
+        items.append(f"<li><b>×{multiplicity}</b> {shown}</li>")
+    return (
+        f"<p class='meta'>{activity_log.n_traces()} traces, "
+        f"{activity_log.n_variants()} variants</p>"
+        f"<ul>{''.join(items)}</ul>")
+
+
+def _comparison_section(coloring: PartitionColoring) -> str:
+    summary = coloring.summary()
+
+    def listing(names, css):
+        if not names:
+            return "<i>(none)</i>"
+        return ", ".join(
+            f"<span class='{css}'>{_esc(n)}</span>" for n in names)
+
+    return (
+        "<p><b>green-exclusive nodes:</b> "
+        f"{listing(summary['green_nodes'], 'tag-green')}</p>"
+        "<p><b>red-exclusive nodes:</b> "
+        f"{listing(summary['red_nodes'], 'tag-red')}</p>"
+        f"<p class='meta'>shared nodes: {len(summary['shared_nodes'])} "
+        f"· green edges: {len(summary['green_edges'])} "
+        f"· red edges: {len(summary['red_edges'])} "
+        f"· shared edges: {len(summary['shared_edges'])}</p>")
+
+
+def render_html_report(
+    event_log: "EventLog",
+    *,
+    title: str = "st_inspector report",
+    styler: Styler | None = None,
+    timeline_activities: list[str] | None = None,
+    top_variants: int = 10,
+) -> str:
+    """Render a full standalone HTML report for a mapped event-log.
+
+    If ``styler`` is a :class:`PartitionColoring`, a comparison section
+    is included automatically.
+    """
+    dfg = DFG(event_log)
+    stats = IOStatistics(event_log)
+    svg = render_svg(dfg, stats, styler)
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_STYLE}</style></head>",
+        "<body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>{event_log.n_events} events · "
+        f"{event_log.n_cases} cases · cids: "
+        f"{_esc(', '.join(event_log.cids()))} · mapping: "
+        f"<code>{_esc(getattr(event_log.mapping, 'name', '?'))}</code>"
+        "</p>",
+        "<h2>Directly-Follows Graph</h2>",
+        f"<div class='graph'>{svg}</div>",
+        "<h2>Activity statistics</h2>",
+        _stats_table(stats),
+        "<h2>Trace variants</h2>",
+        _variants_section(event_log, top_variants),
+    ]
+    if isinstance(styler, PartitionColoring):
+        parts.append("<h2>Partition comparison</h2>")
+        parts.append(_comparison_section(styler))
+    for activity in timeline_activities or []:
+        if activity in stats:
+            parts.append(f"<h2>Timeline: {_esc(activity)}</h2>")
+            parts.append(render_timeline_svg(
+                stats.timeline(activity), activity=activity))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def save_html_report(
+    event_log: "EventLog",
+    path: str | os.PathLike[str],
+    **kwargs,
+) -> Path:
+    """Render and write the report; returns the path."""
+    out = Path(path)
+    out.write_text(render_html_report(event_log, **kwargs),
+                   encoding="utf-8")
+    return out

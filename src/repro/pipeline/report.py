@@ -1,0 +1,103 @@
+"""Plain-text reports over event-logs and DFGs.
+
+Darshan renders PDF summaries; our equivalent is terminal-friendly
+text: a per-activity statistics table (the node annotations of Fig. 3a
+in tabular form), a trace-variant listing (the multiset notation of
+Sec. IV), and a green/red comparison summary (Sec. IV-C in words).
+"""
+
+from __future__ import annotations
+
+from repro._util.sizes import format_bytes, format_rate
+from repro.core.activity import ActivityLog
+from repro.core.coloring import PartitionColoring
+from repro.core.eventlog import EventLog
+from repro.core.statistics import IOStatistics
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width table with a separator rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), rule] + [fmt(r) for r in rows])
+
+
+def activity_report(stats: IOStatistics, *, top: int | None = None) -> str:
+    """Per-activity statistics table, heaviest (by rd_f) first."""
+    activities = stats.activities()
+    if top is not None:
+        activities = activities[:top]
+    rows = []
+    for activity in activities:
+        s = stats[activity]
+        rows.append([
+            activity.replace("\n", " "),
+            str(s.event_count),
+            f"{s.relative_duration:.3f}",
+            format_bytes(s.total_bytes) if s.has_transfers else "-",
+            (format_rate(s.process_data_rate)
+             if s.process_data_rate is not None else "-"),
+            str(s.max_concurrency),
+            str(s.ranks),
+            str(s.cases),
+        ])
+    header = ["activity", "events", "rel.dur", "bytes", "proc.rate",
+              "max.conc", "ranks", "cases"]
+    body = _table(header, rows)
+    total = stats.total_duration_us / 1e6
+    return (f"{body}\n\ntotal I/O time across activities: "
+            f"{total:.3f} s ({len(stats)} activities)\n")
+
+
+def variants_report(event_log: EventLog, *, top: int | None = 10) -> str:
+    """Trace variants with multiplicities — the paper's multiset
+    notation ``{⟨a,a,b⟩², ⟨a,c⟩}`` as a listing."""
+    activity_log = ActivityLog.from_event_log(event_log)
+    lines = [f"{activity_log.n_traces()} traces, "
+             f"{activity_log.n_variants()} variants"]
+    variants = activity_log.variants()
+    if top is not None:
+        variants = variants[:top]
+    for trace, multiplicity in variants:
+        shown = " -> ".join(a.replace("\n", " ") for a in trace[:8])
+        if len(trace) > 8:
+            shown += f" ... ({len(trace)} activities)"
+        lines.append(f"  x{multiplicity:<4d} {shown}")
+    return "\n".join(lines) + "\n"
+
+
+def comparison_report(coloring: PartitionColoring,
+                      stats: IOStatistics | None = None) -> str:
+    """Sec. IV-C comparison in words: exclusive and shared elements.
+
+    With statistics, each exclusive node also shows its load, giving
+    the Fig. 9-style conclusion ("MPI-IO uses pwrite64 instead of
+    write, with lower relative duration") directly.
+    """
+    summary = coloring.summary()
+    stats = stats or coloring.stats
+
+    def node_line(activity: str) -> str:
+        label = activity.replace("\n", " ")
+        if stats is not None and activity in stats:
+            s = stats[activity]
+            return f"    {label}  ({s.load_label})"
+        return f"    {label}"
+
+    lines = ["PARTITION COMPARISON (green = first subset exclusive, "
+             "red = second subset exclusive)"]
+    lines.append(f"  green-exclusive nodes ({len(summary['green_nodes'])}):")
+    lines += [node_line(a) for a in summary["green_nodes"]] or ["    (none)"]
+    lines.append(f"  red-exclusive nodes ({len(summary['red_nodes'])}):")
+    lines += [node_line(a) for a in summary["red_nodes"]] or ["    (none)"]
+    lines.append(
+        f"  shared nodes: {len(summary['shared_nodes'])}; "
+        f"green-exclusive edges: {len(summary['green_edges'])}; "
+        f"red-exclusive edges: {len(summary['red_edges'])}; "
+        f"shared edges: {len(summary['shared_edges'])}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,127 @@
+"""Event-log validation: the preconditions Sec. III/IV assume.
+
+The formalism quietly relies on well-formed inputs: unique events (the
+no-``-f`` trap the paper discusses in Sec. IV), non-negative durations,
+time-ordered cases, sizes only on transfer calls. Real traces violate
+these in creative ways; :func:`validate_event_log` reports every
+violation with enough context to find the offending records, instead of
+letting them silently skew statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.event import check_event_uniqueness
+from repro.core.frame import MISSING
+from repro.strace.syscalls import is_transfer_call
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.eventlog import EventLog
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One problem found in an event-log."""
+
+    severity: str        #: "error" | "warning"
+    rule: str            #: machine-readable rule id
+    message: str         #: human-readable description
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.severity}] {self.rule}: {self.message}"
+
+
+def validate_event_log(event_log: "EventLog",
+                       *, check_uniqueness: bool = True,
+                       ) -> list[ValidationIssue]:
+    """Run every rule; returns an empty list for a clean log.
+
+    Rules
+    -----
+    - ``duplicate-events`` (error): identical Eq. 1 tuples — the paper's
+      Sec. IV uniqueness requirement (typically traces without ``-f``).
+    - ``negative-duration`` (error): dur < 0 other than the missing
+      sentinel.
+    - ``unordered-case`` (error): events of a case not sorted by start
+      (violates the case definition, Eq. 2).
+    - ``size-on-non-transfer`` (warning): a size recorded for a call
+      that is not a read/write variant (Sec. III item 6 says sizes are
+      parsed only for transfer calls).
+    - ``missing-duration`` (warning): events without ``-T`` data; they
+      contribute zero to rd_f and cannot carry a data rate.
+    - ``empty-log`` (warning): no events at all.
+    """
+    issues: list[ValidationIssue] = []
+    frame = event_log.frame
+    n = len(frame)
+    if n == 0:
+        return [ValidationIssue("warning", "empty-log",
+                                "event-log contains no events")]
+
+    dur = frame.column("dur")
+    bad_dur = np.flatnonzero((dur < 0) & (dur != MISSING))
+    if bad_dur.size:
+        issues.append(ValidationIssue(
+            "error", "negative-duration",
+            f"{bad_dur.size} events with negative durations "
+            f"(first at row {int(bad_dur[0])})"))
+
+    missing_dur = int((dur == MISSING).sum())
+    if missing_dur:
+        issues.append(ValidationIssue(
+            "warning", "missing-duration",
+            f"{missing_dur} events lack a duration (-T not used?); "
+            f"they contribute nothing to rd_f"))
+
+    # Case ordering (Eq. 2).
+    start = frame.column("start")
+    pool = frame.pools.cases
+    for case_code, rows in frame.case_slices():
+        starts = start[rows]
+        if (np.diff(starts) < 0).any():
+            issues.append(ValidationIssue(
+                "error", "unordered-case",
+                f"case {pool.decode(case_code)!r} has events out of "
+                f"start-time order"))
+
+    # Sizes on non-transfer calls (Sec. III item 6).
+    size = frame.column("size")
+    call_pool = frame.pools.calls
+    for code in np.unique(frame.column("call")):
+        name = call_pool.decode(int(code))
+        if is_transfer_call(name):
+            continue
+        mask = (frame.column("call") == code) & (size != MISSING)
+        count = int(mask.sum())
+        if count:
+            issues.append(ValidationIssue(
+                "warning", "size-on-non-transfer",
+                f"{count} {name!r} events carry a transfer size; "
+                f"the paper parses sizes only for read/write variants"))
+
+    if check_uniqueness:
+        duplicates = check_event_uniqueness(frame.iter_events())
+        if duplicates:
+            sample = duplicates[0]
+            issues.append(ValidationIssue(
+                "error", "duplicate-events",
+                f"{len(duplicates)} duplicated event identities "
+                f"(e.g. {sample!r}); traces recorded without -f?"))
+    return issues
+
+
+def validation_report(event_log: "EventLog") -> str:
+    """Plain-text summary; 'OK' for a clean log."""
+    issues = validate_event_log(event_log)
+    if not issues:
+        return (f"OK: {event_log.n_events} events in "
+                f"{event_log.n_cases} cases, no issues\n")
+    lines = [f"{len(issues)} issue(s) in {event_log.n_events} events:"]
+    for issue in issues:
+        lines.append(f"  [{issue.severity}] {issue.rule}: "
+                     f"{issue.message}")
+    return "\n".join(lines) + "\n"

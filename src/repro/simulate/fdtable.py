@@ -1,0 +1,55 @@
+"""Per-process file-descriptor tables.
+
+The strace writer needs realistic descriptor numbers (``read(3</...>``,
+``openat(...) = 4</...>``): descriptors start at 3 (0/1/2 are
+stdio), the lowest free number is reused after close — exactly the
+POSIX allocation rule, which is why the paper's ``ls -l`` trace shows
+``/etc/nsswitch.conf`` on fd 4 while fd 3 still holds the locale
+archive.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import SimulationError
+
+#: First descriptor handed out (0, 1, 2 are stdin/stdout/stderr).
+FIRST_FD = 3
+
+
+class FdTable:
+    """Tracks open descriptors and their paths for one process."""
+
+    def __init__(self) -> None:
+        self._open: dict[int, str] = {}
+
+    def allocate(self, path: str) -> int:
+        """Open: return the lowest free descriptor >= 3."""
+        fd = FIRST_FD
+        while fd in self._open:
+            fd += 1
+        self._open[fd] = path
+        return fd
+
+    def path_of(self, fd: int) -> str:
+        """Path bound to an open descriptor."""
+        try:
+            return self._open[fd]
+        except KeyError:
+            raise SimulationError(f"fd {fd} is not open") from None
+
+    def release(self, fd: int) -> str:
+        """Close: free the descriptor, returning its path."""
+        try:
+            return self._open.pop(fd)
+        except KeyError:
+            raise SimulationError(f"close of unopened fd {fd}") from None
+
+    def is_open(self, fd: int) -> bool:
+        return fd in self._open
+
+    def open_fds(self) -> list[int]:
+        """Currently open descriptors, ascending."""
+        return sorted(self._open)
+
+    def __len__(self) -> int:
+        return len(self._open)

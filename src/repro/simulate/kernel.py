@@ -1,0 +1,177 @@
+"""A minimal discrete-event simulation kernel.
+
+Design follows the classic event-list architecture (and the SimPy
+programming model): *processes* are Python generators that ``yield``
+events they wait on; the kernel pops the earliest scheduled event from
+a heap, fires its callbacks, and resumes waiting processes. Time is
+integer **microseconds**, matching the strace ``-tt`` resolution used
+by the rest of the library — integer time makes simulated traces
+exactly reproducible and round-trippable through the text format.
+
+Event lifecycle: *pending* → *scheduled* (``succeed()`` called or a
+timeout created; the event sits in the heap with a fire time) →
+*processed* (the kernel dispatched it and ran its callbacks). A process
+waiting on an already-*processed* event resumes on the next kernel
+step; waiting on a *scheduled* event resumes at its fire time.
+
+Only what the filesystem model needs is implemented: timeouts,
+process-completion events, and manually triggered events (used by
+resources). That keeps the kernel small enough to reason about and
+test exhaustively.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator
+
+from repro._util.errors import SimulationError
+
+
+class SimEvent:
+    """A one-shot event; callbacks fire when the kernel dispatches it.
+
+    Processes wait on events by yielding them. An event may carry a
+    value, delivered as the result of the ``yield``.
+    """
+
+    __slots__ = ("sim", "scheduled", "processed", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.scheduled = False   #: in the heap, waiting to fire
+        self.processed = False   #: callbacks have run
+        self.value: Any = None
+        self._callbacks: list[Callable[[SimEvent], None]] = []
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger now: dispatch callbacks at the current time."""
+        if self.scheduled or self.processed:
+            raise SimulationError("event already triggered")
+        self.value = value
+        self.sim._schedule(self, 0)
+        return self
+
+    def add_callback(self, fn: Callable[["SimEvent"], None]) -> None:
+        if self.processed:
+            raise SimulationError(
+                "cannot add a callback to a processed event")
+        self._callbacks.append(fn)
+
+
+class Process(SimEvent):
+    """A running generator; also an event that fires on completion.
+
+    The generator's ``return`` value becomes the event value, so
+    ``result = yield sim.process(child())`` composes sub-processes.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[SimEvent, Any, Any],
+                 name: str = "proc") -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name
+
+    def _step(self, fired: SimEvent | None) -> None:
+        try:
+            if fired is None:
+                target = next(self._generator)
+            else:
+                target = self._generator.send(fired.value)
+        except StopIteration as stop:
+            self.value = stop.value
+            self.sim._schedule(self, 0)
+            return
+        if not isinstance(target, SimEvent):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                f"expected a SimEvent")
+        if target.processed:
+            # The event fired before we started waiting: resume on the
+            # next kernel step, at the current time.
+            resume = SimEvent(self.sim)
+            resume.add_callback(lambda _ev: self._step(target))
+            resume.value = target.value
+            self.sim._schedule(resume, 0)
+        else:
+            target.add_callback(self._step)
+
+
+class Simulator:
+    """The event loop: a heap of (time, seq, event)."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, SimEvent]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _schedule(self, event: SimEvent, delay: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        if event.scheduled or event.processed:
+            raise SimulationError("event already scheduled")
+        event.scheduled = True
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: int, value: Any = None) -> SimEvent:
+        """An event that fires ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        event = SimEvent(self)
+        event.value = value
+        self._schedule(event, delay)
+        return event
+
+    def event(self) -> SimEvent:
+        """A bare event to be triggered manually (by resources etc.)."""
+        return SimEvent(self)
+
+    def process(self, generator: Generator[SimEvent, Any, Any],
+                name: str = "proc") -> Process:
+        """Register a process; its first step runs at the current time."""
+        proc = Process(self, generator, name)
+        self._processes.append(proc)
+        kickoff = SimEvent(self)
+        kickoff.add_callback(lambda _ev: proc._step(None))
+        kickoff.succeed()
+        return proc
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, until: int | None = None,
+            max_steps: int = 50_000_000) -> None:
+        """Dispatch events until the heap drains (or ``until`` µs).
+
+        ``max_steps`` guards against runaway loops in workload bugs.
+        """
+        steps = 0
+        while self._heap:
+            fire_time, _seq, event = self._heap[0]
+            if until is not None and fire_time > until:
+                break
+            heapq.heappop(self._heap)
+            if fire_time < self.now:  # pragma: no cover - heap invariant
+                raise SimulationError("time went backwards")
+            self.now = fire_time
+            event.processed = True
+            callbacks, event._callbacks = event._callbacks, []
+            for fn in callbacks:
+                fn(event)
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {max_steps} steps; "
+                    f"likely a livelock in a workload")
+        if until is not None and self.now < until:
+            self.now = until
+
+    def all_done(self) -> bool:
+        """True iff every registered process has completed."""
+        return all(p.processed for p in self._processes)

@@ -1,0 +1,72 @@
+"""Syscall recording for simulated processes.
+
+Each simulated process owns a :class:`ProcessRecorder` that captures
+the attributes strace would print — pid, call, entry wall-clock,
+duration, file path, transfer size, descriptor, requested bytes —
+as :class:`SyscallRecord` rows. The strace writer renders these to
+text; tests can also assert on them directly, bypassing the text round
+trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallRecord:
+    """One simulated system call, as strace would record it.
+
+    ``start_us`` is simulation wall-clock (µs since midnight, already
+    including any per-host clock skew); ``size`` is the transfer size
+    for read/write variants and ``None`` otherwise; ``ret_fd`` is the
+    descriptor returned by open/openat (for the ``-y`` annotation on
+    the return value).
+    """
+
+    pid: int
+    call: str
+    start_us: int
+    dur_us: int
+    path: str | None = None
+    fd: int | None = None
+    size: int | None = None
+    requested: int | None = None
+    ret_fd: int | None = None
+    args_hint: str | None = None  #: extra args text (e.g. lseek offset)
+    retval: int | None = None     #: explicit return (lseek offset, 0...)
+
+
+@dataclass
+class ProcessRecorder:
+    """Accumulates the records of one simulated process (one pid).
+
+    One recorder corresponds to one trace file — i.e. one *case* —
+    because the simulated launcher (rid) runs exactly one traced child
+    (pid), mirroring the paper's ``srun -n N strace ...`` setup.
+    """
+
+    cid: str
+    host: str
+    rid: int
+    pid: int
+    records: list[SyscallRecord] = field(default_factory=list)
+
+    def record(self, **kwargs) -> SyscallRecord:
+        """Append a record (keyword args of :class:`SyscallRecord`)."""
+        rec = SyscallRecord(pid=self.pid, **kwargs)
+        self.records.append(rec)
+        return rec
+
+    @property
+    def case_id(self) -> str:
+        return f"{self.cid}{self.rid}"
+
+    def filename(self) -> str:
+        """Trace-file name per the Fig. 1 convention."""
+        return f"{self.cid}_{self.host}_{self.rid}.st"
+
+    def sorted_records(self) -> list[SyscallRecord]:
+        """Records in start-time order (simulation emits them in order,
+        but phase-parallel workloads may interleave)."""
+        return sorted(self.records, key=lambda r: (r.start_us, r.pid))

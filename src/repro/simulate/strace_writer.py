@@ -1,0 +1,168 @@
+"""Rendering simulated syscall records as strace text.
+
+Produces the exact textual shape of ``strace -f -e <calls> -tt -T -y``
+output written via ``-o`` (Fig. 2 of the paper), so simulated traces
+flow through the *same* tokenizer/parser/merger as real ones:
+
+- ``read(3</path>, ..., 1048576) = 1048576 <0.000301>`` — buffer
+  contents elided as ``...`` exactly as in the paper's figures;
+- ``openat(AT_FDCWD, "/path", O_WRONLY|O_CREAT, 0644) = 3</path> <…>``
+  with the ``-y`` annotation on the returned descriptor;
+- failed probes: ``openat(..) = -1 ENOENT (No such file or directory)``;
+- optional ``<unfinished ...>`` / ``<... call resumed>`` splitting to
+  exercise the merge path (Fig. 2c);
+- wall-clock stamps with per-host clock offsets — the paper explicitly
+  tolerates unsynchronized clocks, and so must the pipeline.
+
+``-e``-style call filtering happens here (strace records only the
+selected calls), which is how the paper's experiment A excludes
+``lseek``/``fsync`` while experiment B includes ``lseek``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util.timefmt import format_duration, format_wallclock
+from repro.simulate.recording import ProcessRecorder, SyscallRecord
+
+#: Calls recorded in the paper's experiment A ("variants of read, write
+#: and openat", Sec. V-A).
+EXPERIMENT_A_CALLS = frozenset({
+    "read", "write", "pread64", "pwrite64", "openat", "open"})
+#: Experiment B adds lseek (Sec. V-B).
+EXPERIMENT_B_CALLS = EXPERIMENT_A_CALLS | {"lseek"}
+
+
+def _format_args(rec: SyscallRecord) -> tuple[str, str]:
+    """Return (args_text, ret_text) for one record."""
+    call = rec.call
+    if call in ("read", "write"):
+        args = f"{rec.fd}<{rec.path}>, ..., {rec.requested}"
+        ret = str(rec.size)
+    elif call in ("pread64", "pwrite64"):
+        args = (f"{rec.fd}<{rec.path}>, ..., {rec.requested}, "
+                f"{rec.args_hint}")
+        ret = str(rec.size)
+    elif call in ("open", "openat"):
+        flags = rec.args_hint or "O_RDONLY|O_CLOEXEC"
+        prefix = 'AT_FDCWD, ' if call == "openat" else ""
+        args = f'{prefix}"{rec.path}", {flags}'
+        if rec.ret_fd is not None:
+            ret = f"{rec.ret_fd}<{rec.path}>"
+        else:
+            ret = "-1 ENOENT (No such file or directory)"
+    elif call == "lseek":
+        args = f"{rec.fd}<{rec.path}>, {rec.args_hint}, SEEK_SET"
+        ret = str(rec.retval if rec.retval is not None else rec.args_hint)
+    elif call in ("fsync", "fdatasync", "close"):
+        args = f"{rec.fd}<{rec.path}>"
+        ret = "0"
+    else:
+        args = rec.args_hint or ""
+        ret = str(rec.retval if rec.retval is not None else 0)
+    return args, ret
+
+
+def format_record(rec: SyscallRecord, *, clock_offset_us: int = 0) -> str:
+    """One complete strace line for a record."""
+    stamp = format_wallclock(rec.start_us + clock_offset_us)
+    args, ret = _format_args(rec)
+    dur = format_duration(rec.dur_us)
+    return f"{rec.pid}  {stamp} {rec.call}({args}) = {ret} {dur}"
+
+
+def format_record_split(rec: SyscallRecord, *,
+                        clock_offset_us: int = 0) -> tuple[str, str]:
+    """The unfinished/resumed two-line form of a record (Fig. 2c)."""
+    start_stamp = format_wallclock(rec.start_us + clock_offset_us)
+    end_stamp = format_wallclock(
+        rec.start_us + rec.dur_us + clock_offset_us)
+    args, ret = _format_args(rec)
+    dur = format_duration(rec.dur_us)
+    # Split the argument list at the first top-level comma when
+    # possible, mirroring how strace leaves the buffer unprinted.
+    head, sep, tail = args.partition(", ")
+    if not sep:
+        head, tail = args, ""
+    first = (f"{rec.pid}  {start_stamp} {rec.call}({head},"
+             f" <unfinished ...>")
+    second = (f"{rec.pid}  {end_stamp} <... {rec.call} resumed> "
+              f"{tail}) = {ret} {dur}")
+    return first, second
+
+
+def write_strace_text(
+    recorder: ProcessRecorder,
+    *,
+    trace_calls: Iterable[str] | None = None,
+    clock_offset_us: int = 0,
+    unfinished_probability: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> str:
+    """Render one recorder (one trace file / case) to strace text.
+
+    ``trace_calls`` emulates strace's ``-e`` selection: records of
+    other calls are dropped. ``unfinished_probability`` splits that
+    fraction of records into unfinished/resumed pairs (time-ordered
+    within the file) to exercise the merge path.
+    """
+    wanted = set(trace_calls) if trace_calls is not None else None
+    rng = rng or np.random.default_rng(0)
+    lines: list[tuple[int, int, str]] = []  # (time, tiebreak, text)
+    seq = 0
+    for rec in recorder.sorted_records():
+        if wanted is not None and rec.call not in wanted:
+            continue
+        if unfinished_probability > 0 and rec.dur_us > 0 and \
+                rng.random() < unfinished_probability:
+            first, second = format_record_split(
+                rec, clock_offset_us=clock_offset_us)
+            lines.append((rec.start_us, seq, first))
+            lines.append((rec.start_us + rec.dur_us, seq + 1, second))
+            seq += 2
+        else:
+            lines.append((
+                rec.start_us, seq,
+                format_record(rec, clock_offset_us=clock_offset_us)))
+            seq += 1
+    lines.sort()
+    return "\n".join(text for _, _, text in lines) + ("\n" if lines else "")
+
+
+def write_trace_files(
+    recorders: Sequence[ProcessRecorder],
+    directory: str | os.PathLike[str],
+    *,
+    trace_calls: Iterable[str] | None = None,
+    host_clock_offsets: dict[str, int] | None = None,
+    unfinished_probability: float = 0.0,
+    seed: int = 7,
+) -> list[Path]:
+    """Write one ``<cid>_<host>_<rid>.st`` file per recorder.
+
+    ``host_clock_offsets`` applies a fixed per-host clock skew (µs) to
+    every stamp of that host's files — exercising the paper's
+    "clocks need not be synchronized" property.
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    offsets = host_clock_offsets or {}
+    rng = np.random.default_rng(seed)
+    paths: list[Path] = []
+    for recorder in recorders:
+        text = write_strace_text(
+            recorder,
+            trace_calls=trace_calls,
+            clock_offset_us=offsets.get(recorder.host, 0),
+            unfinished_probability=unfinished_probability,
+            rng=rng,
+        )
+        path = out_dir / recorder.filename()
+        path.write_text(text, encoding="utf-8")
+        paths.append(path)
+    return paths

@@ -1,0 +1,220 @@
+"""A checkpoint/restart workload — the paper's stated future work.
+
+The conclusion announces: "In future work, we plan to apply our
+technique to typical HPC workloads." The most typical I/O-heavy HPC
+pattern beyond benchmarks is periodic checkpointing: compute phases
+separated by synchronized checkpoint bursts, with an optional restart
+read at startup. This workload generates exactly that, so the DFG
+methodology can be exercised on a realistic pattern:
+
+- per step: a compute delay (no traced I/O), a barrier, then every
+  rank writes its checkpoint shard (``ckpt_<step>/shard.<rank>`` —
+  FPP-style) or a region of one shared checkpoint file;
+- a metadata rendezvous: rank 0 writes a small manifest after each
+  step (the classic "tiny serial I/O after the parallel burst");
+- optional restart: every rank reads the *previous* run's shard at
+  startup.
+
+The resulting DFGs show a clean cyclic structure (write-burst →
+manifest → write-burst …) that :func:`repro.core.analysis.find_cycles`
+recovers — see ``tests/test_simulate/test_checkpoint.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+import numpy as np
+
+from repro._util.errors import SimulationError
+from repro._util.timefmt import parse_wallclock
+from repro.simulate.fdtable import FdTable
+from repro.simulate.filesystem import FSConfig, ParallelFS
+from repro.simulate.kernel import SimEvent, Simulator
+from repro.simulate.recording import ProcessRecorder
+from repro.simulate.resources import Barrier
+
+
+@dataclass
+class CheckpointConfig:
+    """Shape of the checkpoint/restart run."""
+
+    ranks: int = 16
+    ranks_per_node: int = 8
+    steps: int = 4                       #: checkpoint rounds
+    shard_bytes: int = 8 << 20           #: per-rank checkpoint size
+    transfer_bytes: int = 1 << 20        #: write granularity
+    compute_us: int = 50_000             #: compute phase between steps
+    shared_file: bool = False            #: one shared ckpt file per step
+    restart: bool = True                 #: read previous shards at start
+    checkpoint_dir: str = "/p/scratch/app/ckpt"
+    restart_dir: str = "/p/scratch/app/ckpt-prev"
+    cid: str = "ckpt"
+    host_prefix: str = "cnode"
+    base_rid: int = 50000
+    pid_offset: int = 2
+    start_wallclock_us: int = field(
+        default_factory=lambda: parse_wallclock("11:30:00.000000"))
+    barrier_exit_skew_us: int = 800
+    seed: int = 303
+
+    def __post_init__(self) -> None:
+        if self.shard_bytes % self.transfer_bytes != 0:
+            raise SimulationError(
+                "shard size must be a multiple of the transfer size")
+
+    @property
+    def transfers_per_shard(self) -> int:
+        return self.shard_bytes // self.transfer_bytes
+
+    def host_of(self, rank: int) -> str:
+        return f"{self.host_prefix}{rank // self.ranks_per_node + 1:02d}"
+
+    def shard_path(self, step: int, rank: int) -> str:
+        if self.shared_file:
+            return f"{self.checkpoint_dir}/ckpt_{step:04d}/shared"
+        return f"{self.checkpoint_dir}/ckpt_{step:04d}/shard.{rank:05d}"
+
+    def shard_offset(self, rank: int, transfer: int) -> int:
+        base = (rank * self.shard_bytes) if self.shared_file else 0
+        return base + transfer * self.transfer_bytes
+
+    def manifest_path(self, step: int) -> str:
+        return f"{self.checkpoint_dir}/ckpt_{step:04d}/manifest.json"
+
+    def restart_path(self, rank: int) -> str:
+        return f"{self.restart_dir}/shard.{rank:05d}"
+
+
+@dataclass
+class CheckpointResult:
+    config: CheckpointConfig
+    recorders: list[ProcessRecorder]
+    sim: Simulator
+    fs: ParallelFS
+
+    @property
+    def makespan_us(self) -> int:
+        return self.sim.now
+
+    def total_syscalls(self) -> int:
+        return sum(len(r.records) for r in self.recorders)
+
+
+def _rank_process(
+    sim: Simulator,
+    fs: ParallelFS,
+    cfg: CheckpointConfig,
+    rank: int,
+    recorder: ProcessRecorder,
+    barrier: Barrier,
+    rng: np.random.Generator,
+) -> Generator[SimEvent, None, None]:
+    host = cfg.host_of(rank)
+    fdt = FdTable()
+
+    def record(call: str, start: int, **kwargs) -> None:
+        recorder.record(call=call, start_us=cfg.start_wallclock_us + start,
+                        dur_us=sim.now - start, **kwargs)
+
+    def skew() -> SimEvent:
+        return sim.timeout(int(rng.integers(0, cfg.barrier_exit_skew_us)))
+
+    # ---- restart read --------------------------------------------------
+    if cfg.restart:
+        path = cfg.restart_path(rank)
+        fs._state(path).exists = True  # the previous run left it behind
+        start = sim.now
+        yield from fs.open(host, rank, path, create=False)
+        fd = fdt.allocate(path)
+        record("openat", start, path=path, ret_fd=fd,
+               args_hint="O_RDONLY")
+        for transfer in range(cfg.transfers_per_shard):
+            start = sim.now
+            yield from fs.read(host, rank, path,
+                               transfer * cfg.transfer_bytes,
+                               cfg.transfer_bytes, bypass_cache=True)
+            record("read", start, path=path, fd=fd,
+                   requested=cfg.transfer_bytes, size=cfg.transfer_bytes)
+        start = sim.now
+        yield from fs.close(host, rank, path)
+        fdt.release(fd)
+        record("close", start, path=path, fd=fd)
+
+    # ---- checkpoint steps ------------------------------------------------
+    for step in range(cfg.steps):
+        # Compute phase (untraced), then the synchronized burst.
+        yield sim.timeout(
+            int(cfg.compute_us * float(rng.uniform(0.9, 1.1))))
+        yield barrier.wait()
+        yield skew()
+        path = cfg.shard_path(step, rank)
+        start = sim.now
+        yield from fs.open(host, rank, path, create=True)
+        fd = fdt.allocate(path)
+        record("openat", start, path=path, ret_fd=fd,
+               args_hint="O_WRONLY|O_CREAT, 0644")
+        for transfer in range(cfg.transfers_per_shard):
+            start = sim.now
+            yield from fs.write(host, rank, path,
+                                cfg.shard_offset(rank, transfer),
+                                cfg.transfer_bytes)
+            record("write", start, path=path, fd=fd,
+                   requested=cfg.transfer_bytes,
+                   size=cfg.transfer_bytes)
+        start = sim.now
+        yield from fs.fsync(host, rank, path)
+        record("fsync", start, path=path, fd=fd)
+        start = sim.now
+        yield from fs.close(host, rank, path)
+        fdt.release(fd)
+        record("close", start, path=path, fd=fd)
+        # Rank 0 seals the step with a manifest (serial metadata tail).
+        yield barrier.wait()
+        if rank == 0:
+            manifest = cfg.manifest_path(step)
+            start = sim.now
+            yield from fs.open(host, rank, manifest, create=True)
+            fd = fdt.allocate(manifest)
+            record("openat", start, path=manifest, ret_fd=fd,
+                   args_hint="O_WRONLY|O_CREAT, 0644")
+            start = sim.now
+            yield from fs.write(host, rank, manifest, 0, 4096)
+            record("write", start, path=manifest, fd=fd,
+                   requested=4096, size=4096)
+            start = sim.now
+            yield from fs.close(host, rank, manifest)
+            fdt.release(fd)
+            record("close", start, path=manifest, fd=fd)
+
+
+def simulate_checkpoint(
+    config: CheckpointConfig | None = None,
+    fs_config: FSConfig | None = None,
+) -> CheckpointResult:
+    """Run the checkpoint/restart workload; deterministic per seed."""
+    cfg = config or CheckpointConfig()
+    sim = Simulator()
+    fs = ParallelFS(sim, fs_config or FSConfig(),
+                    rng=np.random.default_rng(
+                        (fs_config or FSConfig()).seed))
+    barrier = Barrier(sim, cfg.ranks, name="ckpt-barrier")
+    recorders: list[ProcessRecorder] = []
+    master_rng = np.random.default_rng(cfg.seed)
+    for rank in range(cfg.ranks):
+        rid = cfg.base_rid + rank
+        recorder = ProcessRecorder(
+            cid=cfg.cid, host=cfg.host_of(rank), rid=rid,
+            pid=rid + cfg.pid_offset)
+        recorders.append(recorder)
+        rank_rng = np.random.default_rng(master_rng.integers(0, 2**63))
+        sim.process(
+            _rank_process(sim, fs, cfg, rank, recorder, barrier,
+                          rank_rng),
+            name=f"ckpt-rank-{rank}")
+    sim.run()
+    if not sim.all_done():
+        raise SimulationError("checkpoint simulation deadlocked")
+    return CheckpointResult(config=cfg, recorders=recorders, sim=sim,
+                            fs=fs)

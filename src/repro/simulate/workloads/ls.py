@@ -1,0 +1,128 @@
+"""The ``ls`` / ``ls -l`` example workload (Fig. 1-5 of the paper).
+
+The paper's introductory example traces ``srun -n 3 strace ... ls`` and
+``... ls -l``: three MPI processes each record one trace file; all
+three produce the *same* sequence of startup I/O (so the activity-log
+collapses to one trace with multiplicity 3), but their wall-clock
+starts are staggered, which is what gives ``read:/usr/lib`` a
+max-concurrency of 2 in Fig. 5.
+
+The event sequences below are transcribed from Fig. 2a (``ls``, 8
+events) and Fig. 2b (``ls -l``, 17 events) — same files, sizes,
+requested counts and durations, with inter-event gaps taken from the
+figures' timestamps. This workload does not need the DES: process
+startup I/O is deterministic; only the per-rank stagger matters.
+
+The default stagger is 150 µs: successive ranks overlap pairwise on
+the long first ELF-header read but never three ways — reproducing
+``mc = 2`` exactly (see ``tests/test_simulate/test_ls.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._util.timefmt import parse_wallclock
+from repro.simulate.recording import ProcessRecorder
+
+#: (call, path, fd, requested, size, gap_us_since_previous, dur_us)
+#: transcribed from Fig. 2a — the ``ls`` trace.
+LS_TEMPLATE: tuple[tuple[str, str, int, int, int, int, int], ...] = (
+    ("read", "/usr/lib/x86_64-linux-gnu/libselinux.so.1", 3, 832, 832, 0, 203),
+    ("read", "/usr/lib/x86_64-linux-gnu/libc.so.6", 3, 832, 832, 2646, 79),
+    ("read", "/usr/lib/x86_64-linux-gnu/libpcre2-8.so.0.10.4", 3, 832, 832,
+     2654, 87),
+    ("read", "/proc/filesystems", 3, 1024, 478, 3580, 52),
+    ("read", "/proc/filesystems", 3, 1024, 0, 175, 40),
+    ("read", "/etc/locale.alias", 3, 4096, 2996, 511, 41),
+    ("read", "/etc/locale.alias", 3, 4096, 0, 119, 44),
+    ("write", "/dev/pts/7", 1, 50, 50, 12581, 111),
+)
+
+#: Fig. 2b — the ``ls -l`` trace (17 events).
+LS_L_TEMPLATE: tuple[tuple[str, str, int, int, int, int, int], ...] = (
+    ("read", "/usr/lib/x86_64-linux-gnu/libselinux.so.1", 3, 832, 832, 0, 187),
+    ("read", "/usr/lib/x86_64-linux-gnu/libc.so.6", 3, 832, 832, 2570, 75),
+    ("read", "/usr/lib/x86_64-linux-gnu/libpcre2-8.so.0.10.4", 3, 832, 832,
+     2539, 63),
+    ("read", "/proc/filesystems", 3, 1024, 478, 3853, 80),
+    ("read", "/proc/filesystems", 3, 1024, 0, 249, 67),
+    ("read", "/etc/locale.alias", 3, 4096, 2996, 1027, 97),
+    ("read", "/etc/locale.alias", 3, 4096, 0, 268, 83),
+    ("read", "/etc/nsswitch.conf", 4, 4096, 542, 11703, 140),
+    ("read", "/etc/nsswitch.conf", 4, 4096, 0, 279, 27),
+    ("read", "/etc/passwd", 4, 4096, 1612, 792, 37),
+    ("read", "/etc/group", 4, 4096, 872, 1461, 91),
+    ("write", "/dev/pts/7", 1, 9, 9, 1921, 74),
+    ("read", "/usr/share/zoneinfo/Europe/Berlin", 3, 4096, 2298, 512, 74),
+    ("read", "/usr/share/zoneinfo/Europe/Berlin", 3, 4096, 1449, 298, 33),
+    ("write", "/dev/pts/7", 1, 74, 74, 345, 99),
+    ("write", "/dev/pts/7", 1, 53, 53, 227, 73),
+    ("write", "/dev/pts/7", 1, 65, 65, 190, 99),
+)
+
+
+@dataclass
+class LsConfig:
+    """Configuration of the ``ls`` example run (Fig. 1 commands).
+
+    Defaults reproduce the paper exactly: cid ``a`` = ``ls`` with rids
+    9042/9043/9045, cid ``b`` = ``ls -l`` with rids 9157/9158/9160, all
+    on ``host1``; the pid inside each trace differs from the rid
+    because ``srun`` forks the traced command (Sec. III item 1).
+    """
+
+    cid: str = "a"
+    long_format: bool = False            #: False = ``ls``, True = ``ls -l``
+    host: str = "host1"
+    rids: tuple[int, ...] = (9042, 9043, 9045)
+    pid_offset: int = 12                 #: pid = rid + offset (forked child)
+    start_wallclock_us: int = field(
+        default_factory=lambda: parse_wallclock("08:55:54.153994"))
+    stagger_us: int = 150                #: per-rank start offset (Fig. 5)
+
+    @property
+    def template(self) -> tuple[tuple[str, str, int, int, int, int, int], ...]:
+        return LS_L_TEMPLATE if self.long_format else LS_TEMPLATE
+
+
+def simulate_ls(config: LsConfig | None = None) -> list[ProcessRecorder]:
+    """Produce one recorder (= one trace file) per rank."""
+    cfg = config or LsConfig()
+    recorders: list[ProcessRecorder] = []
+    for index, rid in enumerate(cfg.rids):
+        recorder = ProcessRecorder(
+            cid=cfg.cid, host=cfg.host, rid=rid,
+            pid=rid + cfg.pid_offset)
+        clock = cfg.start_wallclock_us + index * cfg.stagger_us
+        for call, path, fd, requested, size, gap, dur in cfg.template:
+            clock += gap
+            recorder.record(
+                call=call, start_us=clock, dur_us=dur, path=path,
+                fd=fd, size=size, requested=requested)
+        recorders.append(recorder)
+    return recorders
+
+
+def generate_fig1_traces(
+    directory: str | Path,
+    *,
+    stagger_us: int = 150,
+) -> tuple[list[Path], list[Path]]:
+    """Write the six trace files of Fig. 1 (3× ``ls``, 3× ``ls -l``).
+
+    Returns ``(ls_paths, ls_l_paths)``. The ``ls -l`` run starts ~10 s
+    after ``ls``, matching the figures' timestamps.
+    """
+    from repro.simulate.strace_writer import write_trace_files
+
+    ls_recorders = simulate_ls(LsConfig(stagger_us=stagger_us))
+    ls_l_recorders = simulate_ls(LsConfig(
+        cid="b", long_format=True, rids=(9157, 9158, 9160),
+        pid_offset=16,
+        start_wallclock_us=parse_wallclock("08:56:04.731999"),
+        stagger_us=stagger_us))
+    ls_paths = write_trace_files(ls_recorders, directory)
+    ls_l_paths = write_trace_files(ls_l_recorders, directory)
+    return ls_paths, ls_l_paths

@@ -1,0 +1,65 @@
+"""strace trace-record substrate (Sec. III of the paper).
+
+This subpackage turns raw ``strace`` output — recorded with
+``strace -f -e <calls> -tt -T -y -o <cid>_<host>_<rid>.st`` — into
+structured records carrying exactly the event attributes the paper
+parses: *pid*, *call*, *start*, *dur*, *fp*, *size*, with the file-level
+attributes *cid*, *host*, *rid* recovered from the trace-file name.
+
+Layering (bottom → top):
+
+- :mod:`repro.strace.syscalls` — catalog of I/O system calls: which
+  argument carries the ``fd</path>`` annotation, which calls report a
+  transfer size, read/write classification.
+- :mod:`repro.strace.tokenizer` — splits a physical line into pid,
+  timestamp and body, and classifies the record kind (syscall,
+  unfinished, resumed, signal, exit).
+- :mod:`repro.strace.parser` — parses a syscall body into name, argument
+  list, file path, return value and duration, quote/paren-aware.
+- :mod:`repro.strace.resume` — merges ``<unfinished ...>`` with
+  ``<... resumed>`` partners (matched by pid, per the paper) and drops
+  ``ERESTARTSYS``-interrupted calls.
+- :mod:`repro.strace.naming` — the ``<cid>_<host>_<rid>.st`` trace-file
+  naming convention of Fig. 1.
+- :mod:`repro.strace.reader` — reads files/directories into
+  per-case record lists ready for event-log construction.
+"""
+
+from repro.strace.syscalls import (
+    SyscallSpec,
+    SyscallFamily,
+    SYSCALL_CATALOG,
+    DEFAULT_IO_CALLS,
+    is_transfer_call,
+    transfer_direction,
+    spec_for,
+)
+from repro.strace.tokenizer import RecordKind, Token, tokenize_line
+from repro.strace.parser import ParsedRecord, parse_line, parse_body
+from repro.strace.resume import merge_unfinished, MergeStats
+from repro.strace.naming import TraceFileName, parse_trace_filename, format_trace_filename
+from repro.strace.reader import TraceCase, read_trace_file, read_trace_dir
+
+__all__ = [
+    "SyscallSpec",
+    "SyscallFamily",
+    "SYSCALL_CATALOG",
+    "DEFAULT_IO_CALLS",
+    "is_transfer_call",
+    "transfer_direction",
+    "spec_for",
+    "RecordKind",
+    "Token",
+    "tokenize_line",
+    "ParsedRecord",
+    "parse_line",
+    "parse_body",
+    "merge_unfinished",
+    "MergeStats",
+    "TraceFileName",
+    "parse_trace_filename",
+    "format_trace_filename",
+    "TraceCase",
+    "read_trace_file",
+    "read_trace_dir",
+]

@@ -1,0 +1,87 @@
+"""Trace-file naming convention of Fig. 1.
+
+Each MPI process records its own trace file via
+``strace -o <cid>_$(hostname)_$$.st``; the name encodes the three
+case-identifying attributes the paper infers "from the name of the
+trace file" (Sec. IV):
+
+- **cid** — command identifier (``a`` for ``ls``, ``b`` for ``ls -l``
+  in the paper's example);
+- **host** — the machine name;
+- **rid** — the launching process's id (``$$``), distinct from the pid
+  *inside* the trace when the launcher forks the traced command.
+
+Hostnames may themselves contain ``_`` on real systems, and cids are
+free-form labels, so the grammar is anchored at both ends: the *first*
+``_`` terminates the cid and the *last* ``_`` starts the rid. This is
+exactly invertible for cids without underscores (which Fig. 1 uses).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro._util.errors import TraceParseError
+
+#: File suffix used throughout the paper's examples.
+TRACE_SUFFIX = ".st"
+
+_NAME_RE = re.compile(
+    r"^(?P<cid>[^_]+)_(?P<host>.+)_(?P<rid>\d+)\.st$"
+)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TraceFileName:
+    """Decomposed trace-file name — the case identity (cid, host, rid)."""
+
+    cid: str
+    host: str
+    rid: int
+
+    @property
+    def case_id(self) -> str:
+        """Readable case label used in reports, e.g. ``a9042``.
+
+        Matches the paper's notation (Eq. 3: ``Ca = {a9042, ...}``).
+        """
+        return f"{self.cid}{self.rid}"
+
+    def filename(self) -> str:
+        """Render back to ``<cid>_<host>_<rid>.st``."""
+        return format_trace_filename(self.cid, self.host, self.rid)
+
+
+def format_trace_filename(cid: str, host: str, rid: int) -> str:
+    """Compose a trace filename per the Fig. 1 convention.
+
+    >>> format_trace_filename("a", "host1", 9042)
+    'a_host1_9042.st'
+    """
+    if not cid or "_" in cid:
+        raise ValueError(f"cid must be non-empty and contain no '_': {cid!r}")
+    if not host:
+        raise ValueError("host must be non-empty")
+    if rid < 0:
+        raise ValueError(f"rid must be non-negative: {rid}")
+    return f"{cid}_{host}_{rid}{TRACE_SUFFIX}"
+
+
+def parse_trace_filename(name: str) -> TraceFileName:
+    """Parse ``a_host1_9042.st`` → TraceFileName(cid='a', host='host1',
+    rid=9042). Accepts full paths (only the basename is inspected).
+
+    >>> parse_trace_filename("b_host1_9157.st").case_id
+    'b9157'
+    """
+    base = name.rsplit("/", 1)[-1]
+    match = _NAME_RE.match(base)
+    if match is None:
+        raise TraceParseError(
+            f"trace filename does not follow <cid>_<host>_<rid>.st: {base!r}")
+    return TraceFileName(
+        cid=match.group("cid"),
+        host=match.group("host"),
+        rid=int(match.group("rid")),
+    )

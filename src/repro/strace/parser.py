@@ -1,0 +1,273 @@
+"""Argument-level parsing of strace syscall records.
+
+Turns a classified syscall body (see :mod:`repro.strace.tokenizer`) into
+a :class:`ParsedRecord` carrying the event attributes of Sec. III:
+
+- **call** — the syscall name;
+- **fp** — the accessed file path, recovered from the ``-y`` descriptor
+  annotation (``3</etc/passwd>``) on the appropriate argument, or from
+  the annotated *return value* for ``open``/``openat`` (strace annotates
+  the descriptor it returns), or from a quoted path argument as a
+  fallback when ``-y`` was not used;
+- **size** — the transfer size, i.e. the return value, "parsed only for
+  the variants of read and write system calls" (Sec. III item 6);
+- **dur_us** — the ``-T`` duration;
+- plus the raw return value, errno name, and the requested byte count
+  (the last integer argument of transfer calls, which the paper notes
+  "may differ from the actual number of bytes transferred").
+
+The argument scanner is quote- and bracket-aware: strace argument lists
+contain C strings with escapes (``"total 40\\n"``, possibly abbreviated
+as ``"total 4"...``), struct/array literals (``{st_mode=...}``,
+``[{iov_base=...}]``) and the ``fd</path>`` annotations themselves, so a
+naive ``split(',')`` is wrong. A character scan tracking quote state and
+``([{<`` nesting finds top-level commas and the closing parenthesis.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro._util.errors import TraceParseError
+from repro._util.timefmt import parse_duration
+from repro.strace.syscalls import PathSource, spec_for
+from repro.strace.tokenizer import RecordKind, Token, tokenize_line
+
+_OPENERS = {"(": ")", "[": "]", "{": "}", "<": ">"}
+_CLOSERS = {v: k for k, v in _OPENERS.items()}
+
+_FD_ANNOT_RE = re.compile(r"^(\d+)<(.*)>$", re.DOTALL)
+_RET_RE = re.compile(
+    r"""^=\s+
+        (?P<val>-?\d+|\?|0x[0-9a-fA-F]+)          # numeric / ? / hex
+        (?:<(?P<retpath>[^>]*)>)?                  # -y annotation on fds
+        (?:\s+(?P<errno>[A-Z][A-Z0-9_]+)\s+\([^)]*\))?  # ENOENT (No such..)
+        (?:\s+\((?P<flagdesc>[^)]*)\))?            # e.g. (Timeout)
+        \s*
+        (?:(?P<dur><\d+\.\d{6}>))?                 # -T duration
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedRecord:
+    """One fully parsed syscall record (possibly a merged resumed pair).
+
+    ``fp`` is ``None`` when the call carries no path (or ``-y`` was off
+    and no quoted path argument exists); ``size`` is ``None`` for calls
+    that are not read/write variants or that failed.
+    """
+
+    pid: int
+    start_us: int
+    call: str
+    fp: str | None
+    size: int | None
+    dur_us: int | None
+    retval: int | None
+    errno: str | None
+    requested: int | None
+    args: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the call did not return an error."""
+        return self.errno is None
+
+
+def split_args(text: str, *, path: str | None = None,
+               lineno: int | None = None) -> tuple[list[str], int]:
+    """Split ``text`` (starting right after the opening ``(``) into
+    top-level arguments.
+
+    Returns ``(args, end_index)`` where ``end_index`` points at the
+    closing ``)`` in ``text``. Quote-aware (double quotes, backslash
+    escapes) and bracket-aware (``()[]{}<>``).
+    """
+    args: list[str] = []
+    depth = 0
+    in_string = False
+    escaped = False
+    current_start = 0
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if in_string:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+            i += 1
+            continue
+        if ch == '"':
+            in_string = True
+            i += 1
+            continue
+        if ch in _OPENERS:
+            depth += 1
+            i += 1
+            continue
+        if ch in _CLOSERS:
+            if ch == ")" and depth == 0:
+                arg = text[current_start:i].strip()
+                if arg:
+                    args.append(arg)
+                return args, i
+            depth -= 1
+            if depth < 0:
+                raise TraceParseError(
+                    f"unbalanced {ch!r} in argument list: {text[:80]!r}",
+                    path=path, lineno=lineno)
+            i += 1
+            continue
+        if ch == "," and depth == 0:
+            args.append(text[current_start:i].strip())
+            current_start = i + 1
+        i += 1
+    raise TraceParseError(
+        f"unterminated argument list: {text[:80]!r}",
+        path=path, lineno=lineno)
+
+
+def _parse_retval(text: str) -> tuple[int | None, str | None, str | None,
+                                      int | None]:
+    """Parse the ``= RET ... <dur>`` tail.
+
+    Returns ``(retval, ret_path, errno, dur_us)``.
+    """
+    match = _RET_RE.match(text.strip())
+    if match is None:
+        raise TraceParseError(f"unparseable return clause: {text[:80]!r}")
+    raw = match.group("val")
+    if raw == "?":
+        retval: int | None = None
+    elif raw.startswith("0x"):
+        retval = int(raw, 16)
+    else:
+        retval = int(raw)
+    ret_path = match.group("retpath")
+    errno = match.group("errno")
+    dur_text = match.group("dur")
+    dur_us = parse_duration(dur_text) if dur_text else None
+    return retval, ret_path, errno, dur_us
+
+
+def _strip_quotes(arg: str) -> str | None:
+    """Unquote a C-string argument; None if it is not a quoted string.
+
+    Handles strace's abbreviation suffix (``"abc"...``). Escapes are
+    resolved for the common cases (\\n, \\t, \\", \\\\ and octal).
+    """
+    if not arg.startswith('"'):
+        return None
+    end = arg.rfind('"')
+    if end == 0:
+        return None
+    inner = arg[1:end]
+    return (
+        inner.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\x00", "\\")
+    )
+
+
+def _extract_fp(call: str, args: tuple[str, ...],
+                ret_path: str | None) -> str | None:
+    """Recover the ``fp`` attribute per the syscall's :class:`PathSource`."""
+    spec = spec_for(call)
+    source = spec.path_source
+    if source is PathSource.NONE:
+        return None
+    if source is PathSource.RET_FD:
+        if ret_path:
+            return ret_path
+        # Fallback without -y: first quoted argument is the path
+        # (openat's arg 0 is AT_FDCWD / a dirfd).
+        for arg in args:
+            quoted = _strip_quotes(arg)
+            if quoted is not None:
+                return quoted
+        return None
+    if source is PathSource.PATH_ARG:
+        if spec.path_arg_index < len(args):
+            return _strip_quotes(args[spec.path_arg_index])
+        return None
+    # FD_ARG
+    if spec.path_arg_index < len(args):
+        match = _FD_ANNOT_RE.match(args[spec.path_arg_index])
+        if match:
+            return match.group(2)
+    return None
+
+
+def _extract_requested(call: str, args: tuple[str, ...]) -> int | None:
+    """Requested byte count from the count argument of a transfer call
+    (``read(fd, buf, 832)`` → 832; ``pread64(fd, buf, 832, off)`` →
+    832, not the offset). Vectored variants carry no flat count."""
+    spec = spec_for(call)
+    if spec.requested_arg_index is None:
+        return None
+    if spec.requested_arg_index < len(args):
+        arg = args[spec.requested_arg_index]
+        if re.fullmatch(r"\d+", arg):
+            return int(arg)
+    return None
+
+
+def parse_body(pid: int, start_us: int, body: str, *,
+               path: str | None = None,
+               lineno: int | None = None) -> ParsedRecord:
+    """Parse a complete syscall body (``name(args) = ret <dur>``)."""
+    match = re.match(r"^([a-zA-Z_][a-zA-Z0-9_]*)\(", body)
+    if match is None:
+        raise TraceParseError(
+            f"not a syscall body: {body[:80]!r}", path=path, lineno=lineno)
+    call = match.group(1)
+    rest = body[match.end():]
+    arg_list, close_idx = split_args(rest, path=path, lineno=lineno)
+    tail = rest[close_idx + 1:].strip()
+    try:
+        retval, ret_path, errno, dur_us = _parse_retval(tail)
+    except TraceParseError as exc:
+        raise TraceParseError(
+            str(exc), path=path, lineno=lineno, line=body) from exc
+    args = tuple(arg_list)
+    spec = spec_for(call)
+    size = None
+    if spec.returns_size and retval is not None and retval >= 0 \
+            and errno is None:
+        size = retval
+    return ParsedRecord(
+        pid=pid,
+        start_us=start_us,
+        call=call,
+        fp=_extract_fp(call, args, ret_path),
+        size=size,
+        dur_us=dur_us,
+        retval=retval,
+        errno=errno,
+        requested=_extract_requested(call, args),
+        args=args,
+    )
+
+
+def parse_line(line: str, *, path: str | None = None,
+               lineno: int | None = None) -> ParsedRecord | None:
+    """Tokenize + parse one line; returns ``None`` for non-syscall records.
+
+    Convenience for tests and one-off use. Production reading goes
+    through :mod:`repro.strace.reader`, which also performs
+    unfinished/resumed merging across lines.
+    """
+    token = tokenize_line(line, path=path, lineno=lineno)
+    if token.kind is not RecordKind.SYSCALL:
+        return None
+    return parse_body(token.pid, token.start_us, token.body,
+                      path=path, lineno=lineno)

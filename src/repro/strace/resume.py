@@ -1,0 +1,162 @@
+"""Merging of ``<unfinished ...>`` / ``<... resumed>`` record pairs.
+
+When a traced process blocks inside a syscall while another traced
+process produces records, strace splits the blocked call across two
+lines (Fig. 2c of the paper)::
+
+    77423  16:56:40.452431 read(3</usr/lib/...>, <unfinished ...>
+    ...
+    77423  16:56:40.452660 <... read resumed> ..., 405) = 404 <0.000223>
+
+Per Sec. III: "The unfinished and the resumed records are matched using
+the pid, and merged into a single record" — the merged record keeps the
+*start* timestamp of the unfinished half and the *duration* and return
+value from the resumed half. A single pid can have at most one call in
+flight (one kernel thread = one syscall at a time), so a per-pid slot is
+sufficient; we additionally check the syscall names agree, which guards
+against trace corruption.
+
+Interrupted calls — those whose return clause carries ``ERESTARTSYS`` —
+are dropped, again per Sec. III ("we ignore these calls"). Signal
+delivery (``--- SIGx ---``) and exit (``+++ exited +++``) records are
+skipped here; the reader records their counts for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import TraceParseError
+from repro.strace.parser import ParsedRecord, parse_body
+from repro.strace.tokenizer import (
+    RecordKind,
+    Token,
+    resumed_call_name,
+    unfinished_call_name,
+)
+
+#: errno names treated as "interrupted; strace will restart" — the paper
+#: names ERESTARTSYS; the kernel family has four members.
+RESTART_ERRNOS = frozenset({
+    "ERESTARTSYS",
+    "ERESTARTNOINTR",
+    "ERESTARTNOHAND",
+    "ERESTART_RESTARTBLOCK",
+})
+
+
+@dataclass
+class MergeStats:
+    """Bookkeeping from a merge pass (exposed for tests/diagnostics)."""
+
+    merged_pairs: int = 0
+    dropped_restarts: int = 0
+    skipped_signals: int = 0
+    skipped_exits: int = 0
+    orphan_unfinished: int = 0
+    orphan_resumed: int = 0
+
+
+def _is_restart(record: ParsedRecord) -> bool:
+    return record.errno in RESTART_ERRNOS
+
+
+def merge_unfinished(
+    tokens: list[Token],
+    *,
+    path: str | None = None,
+    strict: bool = True,
+) -> tuple[list[ParsedRecord], MergeStats]:
+    """Merge unfinished/resumed pairs and parse all syscall records.
+
+    Parameters
+    ----------
+    tokens:
+        Tokenized lines of *one* trace file, in file order.
+    path:
+        For error messages.
+    strict:
+        If True, orphan resumed records (no matching unfinished) raise
+        :class:`TraceParseError`; if False they are counted and skipped.
+        Orphan unfinished records at EOF (process killed mid-call) are
+        always skipped-and-counted — strace genuinely produces those.
+
+    Returns
+    -------
+    (records, stats):
+        Parsed records in start-timestamp order of their *initiating*
+        line, and merge statistics.
+    """
+    records: list[ParsedRecord] = []
+    stats = MergeStats()
+    # pid -> (token, call name) for the in-flight unfinished record.
+    pending: dict[int, tuple[Token, str]] = {}
+
+    for token in tokens:
+        if token.kind is RecordKind.SIGNAL:
+            stats.skipped_signals += 1
+            continue
+        if token.kind is RecordKind.EXIT:
+            stats.skipped_exits += 1
+            # An exit while a call is pending orphans it.
+            if token.pid in pending:
+                del pending[token.pid]
+                stats.orphan_unfinished += 1
+            continue
+        if token.kind is RecordKind.UNFINISHED:
+            if token.pid in pending:
+                raise TraceParseError(
+                    f"pid {token.pid} has two in-flight unfinished calls",
+                    path=path)
+            pending[token.pid] = (token, unfinished_call_name(token.body))
+            continue
+        if token.kind is RecordKind.RESUMED:
+            entry = pending.pop(token.pid, None)
+            call = resumed_call_name(token.body)
+            if entry is None:
+                if strict:
+                    raise TraceParseError(
+                        f"resumed {call!r} for pid {token.pid} without a "
+                        f"matching unfinished record", path=path)
+                stats.orphan_resumed += 1
+                continue
+            head_token, head_call = entry
+            if head_call != call:
+                raise TraceParseError(
+                    f"pid {token.pid}: unfinished {head_call!r} resumed as "
+                    f"{call!r}", path=path)
+            body = _join_bodies(head_token.body, token.body, call)
+            record = parse_body(head_token.pid, head_token.start_us, body,
+                                path=path)
+            if _is_restart(record):
+                stats.dropped_restarts += 1
+            else:
+                stats.merged_pairs += 1
+                records.append(record)
+            continue
+        # Plain complete syscall record.
+        record = parse_body(token.pid, token.start_us, token.body, path=path)
+        if _is_restart(record):
+            stats.dropped_restarts += 1
+        else:
+            records.append(record)
+
+    stats.orphan_unfinished += len(pending)
+    # Stable sort by start time: merged records were appended at their
+    # *resumed* position but must sit at their start position, matching
+    # the paper's case definition (events ordered by start timestamp).
+    records.sort(key=lambda r: r.start_us)
+    return records, stats
+
+
+def _join_bodies(unfinished_body: str, resumed_body: str, call: str) -> str:
+    """Splice the two halves back into one parseable syscall body.
+
+    ``read(3</x>, <unfinished ...>`` + ``<... read resumed> ..., 405) =
+    404 <0.000223>`` → ``read(3</x>,  ..., 405) = 404 <0.000223>``.
+    """
+    head = unfinished_body[: -len("<unfinished ...>")]
+    marker = "resumed>"
+    idx = resumed_body.index(marker)
+    tail = resumed_body[idx + len(marker):]
+    return head + tail.lstrip(" ") if head.endswith(" ") else head + tail

@@ -1,0 +1,111 @@
+"""Shared fixtures: the paper's example traces and small IOR runs.
+
+The ``fig2a``/``fig2b`` text constants are transcriptions of the
+paper's Fig. 2 trace listings; fixtures write them as properly named
+trace files (Fig. 1 convention). Simulator-based fixtures use reduced
+rank counts to keep the suite fast; the full 96-rank runs live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIG2A_TEXT = """\
+9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, ..., 832) = 832 <0.000203>
+9054  08:55:54.156640 read(3</usr/lib/x86_64-linux-gnu/libc.so.6>, ..., 832) = 832 <0.000079>
+9054  08:55:54.159294 read(3</usr/lib/x86_64-linux-gnu/libpcre2-8.so.0.10.4>, ..., 832) = 832 <0.000087>
+9054  08:55:54.162874 read(3</proc/filesystems>, ..., 1024) = 478 <0.000052>
+9054  08:55:54.163049 read(3</proc/filesystems>, "", 1024) = 0 <0.000040>
+9054  08:55:54.163560 read(3</etc/locale.alias>, ..., 4096) = 2996 <0.000041>
+9054  08:55:54.163679 read(3</etc/locale.alias>, "", 4096) = 0 <0.000044>
+9054  08:55:54.176260 write(1</dev/pts/7>, ..., 50) = 50 <0.000111>
+"""
+
+FIG2B_TEXT = """\
+9173  08:56:04.731999 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, ..., 832) = 832 <0.000187>
+9173  08:56:04.734569 read(3</usr/lib/x86_64-linux-gnu/libc.so.6>, ..., 832) = 832 <0.000075>
+9173  08:56:04.737108 read(3</usr/lib/x86_64-linux-gnu/libpcre2-8.so.0.10.4>, ..., 832) = 832 <0.000063>
+9173  08:56:04.740961 read(3</proc/filesystems>, ..., 1024) = 478 <0.000080>
+9173  08:56:04.741210 read(3</proc/filesystems>, "", 1024) = 0 <0.000067>
+9173  08:56:04.742237 read(3</etc/locale.alias>, ..., 4096) = 2996 <0.000097>
+9173  08:56:04.742505 read(3</etc/locale.alias>, "", 4096) = 0 <0.000083>
+9173  08:56:04.754208 read(4</etc/nsswitch.conf>, ..., 4096) = 542 <0.000140>
+9173  08:56:04.754487 read(4</etc/nsswitch.conf>, "", 4096) = 0 <0.000027>
+9173  08:56:04.755279 read(4</etc/passwd>, ..., 4096) = 1612 <0.000037>
+9173  08:56:04.756740 read(4</etc/group>, ..., 4096) = 872 <0.000091>
+9173  08:56:04.758661 write(1</dev/pts/7>, ..., 9) = 9 <0.000074>
+9173  08:56:04.759173 read(3</usr/share/zoneinfo/Europe/Berlin>, ..., 4096) = 2298 <0.000074>
+9173  08:56:04.759471 read(3</usr/share/zoneinfo/Europe/Berlin>, ..., 4096) = 1449 <0.000033>
+9173  08:56:04.759816 write(1</dev/pts/7>, ..., 74) = 74 <0.000099>
+9173  08:56:04.760043 write(1</dev/pts/7>, ..., 53) = 53 <0.000073>
+9173  08:56:04.760233 write(1</dev/pts/7>, ..., 65) = 65 <0.000099>
+"""
+
+#: Fig. 2c — the unfinished/resumed example.
+FIG2C_TEXT = """\
+77423  16:56:40.452431 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, <unfinished ...>
+77423  16:56:40.452660 <... read resumed> ..., 405) = 404 <0.000223>
+"""
+
+
+def _shift_pid(text: str, old: str, new: int) -> str:
+    return text.replace(old, str(new))
+
+
+@pytest.fixture(scope="session")
+def fig1_dir(tmp_path_factory) -> Path:
+    """The six trace files of Fig. 1: a_host1_{9042,9043,9045}.st and
+    b_host1_{9157,9158,9160}.st — verbatim Fig. 2 content per rank."""
+    directory = tmp_path_factory.mktemp("fig1")
+    for rid, pid in ((9042, 9054), (9043, 9055), (9045, 9057)):
+        (directory / f"a_host1_{rid}.st").write_text(
+            _shift_pid(FIG2A_TEXT, "9054", pid))
+    for rid, pid in ((9157, 9173), (9158, 9174), (9160, 9176)):
+        (directory / f"b_host1_{rid}.st").write_text(
+            _shift_pid(FIG2B_TEXT, "9173", pid))
+    return directory
+
+
+@pytest.fixture(scope="session")
+def ls_sim_dir(tmp_path_factory) -> Path:
+    """Simulator-generated Fig. 1 traces (staggered for Fig. 5)."""
+    from repro.simulate.workloads.ls import generate_fig1_traces
+
+    directory = tmp_path_factory.mktemp("ls_sim")
+    generate_fig1_traces(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def small_ior_pair():
+    """A reduced SSF + FPP IOR pair (12 ranks, 2 nodes, 2 segments)."""
+    from repro.simulate.workloads.ior import IORConfig, simulate_ior
+
+    ssf = simulate_ior(IORConfig(
+        ranks=12, ranks_per_node=6, segments=2, cid="ssf",
+        test_file="/p/scratch/ssf/test", seed=101))
+    fpp = simulate_ior(IORConfig(
+        ranks=12, ranks_per_node=6, segments=2, cid="fpp",
+        file_per_process=True, test_file="/p/scratch/fpp/test",
+        base_rid=30000, seed=102))
+    return ssf, fpp
+
+
+@pytest.fixture(scope="session")
+def small_ior_dir(tmp_path_factory, small_ior_pair) -> Path:
+    """Trace directory for the reduced SSF+FPP pair (experiment-A calls)."""
+    from repro.simulate.strace_writer import (
+        EXPERIMENT_A_CALLS,
+        write_trace_files,
+    )
+
+    directory = tmp_path_factory.mktemp("ior_small")
+    ssf, fpp = small_ior_pair
+    write_trace_files(ssf.recorders, directory,
+                      trace_calls=EXPERIMENT_A_CALLS)
+    write_trace_files(fpp.recorders, directory,
+                      trace_calls=EXPERIMENT_A_CALLS)
+    return directory

@@ -1,0 +1,127 @@
+"""Activity traces σ_f(c) and activity-logs L_f(C) (Eq. 5, B(A_f*))."""
+
+import pytest
+
+from repro._util.multiset import Bag
+from repro.core.activity import (
+    END_ACTIVITY,
+    START_ACTIVITY,
+    ActivityLog,
+    SENTINELS,
+)
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+
+
+#: The paper's σ_f̂(a9042) body (Sec. IV, Trace example).
+PAPER_TRACE_A = (
+    "read:/usr/lib", "read:/usr/lib", "read:/usr/lib",
+    "read:/proc/filesystems", "read:/proc/filesystems",
+    "read:/etc/locale.alias", "read:/etc/locale.alias",
+    "write:/dev/pts",
+)
+
+
+@pytest.fixture()
+def ca_log(fig1_dir) -> ActivityLog:
+    log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return ActivityLog.from_event_log(log)
+
+
+class TestConstruction:
+    def test_paper_trace_with_endpoints(self, ca_log):
+        expected = (START_ACTIVITY, *PAPER_TRACE_A, END_ACTIVITY)
+        assert ca_log.case_traces["a9042"] == expected
+
+    def test_multiplicity_three(self, ca_log):
+        # L_f̂(Ca) = {⟨•, ..., ■⟩³}: all three ls ranks collapse.
+        assert ca_log.n_traces() == 3
+        assert ca_log.n_variants() == 1
+        (trace, multiplicity), = ca_log.variants()
+        assert multiplicity == 3
+
+    def test_without_endpoints(self, fig1_dir):
+        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        activity_log = ActivityLog.from_event_log(log,
+                                                  add_endpoints=False)
+        assert activity_log.case_traces["a9042"] == PAPER_TRACE_A
+
+    def test_activities_exclude_sentinels(self, ca_log):
+        assert ca_log.activities() == {
+            "read:/usr/lib", "read:/proc/filesystems",
+            "read:/etc/locale.alias", "write:/dev/pts"}
+
+    def test_requires_mapping(self, fig1_dir):
+        from repro._util.errors import MappingError
+        log = EventLog.from_strace_dir(fig1_dir)
+        with pytest.raises(MappingError):
+            ActivityLog.from_event_log(log)
+
+    def test_unmapped_case_yields_empty_trace(self, fig1_dir):
+        """A case whose events all map to None still contributes ⟨●,■⟩."""
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(
+            CallTopDirs(levels=2).restricted_to_fp("/etc/passwd"))
+        activity_log = ActivityLog.from_event_log(log)
+        # ls cases never touch /etc/passwd → empty traces.
+        assert activity_log.case_traces["a9042"] == \
+            (START_ACTIVITY, END_ACTIVITY)
+
+
+class TestDirectlyFollows:
+    def test_counts_fig3b(self, ca_log):
+        counts = ca_log.directly_follows_counts()
+        assert counts[(START_ACTIVITY, "read:/usr/lib")] == 3
+        assert counts[("read:/usr/lib", "read:/usr/lib")] == 6
+        assert counts[("read:/usr/lib", "read:/proc/filesystems")] == 3
+        assert counts[("read:/etc/locale.alias", "write:/dev/pts")] == 3
+        assert counts[("write:/dev/pts", END_ACTIVITY)] == 3
+
+    def test_total_observations_invariant(self, ca_log):
+        # Σ counts = Σ over traces (len(trace) - 1), with multiplicity.
+        counts = ca_log.directly_follows_counts()
+        expected = sum((len(t) - 1) * m for t, m in ca_log.variants())
+        assert sum(counts.values()) == expected
+
+    def test_activity_frequencies(self, ca_log):
+        freq = ca_log.activity_frequencies()
+        assert freq["read:/usr/lib"] == 9
+        assert freq[START_ACTIVITY] == 3
+        assert freq[END_ACTIVITY] == 3
+
+
+class TestAlgebra:
+    def test_union_multiplicities(self, fig1_dir):
+        log_a = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log_b = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        mapping = CallTopDirs(levels=2)
+        la = ActivityLog.from_event_log(log_a.with_mapping(mapping))
+        lb = ActivityLog.from_event_log(log_b.with_mapping(mapping))
+        lx = la + lb
+        assert lx.n_traces() == 6
+        assert lx.n_variants() == 2
+        assert set(lx.case_traces) == {
+            "a9042", "a9043", "a9045", "b9157", "b9158", "b9160"}
+
+    def test_direct_construction_from_traces(self):
+        log = ActivityLog([("x", "y"), ("x", "y"), ("z",)])
+        assert log.n_traces() == 3
+        assert log.n_variants() == 2
+        assert log.traces == Bag([("x", "y"), ("x", "y"), ("z",)])
+
+    def test_equality_ignores_case_names(self):
+        one = ActivityLog([("a",)], case_traces={"c1": ("a",)})
+        two = ActivityLog([("a",)], case_traces={"zz": ("a",)})
+        assert one == two
+
+    def test_variants_sorted_by_multiplicity(self):
+        log = ActivityLog([("b",), ("a",), ("a",)])
+        assert log.variants() == [(("a",), 2), (("b",), 1)]
+
+
+def test_sentinel_constants():
+    assert START_ACTIVITY in SENTINELS
+    assert END_ACTIVITY in SENTINELS
+    assert START_ACTIVITY != END_ACTIVITY

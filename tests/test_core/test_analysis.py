@@ -1,0 +1,161 @@
+"""Graph analytics over DFGs."""
+
+import pytest
+
+from repro.core.activity import (
+    END_ACTIVITY,
+    START_ACTIVITY,
+    ActivityLog,
+)
+from repro.core.analysis import (
+    bottleneck_activities,
+    dominant_path,
+    edge_probabilities,
+    entropy_of_successors,
+    find_cycles,
+    reachable_activities,
+    variant_coverage,
+)
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.statistics import IOStatistics
+
+
+def wrap(*traces):
+    return ActivityLog([(START_ACTIVITY, *t, END_ACTIVITY)
+                        for t in traces])
+
+
+@pytest.fixture()
+def ls_log(fig1_dir) -> EventLog:
+    log = EventLog.from_strace_dir(fig1_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return log
+
+
+class TestEdgeProbabilities:
+    def test_rows_sum_to_one(self, ls_log):
+        dfg = DFG(ls_log)
+        probs = edge_probabilities(dfg)
+        outgoing: dict[str, float] = {}
+        for (a1, _a2), p in probs.items():
+            outgoing[a1] = outgoing.get(a1, 0.0) + p
+        for node, total in outgoing.items():
+            assert total == pytest.approx(1.0), node
+
+    def test_deterministic_chain(self):
+        dfg = DFG(wrap(("a", "b")))
+        probs = edge_probabilities(dfg)
+        assert probs[(START_ACTIVITY, "a")] == 1.0
+        assert probs[("a", "b")] == 1.0
+
+    def test_branching(self):
+        dfg = DFG(wrap(("a", "b"), ("a", "b"), ("a", "c")))
+        probs = edge_probabilities(dfg)
+        assert probs[("a", "b")] == pytest.approx(2 / 3)
+        assert probs[("a", "c")] == pytest.approx(1 / 3)
+
+
+class TestDominantPath:
+    def test_single_variant_recovers_trace(self):
+        dfg = DFG(wrap(("a", "b", "c")))
+        assert dominant_path(dfg) == [
+            START_ACTIVITY, "a", "b", "c", END_ACTIVITY]
+
+    def test_majority_branch_wins(self):
+        dfg = DFG(wrap(("a", "b"), ("a", "b"), ("a", "c")))
+        assert dominant_path(dfg) == [
+            START_ACTIVITY, "a", "b", END_ACTIVITY]
+
+    def test_self_loops_do_not_trap(self, ls_log):
+        # read:/usr/lib has a heavy self-loop; the walk must escape.
+        path = dominant_path(DFG(ls_log))
+        assert path[0] == START_ACTIVITY
+        assert path[-1] == END_ACTIVITY
+        assert len(path) == len(set(path))  # no revisits
+
+    def test_empty_dfg(self):
+        assert dominant_path(DFG()) == []
+
+
+class TestVariantCoverage:
+    def test_homogeneous_log(self, fig1_dir):
+        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        coverage = variant_coverage(log)
+        assert coverage == [(1, 1.0)]
+
+    def test_two_variant_log(self, ls_log):
+        coverage = variant_coverage(ls_log)
+        assert coverage == [(1, 0.5), (2, 1.0)]
+
+    def test_k_truncation(self, ls_log):
+        assert variant_coverage(ls_log, k=1) == [(1, 0.5)]
+
+    def test_accepts_activity_log(self):
+        coverage = variant_coverage(wrap(("a",), ("a",), ("b",)))
+        assert coverage[0] == (1, pytest.approx(2 / 3))
+
+    def test_empty(self):
+        assert variant_coverage(ActivityLog([])) == []
+
+
+class TestCycles:
+    def test_acyclic_chain(self):
+        assert find_cycles(DFG(wrap(("a", "b", "c")))) == []
+
+    def test_self_loops_excluded(self):
+        assert find_cycles(DFG(wrap(("a", "a", "b")))) == []
+
+    def test_two_cycle_found(self):
+        cycles = find_cycles(DFG(wrap(("a", "b", "a", "b"))))
+        assert any(sorted(c) == ["a", "b"] for c in cycles)
+
+    def test_ior_phase_cycle(self):
+        # write...write read...read per segment → cycle via segments.
+        dfg = DFG(wrap(("w", "r", "w", "r")))
+        cycles = find_cycles(dfg)
+        assert any(sorted(c) == ["r", "w"] for c in cycles)
+
+
+class TestBottlenecks:
+    def test_cumulative_truncation(self, ls_log):
+        stats = IOStatistics(ls_log)
+        ranked = bottleneck_activities(stats, threshold=0.5)
+        assert ranked[-1][2] >= 0.5
+        # Cumulative shares increase monotonically.
+        shares = [c for _, _, c in ranked]
+        assert shares == sorted(shares)
+
+    def test_full_threshold_includes_everything(self, ls_log):
+        stats = IOStatistics(ls_log)
+        ranked = bottleneck_activities(stats, threshold=1.1)
+        assert len(ranked) == len(stats)
+
+    def test_heaviest_first(self, ls_log):
+        stats = IOStatistics(ls_log)
+        ranked = bottleneck_activities(stats)
+        assert ranked[0][0] == stats.activities()[0]
+
+
+class TestReachabilityEntropy:
+    def test_reachable_from_start(self, ls_log):
+        dfg = DFG(ls_log)
+        reachable = reachable_activities(dfg, START_ACTIVITY)
+        assert reachable == dfg.activities() | {END_ACTIVITY}
+
+    def test_reachable_from_unknown(self, ls_log):
+        assert reachable_activities(DFG(ls_log), "ghost") == set()
+
+    def test_entropy_deterministic_node_zero(self):
+        dfg = DFG(wrap(("a", "b")))
+        assert entropy_of_successors(dfg, "a") == 0.0
+
+    def test_entropy_even_branch_one_bit(self):
+        dfg = DFG(wrap(("a", "b"), ("a", "c")))
+        assert entropy_of_successors(dfg, "a") == pytest.approx(1.0)
+
+    def test_entropy_of_sink_zero(self):
+        dfg = DFG(wrap(("a",)))
+        assert entropy_of_successors(dfg, END_ACTIVITY) == 0.0

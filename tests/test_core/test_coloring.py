@@ -1,0 +1,122 @@
+"""Statistics- and partition-based coloring (Sec. IV-C)."""
+
+import pytest
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.coloring import (
+    DEFAULT_EDGE_STYLE,
+    DEFAULT_NODE_STYLE,
+    PartitionColoring,
+    PlainColoring,
+    StatisticsColoring,
+    Style,
+)
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.palette import BLUES, relative_luminance
+from repro.core.partition import PartitionEL
+from repro.core.statistics import IOStatistics
+
+
+@pytest.fixture()
+def mapped_log(fig1_dir) -> EventLog:
+    log = EventLog.from_strace_dir(fig1_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return log
+
+
+class TestStyle:
+    def test_merged_over(self):
+        partial = Style(fill="#ff0000")
+        merged = partial.merged_over(DEFAULT_NODE_STYLE)
+        assert merged.fill == "#ff0000"
+        assert merged.color == DEFAULT_NODE_STYLE.color
+        assert merged.fontcolor == DEFAULT_NODE_STYLE.fontcolor
+
+    def test_plain_coloring_defaults(self):
+        plain = PlainColoring()
+        assert plain.node_style("x") == DEFAULT_NODE_STYLE
+        assert plain.edge_style(("x", "y")) == DEFAULT_EDGE_STYLE
+
+
+class TestStatisticsColoring:
+    def test_heaviest_gets_darkest(self, mapped_log):
+        stats = IOStatistics(mapped_log)
+        coloring = StatisticsColoring(stats)
+        heaviest = stats.activities()[0]
+        lightest = stats.activities()[-1]
+        dark = coloring.node_style(heaviest).fill
+        light = coloring.node_style(lightest).fill
+        assert relative_luminance(dark) < relative_luminance(light)
+
+    def test_darkest_is_palette_end(self, mapped_log):
+        stats = IOStatistics(mapped_log)
+        coloring = StatisticsColoring(stats)
+        heaviest = stats.activities()[0]
+        assert coloring.node_style(heaviest).fill == BLUES[-1]
+
+    def test_font_flips_on_dark_fill(self, mapped_log):
+        stats = IOStatistics(mapped_log)
+        coloring = StatisticsColoring(stats)
+        heaviest = stats.activities()[0]
+        assert coloring.node_style(heaviest).fontcolor == "#ffffff"
+
+    def test_sentinels_unstyled(self, mapped_log):
+        coloring = StatisticsColoring(IOStatistics(mapped_log))
+        assert coloring.node_style(START_ACTIVITY) == DEFAULT_NODE_STYLE
+        assert coloring.node_style(END_ACTIVITY) == DEFAULT_NODE_STYLE
+
+    def test_alternative_metric(self, mapped_log):
+        stats = IOStatistics(mapped_log)
+        coloring = StatisticsColoring(stats, metric="total_bytes")
+        # /etc/locale.alias moves the most bytes in the ls example.
+        most_bytes = max(stats.activities(),
+                         key=lambda a: stats[a].total_bytes)
+        assert coloring.node_style(most_bytes).fill == BLUES[-1]
+
+    def test_edges_default(self, mapped_log):
+        coloring = StatisticsColoring(IOStatistics(mapped_log))
+        assert coloring.edge_style(("a", "b")) == DEFAULT_EDGE_STYLE
+
+
+class TestPartitionColoring:
+    @pytest.fixture()
+    def coloring(self, mapped_log) -> PartitionColoring:
+        green_log, red_log = PartitionEL(mapped_log)  # a=green, b=red
+        return PartitionColoring(DFG(green_log), DFG(red_log),
+                                 IOStatistics(mapped_log))
+
+    def test_fig3d_classification(self, coloring):
+        assert coloring.classify_node("read:/etc/passwd") == "red"
+        assert coloring.classify_node("read:/usr/lib") == "shared"
+        # No ls-exclusive activities in Fig. 3d:
+        greens = [a for a in coloring.green_dfg.activities()
+                  if coloring.classify_node(a) == "green"]
+        assert greens == []
+
+    def test_fig3d_exclusive_edge(self, coloring):
+        assert coloring.classify_edge(
+            ("read:/etc/locale.alias", "write:/dev/pts")) == "green"
+        assert coloring.classify_edge(
+            ("read:/etc/passwd", "read:/etc/group")) == "red"
+        assert coloring.classify_edge(
+            (START_ACTIVITY, "read:/usr/lib")) == "shared"
+
+    def test_styles(self, coloring):
+        red_style = coloring.node_style("read:/etc/passwd")
+        shared_style = coloring.node_style("read:/usr/lib")
+        assert red_style.fill != shared_style.fill
+        green_edge = coloring.edge_style(
+            ("read:/etc/locale.alias", "write:/dev/pts"))
+        assert green_edge.color != DEFAULT_EDGE_STYLE.color
+
+    def test_summary_contents(self, coloring):
+        summary = coloring.summary()
+        assert summary["red_nodes"] == [
+            "read:/etc/group", "read:/etc/nsswitch.conf",
+            "read:/etc/passwd", "read:/usr/share"]
+        assert summary["green_nodes"] == []
+        assert summary["green_edges"] == [
+            ("read:/etc/locale.alias", "write:/dev/pts")]
+        assert len(summary["shared_nodes"]) == 4

@@ -1,0 +1,81 @@
+"""The event record (Eq. 1) and its uniqueness requirement."""
+
+import pytest
+
+from repro.core.event import Event, check_event_uniqueness
+
+
+def make_event(**overrides) -> Event:
+    base = dict(cid="a", host="host1", rid=9042, pid=9054, call="read",
+                start=1000, dur=203, fp="/usr/lib/libc.so.6", size=832)
+    base.update(overrides)
+    return Event(**base)
+
+
+class TestAccess:
+    def test_attribute_access(self):
+        event = make_event()
+        assert event.call == "read"
+        assert event.fp == "/usr/lib/libc.so.6"
+
+    def test_item_access_pandas_style(self):
+        # The paper's mapping functions do event['fp'] (Fig. 6).
+        event = make_event()
+        assert event["fp"] == "/usr/lib/libc.so.6"
+        assert event["call"] == "read"
+        assert event["size"] == 832
+
+    def test_item_access_unknown_key(self):
+        with pytest.raises(KeyError):
+            make_event()["nope"]
+
+    def test_keys_in_eq1_order(self):
+        assert make_event().keys() == (
+            "cid", "host", "rid", "pid", "call", "start", "dur", "fp",
+            "size")
+
+    def test_case_id(self):
+        assert make_event().case_id == "a9042"
+
+
+class TestDerived:
+    def test_end(self):
+        assert make_event(start=100, dur=50).end == 150
+
+    def test_end_none_without_dur(self):
+        assert make_event(dur=None).end is None
+
+    def test_data_rate_eq11(self):
+        # dr(e) = size / dur: 832 B / 203 µs.
+        event = make_event()
+        assert event.data_rate == pytest.approx(832 / 203e-6)
+
+    def test_data_rate_none_cases(self):
+        assert make_event(size=None).data_rate is None
+        assert make_event(dur=None).data_rate is None
+        assert make_event(dur=0).data_rate is None
+
+
+class TestUniqueness:
+    def test_identity_tuple(self):
+        assert make_event().identity() == (
+            "a", "host1", 9042, 9054, "read", 1000, 203,
+            "/usr/lib/libc.so.6", 832)
+
+    def test_no_duplicates(self):
+        events = [make_event(pid=1), make_event(pid=2)]
+        assert check_event_uniqueness(events) == []
+
+    def test_duplicates_detected(self):
+        """The paper's no-``-f`` scenario: identical tuples from two
+        physical calls (Sec. IV) must be flagged."""
+        events = [make_event(), make_event()]
+        duplicates = check_event_uniqueness(events)
+        assert len(duplicates) == 1
+        assert duplicates[0] == make_event().identity()
+
+    def test_differing_pid_resolves_duplicate(self):
+        events = [make_event(pid=1), make_event(pid=1)]
+        assert len(check_event_uniqueness(events)) == 1
+        events = [make_event(pid=1), make_event(pid=2)]
+        assert check_event_uniqueness(events) == []

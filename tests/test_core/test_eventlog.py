@@ -1,0 +1,201 @@
+"""EventLog: cases, filtering, mapping application, union (Eq. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import MappingError, ReproError
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallOnly, CallTopDirs
+
+
+@pytest.fixture()
+def log(fig1_dir) -> EventLog:
+    return EventLog.from_strace_dir(fig1_dir)
+
+
+class TestShape:
+    def test_cases_eq3(self, log):
+        assert log.case_ids() == [
+            "a9042", "a9043", "a9045", "b9157", "b9158", "b9160"]
+        assert log.n_cases == 6
+        assert log.cids() == ["a", "b"]
+        assert log.hosts() == ["host1"]
+
+    def test_event_count(self, log):
+        assert log.n_events == 24 + 51
+
+    def test_iter_cases_sorted(self, log):
+        ids = [case_id for case_id, _ in log.iter_cases()]
+        assert ids == sorted(ids)
+
+    def test_iter_cases_frames(self, log):
+        for case_id, frame in log.iter_cases():
+            if case_id.startswith("a"):
+                assert len(frame) == 8
+            else:
+                assert len(frame) == 17
+
+    def test_events_are_time_ordered_within_case(self, log):
+        for _, frame in log.iter_cases():
+            starts = frame.column("start")
+            assert (np.diff(starts) >= 0).all()
+
+
+class TestFiltering:
+    def test_apply_fp_filter_mutates(self, log):
+        result = log.apply_fp_filter("/usr/lib")
+        assert result is log  # chaining, paper-style
+        assert log.n_events == 18
+        assert log.n_cases == 6  # all cases still have lib reads
+
+    def test_filtered_fp_functional(self, log):
+        filtered = log.filtered_fp("/usr/lib")
+        assert filtered.n_events == 18
+        assert log.n_events == 75  # original untouched
+
+    def test_filtered_calls(self, log):
+        assert log.filtered_calls(["write"]).n_events == 15
+
+    def test_filtered_cids(self, log):
+        assert log.filtered_cids(["a"]).n_events == 24
+
+    def test_filtered_mask_validation(self, log):
+        with pytest.raises(ReproError):
+            log.filtered(np.zeros(3, dtype=bool))
+        with pytest.raises(ReproError):
+            log.filtered(np.zeros(log.n_events, dtype=np.int64))
+
+    def test_filter_to_empty_keeps_working(self, log):
+        empty = log.filtered_fp("/nonexistent")
+        assert empty.n_events == 0
+        assert empty.case_ids() == []
+
+
+class TestMappingApplication:
+    def test_apply_mapping_fn(self, log):
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        assert log.mapping is not None
+        assert "read:/usr/lib" in log.activities()
+
+    def test_activities_requires_mapping(self, log):
+        with pytest.raises(MappingError):
+            log.activities()
+
+    def test_with_mapping_functional(self, log):
+        mapped = log.with_mapping(CallOnly())
+        assert mapped.activities() == ["read", "write"]
+        with pytest.raises(MappingError):
+            log.activities()  # original unmapped
+
+    def test_bare_callable_accepted(self, log):
+        log.apply_mapping_fn(lambda e: e["call"])
+        assert log.activities() == ["read", "write"]
+
+    def test_fast_path_equals_rowwise(self, log):
+        """Vectorized distinct-pair evaluation must agree with the
+        row-by-row loop for call/fp-only mappings."""
+        mapping = CallTopDirs(levels=2)
+        fast = log.with_mapping(mapping)
+
+        slow = log.with_mapping(lambda e: mapping.map_event(e))
+        fast_decoded = [
+            None if c == -1 else fast.frame.pools.activities.decode(int(c))
+            for c in fast.frame.column("activity")]
+        slow_decoded = [
+            None if c == -1 else slow.frame.pools.activities.decode(int(c))
+            for c in slow.frame.column("activity")]
+        assert fast_decoded == slow_decoded
+
+    def test_events_of_activity_is_reverse_mapping(self, log):
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        sub = log.events_of_activity("read:/usr/lib")
+        assert len(sub) == 18
+        assert all("/usr/lib" in p for p in sub.decoded("fp"))
+
+    def test_events_of_unknown_activity_empty(self, log):
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        assert len(log.events_of_activity("nope")) == 0
+
+    def test_partial_mapping_excludes_events(self, log):
+        log.apply_mapping_fn(
+            CallTopDirs(levels=2).restricted_to_fp("/usr/lib"))
+        assert log.activities() == ["read:/usr/lib"]
+        codes = log.frame.column("activity")
+        assert (codes == -1).sum() == log.n_events - 18
+
+
+class TestUnion:
+    def test_union_eq3(self, fig1_dir):
+        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        cb = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        cx = ca | cb
+        assert cx.n_cases == 6
+        assert cx.n_events == 75
+
+    def test_union_overlapping_cases_rejected(self, fig1_dir):
+        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        ca2 = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        with pytest.raises(ReproError, match="overlapping"):
+            ca | ca2
+
+    def test_union_reapplies_shared_mapping(self, fig1_dir):
+        mapping = CallTopDirs(levels=2)
+        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        cb = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        ca.apply_mapping_fn(mapping)
+        cb.apply_mapping_fn(mapping)
+        cx = ca | cb
+        assert cx.mapping is mapping
+        assert "read:/etc/passwd" in cx.activities()
+
+    def test_union_different_mappings_drops_mapping(self, fig1_dir):
+        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        cb = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        ca.apply_mapping_fn(CallTopDirs(levels=2))
+        cb.apply_mapping_fn(CallOnly())
+        assert (ca | cb).mapping is None
+
+
+class TestClockShifting:
+    def test_uniform_shift_preserves_everything(self, fig1_dir):
+        from repro.core.statistics import IOStatistics
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        shifted = log.with_shifted_host_clocks({"host1": 5_000_000})
+        from repro.core.dfg import DFG
+        assert DFG(shifted) == DFG(log)
+        before = IOStatistics(log)
+        after = IOStatistics(shifted)
+        for activity in before.activities():
+            assert after[activity].max_concurrency == \
+                before[activity].max_concurrency
+            assert after[activity].relative_duration == \
+                pytest.approx(before[activity].relative_duration)
+
+    def test_unknown_host_is_noop(self, fig1_dir):
+        import numpy as np
+        log = EventLog.from_strace_dir(fig1_dir)
+        shifted = log.with_shifted_host_clocks({"ghost": 999})
+        assert np.array_equal(shifted.frame.column("start"),
+                              log.frame.column("start"))
+
+    def test_skew_changes_max_concurrency_only(self, tmp_path):
+        """Two hosts with identical timestamps overlap (mc=2); skewing
+        one host past the other's events removes the overlap, while
+        the DFG and durations stay fixed — the paper's Sec. IV-B
+        sensitivity statement, made executable."""
+        from repro.core.dfg import DFG
+        from repro.core.statistics import IOStatistics
+        line = "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000050>\n"
+        (tmp_path / "x_h1_1.st").write_text(line)
+        (tmp_path / "x_h2_2.st").write_text(line)
+        log = EventLog.from_strace_dir(tmp_path)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        base_stats = IOStatistics(log)
+        assert base_stats["read:/f"].max_concurrency == 2
+        skewed = log.with_shifted_host_clocks({"h2": 1_000_000})
+        skewed_stats = IOStatistics(skewed)
+        assert skewed_stats["read:/f"].max_concurrency == 1
+        assert DFG(skewed) == DFG(log)
+        assert skewed_stats["read:/f"].relative_duration == \
+            base_stats["read:/f"].relative_duration

@@ -1,0 +1,234 @@
+"""Mappings f : E ⇀ A_f (Eq. 4 and variants)."""
+
+import pytest
+
+from repro._util.errors import MappingError
+from repro.core.event import Event
+from repro.core.mapping import (
+    CallOnly,
+    CallPath,
+    CallPathTail,
+    CallTopDirs,
+    RegexMapping,
+    RestrictedMapping,
+    SiteVariables,
+    mapping_from_callable,
+    path_tail,
+    truncate_topdirs,
+)
+
+
+def make_event(call="read", fp="/usr/lib/x86_64-linux-gnu/libc.so.6"):
+    return Event(cid="a", host="h", rid=1, pid=2, call=call, start=0,
+                 dur=1, fp=fp, size=10)
+
+
+class TestPathHelpers:
+    @pytest.mark.parametrize("fp,levels,expected", [
+        ("/usr/lib/x86_64-linux-gnu/libc.so.6", 2, "/usr/lib"),
+        ("/proc/filesystems", 2, "/proc/filesystems"),
+        ("/dev/pts/7", 2, "/dev/pts"),
+        ("/a", 2, "/a"),
+        ("/a/b/c", 1, "/a"),
+        ("rel/path/x", 2, "rel/path"),
+        ("test.0", 2, "test.0"),
+    ])
+    def test_truncate_topdirs(self, fp, levels, expected):
+        assert truncate_topdirs(fp, levels) == expected
+
+    def test_truncate_levels_validated(self):
+        with pytest.raises(ValueError):
+            truncate_topdirs("/a/b", 0)
+
+    @pytest.mark.parametrize("fp,levels,expected", [
+        ("/usr/lib/x86_64-linux-gnu/libselinux.so.1", 2,
+         "x86_64-linux-gnu/libselinux.so.1"),
+        ("/etc/passwd", 2, "etc/passwd"),
+        ("/x", 2, "x"),
+        ("/a/b/c", 1, "c"),
+    ])
+    def test_path_tail(self, fp, levels, expected):
+        assert path_tail(fp, levels) == expected
+
+
+class TestCallTopDirs:
+    def test_paper_eq4_example(self):
+        # Eq. 4: first line of Fig. 2b maps to "read:/usr/lib".
+        mapping = CallTopDirs(levels=2)
+        assert mapping.map_event(make_event()) == "read:/usr/lib"
+
+    def test_partial_on_missing_fp(self):
+        assert CallTopDirs().map_event(make_event(fp=None)) is None
+
+    def test_fast_path_agrees_with_event_path(self):
+        mapping = CallTopDirs(levels=2)
+        event = make_event()
+        assert mapping.map_call_fp(event.call, event.fp) == \
+            mapping.map_event(event)
+
+    def test_newline_separator_like_fig6(self):
+        mapping = CallTopDirs(levels=2, separator="\n")
+        assert mapping.map_event(make_event()) == "read\n/usr/lib"
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            CallTopDirs(levels=0)
+
+
+class TestOtherBuiltins:
+    def test_call_path_tail_fig4_style(self):
+        mapping = CallPathTail(levels=2)
+        assert mapping.map_event(
+            make_event(fp="/usr/lib/x86_64-linux-gnu/libselinux.so.1")
+        ) == "read:x86_64-linux-gnu/libselinux.so.1"
+
+    def test_call_path_full(self):
+        assert CallPath().map_event(make_event(fp="/a/b")) == "read:/a/b"
+
+    def test_call_only_total(self):
+        assert CallOnly().map_event(make_event(fp=None)) == "read"
+
+
+class TestSiteVariables:
+    VARS = {"$SCRATCH": "/p/scratch", "$HOME": "/p/home",
+            "Node Local": ("/dev/shm", "/tmp")}
+
+    def test_basic_abstraction(self):
+        mapping = SiteVariables(self.VARS)
+        assert mapping.map_event(
+            make_event(fp="/p/scratch/ssf/test")) == "read:$SCRATCH"
+
+    def test_extra_levels_fig8b(self):
+        mapping = SiteVariables(self.VARS, extra_levels=1)
+        assert mapping.map_event(
+            make_event(fp="/p/scratch/ssf/test")) == "read:$SCRATCH/ssf"
+
+    def test_multiple_prefixes_one_label(self):
+        mapping = SiteVariables(self.VARS)
+        assert mapping.map_event(
+            make_event(fp="/dev/shm/x")) == "read:Node Local"
+        assert mapping.map_event(
+            make_event(fp="/tmp/y")) == "read:Node Local"
+
+    def test_longest_prefix_wins(self):
+        mapping = SiteVariables(
+            {"$OUTER": "/p", "$INNER": "/p/scratch"})
+        assert mapping.map_event(
+            make_event(fp="/p/scratch/f")) == "read:$INNER"
+        assert mapping.map_event(make_event(fp="/p/other")) == \
+            "read:$OUTER"
+
+    def test_prefix_boundary_respected(self):
+        # /p/scratchy must NOT match prefix /p/scratch.
+        mapping = SiteVariables({"$S": "/p/scratch"},
+                                unmatched="exclude")
+        assert mapping.map_event(make_event(fp="/p/scratchy/f")) is None
+
+    def test_unmatched_topdirs_fallback(self):
+        mapping = SiteVariables(self.VARS, unmatched="topdirs")
+        assert mapping.map_event(
+            make_event(fp="/usr/lib/libc.so")) == "read:/usr/lib"
+
+    def test_unmatched_keep(self):
+        mapping = SiteVariables(self.VARS, unmatched="keep")
+        assert mapping.map_event(make_event(fp="/z/q")) == "read:/z/q"
+
+    def test_unmatched_exclude(self):
+        mapping = SiteVariables(self.VARS, unmatched="exclude")
+        assert mapping.map_event(make_event(fp="/z/q")) is None
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SiteVariables(self.VARS, unmatched="banana")
+
+    def test_exact_prefix_path(self):
+        mapping = SiteVariables(self.VARS)
+        assert mapping.map_event(
+            make_event(fp="/p/scratch")) == "read:$SCRATCH"
+
+
+class TestRegexMapping:
+    def test_extension_grouping(self):
+        mapping = RegexMapping(r"\.(\w+)$", "{call}:*.{g1}")
+        assert mapping.map_event(make_event(fp="/a/b.txt")) == \
+            "read:*.txt"
+
+    def test_named_groups(self):
+        mapping = RegexMapping(r"/(?P<top>\w+)/", "{call}@{top}")
+        assert mapping.map_event(make_event(fp="/etc/passwd")) == \
+            "read@etc"
+
+    def test_non_matching_excluded(self):
+        mapping = RegexMapping(r"\.log$", "{call}:log")
+        assert mapping.map_event(make_event(fp="/a/b.txt")) is None
+
+    def test_bad_template_group(self):
+        mapping = RegexMapping(r"x", "{call}:{g9}")
+        with pytest.raises(MappingError):
+            mapping.map_event(make_event(fp="/x"))
+
+
+class TestRestrictedMapping:
+    def test_paper_f1_substring_restriction(self):
+        # Sec. IV-A: f1 maps only events whose path contains /usr/lib.
+        f1 = RestrictedMapping(CallPathTail(levels=2),
+                               fp_substring="/usr/lib")
+        assert f1.map_event(make_event()) == \
+            "read:x86_64-linux-gnu/libc.so.6"
+        assert f1.map_event(make_event(fp="/etc/passwd")) is None
+
+    def test_via_helper(self):
+        f1 = CallTopDirs().restricted_to_fp("/etc")
+        assert f1.map_event(make_event(fp="/etc/passwd")) == \
+            "read:/etc/passwd"
+        assert f1.map_event(make_event()) is None
+
+    def test_predicate_restriction(self):
+        big_only = RestrictedMapping(
+            CallOnly(), predicate=lambda e: (e.size or 0) > 100)
+        assert big_only.map_event(make_event()) is None  # size=10
+
+    def test_exactly_one_restriction_required(self):
+        with pytest.raises(MappingError):
+            RestrictedMapping(CallOnly())
+        with pytest.raises(MappingError):
+            RestrictedMapping(CallOnly(), fp_substring="/x",
+                              predicate=lambda e: True)
+
+    def test_predicate_restriction_has_no_fast_path(self):
+        restricted = RestrictedMapping(CallOnly(),
+                                       predicate=lambda e: True)
+        assert not restricted.uses_only_call_fp
+        with pytest.raises(MappingError):
+            restricted.map_call_fp("read", "/x")
+
+
+class TestCallableAdapter:
+    def test_paper_fig6_function_runs(self):
+        """The exact mapping function of the paper's Fig. 6 listing."""
+        def f(event) -> str:
+            fp = event["fp"]
+            dirs = fp.split("/")
+            if len(dirs) > 2:
+                fp = f"/{dirs[1]}/{dirs[2]}"
+            return f"{event['call']}\n{fp}"
+
+        mapping = mapping_from_callable(f)
+        assert mapping.map_event(make_event()) == "read\n/usr/lib"
+
+    def test_mapping_passthrough(self):
+        inner = CallOnly()
+        assert mapping_from_callable(inner) is inner
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(MappingError):
+            mapping_from_callable(42)
+
+    def test_wrong_return_type_rejected(self):
+        mapping = mapping_from_callable(lambda e: 123)
+        with pytest.raises(MappingError):
+            mapping.map_event(make_event())
+
+    def test_none_return_allowed(self):
+        mapping = mapping_from_callable(lambda e: None)
+        assert mapping.map_event(make_event()) is None

@@ -1,0 +1,95 @@
+"""Event-log partitioning for Sec. IV-C comparisons."""
+
+import pytest
+
+from repro._util.errors import PartitionError
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.partition import (
+    PartitionEL,
+    partition_by_cid,
+    partition_by_predicate,
+)
+
+
+@pytest.fixture()
+def log(fig1_dir) -> EventLog:
+    return EventLog.from_strace_dir(fig1_dir)
+
+
+class TestPartitionByCid:
+    def test_basic_split(self, log):
+        green, red = partition_by_cid(log, ["a"])
+        assert green.cids() == ["a"]
+        assert red.cids() == ["b"]
+        assert green.n_events == 24
+        assert red.n_events == 51
+
+    def test_mutually_exclusive_and_covering(self, log):
+        green, red = partition_by_cid(log, ["a"])
+        assert green.n_events + red.n_events == log.n_events
+        assert not set(green.case_ids()) & set(red.case_ids())
+
+    def test_explicit_red(self, log):
+        green, red = partition_by_cid(log, ["a"], ["b"])
+        assert red.cids() == ["b"]
+
+    def test_unknown_green_rejected(self, log):
+        with pytest.raises(PartitionError):
+            partition_by_cid(log, ["zzz"])
+
+    def test_overlapping_sets_rejected(self, log):
+        with pytest.raises(PartitionError):
+            partition_by_cid(log, ["a"], ["a"])
+
+    def test_all_cids_green_rejected(self, log):
+        with pytest.raises(PartitionError):
+            partition_by_cid(log, ["a", "b"])
+
+    def test_mapping_survives_partition(self, log):
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        green, red = partition_by_cid(log, ["a"])
+        assert green.mapping is log.mapping
+        assert "read:/usr/lib" in green.activities()
+        assert "read:/etc/passwd" in red.activities()
+
+
+class TestPartitionByPredicate:
+    def test_case_id_predicate(self, log):
+        green, red = partition_by_predicate(
+            log, lambda case_id: case_id.endswith("9042"))
+        assert green.case_ids() == ["a9042"]
+        assert red.n_cases == 5
+
+    def test_empty_partition_rejected(self, log):
+        with pytest.raises(PartitionError):
+            partition_by_predicate(log, lambda case_id: True)
+        with pytest.raises(PartitionError):
+            partition_by_predicate(log, lambda case_id: False)
+
+
+class TestPartitionEL:
+    def test_implicit_two_cid_split(self, log):
+        # Paper's Fig. 6 step 5b: PartitionEL(event_log).
+        green, red = PartitionEL(log)
+        assert green.cids() == ["a"]  # lexicographically first → green
+        assert red.cids() == ["b"]
+
+    def test_explicit_green(self, log):
+        green, red = PartitionEL(log, ["b"])
+        assert green.cids() == ["b"]
+        assert red.cids() == ["a"]
+
+    def test_predicate_form(self, log):
+        green, red = PartitionEL(
+            log, predicate=lambda case_id: case_id.startswith("a"))
+        assert green.n_events == 24
+
+    def test_both_forms_rejected(self, log):
+        with pytest.raises(PartitionError):
+            PartitionEL(log, ["a"], predicate=lambda c: True)
+
+    def test_implicit_needs_exactly_two_cids(self, log):
+        only_a = log.filtered_cids(["a"])
+        with pytest.raises(PartitionError):
+            PartitionEL(only_a)

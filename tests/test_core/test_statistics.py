@@ -1,0 +1,170 @@
+"""Activity statistics rd_f / b_f / dr̄_f / mc_f (Sec. IV-B)."""
+
+import pytest
+
+from repro._util.errors import ReproError
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.statistics import IOStatistics
+
+
+@pytest.fixture()
+def stats(fig1_dir) -> IOStatistics:
+    log = EventLog.from_strace_dir(fig1_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return IOStatistics(log)
+
+
+@pytest.fixture()
+def ca_stats(fig1_dir) -> IOStatistics:
+    log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return IOStatistics(log)
+
+
+class TestRelativeDuration:
+    def test_sums_to_one(self, stats):
+        total = sum(stats[a].relative_duration for a in stats.activities())
+        assert total == pytest.approx(1.0)
+
+    def test_eq8_exact_value(self, ca_stats):
+        """rd for read:/usr/lib over Ca: the three lib reads total
+        (203+79+87) µs per case; denominator is the case total."""
+        per_case_total = 203 + 79 + 87 + 52 + 40 + 41 + 44 + 111
+        expected = (203 + 79 + 87) / per_case_total
+        assert ca_stats["read:/usr/lib"].relative_duration == \
+            pytest.approx(expected)
+
+    def test_total_duration_denominator(self, ca_stats):
+        per_case_total = 203 + 79 + 87 + 52 + 40 + 41 + 44 + 111
+        assert ca_stats.total_duration_us == 3 * per_case_total
+
+    def test_ordering_by_load(self, stats):
+        ordered = stats.activities()
+        values = [stats[a].relative_duration for a in ordered]
+        assert values == sorted(values, reverse=True)
+
+
+class TestBytes:
+    def test_eq9_total_bytes(self, ca_stats):
+        # 3 lib reads × 832 B × 3 cases.
+        assert ca_stats["read:/usr/lib"].total_bytes == 3 * 3 * 832
+
+    def test_eof_reads_count_zero_bytes(self, ca_stats):
+        # /proc/filesystems: 478 + 0 per case.
+        assert ca_stats["read:/proc/filesystems"].total_bytes == 3 * 478
+
+    def test_load_label_format(self, ca_stats):
+        label = ca_stats["read:/usr/lib"].load_label
+        assert label.startswith("Load:0.5")
+        assert "(7.49 KB)" in label
+
+
+class TestProcessDataRate:
+    def test_eq13_mean_of_event_rates(self, ca_stats):
+        # Mean over the 9 lib-read events of size/dur (per case the
+        # same three), in bytes/second.
+        rates = [832 / (203e-6), 832 / (79e-6), 832 / (87e-6)]
+        expected = sum(rates) / 3
+        assert ca_stats["read:/usr/lib"].process_data_rate == \
+            pytest.approx(expected, rel=1e-6)
+
+    def test_zero_duration_events_excluded_from_rate(self, fig1_dir,
+                                                     tmp_path):
+        (tmp_path / "z_h_1.st").write_text(
+            "1  00:00:00.000001 read(3</f>, ..., 10) = 10 <0.000000>\n"
+            "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000010>\n")
+        log = EventLog.from_strace_dir(tmp_path)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        assert stats["read:/f"].process_data_rate == \
+            pytest.approx(10 / 10e-6)
+
+    def test_no_transfer_activities_have_none(self, tmp_path):
+        (tmp_path / "z_h_1.st").write_text(
+            "1  00:00:00.000001 lseek(3</f>, 0, SEEK_SET) = 0 "
+            "<0.000002>\n")
+        log = EventLog.from_strace_dir(tmp_path)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        record = stats["lseek:/f"]
+        assert record.process_data_rate is None
+        assert not record.has_transfers
+        assert record.dr_label is None
+        assert record.load_label == "Load:1.00"  # no byte parenthetical
+
+
+class TestMaxConcurrency:
+    def test_identical_timestamps_give_case_count(self, fig1_dir):
+        """The fig1 fixture replays identical timestamps per rank, so
+        every activity is 3-concurrent within each command."""
+        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        assert stats["read:/usr/lib"].max_concurrency == 3
+
+    def test_staggered_simulated_ls_gives_two(self, ls_sim_dir):
+        """The simulator staggers ranks by 150 µs → Fig. 5's mc = 2."""
+        log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        assert stats["read:/usr/lib"].max_concurrency == 2
+
+
+class TestTimeline:
+    def test_rows_are_case_tagged(self, ca_stats):
+        rows = ca_stats.timeline("read:/usr/lib")
+        assert len(rows) == 9
+        assert {case for case, _, _ in rows} == \
+            {"a9042", "a9043", "a9045"}
+        for _, start, end in rows:
+            assert end >= start
+
+    def test_unknown_activity_rejected(self, ca_stats):
+        with pytest.raises(ReproError):
+            ca_stats.timeline("nope")
+
+
+class TestAccessors:
+    def test_getitem_unknown_rejected(self, stats):
+        with pytest.raises(ReproError):
+            stats["ghost"]
+
+    def test_get_returns_none(self, stats):
+        assert stats.get("ghost") is None
+
+    def test_contains_and_len(self, stats):
+        assert "read:/usr/lib" in stats
+        assert len(stats) == 8
+
+    def test_metric_accessor(self, stats):
+        for name in ("relative_duration", "total_bytes",
+                     "max_concurrency", "event_count",
+                     "process_data_rate"):
+            assert stats.metric("read:/usr/lib", name) >= 0
+
+    def test_metric_unknown_rejected(self, stats):
+        with pytest.raises(ReproError):
+            stats.metric("read:/usr/lib", "banana")
+
+    def test_ranks_and_cases(self, stats):
+        record = stats["read:/etc/passwd"]
+        assert record.ranks == 3   # only the three ls -l rids
+        assert record.cases == 3
+
+    def test_as_rows(self, stats):
+        rows = stats.as_rows()
+        assert len(rows) == 8
+        assert {"activity", "events", "relative_duration",
+                "total_bytes"} <= set(rows[0])
+
+    def test_compute_replaces_previous(self, fig1_dir, stats):
+        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats.compute_statistics(log)
+        assert len(stats) == 4  # only the ls activities now
+
+    def test_one_step_constructor(self, fig1_dir):
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        assert len(IOStatistics(log)) == 8

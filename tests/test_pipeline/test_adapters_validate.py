@@ -1,0 +1,272 @@
+"""CSV adapter, log validation, DFG filtering, mapping composition."""
+
+import pytest
+
+from repro._util.errors import MappingError, ReproError, TraceParseError
+from repro.adapters.csv_log import read_csv_log, write_csv_log
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import (
+    CallPath,
+    CallTopDirs,
+    ComposedMapping,
+    RestrictedMapping,
+    SiteVariables,
+)
+from repro.core.statistics import IOStatistics
+from repro.pipeline.validate import validate_event_log, validation_report
+
+
+class TestCsvAdapter:
+    def test_roundtrip_from_strace(self, fig1_dir, tmp_path):
+        original = EventLog.from_strace_dir(fig1_dir)
+        csv_path = write_csv_log(original, tmp_path / "log.csv")
+        loaded = read_csv_log(csv_path)
+        assert loaded.n_events == original.n_events
+        assert loaded.case_ids() == original.case_ids()
+        original.apply_mapping_fn(CallTopDirs(levels=2))
+        loaded.apply_mapping_fn(CallTopDirs(levels=2))
+        assert DFG(loaded) == DFG(original)
+        # Statistics also survive the trip.
+        orig_stats = IOStatistics(original)
+        load_stats = IOStatistics(loaded)
+        for activity in orig_stats.activities():
+            assert load_stats[activity].total_bytes == \
+                orig_stats[activity].total_bytes
+
+    def test_handwritten_csv(self, tmp_path):
+        path = tmp_path / "ext.csv"
+        path.write_text(
+            "cid,host,rid,pid,call,start,dur,fp,size\n"
+            "x,h1,1,5,read,100,50,/data/f,4096\n"
+            "x,h1,1,5,close,200,2,/data/f,\n")
+        log = read_csv_log(path)
+        assert log.n_events == 2
+        assert log.case_ids() == ["x1"]
+        events = list(log.events())
+        assert events[0].size == 4096
+        assert events[1].size is None  # empty cell → missing
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "ext.csv"
+        path.write_text(
+            "cid,host,rid,pid,call,start,dur,fp,size,extra\n"
+            "x,h1,1,5,read,100,50,/f,10,ignored\n")
+        assert read_csv_log(path).n_events == 1
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("cid,host,rid\nx,h,1\n")
+        with pytest.raises(TraceParseError, match="missing columns"):
+            read_csv_log(path)
+
+    def test_malformed_int_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "cid,host,rid,pid,call,start,dur,fp,size\n"
+            "x,h,one,5,read,100,50,/f,10\n")
+        with pytest.raises(TraceParseError, match="rid"):
+            read_csv_log(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceParseError):
+            read_csv_log(path)
+
+
+class TestValidation:
+    def test_clean_log(self, fig1_dir):
+        log = EventLog.from_strace_dir(fig1_dir)
+        assert validate_event_log(log) == []
+        assert validation_report(log).startswith("OK")
+
+    def test_empty_log_warning(self, fig1_dir):
+        log = EventLog.from_strace_dir(fig1_dir).filtered_fp("/none")
+        issues = validate_event_log(log)
+        assert [i.rule for i in issues] == ["empty-log"]
+
+    def test_duplicate_events_detected(self, tmp_path):
+        line = "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000050>\n"
+        (tmp_path / "x_h_1.st").write_text(line + line)
+        log = EventLog.from_strace_dir(tmp_path)
+        issues = validate_event_log(log)
+        assert any(i.rule == "duplicate-events" and i.severity == "error"
+                   for i in issues)
+
+    def test_missing_duration_warning(self, tmp_path):
+        path = tmp_path / "no_dur.csv"
+        path.write_text(
+            "cid,host,rid,pid,call,start,dur,fp,size\n"
+            "x,h,1,5,read,100,,/f,10\n")
+        log = read_csv_log(path)
+        issues = validate_event_log(log)
+        assert any(i.rule == "missing-duration" for i in issues)
+
+    def test_size_on_non_transfer_warning(self, tmp_path):
+        path = tmp_path / "odd.csv"
+        path.write_text(
+            "cid,host,rid,pid,call,start,dur,fp,size\n"
+            "x,h,1,5,lseek,100,2,/f,4096\n")
+        log = read_csv_log(path)
+        issues = validate_event_log(log)
+        assert any(i.rule == "size-on-non-transfer" for i in issues)
+
+    def test_report_lists_issues(self, tmp_path):
+        line = "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000050>\n"
+        (tmp_path / "x_h_1.st").write_text(line + line)
+        log = EventLog.from_strace_dir(tmp_path)
+        text = validation_report(log)
+        assert "duplicate-events" in text
+
+
+class TestDfgFiltering:
+    @pytest.fixture()
+    def dfg(self, fig1_dir) -> DFG:
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        return DFG(log)
+
+    def test_filtered_by_count(self, dfg):
+        heavy = dfg.filtered_by_count(6)
+        assert all(c >= 6 for c in heavy.edges().values())
+        # The weight-12 self-loop survives; weight-3 edges are gone.
+        assert heavy.edge_count("read:/usr/lib", "read:/usr/lib") == 12
+        assert not heavy.has_edge("read:/etc/passwd", "read:/etc/group")
+
+    def test_filtered_preserves_frequencies(self, dfg):
+        heavy = dfg.filtered_by_count(6)
+        assert heavy.node_frequency("read:/usr/lib") == \
+            dfg.node_frequency("read:/usr/lib")
+
+    def test_filter_threshold_validated(self, dfg):
+        with pytest.raises(ReproError):
+            dfg.filtered_by_count(0)
+
+    def test_subgraph_induced(self, dfg):
+        sub = dfg.subgraph({"read:/usr/lib", "read:/proc/filesystems"})
+        assert sub.activities() == {"read:/usr/lib",
+                                    "read:/proc/filesystems"}
+        assert sub.has_edge("read:/usr/lib", "read:/proc/filesystems")
+        # Sentinels retained with their edges to kept nodes.
+        assert sub.edge_count(dfg.start_node(), "read:/usr/lib") == 6
+
+    def test_subgraph_drops_cross_edges(self, dfg):
+        sub = dfg.subgraph({"read:/usr/lib"})
+        assert not sub.has_edge("read:/usr/lib",
+                                "read:/proc/filesystems")
+
+
+class TestComposedMapping:
+    def test_first_match_wins(self, fig1_dir):
+        log = EventLog.from_strace_dir(fig1_dir)
+        composed = ComposedMapping([
+            RestrictedMapping(CallPath(), fp_substring="/etc/passwd"),
+            CallTopDirs(levels=2),
+        ])
+        log.apply_mapping_fn(composed)
+        activities = log.activities()
+        assert "read:/etc/passwd" in activities      # full path wins
+        assert "read:/usr/lib" in activities         # fallback applies
+
+    def test_partial_when_all_decline(self):
+        from repro.core.event import Event
+        composed = ComposedMapping([
+            RestrictedMapping(CallPath(), fp_substring="/zzz"),
+        ])
+        event = Event(cid="a", host="h", rid=1, pid=2, call="read",
+                      start=0, dur=1, fp="/etc/passwd", size=1)
+        assert composed.map_event(event) is None
+
+    def test_fast_path_composition(self):
+        composed = ComposedMapping([
+            RestrictedMapping(CallPath(), fp_substring="/etc"),
+            CallTopDirs(levels=2),
+        ])
+        assert composed.uses_only_call_fp
+        assert composed.map_call_fp("read", "/etc/passwd") == \
+            "read:/etc/passwd"
+        assert composed.map_call_fp("read", "/usr/lib/x.so") == \
+            "read:/usr/lib"
+
+    def test_event_level_member_disables_fast_path(self):
+        composed = ComposedMapping([
+            RestrictedMapping(CallPath(), predicate=lambda e: True),
+        ])
+        assert not composed.uses_only_call_fp
+        with pytest.raises(MappingError):
+            composed.map_call_fp("read", "/x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(MappingError):
+            ComposedMapping([])
+
+
+class TestCliIntegration:
+    def test_validate_command(self, fig1_dir, capsys):
+        from repro.cli import main
+
+        assert main(["validate", str(fig1_dir)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_command_error_exit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        line = "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000050>\n"
+        (tmp_path / "x_h_1.st").write_text(line + line)
+        assert main(["validate", str(tmp_path)]) == 1
+
+    def test_export_csv_and_reload(self, fig1_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "log.csv"
+        assert main(["export-csv", str(fig1_dir), str(out)]) == 0
+        assert main(["report", str(out), "--top", "2"]) == 0
+        assert "rel.dur" in capsys.readouterr().out
+
+
+class TestValidationEdgeRules:
+    def test_unordered_case_detected(self):
+        """The rule guards frames built outside EventLog's sorting."""
+        import numpy as np
+        from repro.core.frame import EventFrame, FramePools
+        from repro.pipeline.validate import validate_event_log
+
+        pools = FramePools()
+        n = 3
+        columns = {
+            "case": np.full(n, pools.cases.intern("x1"), dtype=np.int32),
+            "cid": np.full(n, pools.cids.intern("x"), dtype=np.int32),
+            "host": np.full(n, pools.hosts.intern("h"), dtype=np.int32),
+            "rid": np.full(n, 1, dtype=np.int64),
+            "pid": np.full(n, 5, dtype=np.int64),
+            "call": np.full(n, pools.calls.intern("read"),
+                            dtype=np.int32),
+            "start": np.array([300, 100, 200], dtype=np.int64),
+            "dur": np.full(n, 10, dtype=np.int64),
+            "fp": np.full(n, -1, dtype=np.int32),
+            "size": np.full(n, -1, dtype=np.int64),
+            "activity": np.full(n, -1, dtype=np.int32),
+        }
+        frame = EventFrame(pools, columns)
+
+        class RawLog:
+            """Log-shaped wrapper that bypasses EventLog's sort."""
+            def __init__(self, fr):
+                self.frame = fr
+                self.n_events = len(fr)
+                self.n_cases = 1
+
+        issues = validate_event_log(RawLog(frame),
+                                    check_uniqueness=False)
+        assert any(i.rule == "unordered-case" for i in issues)
+
+    def test_negative_duration_via_csv(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text(
+            "cid,host,rid,pid,call,start,dur,fp,size\n"
+            "x,h,1,5,read,100,-5,/f,10\n")
+        log = read_csv_log(path)
+        issues = validate_event_log(log)
+        assert any(i.rule == "negative-duration" and
+                   i.severity == "error" for i in issues)

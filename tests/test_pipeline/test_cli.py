@@ -1,0 +1,132 @@
+"""The st-inspector command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv) -> str:
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestSimulateCommands:
+    def test_simulate_ls(self, tmp_path, capsys):
+        out = run(capsys, "simulate-ls", str(tmp_path / "traces"))
+        assert "wrote 3 'ls' traces" in out
+        assert (tmp_path / "traces" / "a_host1_9042.st").exists()
+
+    def test_simulate_ior_small(self, tmp_path, capsys):
+        out = run(capsys, "simulate-ior", str(tmp_path / "ior"),
+                  "--ranks", "4", "--ranks-per-node", "2",
+                  "--segments", "1", "--cid", "t")
+        assert "simulated 4 ranks" in out
+        assert len(list((tmp_path / "ior").glob("*.st"))) == 4
+
+
+class TestPipelineCommands:
+    @pytest.fixture()
+    def traces(self, tmp_path, capsys):
+        directory = tmp_path / "traces"
+        run(capsys, "simulate-ls", str(directory))
+        return directory
+
+    def test_convert(self, traces, tmp_path, capsys):
+        out = run(capsys, "convert", str(traces),
+                  str(tmp_path / "log.elog"))
+        assert "6 cases" in out
+
+    def test_synthesize_ascii(self, traces, capsys):
+        out = run(capsys, "synthesize", str(traces))
+        assert "NODES" in out
+        assert "read:/usr/lib" in out
+
+    def test_synthesize_dot_to_file(self, traces, tmp_path, capsys):
+        out_file = tmp_path / "g.dot"
+        run(capsys, "synthesize", str(traces), "--format", "dot",
+            "--output", str(out_file))
+        assert out_file.read_text().startswith("digraph")
+
+    def test_synthesize_with_filter_and_mapping(self, traces, capsys):
+        out = run(capsys, "synthesize", str(traces),
+                  "--filter", "/usr/lib", "--mapping", "path")
+        assert "libselinux" in out
+
+    def test_synthesize_from_store(self, traces, tmp_path, capsys):
+        store = tmp_path / "log.elog"
+        run(capsys, "convert", str(traces), str(store))
+        out = run(capsys, "synthesize", str(store))
+        assert "read:/usr/lib" in out
+
+    def test_report(self, traces, capsys):
+        out = run(capsys, "report", str(traces), "--top", "3")
+        assert "rel.dur" in out
+
+    def test_compare(self, traces, capsys):
+        out = run(capsys, "compare", str(traces), "--green", "a")
+        assert "PARTITION COMPARISON" in out
+        assert "[R]" in out
+
+    def test_timeline(self, traces, capsys):
+        out = run(capsys, "timeline", str(traces),
+                  "--activity", "read:/usr/lib")
+        assert "timeline" in out
+
+    def test_exclude_calls(self, traces, capsys):
+        out = run(capsys, "synthesize", str(traces),
+                  "--exclude-calls", "write")
+        assert "write:/dev/pts" not in out
+
+
+class TestErrors:
+    def test_missing_source_returns_error_code(self, tmp_path, capsys):
+        code = main(["synthesize", str(tmp_path / "missing-dir")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_partition_returns_error_code(self, tmp_path, capsys):
+        directory = tmp_path / "traces"
+        main(["simulate-ls", str(directory)])
+        capsys.readouterr()
+        code = main(["compare", str(directory), "--green", "zzz"])
+        assert code == 2
+
+
+class TestExtendedCommands:
+    @pytest.fixture()
+    def traces(self, tmp_path, capsys):
+        directory = tmp_path / "traces"
+        run(capsys, "simulate-ls", str(directory))
+        return directory
+
+    def test_variants(self, traces, capsys):
+        out = run(capsys, "variants", str(traces), "--top", "2")
+        assert "2 variants" in out
+        assert "x3" in out
+
+    def test_diff(self, traces, capsys):
+        out = run(capsys, "diff", str(traces), "--green", "a")
+        assert "DFG DIFF" in out
+        assert "Jaccard" in out
+
+    def test_html_report(self, traces, tmp_path, capsys):
+        out_file = tmp_path / "r.html"
+        run(capsys, "html-report", str(traces),
+            "--output", str(out_file), "--green", "a",
+            "--timelines", "read:/usr/lib")
+        text = out_file.read_text()
+        assert "<svg" in text
+        assert "Partition comparison" in text
+        assert "Timeline: read:/usr/lib" in text
+
+    def test_profile(self, traces, capsys):
+        out = run(capsys, "profile", str(traces),
+                  "--activity", "read:/usr/lib")
+        assert "concurrency" in out
+        assert "peak" in out
+
+    def test_counters(self, traces, capsys):
+        out = run(capsys, "counters", str(traces), "--top", "3")
+        assert "io frac" in out
+        assert "b9157" in out

@@ -1,0 +1,82 @@
+"""Darshan-style per-case counters."""
+
+import pytest
+
+from repro.core.eventlog import EventLog
+from repro.pipeline.counters import case_counters, counters_report
+
+
+@pytest.fixture()
+def log(fig1_dir) -> EventLog:
+    return EventLog.from_strace_dir(fig1_dir)
+
+
+class TestCaseCounters:
+    def test_one_row_per_case(self, log):
+        counters = case_counters(log)
+        assert [c.case_id for c in counters] == [
+            "a9042", "a9043", "a9045", "b9157", "b9158", "b9160"]
+
+    def test_fig2a_counts(self, log):
+        a9042 = case_counters(log)[0]
+        assert a9042.n_events == 8
+        assert a9042.n_reads == 7
+        assert a9042.n_writes == 1
+        assert a9042.n_opens == 0
+        assert a9042.n_seeks == 0
+
+    def test_fig2a_bytes(self, log):
+        a9042 = case_counters(log)[0]
+        # 832×3 + 478 + 0 + 2996 + 0 bytes read, 50 written.
+        assert a9042.bytes_read == 3 * 832 + 478 + 2996
+        assert a9042.bytes_written == 50
+
+    def test_fig2a_io_time(self, log):
+        a9042 = case_counters(log)[0]
+        assert a9042.io_time_us == 203 + 79 + 87 + 52 + 40 + 41 + 44 + 111
+        assert a9042.write_time_us == 111
+        assert a9042.read_time_us == a9042.io_time_us - 111
+
+    def test_span_and_fraction(self, log):
+        a9042 = case_counters(log)[0]
+        assert a9042.span_us > a9042.io_time_us
+        assert 0 < a9042.io_fraction < 1
+
+    def test_distinct_files(self, log):
+        a9042 = case_counters(log)[0]
+        # 3 libs + /proc/filesystems + /etc/locale.alias + /dev/pts/7.
+        assert a9042.distinct_files == 6
+
+    def test_identity_attributes(self, log):
+        b9157 = [c for c in case_counters(log)
+                 if c.case_id == "b9157"][0]
+        assert b9157.cid == "b"
+        assert b9157.host == "host1"
+        assert b9157.rid == 9157
+
+    def test_ior_counters_include_opens_and_seeks(self, small_ior_dir):
+        log = EventLog.from_strace_dir(small_ior_dir)
+        counters = case_counters(log)
+        ssf = [c for c in counters if c.cid == "ssf"]
+        assert all(c.n_opens >= 1 for c in ssf)
+        assert all(c.bytes_written > 0 for c in ssf)
+        # Experiment-A call set excludes lseek.
+        assert all(c.n_seeks == 0 for c in ssf)
+
+
+class TestCountersReport:
+    def test_contains_case_rows(self, log):
+        text = counters_report(log)
+        assert "a9042" in text
+        assert "io frac" in text
+
+    def test_top_limits(self, log):
+        text = counters_report(log, top=2)
+        data_rows = [l for l in text.splitlines()[2:] if l.strip()]
+        assert len(data_rows) == 2
+
+    def test_sorted_by_io_time(self, log):
+        text = counters_report(log)
+        rows = text.splitlines()[2:]
+        # ls -l cases (heavier) come first.
+        assert rows[0].lstrip().startswith("b")

@@ -1,0 +1,80 @@
+"""Standalone HTML reports."""
+
+import pytest
+
+from repro.core.coloring import PartitionColoring, StatisticsColoring
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.partition import PartitionEL
+from repro.core.statistics import IOStatistics
+from repro.pipeline.html import render_html_report, save_html_report
+
+
+@pytest.fixture()
+def mapped_log(fig1_dir) -> EventLog:
+    log = EventLog.from_strace_dir(fig1_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return log
+
+
+class TestRenderHtml:
+    def test_structure(self, mapped_log):
+        text = render_html_report(mapped_log, title="T")
+        assert text.startswith("<!DOCTYPE html>")
+        assert text.rstrip().endswith("</html>")
+        assert "<title>T</title>" in text
+        assert "<svg" in text            # embedded graph
+        assert "<table>" in text         # statistics table
+        assert "Trace variants" in text
+
+    def test_all_activities_in_table(self, mapped_log):
+        text = render_html_report(mapped_log)
+        for activity in mapped_log.activities():
+            assert activity in text
+
+    def test_metadata_line(self, mapped_log):
+        text = render_html_report(mapped_log)
+        assert "75 events" in text
+        assert "6 cases" in text
+        assert "a, b" in text
+
+    def test_partition_section(self, mapped_log):
+        green_log, red_log = PartitionEL(mapped_log)
+        coloring = PartitionColoring(DFG(green_log), DFG(red_log),
+                                     IOStatistics(mapped_log))
+        text = render_html_report(mapped_log, styler=coloring)
+        assert "Partition comparison" in text
+        assert "tag-red" in text
+        assert "read:/etc/passwd" in text
+
+    def test_no_partition_section_for_statistics_styler(self, mapped_log):
+        stats = IOStatistics(mapped_log)
+        text = render_html_report(mapped_log,
+                                  styler=StatisticsColoring(stats))
+        assert "Partition comparison" not in text
+
+    def test_timeline_section(self, mapped_log):
+        text = render_html_report(
+            mapped_log, timeline_activities=["read:/usr/lib"])
+        assert "Timeline: read:/usr/lib" in text
+
+    def test_unknown_timeline_activity_skipped(self, mapped_log):
+        text = render_html_report(
+            mapped_log, timeline_activities=["ghost:/x"])
+        assert "Timeline:" not in text
+
+    def test_html_escaping(self, fig1_dir):
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(lambda e: f"<{e['call']}>&")
+        text = render_html_report(log)
+        assert "<read>" not in text
+        assert "&lt;read&gt;&amp;" in text
+
+
+class TestSaveHtml:
+    def test_writes_file(self, mapped_log, tmp_path):
+        out = save_html_report(mapped_log, tmp_path / "r.html",
+                               title="saved")
+        assert out.exists()
+        assert "saved" in out.read_text()

@@ -1,0 +1,81 @@
+"""Plain-text reports."""
+
+import pytest
+
+from repro.core.coloring import PartitionColoring
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.partition import PartitionEL
+from repro.core.statistics import IOStatistics
+from repro.pipeline.report import (
+    activity_report,
+    comparison_report,
+    variants_report,
+)
+
+
+@pytest.fixture()
+def mapped_log(fig1_dir) -> EventLog:
+    log = EventLog.from_strace_dir(fig1_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return log
+
+
+class TestActivityReport:
+    def test_contains_all_activities(self, mapped_log):
+        text = activity_report(IOStatistics(mapped_log))
+        for activity in mapped_log.activities():
+            assert activity in text
+
+    def test_columns_present(self, mapped_log):
+        text = activity_report(IOStatistics(mapped_log))
+        for header in ("activity", "events", "rel.dur", "bytes",
+                       "proc.rate", "max.conc", "ranks", "cases"):
+            assert header in text
+
+    def test_top_limits_rows(self, mapped_log):
+        text = activity_report(IOStatistics(mapped_log), top=2)
+        # header + rule + 2 rows + blank + total line
+        rows = [l for l in text.splitlines()
+                if l and not l.startswith(("activity", "-", "total"))]
+        assert len(rows) == 2
+
+    def test_total_line(self, mapped_log):
+        assert "total I/O time" in activity_report(
+            IOStatistics(mapped_log))
+
+
+class TestVariantsReport:
+    def test_multiset_notation(self, mapped_log):
+        text = variants_report(mapped_log)
+        assert "6 traces, 2 variants" in text
+        assert "x3" in text  # both variants have multiplicity 3
+
+    def test_long_traces_elided(self, mapped_log):
+        text = variants_report(mapped_log)
+        assert "..." in text  # the 19-activity ls -l trace is cut
+
+    def test_top_limit(self, mapped_log):
+        text = variants_report(mapped_log, top=1)
+        assert text.count("x3") == 1
+
+
+class TestComparisonReport:
+    def test_fig3d_summary(self, mapped_log):
+        green_log, red_log = PartitionEL(mapped_log)
+        coloring = PartitionColoring(
+            DFG(green_log), DFG(red_log), IOStatistics(mapped_log))
+        text = comparison_report(coloring)
+        assert "red-exclusive nodes (4):" in text
+        assert "read:/etc/passwd" in text
+        assert "green-exclusive nodes (0):" in text
+        assert "(none)" in text
+        assert "green-exclusive edges: 1;" in text
+
+    def test_loads_attached_to_nodes(self, mapped_log):
+        green_log, red_log = PartitionEL(mapped_log)
+        stats = IOStatistics(mapped_log)
+        coloring = PartitionColoring(DFG(green_log), DFG(red_log))
+        text = comparison_report(coloring, stats)
+        assert "Load:" in text

@@ -1,0 +1,162 @@
+"""Cross-module invariants, property-based where randomness helps.
+
+These laws tie the subsystems together: whatever path data takes
+through the library (raw traces vs store, whole log vs partition,
+filter-then-map vs map-then-filter), the synthesized artifacts must
+agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallOnly, CallTopDirs
+from repro.core.partition import PartitionEL
+from repro.core.statistics import IOStatistics
+from repro.simulate.recording import ProcessRecorder
+from repro.simulate.strace_writer import write_trace_files
+
+CALLS = ("read", "write", "openat", "lseek", "close")
+PATHS = ("/p/scratch/run/a", "/p/scratch/run/b", "/etc/conf",
+         "/usr/lib/libx.so", "/dev/shm/seg")
+
+
+@pytest.fixture()
+def logs(tmp_path):
+    """Materialized random logs for the non-hypothesis laws."""
+    import random
+
+    rng = random.Random(7)
+    recorders = []
+    rid = 100
+    for cid in ("g", "r"):
+        for _ in range(3):
+            recorder = ProcessRecorder(cid=cid, host="h1", rid=rid,
+                                       pid=rid + 1)
+            rid += 1
+            clock = rng.randrange(10**6)
+            for _ in range(20):
+                call = rng.choice(CALLS)
+                path = rng.choice(PATHS)
+                dur = rng.randrange(1, 500)
+                size = (rng.randrange(4096)
+                        if call in ("read", "write") else None)
+                kwargs = dict(call=call, start_us=clock, dur_us=dur,
+                              path=path, fd=3)
+                if call in ("read", "write"):
+                    kwargs.update(size=size, requested=size)
+                elif call == "openat":
+                    kwargs.update(ret_fd=3, args_hint="O_RDONLY")
+                elif call == "lseek":
+                    kwargs.update(args_hint="0", retval=0)
+                recorder.record(**kwargs)
+                clock += dur + rng.randrange(1, 1000)
+            recorders.append(recorder)
+    directory = tmp_path / "gen"
+    write_trace_files(recorders, directory)
+    log = EventLog.from_strace_dir(directory)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return log
+
+
+class TestPartitionLaws:
+    def test_partition_conserves_events(self, logs):
+        green, red = PartitionEL(logs)
+        assert green.n_events + red.n_events == logs.n_events
+        assert set(green.case_ids()) | set(red.case_ids()) == \
+            set(logs.case_ids())
+        assert not set(green.case_ids()) & set(red.case_ids())
+
+    def test_partition_dfgs_union_to_whole(self, logs):
+        green, red = PartitionEL(logs)
+        assert DFG(green) | DFG(red) == DFG(logs)
+
+    def test_partition_bytes_additive(self, logs):
+        green, red = PartitionEL(logs)
+        whole = IOStatistics(logs)
+        green_stats = IOStatistics(green)
+        red_stats = IOStatistics(red)
+        for activity in whole.activities():
+            total = whole[activity].total_bytes
+            parts = ((green_stats[activity].total_bytes
+                      if activity in green_stats else 0)
+                     + (red_stats[activity].total_bytes
+                        if activity in red_stats else 0))
+            assert parts == total
+
+    def test_partition_durations_additive(self, logs):
+        green, red = PartitionEL(logs)
+        whole = IOStatistics(logs)
+        green_stats = IOStatistics(green)
+        red_stats = IOStatistics(red)
+        assert (green_stats.total_duration_us
+                + red_stats.total_duration_us) == \
+            whole.total_duration_us
+
+    def test_max_concurrency_bounded_by_whole(self, logs):
+        """mc over a sub-log can never exceed mc over the whole."""
+        green, red = PartitionEL(logs)
+        whole = IOStatistics(logs)
+        for sub in (IOStatistics(green), IOStatistics(red)):
+            for activity in sub.activities():
+                assert sub[activity].max_concurrency <= \
+                    whole[activity].max_concurrency
+
+
+class TestFilterMapCommutation:
+    def test_filter_then_map_equals_map_then_filter(self, logs):
+        """For call/fp mappings, fp-filtering commutes with mapping."""
+        substring = "/p/scratch"
+        mapping = CallTopDirs(levels=2)
+        filtered_first = logs.filtered_fp(substring) \
+            .with_mapping(mapping)
+        mapped_first = logs.with_mapping(mapping) \
+            .filtered_fp(substring)
+        assert DFG(filtered_first) == DFG(mapped_first)
+
+    def test_filters_commute(self, logs):
+        one = logs.filtered_fp("/p").filtered_calls(["read"])
+        other = logs.filtered_calls(["read"]).filtered_fp("/p")
+        assert np.array_equal(one.frame.column("start"),
+                              other.frame.column("start"))
+
+
+class TestStoreFidelity:
+    def test_store_roundtrip_preserves_everything(self, logs, tmp_path):
+        from repro.elstore.reader import read_event_log
+        from repro.elstore.writer import write_event_log
+
+        path = write_event_log(logs, tmp_path / "prop.elog")
+        loaded = read_event_log(path)
+        loaded.apply_mapping_fn(CallTopDirs(levels=2))
+        assert DFG(loaded) == DFG(logs)
+        original_stats = IOStatistics(logs)
+        loaded_stats = IOStatistics(loaded)
+        for activity in original_stats.activities():
+            assert loaded_stats[activity].total_bytes == \
+                original_stats[activity].total_bytes
+            assert loaded_stats[activity].max_concurrency == \
+                original_stats[activity].max_concurrency
+
+
+class TestMappingGranularity:
+    def test_coarser_mapping_coarser_graph(self, logs):
+        """CallOnly is a coarsening of CallTopDirs: node and edge
+        counts can only shrink, total observations stay fixed."""
+        fine = DFG(logs.with_mapping(CallTopDirs(levels=2)))
+        coarse = DFG(logs.with_mapping(CallOnly()))
+        assert coarse.n_nodes <= fine.n_nodes
+        assert coarse.n_edges <= fine.n_edges
+        assert coarse.total_observations() == fine.total_observations()
+
+    def test_node_frequencies_aggregate(self, logs):
+        fine_log = logs.with_mapping(CallTopDirs(levels=2))
+        coarse_log = logs.with_mapping(CallOnly())
+        fine = DFG(fine_log)
+        coarse = DFG(coarse_log)
+        for call in coarse.activities():
+            fine_total = sum(
+                fine.node_frequency(a) for a in fine.activities()
+                if a.split(":")[0] == call)
+            assert coarse.node_frequency(call) == fine_total

@@ -1,0 +1,125 @@
+"""DOT emission: determinism, Fig. 3a label semantics, styling."""
+
+import pytest
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.coloring import PartitionColoring, StatisticsColoring
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.partition import PartitionEL
+from repro.core.render.dot import render_dot
+from repro.core.statistics import IOStatistics
+
+
+@pytest.fixture()
+def pipeline(fig1_dir):
+    log = EventLog.from_strace_dir(fig1_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return log, DFG(log), IOStatistics(log)
+
+
+class TestStructure:
+    def test_valid_digraph_wrapper(self, pipeline):
+        _, dfg, _ = pipeline
+        text = render_dot(dfg)
+        assert text.startswith("digraph DFG {")
+        assert text.rstrip().endswith("}")
+
+    def test_deterministic(self, pipeline):
+        _, dfg, stats = pipeline
+        assert render_dot(dfg, stats) == render_dot(dfg, stats)
+
+    def test_every_node_and_edge_present(self, pipeline):
+        _, dfg, _ = pipeline
+        text = render_dot(dfg)
+        for activity in dfg.activities():
+            assert f'"{activity}"' in text
+        for (a1, a2), count in dfg.edges().items():
+            assert f'"{a1}" -> "{a2}" [label="{count}"' in text
+
+    def test_sentinel_shapes(self, pipeline):
+        _, dfg, _ = pipeline
+        text = render_dot(dfg)
+        assert "shape=circle" in text  # ● filled circle
+        assert "shape=square" in text  # ■ filled square
+
+    def test_rankdir_option(self, pipeline):
+        _, dfg, _ = pipeline
+        assert "rankdir=LR;" in render_dot(dfg, rankdir="LR")
+
+
+class TestLabels:
+    def test_fig3a_node_semantics(self, pipeline):
+        """Node label stacks CALL / PATH / Load / DR per Fig. 3a."""
+        _, dfg, stats = pipeline
+        text = render_dot(dfg, stats)
+        record = stats["read:/usr/lib"]
+        expected = (f'label="read\\n/usr/lib\\n{record.load_label}'
+                    f'\\n{record.dr_label}"')
+        assert expected in text
+
+    def test_ranks_line_optional(self, pipeline):
+        _, dfg, stats = pipeline
+        without = render_dot(dfg, stats)
+        with_ranks = render_dot(dfg, stats, show_ranks=True)
+        assert "Ranks:" not in without
+        assert "Ranks: 3" in with_ranks  # Fig. 3c style
+
+    def test_no_stats_gives_bare_activity_labels(self, pipeline):
+        _, dfg, _ = pipeline
+        text = render_dot(dfg)
+        assert 'label="read\\n/usr/lib"' in text
+        assert "Load" not in text
+
+    def test_quote_escaping(self):
+        dfg = DFG.from_counts({('say "hi"', "b"): 1})
+        text = render_dot(dfg)
+        assert '\\"hi\\"' in text
+
+
+class TestStyling:
+    def test_statistics_coloring_fills(self, pipeline):
+        _, dfg, stats = pipeline
+        text = render_dot(dfg, stats, StatisticsColoring(stats))
+        assert 'fillcolor="#08306b"' in text  # darkest blue somewhere
+
+    def test_partition_coloring_colors(self, pipeline):
+        log, dfg, stats = pipeline
+        green_log, red_log = PartitionEL(log)
+        coloring = PartitionColoring(DFG(green_log), DFG(red_log), stats)
+        text = render_dot(dfg, stats, coloring)
+        assert 'fillcolor="#fc9272"' in text    # red node fill
+        assert 'color="#1a7a1a"' in text        # green edge stroke
+
+
+class TestEdgeWidthScaling:
+    def test_heavy_edges_thicker(self, pipeline):
+        _, dfg, _ = pipeline
+        from repro.core.render.dot import render_dot as rd
+        text = rd(dfg, scale_edge_width=True)
+        # The weight-12 self-loop gets the maximal width 3.5; a
+        # weight-3 edge gets something strictly smaller.
+        lines = {l for l in text.splitlines() if "->" in l}
+        heavy = next(l for l in lines if 'label="12"' in l)
+        light = next(l for l in lines if 'label="3"' in l)
+        heavy_width = float(heavy.split("penwidth=")[1].rstrip("];"))
+        light_width = float(light.split("penwidth=")[1].rstrip("];"))
+        assert heavy_width > light_width > 1.0
+
+    def test_styler_penwidth_wins(self, pipeline):
+        log, dfg, stats = pipeline
+        green_log, red_log = PartitionEL(log)
+        coloring = PartitionColoring(DFG(green_log), DFG(red_log))
+        from repro.core.render.dot import render_dot as rd
+        text = rd(dfg, stats, coloring, scale_edge_width=True)
+        # Partition-colored edges keep their 1.6 width.
+        assert "penwidth=1.6" in text
+
+    def test_off_by_default(self, pipeline):
+        _, dfg, _ = pipeline
+        from repro.core.render.dot import render_dot as rd
+        text = rd(dfg)
+        for line in text.splitlines():
+            if "->" in line:
+                assert "penwidth=1" in line

@@ -1,0 +1,89 @@
+"""Layered layout: layering, cycle handling, determinism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY, ActivityLog
+from repro.core.dfg import DFG
+from repro.core.render.layout import layout_dfg
+
+
+def dfg_of(*traces):
+    return DFG(ActivityLog(
+        [(START_ACTIVITY, *t, END_ACTIVITY) for t in traces]))
+
+
+class TestLayering:
+    def test_chain_layers(self):
+        layout = layout_dfg(dfg_of(("a", "b", "c")))
+        boxes = layout.boxes
+        assert boxes[START_ACTIVITY].layer == 0
+        assert boxes["a"].layer == 1
+        assert boxes["b"].layer == 2
+        assert boxes["c"].layer == 3
+        assert boxes[END_ACTIVITY].layer == 4
+
+    def test_forward_edges_point_downward(self):
+        layout = layout_dfg(dfg_of(("a", "b"), ("a", "c", "b")))
+        for a1, a2 in layout.forward_edges:
+            assert layout.boxes[a1].layer < layout.boxes[a2].layer
+
+    def test_self_loops_excluded_from_layout_edges(self):
+        layout = layout_dfg(dfg_of(("a", "a", "b")))
+        assert layout.self_loops == ["a"]
+        assert ("a", "a") not in layout.forward_edges
+
+    def test_cycle_back_edge_detected(self):
+        layout = layout_dfg(dfg_of(("a", "b", "a", "b")))
+        # a→b→a is cyclic; exactly one direction must be a back edge.
+        assert len(layout.back_edges) == 1
+
+    def test_every_node_placed(self):
+        dfg = dfg_of(("a", "b"), ("c",), ("d", "e", "f"))
+        layout = layout_dfg(dfg)
+        assert set(layout.boxes) == dfg.nodes()
+
+    def test_empty_dfg(self):
+        layout = layout_dfg(DFG())
+        assert layout.boxes == {}
+        assert layout.layers == []
+
+    def test_deterministic(self):
+        dfg = dfg_of(("a", "b", "c"), ("a", "c"), ("b", "b"))
+        one = layout_dfg(dfg)
+        two = layout_dfg(dfg)
+        assert one.boxes == two.boxes
+        assert one.layers == two.layers
+
+
+class TestCoordinates:
+    def test_no_overlapping_positions(self):
+        dfg = dfg_of(("a", "b"), ("c", "b"), ("d", "e"))
+        layout = layout_dfg(dfg)
+        positions = [(b.x, b.y) for b in layout.boxes.values()]
+        assert len(positions) == len(set(positions))
+
+    def test_spacing_parameters(self):
+        layout = layout_dfg(dfg_of(("a",)), x_spacing=5.0, y_spacing=7.0)
+        ys = sorted({b.y for b in layout.boxes.values()})
+        assert ys == [0.0, 7.0, 14.0]
+
+
+traces_strategy = st.lists(
+    st.lists(st.sampled_from("abcdef"), max_size=5).map(tuple),
+    min_size=1, max_size=6)
+
+
+@given(traces_strategy)
+def test_layout_total_on_arbitrary_dfgs(traces):
+    """Every node gets placed; forward edges all point downward."""
+    dfg = DFG(ActivityLog(
+        [(START_ACTIVITY, *t, END_ACTIVITY) for t in traces]))
+    layout = layout_dfg(dfg)
+    assert set(layout.boxes) == dfg.nodes()
+    for a1, a2 in layout.forward_edges:
+        assert layout.boxes[a1].layer < layout.boxes[a2].layer
+    # forward + back + self partition the edge set
+    all_edges = set(layout.forward_edges) | set(layout.back_edges) | {
+        (a, a) for a in layout.self_loops}
+    assert all_edges == set(dfg.edges())

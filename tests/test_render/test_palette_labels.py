@@ -1,0 +1,107 @@
+"""Color palettes and node-label composition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.palette import (
+    BLUES,
+    GREENS,
+    pick_font_color,
+    relative_luminance,
+    shade,
+)
+from repro.core.render.labels import activity_label_lines, node_label_lines
+from repro.core.statistics import IOStatistics
+
+
+class TestShade:
+    def test_endpoints(self):
+        assert shade(BLUES, 0.0) == BLUES[0]
+        assert shade(BLUES, 1.0) == BLUES[-1]
+
+    def test_midpoint_interpolation(self):
+        assert shade(["#000000", "#ffffff"], 0.5) == "#808080"
+
+    def test_clamping(self):
+        assert shade(BLUES, -5.0) == BLUES[0]
+        assert shade(BLUES, 5.0) == BLUES[-1]
+
+    def test_single_color_palette(self):
+        assert shade(["#123456"], 0.7) == "#123456"
+
+    def test_empty_palette_rejected(self):
+        with pytest.raises(ValueError):
+            shade([], 0.5)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_monotone_luminance_on_blues(self, t):
+        """Darker shade for larger t — the paper's 'higher rd_f, darker
+        blue' rule must hold continuously."""
+        lighter = shade(BLUES, max(0.0, t - 0.2))
+        darker = shade(BLUES, min(1.0, t + 0.2))
+        assert relative_luminance(darker) <= \
+            relative_luminance(lighter) + 1e-9
+
+
+class TestFontColor:
+    def test_black_on_light(self):
+        assert pick_font_color("#ffffff") == "#000000"
+        assert pick_font_color(BLUES[0]) == "#000000"
+
+    def test_white_on_dark(self):
+        assert pick_font_color("#000000") == "#ffffff"
+        assert pick_font_color(BLUES[-1]) == "#ffffff"
+
+    def test_luminance_extremes(self):
+        assert relative_luminance("#000000") == 0.0
+        assert relative_luminance("#ffffff") == pytest.approx(1.0)
+
+
+class TestActivityLabelLines:
+    def test_colon_separator_split(self):
+        assert activity_label_lines("read:/usr/lib") == \
+            ["read", "/usr/lib"]
+
+    def test_newline_form_from_fig6_mapping(self):
+        assert activity_label_lines("read\n/usr/lib") == \
+            ["read", "/usr/lib"]
+
+    def test_bare_call(self):
+        assert activity_label_lines("read") == ["read"]
+
+    def test_sentinels_untouched(self):
+        assert activity_label_lines(START_ACTIVITY) == [START_ACTIVITY]
+        assert activity_label_lines(END_ACTIVITY) == [END_ACTIVITY]
+
+    def test_path_with_extra_colons(self):
+        # Only the first separator splits.
+        assert activity_label_lines("read:/a:b") == ["read", "/a:b"]
+
+
+class TestNodeLabelLines:
+    @pytest.fixture()
+    def stats(self, fig1_dir) -> IOStatistics:
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        return IOStatistics(log)
+
+    def test_full_stack_fig3a(self, stats):
+        lines = node_label_lines("read:/usr/lib", stats)
+        assert lines[0] == "read"
+        assert lines[1] == "/usr/lib"
+        assert lines[2].startswith("Load:")
+        assert lines[3].startswith("DR:")
+
+    def test_ranks_line(self, stats):
+        lines = node_label_lines("read:/usr/lib", stats,
+                                 show_ranks=True)
+        assert lines[-1] == "Ranks: 6"
+
+    def test_without_stats(self):
+        assert node_label_lines("read:/x") == ["read", "/x"]
+
+    def test_unknown_activity_no_stat_lines(self, stats):
+        assert node_label_lines("ghost:/x", stats) == ["ghost", "/x"]

@@ -1,0 +1,57 @@
+"""Concurrency-profile renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.render.profile import (
+    render_profile_ascii,
+    render_profile_svg,
+)
+from repro.core.statistics import IOStatistics
+
+
+@pytest.fixture()
+def rows(ls_sim_dir):
+    log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return IOStatistics(log).timeline("read:/usr/lib")
+
+
+class TestSvgProfile:
+    def test_wellformed(self, rows):
+        text = render_profile_svg(rows, activity="read:/usr/lib")
+        root = ET.fromstring(text)
+        assert root.tag.endswith("svg")
+
+    def test_peak_annotation_matches_mc(self, rows):
+        # Fig. 5 geometry: peak concurrency 2.
+        text = render_profile_svg(rows, activity="read:/usr/lib")
+        assert "(peak 2)" in text
+
+    def test_contains_step_path(self, rows):
+        text = render_profile_svg(rows)
+        assert '<path d="M ' in text
+
+    def test_empty(self):
+        assert "empty" in render_profile_svg([])
+
+
+class TestAsciiProfile:
+    def test_header_and_peak(self, rows):
+        text = render_profile_ascii(rows, activity="read:/usr/lib")
+        assert text.startswith("concurrency: read:/usr/lib (peak 2)")
+
+    def test_sparkline_present(self, rows):
+        text = render_profile_ascii(rows)
+        assert "█" in text
+        assert "ms" in text
+
+    def test_empty(self):
+        assert "(empty)" in render_profile_ascii([])
+
+    def test_single_event(self):
+        text = render_profile_ascii([("c1", 0, 100)])
+        assert "(peak 1)" in text

@@ -1,0 +1,104 @@
+"""Self-contained SVG and ASCII rendering."""
+
+import pytest
+
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.coloring import PartitionColoring, StatisticsColoring
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.partition import PartitionEL
+from repro.core.render.ascii import render_ascii
+from repro.core.render.svg import render_svg
+from repro.core.statistics import IOStatistics
+
+
+@pytest.fixture()
+def pipeline(fig1_dir):
+    log = EventLog.from_strace_dir(fig1_dir)
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return log, DFG(log), IOStatistics(log)
+
+
+class TestSvg:
+    def test_wellformed_xml(self, pipeline):
+        import xml.etree.ElementTree as ET
+        _, dfg, stats = pipeline
+        text = render_svg(dfg, stats)
+        root = ET.fromstring(text)
+        assert root.tag.endswith("svg")
+
+    def test_every_activity_labelled(self, pipeline):
+        _, dfg, stats = pipeline
+        text = render_svg(dfg, stats)
+        # Activities render as call + path text lines.
+        assert ">read<" in text
+        assert ">/usr/lib<" in text
+        assert "Load:" in text
+        assert "DR:" in text
+
+    def test_edge_counts_rendered(self, pipeline):
+        _, dfg, _ = pipeline
+        text = render_svg(dfg)
+        assert ">6<" in text  # the /usr/lib self-loop weight
+
+    def test_title(self, pipeline):
+        _, dfg, _ = pipeline
+        assert "my title" in render_svg(dfg, title="my title")
+
+    def test_xml_escaping(self):
+        dfg = DFG.from_counts({("a<b>&c", "d"): 1})
+        text = render_svg(dfg)
+        assert "a&lt;b&gt;&amp;c" in text
+
+    def test_partition_colors_in_svg(self, pipeline):
+        log, dfg, stats = pipeline
+        green_log, red_log = PartitionEL(log)
+        coloring = PartitionColoring(DFG(green_log), DFG(red_log))
+        text = render_svg(dfg, stats, coloring)
+        assert "#fc9272" in text  # red fill present
+
+    def test_empty_dfg(self):
+        text = render_svg(DFG())
+        assert "<svg" in text
+
+
+class TestAscii:
+    def test_all_nodes_and_edges_listed(self, pipeline):
+        _, dfg, stats = pipeline
+        text = render_ascii(dfg, stats)
+        assert "read:/usr/lib" in text
+        assert "-[6]->" in text
+        assert START_ACTIVITY in text
+        assert END_ACTIVITY in text
+
+    def test_stats_lines(self, pipeline):
+        _, dfg, stats = pipeline
+        text = render_ascii(dfg, stats)
+        assert "Load:" in text
+        assert "MB/s" in text
+
+    def test_partition_tags(self, pipeline):
+        log, dfg, stats = pipeline
+        green_log, red_log = PartitionEL(log)
+        coloring = PartitionColoring(DFG(green_log), DFG(red_log))
+        text = render_ascii(dfg, stats, coloring)
+        assert "[R] read:/etc/passwd" in text
+        assert "[G] read:/etc/locale.alias -[3]-> write:/dev/pts" in text
+
+    def test_statistics_bars(self, pipeline):
+        _, dfg, stats = pipeline
+        text = render_ascii(dfg, stats, StatisticsColoring(stats))
+        assert "|####" in text  # heaviest activity bar
+
+    def test_show_ranks(self, pipeline):
+        _, dfg, stats = pipeline
+        assert "Ranks: 3" in render_ascii(dfg, stats, show_ranks=True)
+
+    def test_edges_sorted_by_count_desc(self, pipeline):
+        _, dfg, _ = pipeline
+        text = render_ascii(dfg)
+        edge_lines = [l for l in text.splitlines() if "-[" in l]
+        counts = [int(l.split("-[")[1].split("]")[0])
+                  for l in edge_lines]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,99 @@
+"""Timeline plots (Fig. 5) and the DFGViewer facade."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro._util.errors import RenderError
+from repro.core.coloring import StatisticsColoring
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.render.timeline import (
+    render_timeline_ascii,
+    render_timeline_svg,
+)
+from repro.core.render.viewer import DFGViewer
+from repro.core.statistics import IOStatistics
+
+
+@pytest.fixture()
+def cb_stats(ls_sim_dir) -> IOStatistics:
+    log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+    log.apply_mapping_fn(CallTopDirs(levels=2))
+    return IOStatistics(log)
+
+
+class TestTimelineSvg:
+    def test_fig5_rows(self, cb_stats):
+        rows = cb_stats.timeline("read:/usr/lib")
+        text = render_timeline_svg(rows, activity="read:/usr/lib")
+        root = ET.fromstring(text)
+        assert root.tag.endswith("svg")
+        # One label per case (b9157, b9158, b9160).
+        assert "b9157" in text and "b9158" in text and "b9160" in text
+        # 9 bars: 3 /usr/lib reads per case.
+        assert text.count('fill="#4292c6"') == 9
+
+    def test_empty(self):
+        assert "empty" in render_timeline_svg([])
+
+    def test_axis_annotation(self, cb_stats):
+        text = render_timeline_svg(cb_stats.timeline("read:/usr/lib"))
+        assert "ms" in text
+
+
+class TestTimelineAscii:
+    def test_rows_and_axis(self, cb_stats):
+        text = render_timeline_ascii(
+            cb_stats.timeline("read:/usr/lib"), activity="read:/usr/lib")
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline:")
+        assert sum(1 for l in lines if "|" in l) == 3
+        assert "ms" in lines[-1]
+
+    def test_bars_present(self, cb_stats):
+        text = render_timeline_ascii(cb_stats.timeline("read:/usr/lib"))
+        assert "█" in text
+
+    def test_empty(self):
+        assert "(empty)" in render_timeline_ascii([])
+
+
+class TestViewer:
+    @pytest.fixture()
+    def viewer(self, fig1_dir) -> DFGViewer:
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        return DFGViewer(DFG(log), stats, StatisticsColoring(stats))
+
+    def test_all_formats(self, viewer):
+        assert viewer.render("dot").startswith("digraph")
+        assert viewer.render("svg").startswith("<svg")
+        assert "NODES" in viewer.render("ascii")
+
+    def test_unknown_format_rejected(self, viewer):
+        with pytest.raises(RenderError):
+            viewer.render("pdf")
+
+    def test_save_with_suffix_inference(self, viewer, tmp_path):
+        dot = viewer.save(tmp_path / "g.dot")
+        svg = viewer.save(tmp_path / "g.svg")
+        txt = viewer.save(tmp_path / "g.txt")
+        assert dot.read_text().startswith("digraph")
+        assert svg.read_text().startswith("<svg")
+        assert "NODES" in txt.read_text()
+
+    def test_save_unknown_suffix_rejected(self, viewer, tmp_path):
+        with pytest.raises(RenderError):
+            viewer.save(tmp_path / "g.pdf")
+
+    def test_stats_inherited_from_styler(self, fig1_dir):
+        """Paper's Fig. 6 passes stats only to the styler; the viewer
+        must pick them up for node labels."""
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        viewer = DFGViewer(DFG(log), styler=StatisticsColoring(stats))
+        assert "Load:" in viewer.render("dot")

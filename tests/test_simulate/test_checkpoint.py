@@ -1,0 +1,128 @@
+"""The checkpoint/restart workload (the paper's future-work pattern)."""
+
+import pytest
+
+from repro._util.errors import SimulationError
+from repro.core.analysis import dominant_path, find_cycles
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.statistics import IOStatistics
+from repro.simulate.strace_writer import write_trace_files
+from repro.simulate.workloads.checkpoint import (
+    CheckpointConfig,
+    simulate_checkpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_checkpoint(CheckpointConfig(
+        ranks=8, ranks_per_node=4, steps=3))
+
+
+@pytest.fixture(scope="module")
+def mapped_log(result, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("ckpt")
+    write_trace_files(result.recorders, directory)
+    log = EventLog.from_strace_dir(directory)
+    log.apply_mapping_fn(CallTopDirs(levels=4))
+    return log
+
+
+class TestConfig:
+    def test_shard_paths_fpp(self):
+        cfg = CheckpointConfig()
+        assert cfg.shard_path(2, 5) == \
+            "/p/scratch/app/ckpt/ckpt_0002/shard.00005"
+
+    def test_shard_paths_shared(self):
+        cfg = CheckpointConfig(shared_file=True)
+        assert cfg.shard_path(1, 5) == \
+            "/p/scratch/app/ckpt/ckpt_0001/shared"
+        assert cfg.shard_offset(2, 3) == \
+            2 * cfg.shard_bytes + 3 * cfg.transfer_bytes
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(SimulationError):
+            CheckpointConfig(shard_bytes=10, transfer_bytes=3)
+
+
+class TestWorkloadShape:
+    def test_syscall_budget(self, result):
+        cfg = result.config
+        per_shard = cfg.transfers_per_shard
+        # Per rank: restart (open + reads + close) +
+        # steps × (open + writes + fsync + close); rank 0 adds
+        # steps × (open + write + close) manifests.
+        expected = cfg.ranks * (
+            (2 + per_shard)
+            + cfg.steps * (3 + per_shard)) + cfg.steps * 3
+        assert result.total_syscalls() == expected
+
+    def test_all_ranks_complete(self, result):
+        assert result.sim.all_done()
+
+    def test_determinism(self):
+        sig = lambda res: [
+            tuple((r.call, r.start_us) for r in rec.records)
+            for rec in res.recorders]
+        one = simulate_checkpoint(CheckpointConfig(ranks=4,
+                                                   ranks_per_node=2))
+        two = simulate_checkpoint(CheckpointConfig(ranks=4,
+                                                   ranks_per_node=2))
+        assert sig(one) == sig(two)
+
+    def test_manifest_only_from_rank_zero(self, result):
+        for recorder in result.recorders[1:]:
+            assert not any("manifest" in (r.path or "")
+                           for r in recorder.records)
+        rank0 = result.recorders[0]
+        manifests = [r for r in rank0.records
+                     if "manifest" in (r.path or "")]
+        assert len(manifests) == 3 * result.config.steps  # open/write/close
+
+
+class TestDfgStructure:
+    def test_checkpoint_cycle_found(self, mapped_log):
+        """The periodic burst shows up as a cycle through the
+        open→write→close nodes — the structure analysis target."""
+        cycles = find_cycles(DFG(mapped_log))
+        assert any(
+            {"openat:/p/scratch/app/ckpt", "write:/p/scratch/app/ckpt",
+             "close:/p/scratch/app/ckpt"} <= set(c)
+            for c in cycles)
+
+    def test_dominant_path_starts_with_restart(self, mapped_log):
+        path = dominant_path(DFG(mapped_log))
+        # Restart read precedes the first checkpoint write.
+        restart_read = "read:/p/scratch/app/ckpt-prev"
+        ckpt_write = "write:/p/scratch/app/ckpt"
+        assert restart_read in path
+        assert ckpt_write in path
+        assert path.index(restart_read) < path.index(ckpt_write)
+
+    def test_write_volume(self, mapped_log):
+        stats = IOStatistics(mapped_log)
+        cfg = CheckpointConfig(ranks=8, ranks_per_node=4, steps=3)
+        shard_total = cfg.ranks * cfg.steps * cfg.shard_bytes
+        writes = stats["write:/p/scratch/app/ckpt"]
+        assert writes.total_bytes == shard_total + \
+            cfg.steps * 4096  # + manifests
+
+    def test_restart_reads_bypass_cache(self, mapped_log):
+        stats = IOStatistics(mapped_log)
+        reads = stats["read:/p/scratch/app/ckpt-prev"]
+        # Storage-speed, not DRAM-speed, reads.
+        assert reads.process_data_rate < 7000e6
+
+    def test_shared_mode_contention(self):
+        fpp = simulate_checkpoint(CheckpointConfig(
+            ranks=8, ranks_per_node=4, steps=2, seed=1))
+        shared = simulate_checkpoint(CheckpointConfig(
+            ranks=8, ranks_per_node=4, steps=2, shared_file=True,
+            seed=1))
+        # Shared checkpoint files resurrect the SSF token contention.
+        assert shared.makespan_us > fpp.makespan_us
+        assert shared.fs.conflict_stalls > 0
+        assert fpp.fs.conflict_stalls == 0

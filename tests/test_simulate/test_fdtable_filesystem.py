@@ -1,0 +1,260 @@
+"""Descriptor tables and the GPFS-like filesystem model."""
+
+import numpy as np
+import pytest
+
+from repro._util.errors import SimulationError
+from repro.simulate.fdtable import FdTable
+from repro.simulate.filesystem import FSConfig, ParallelFS
+from repro.simulate.kernel import Simulator
+
+
+class TestFdTable:
+    def test_allocation_starts_at_three(self):
+        table = FdTable()
+        assert table.allocate("/a") == 3
+        assert table.allocate("/b") == 4
+
+    def test_lowest_free_reused(self):
+        """The POSIX rule behind Fig. 2b's fd numbering."""
+        table = FdTable()
+        fd_a = table.allocate("/a")
+        fd_b = table.allocate("/b")
+        table.release(fd_a)
+        assert table.allocate("/c") == fd_a
+        assert table.path_of(fd_b) == "/b"
+
+    def test_path_lookup(self):
+        table = FdTable()
+        fd = table.allocate("/etc/passwd")
+        assert table.path_of(fd) == "/etc/passwd"
+
+    def test_release_returns_path(self):
+        table = FdTable()
+        fd = table.allocate("/x")
+        assert table.release(fd) == "/x"
+        assert not table.is_open(fd)
+
+    def test_bad_fd_rejected(self):
+        table = FdTable()
+        with pytest.raises(SimulationError):
+            table.path_of(3)
+        with pytest.raises(SimulationError):
+            table.release(3)
+
+    def test_open_fds_sorted(self):
+        table = FdTable()
+        for path in "/a", "/b", "/c":
+            table.allocate(path)
+        assert table.open_fds() == [3, 4, 5]
+        assert len(table) == 3
+
+
+def run_fs(generators, config=None):
+    """Drive filesystem op generators; returns (durations, fs)."""
+    sim = Simulator()
+    fs = ParallelFS(sim, config or FSConfig(),
+                    rng=np.random.default_rng(7))
+    durations = {}
+
+    def wrap(name, gen):
+        start = sim.now
+
+        def proc():
+            yield from gen
+            durations[name] = sim.now - start
+
+        sim.process(proc())
+
+    for name, gen in generators(fs, sim):
+        wrap(name, gen)
+    sim.run()
+    return durations, fs
+
+
+class TestOpen:
+    def test_create_then_open_costs(self):
+        def gens(fs, sim):
+            yield "create", fs.open("h1", 0, "/p/s/f", create=True)
+
+        durations, fs = run_fs(gens)
+        assert durations["create"] > 0
+        assert fs.files["/p/s/f"].exists
+
+    def test_shared_create_contention(self):
+        """96-rank SSF mechanism in miniature: the 2nd+ openers of one
+        file pay the revocation; FPP-style distinct files do not."""
+        def shared(fs, sim):
+            for rank in range(4):
+                yield f"r{rank}", fs.open("h1", rank, "/p/s/shared",
+                                          create=True)
+
+        def separate(fs, sim):
+            for rank in range(4):
+                yield f"r{rank}", fs.open("h1", rank, f"/p/s/own.{rank}",
+                                          create=True)
+
+        shared_durations, _ = run_fs(shared)
+        separate_durations, _ = run_fs(separate)
+        assert sum(shared_durations.values()) > \
+            5 * sum(separate_durations.values())
+
+    def test_reopen_existing_cheaper_than_create(self):
+        config = FSConfig(jitter_sigma=0.0)
+
+        def gens(fs, sim):
+            yield "create", fs.open("h1", 0, "/p/s/f", create=True)
+
+        durations1, fs = run_fs(gens, config)
+
+        def gens2(fs, sim):
+            fs._state("/p/s/f").exists = True
+            yield "open", fs.open("h1", 0, "/p/s/f", create=False)
+
+        durations2, _ = run_fs(gens2, config)
+        assert durations2["open"] < durations1["create"]
+
+
+class TestWrite:
+    def test_write_requires_existing_file(self):
+        def gens(fs, sim):
+            yield "w", fs.write("h1", 0, "/nope", 0, 100)
+
+        with pytest.raises(SimulationError):
+            run_fs(gens)
+
+    def test_write_marks_cache_and_dirty(self):
+        def gens(fs, sim):
+            fs._state("/p/s/f").exists = True
+            yield "w", fs.write("h1", 0, "/p/s/f", 0, 1 << 20)
+
+        _, fs = run_fs(gens)
+        assert ("/p/s/f", 0) in fs.page_cache["h1"]
+        assert fs.files["/p/s/f"].dirty_by_rank[0] == 1 << 20
+
+    def test_conflict_stalls_only_on_shared_files(self):
+        config = FSConfig(write_conflict_probability=1.0,
+                          jitter_sigma=0.0)
+
+        def solo(fs, sim):
+            fs._state("/f").exists = True
+            for i in range(5):
+                yield f"w{i}", fs.write("h1", 0, "/f", i << 20, 1 << 20)
+
+        _, fs = run_fs(solo, config)
+        assert fs.conflict_stalls == 0
+
+        def shared(fs, sim):
+            fs._state("/f").exists = True
+            fs._state("/f").writer_tokens.update({0, 1})
+            for i in range(5):
+                yield f"w{i}", fs.write("h1", 0, "/f", i << 20, 1 << 20)
+
+        _, fs = run_fs(shared, config)
+        assert fs.conflict_stalls == 5
+
+
+class TestRead:
+    def test_cache_hit_faster_than_storage(self):
+        config = FSConfig(jitter_sigma=0.0)
+
+        def gens(fs, sim):
+            fs._state("/f").exists = True
+
+            def sequence():
+                yield from fs.write("h1", 0, "/f", 0, 1 << 20)
+                cold_start = sim.now
+                yield from fs.read("h2", 1, "/f", 0, 1 << 20)
+                cold = sim.now - cold_start
+                warm_start = sim.now
+                yield from fs.read("h2", 1, "/f", 0, 1 << 20)
+                warm = sim.now - warm_start
+                assert warm < cold
+
+            yield "seq", sequence()
+
+        run_fs(gens, config)
+
+    def test_bypass_cache_forces_storage_path(self):
+        config = FSConfig(jitter_sigma=0.0)
+        times = {}
+
+        def gens(fs, sim):
+            fs._state("/f").exists = True
+
+            def sequence():
+                yield from fs.write("h1", 0, "/f", 0, 1 << 20)
+                t0 = sim.now
+                yield from fs.read("h1", 0, "/f", 0, 1 << 20)
+                times["cached"] = sim.now - t0
+                t0 = sim.now
+                yield from fs.read("h1", 0, "/f", 0, 1 << 20,
+                                   bypass_cache=True)
+                times["bypassed"] = sim.now - t0
+
+            yield "seq", sequence()
+
+        run_fs(gens, config)
+        assert times["bypassed"] > times["cached"]
+
+    def test_read_of_missing_file_rejected(self):
+        def gens(fs, sim):
+            yield "r", fs.read("h1", 0, "/nope", 0, 10)
+
+        with pytest.raises(SimulationError):
+            run_fs(gens)
+
+
+class TestFsyncCloseLseek:
+    def test_fsync_scales_with_dirty_bytes(self):
+        config = FSConfig(jitter_sigma=0.0)
+        times = {}
+
+        def gens(fs, sim):
+            fs._state("/f").exists = True
+
+            def sequence():
+                yield from fs.write("h1", 0, "/f", 0, 64 << 20)
+                t0 = sim.now
+                yield from fs.fsync("h1", 0, "/f")
+                times["big"] = sim.now - t0
+                t0 = sim.now
+                yield from fs.fsync("h1", 0, "/f")  # nothing dirty now
+                times["empty"] = sim.now - t0
+
+            yield "seq", sequence()
+
+        run_fs(gens, config)
+        assert times["big"] > 10 * times["empty"]
+
+    def test_lseek_and_close_are_cheap(self):
+        config = FSConfig(jitter_sigma=0.0)
+
+        def gens(fs, sim):
+            fs._state("/f").exists = True
+            fs._state("/f").open_count = 1
+            yield "lseek", fs.lseek()
+            yield "close", fs.close("h1", 0, "/f")
+
+        durations, _ = run_fs(gens, config)
+        assert durations["lseek"] < 100
+        assert durations["close"] < 100
+
+
+def test_determinism_for_fixed_seed():
+    def scenario():
+        sim = Simulator()
+        fs = ParallelFS(sim, FSConfig(seed=5),
+                        rng=np.random.default_rng(5))
+        result = []
+
+        def proc():
+            yield from fs.open("h1", 0, "/f", create=True)
+            yield from fs.write("h1", 0, "/f", 0, 1 << 20)
+            result.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        return result[0]
+
+    assert scenario() == scenario()

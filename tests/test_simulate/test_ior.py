@@ -1,0 +1,182 @@
+"""The IOR workload: option model, syscall sequences, contention shape."""
+
+import pytest
+
+from repro._util.errors import SimulationError
+from repro.simulate.strace_writer import (
+    EXPERIMENT_A_CALLS,
+    EXPERIMENT_B_CALLS,
+    write_trace_files,
+)
+from repro.simulate.workloads.ior import IORConfig, simulate_ior
+
+
+class TestConfig:
+    def test_fig7_layout_offsets_ssf(self):
+        """Fig. 7a: segment-major, one block per rank per segment."""
+        cfg = IORConfig(ranks=4, ranks_per_node=2, segments=2)
+        block, tsize = cfg.block_size, cfg.transfer_size
+        assert cfg.write_offset(0, 0, 0) == 0
+        assert cfg.write_offset(1, 0, 0) == block
+        assert cfg.write_offset(0, 1, 0) == 4 * block
+        assert cfg.write_offset(2, 1, 3) == 4 * block + 2 * block + 3 * tsize
+
+    def test_fpp_layout_contiguous(self):
+        cfg = IORConfig(ranks=4, ranks_per_node=2, segments=2,
+                        file_per_process=True)
+        assert cfg.write_offset(3, 1, 2) == \
+            cfg.block_size + 2 * cfg.transfer_size
+
+    def test_fpp_file_naming(self):
+        cfg = IORConfig(file_per_process=True,
+                        test_file="/p/scratch/fpp/test")
+        assert cfg.file_of(7) == "/p/scratch/fpp/test.00000007"
+        ssf = IORConfig(test_file="/p/scratch/ssf/test")
+        assert ssf.file_of(7) == "/p/scratch/ssf/test"
+
+    def test_reorder_tasks_shifts_by_node(self):
+        """-C: read data written by a rank on the neighboring node."""
+        cfg = IORConfig(ranks=8, ranks_per_node=4)
+        assert cfg.read_source_rank(0) == 4
+        assert cfg.read_source_rank(5) == 1  # wraps
+        plain = IORConfig(ranks=8, ranks_per_node=4, reorder_tasks=False)
+        assert plain.read_source_rank(0) == 0
+
+    def test_host_placement(self):
+        cfg = IORConfig(ranks=8, ranks_per_node=4)
+        assert cfg.host_of(0) == "node01"
+        assert cfg.host_of(3) == "node01"
+        assert cfg.host_of(4) == "node02"
+        assert cfg.n_nodes == 2
+
+    def test_invalid_api_rejected(self):
+        with pytest.raises(SimulationError):
+            IORConfig(api="hdf5")
+
+    def test_block_not_multiple_rejected(self):
+        with pytest.raises(SimulationError):
+            IORConfig(transfer_size=3, block_size=10)
+
+
+@pytest.fixture(scope="module")
+def tiny_posix():
+    return simulate_ior(IORConfig(
+        ranks=4, ranks_per_node=2, segments=1, cid="p",
+        test_file="/p/scratch/ssf/test", seed=1))
+
+
+@pytest.fixture(scope="module")
+def tiny_mpiio():
+    return simulate_ior(IORConfig(
+        ranks=4, ranks_per_node=2, segments=1, cid="m", api="mpiio",
+        test_file="/p/scratch/ssf/test", seed=2))
+
+
+class TestSyscallSequences:
+    def test_posix_lseek_before_every_transfer(self, tiny_posix):
+        """The Fig. 9 red pattern: lseek precedes each write and read."""
+        recorder = tiny_posix.recorders[0]
+        scratch = [r for r in recorder.records
+                   if r.path and "/p/scratch" in r.path]
+        for i, rec in enumerate(scratch):
+            if rec.call in ("write", "read"):
+                assert scratch[i - 1].call == "lseek", (
+                    f"transfer #{i} not preceded by lseek")
+
+    def test_mpiio_uses_pwrite_pread(self, tiny_mpiio):
+        calls = {r.call for rec in tiny_mpiio.recorders
+                 for r in rec.records if r.path and "scratch" in r.path}
+        assert "pwrite64" in calls
+        assert "pread64" in calls
+        assert "write" not in calls
+        assert "read" not in calls
+
+    def test_mpiio_single_lseek_per_rank(self, tiny_mpiio):
+        """Fig. 9: lseek:$SCRATCH stays a shared node with one probe
+        lseek per MPI-IO rank."""
+        for recorder in tiny_mpiio.recorders:
+            lseeks = [r for r in recorder.records
+                      if r.call == "lseek" and "/p/scratch" in
+                      (r.path or "")]
+            assert len(lseeks) == 1
+
+    def test_transfer_counts(self, tiny_posix):
+        cfg = tiny_posix.config
+        per_rank = cfg.segments * cfg.transfers_per_block
+        for recorder in tiny_posix.recorders:
+            writes = [r for r in recorder.records if r.call == "write"
+                      and "/p/scratch" in (r.path or "")]
+            reads = [r for r in recorder.records if r.call == "read"
+                     and "/p/scratch" in (r.path or "")]
+            assert len(writes) == per_rank
+            assert len(reads) == per_rank
+
+    def test_single_open_per_rank(self, tiny_posix):
+        """Fig. 8b shows exactly one openat per rank on $SCRATCH."""
+        for recorder in tiny_posix.recorders:
+            opens = [r for r in recorder.records if r.call == "openat"
+                     and "/p/scratch" in (r.path or "")]
+            assert len(opens) == 1
+            assert opens[0].ret_fd is not None
+
+    def test_fsync_present_but_filterable(self, tiny_posix, tmp_path):
+        recorder = tiny_posix.recorders[0]
+        assert any(r.call == "fsync" for r in recorder.records)
+        paths = write_trace_files([recorder], tmp_path,
+                                  trace_calls=EXPERIMENT_A_CALLS)
+        assert "fsync" not in paths[0].read_text()
+
+    def test_mpiio_fewer_syscalls(self, tiny_posix, tiny_mpiio):
+        assert tiny_mpiio.total_syscalls() < tiny_posix.total_syscalls()
+
+    def test_preamble_software_probes(self, tiny_posix):
+        recorder = tiny_posix.recorders[0]
+        probes = [r for r in recorder.records
+                  if r.call == "openat" and "/p/software" in (r.path or "")
+                  and r.ret_fd is None]
+        assert len(probes) == tiny_posix.config.preamble_probes
+
+    def test_node_local_writes(self, tiny_posix):
+        recorder = tiny_posix.recorders[0]
+        node_local = [r for r in recorder.records
+                      if r.call == "write" and (r.path or "").startswith(
+                          ("/dev/shm", "/tmp"))]
+        assert len(node_local) == tiny_posix.config.node_local_writes
+
+
+class TestContentionShape:
+    def test_ssf_slower_than_fpp(self, small_ior_pair):
+        ssf, fpp = small_ior_pair
+        assert ssf.makespan_us > 2 * fpp.makespan_us
+
+    def test_ssf_has_conflict_stalls_fpp_none(self, small_ior_pair):
+        ssf, fpp = small_ior_pair
+        assert ssf.fs.conflict_stalls > 0
+        assert fpp.fs.conflict_stalls == 0
+
+    def test_scratch_write_duration_dominates_in_ssf(self, small_ior_pair):
+        ssf, _ = small_ior_pair
+        sums = {}
+        for recorder in ssf.recorders:
+            for rec in recorder.records:
+                if rec.path and "/p/scratch" in rec.path:
+                    sums[rec.call] = sums.get(rec.call, 0) + rec.dur_us
+        assert sums["openat"] > sums["read"]
+        assert sums["write"] > sums["read"]
+
+    def test_determinism(self):
+        config = IORConfig(ranks=3, ranks_per_node=2, segments=1,
+                           cid="d", seed=9)
+        one = simulate_ior(config)
+        two = simulate_ior(IORConfig(ranks=3, ranks_per_node=2,
+                                     segments=1, cid="d", seed=9))
+        sig = lambda res: [
+            (r.rid, tuple((rec.call, rec.start_us, rec.dur_us)
+                          for rec in r.records))
+            for r in res.recorders]
+        assert sig(one) == sig(two)
+
+    def test_all_ranks_complete(self, small_ior_pair):
+        ssf, fpp = small_ior_pair
+        assert ssf.sim.all_done()
+        assert fpp.sim.all_done()

@@ -1,0 +1,190 @@
+"""The discrete-event kernel: timeouts, processes, composition."""
+
+import pytest
+
+from repro._util.errors import SimulationError
+from repro.simulate.kernel import SimEvent, Simulator
+
+
+class TestTimeout:
+    def test_advances_clock(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(100)
+            fired.append(sim.now)
+            yield sim.timeout(50)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [100, 150]
+        assert sim.now == 150
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(0)
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "done"
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_value_delivery(self):
+        sim = Simulator()
+        received = []
+
+        def proc():
+            value = yield sim.timeout(10, value="payload")
+            received.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert received == ["payload"]
+
+
+class TestEvents:
+    def test_manual_succeed_wakes_waiter(self):
+        sim = Simulator()
+        gate = sim.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((sim.now, value))
+
+        def trigger():
+            yield sim.timeout(42)
+            gate.succeed("go")
+
+        sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert log == [(42, "go")]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+    def test_waiting_on_processed_event_resumes(self):
+        """Yielding an already-fired event must not hang."""
+        sim = Simulator()
+        gate = sim.event()
+        gate.succeed("early")
+        results = []
+
+        def late_waiter():
+            yield sim.timeout(10)
+            value = yield gate
+            results.append(value)
+
+        sim.process(late_waiter())
+        sim.run()
+        assert results == ["early"]
+
+
+class TestProcesses:
+    def test_return_value(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(5)
+            return 99
+
+        def parent(results):
+            value = yield sim.process(child())
+            results.append((sim.now, value))
+
+        results = []
+        sim.process(parent(results))
+        sim.run()
+        assert results == [(5, 99)]
+
+    def test_yielding_non_event_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="yielded"):
+            sim.run()
+
+    def test_all_done(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(10)
+
+        sim.process(proc())
+        assert not sim.all_done()
+        sim.run()
+        assert sim.all_done()
+
+    def test_many_interleaved_processes(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            order.append(name)
+            yield sim.timeout(delay)
+            order.append(name)
+
+        sim.process(proc("a", 10))
+        sim.process(proc("b", 3))
+        sim.run()
+        assert order == ["b", "b", "a", "a"]
+        assert sim.now == 20
+
+
+class TestRun:
+    def test_until_bound(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(100)
+            fired.append("late")
+
+        sim.process(proc())
+        sim.run(until=50)
+        assert fired == []
+        assert sim.now == 50
+        sim.run()
+        assert fired == ["late"]
+
+    def test_max_steps_guard(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield sim.timeout(1)
+
+        sim.process(forever())
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run(max_steps=100)
+
+    def test_deterministic_fifo_at_equal_times(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name):
+            yield sim.timeout(10)
+            order.append(name)
+
+        for name in "abc":
+            sim.process(proc(name))
+        sim.run()
+        assert order == ["a", "b", "c"]

@@ -1,0 +1,97 @@
+"""The ls / ls -l example workload (Fig. 1-5 fidelity)."""
+
+import pytest
+
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.core.statistics import IOStatistics
+from repro.simulate.workloads.ls import (
+    LS_L_TEMPLATE,
+    LS_TEMPLATE,
+    LsConfig,
+    generate_fig1_traces,
+    simulate_ls,
+)
+from repro.strace.naming import parse_trace_filename
+
+
+class TestTemplates:
+    def test_fig2a_event_count(self):
+        assert len(LS_TEMPLATE) == 8
+
+    def test_fig2b_event_count(self):
+        assert len(LS_L_TEMPLATE) == 17
+
+    def test_fig2a_contents(self):
+        calls = [t[0] for t in LS_TEMPLATE]
+        assert calls == ["read"] * 7 + ["write"]
+        assert LS_TEMPLATE[0][1].endswith("libselinux.so.1")
+        assert LS_TEMPLATE[-1][1] == "/dev/pts/7"
+
+    def test_fig2b_fd_numbers_match_figure(self):
+        # nsswitch/passwd/group on fd 4; zoneinfo back on fd 3.
+        by_path = {t[1]: t[2] for t in LS_L_TEMPLATE}
+        assert by_path["/etc/nsswitch.conf"] == 4
+        assert by_path["/etc/passwd"] == 4
+        assert by_path["/usr/share/zoneinfo/Europe/Berlin"] == 3
+
+
+class TestSimulateLs:
+    def test_default_rids_match_paper(self):
+        recorders = simulate_ls()
+        assert [r.rid for r in recorders] == [9042, 9043, 9045]
+        assert all(r.pid != r.rid for r in recorders)  # forked child
+
+    def test_identical_logical_traces(self):
+        """All ranks replay the same template → one trace variant."""
+        recorders = simulate_ls()
+        signatures = {
+            tuple((rec.call, rec.path, rec.size) for rec in r.records)
+            for r in recorders}
+        assert len(signatures) == 1
+
+    def test_stagger_applied(self):
+        recorders = simulate_ls(LsConfig(stagger_us=150))
+        first_starts = [r.records[0].start_us for r in recorders]
+        assert first_starts[1] - first_starts[0] == 150
+        assert first_starts[2] - first_starts[1] == 150
+
+
+class TestGeneratedTraces:
+    def test_six_files_with_paper_names(self, ls_sim_dir):
+        names = sorted(p.name for p in ls_sim_dir.iterdir())
+        assert names == [
+            "a_host1_9042.st", "a_host1_9043.st", "a_host1_9045.st",
+            "b_host1_9157.st", "b_host1_9158.st", "b_host1_9160.st"]
+        for name in names:
+            parse_trace_filename(name)  # all follow the convention
+
+    def test_fig3b_edge_counts_from_simulated_traces(self, ls_sim_dir):
+        log = EventLog.from_strace_dir(ls_sim_dir, cids={"a"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        dfg = DFG(log)
+        assert dfg.edge_count("read:/usr/lib", "read:/usr/lib") == 6
+        assert dfg.edge_count(dfg.start_node(), "read:/usr/lib") == 3
+        assert dfg.edge_count("read:/etc/locale.alias",
+                              "write:/dev/pts") == 3
+
+    def test_fig5_max_concurrency_two(self, ls_sim_dir):
+        """The headline Fig. 5 claim: mc(read:/usr/lib, Cb) = 2."""
+        log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        assert stats["read:/usr/lib"].max_concurrency == 2
+
+    def test_ls_l_run_starts_after_ls(self, ls_sim_dir):
+        log_a = EventLog.from_strace_dir(ls_sim_dir, cids={"a"})
+        log_b = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+        assert log_b.frame.column("start").min() > \
+            log_a.frame.column("start").max()
+
+    def test_bytes_match_template(self, ls_sim_dir):
+        log = EventLog.from_strace_dir(ls_sim_dir, cids={"a"})
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        assert stats["read:/usr/lib"].total_bytes == 3 * 3 * 832
+        assert stats["write:/dev/pts"].total_bytes == 3 * 50

@@ -1,0 +1,134 @@
+"""FIFO resources and barriers."""
+
+import pytest
+
+from repro._util.errors import SimulationError
+from repro.simulate.kernel import Simulator
+from repro.simulate.resources import Barrier, Resource
+
+
+class TestResource:
+    def test_fifo_serialization(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        finish_times = {}
+
+        def worker(name):
+            yield from resource.use(10)
+            finish_times[name] = sim.now
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert finish_times == {"a": 10, "b": 20, "c": 30}
+
+    def test_capacity_parallelism(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        finish_times = {}
+
+        def worker(name):
+            yield from resource.use(10)
+            finish_times[name] = sim.now
+
+        for name in "abcd":
+            sim.process(worker(name))
+        sim.run()
+        # Two at a time: a,b finish at 10; c,d at 20.
+        assert sorted(finish_times.values()) == [10, 10, 20, 20]
+
+    def test_release_without_acquire_rejected(self):
+        sim = Simulator()
+        resource = Resource(sim)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_capacity_validated(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_peak_queue_tracked(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            yield from resource.use(5)
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert resource.peak_queue == 3
+        assert resource.total_acquired == 4
+
+    def test_release_grants_to_longest_waiter(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, arrival):
+            yield sim.timeout(arrival)
+            grant = resource.acquire()
+            yield grant
+            order.append(name)
+            yield sim.timeout(10)
+            resource.release()
+
+        sim.process(worker("first", 0))
+        sim.process(worker("second", 1))
+        sim.process(worker("third", 2))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestBarrier:
+    def test_releases_all_at_last_arrival(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=3)
+        release_times = {}
+
+        def party(name, arrival):
+            yield sim.timeout(arrival)
+            yield barrier.wait()
+            release_times[name] = sim.now
+
+        sim.process(party("a", 5))
+        sim.process(party("b", 20))
+        sim.process(party("c", 11))
+        sim.run()
+        assert release_times == {"a": 20, "b": 20, "c": 20}
+        assert barrier.generations == 1
+
+    def test_reusable_across_phases(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=2)
+        log = []
+
+        def party(name):
+            yield barrier.wait()
+            log.append((name, 1, sim.now))
+            yield sim.timeout(10 if name == "a" else 3)
+            yield barrier.wait()
+            log.append((name, 2, sim.now))
+
+        sim.process(party("a"))
+        sim.process(party("b"))
+        sim.run()
+        assert barrier.generations == 2
+        phase2 = [entry for entry in log if entry[1] == 2]
+        assert all(t == 10 for _, _, t in phase2)
+
+    def test_single_party_barrier_trivial(self):
+        sim = Simulator()
+        barrier = Barrier(sim, parties=1)
+
+        def solo():
+            yield barrier.wait()
+            return sim.now
+
+        p = sim.process(solo())
+        sim.run()
+        assert p.value == 0
+
+    def test_parties_validated(self):
+        with pytest.raises(SimulationError):
+            Barrier(Simulator(), parties=0)

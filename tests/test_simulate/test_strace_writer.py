@@ -1,0 +1,139 @@
+"""strace text emission: formats, -e filtering, clock skew."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.recording import ProcessRecorder, SyscallRecord
+from repro.simulate.strace_writer import (
+    EXPERIMENT_A_CALLS,
+    EXPERIMENT_B_CALLS,
+    format_record,
+    format_record_split,
+    write_strace_text,
+    write_trace_files,
+)
+from repro.strace.parser import parse_line
+
+
+def record(**overrides) -> SyscallRecord:
+    base = dict(pid=9054, call="read", start_us=32154153994, dur_us=203,
+                path="/usr/lib/x86_64-linux-gnu/libselinux.so.1",
+                fd=3, size=832, requested=832)
+    base.update(overrides)
+    return SyscallRecord(**base)
+
+
+class TestFormatRecord:
+    def test_read_matches_paper_fig2a_format(self):
+        line = format_record(record())
+        assert line == (
+            "9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/"
+            "libselinux.so.1>, ..., 832) = 832 <0.000203>")
+
+    def test_every_format_parses_back(self):
+        records = [
+            record(),
+            record(call="write", path="/dev/pts/7", fd=1, size=50,
+                   requested=50),
+            record(call="pwrite64", args_hint="16777216",
+                   size=1 << 20, requested=1 << 20),
+            record(call="openat", ret_fd=3,
+                   args_hint="O_RDONLY|O_CLOEXEC", size=None,
+                   requested=None),
+            record(call="openat", ret_fd=None, size=None,
+                   requested=None, args_hint="O_RDONLY"),
+            record(call="lseek", args_hint="4096", retval=4096,
+                   size=None, requested=None),
+            record(call="fsync", size=None, requested=None),
+            record(call="close", size=None, requested=None),
+        ]
+        for rec in records:
+            parsed = parse_line(format_record(rec))
+            assert parsed is not None
+            assert parsed.call == rec.call
+            assert parsed.pid == rec.pid
+
+    def test_clock_offset_shifts_stamp(self):
+        base = format_record(record())
+        shifted = format_record(record(), clock_offset_us=1_000_000)
+        assert "08:55:54" in base
+        assert "08:55:55" in shifted
+
+    def test_split_form_is_fig2c_shaped(self):
+        first, second = format_record_split(record())
+        assert first.endswith("<unfinished ...>")
+        assert "<... read resumed>" in second
+        assert second.endswith("<0.000203>")
+
+
+class TestWriteText:
+    def test_lines_time_ordered(self):
+        recorder = ProcessRecorder(cid="x", host="h", rid=1, pid=5)
+        recorder.record(call="read", start_us=300, dur_us=1, path="/b",
+                        fd=3, size=1, requested=1)
+        recorder.record(call="read", start_us=100, dur_us=1, path="/a",
+                        fd=3, size=1, requested=1)
+        text = write_strace_text(recorder)
+        lines = text.splitlines()
+        assert "/a" in lines[0]
+        assert "/b" in lines[1]
+
+    def test_call_filter_sets(self):
+        assert "lseek" not in EXPERIMENT_A_CALLS
+        assert "lseek" in EXPERIMENT_B_CALLS
+        assert "fsync" not in EXPERIMENT_B_CALLS
+
+    def test_empty_recorder(self):
+        recorder = ProcessRecorder(cid="x", host="h", rid=1, pid=5)
+        assert write_strace_text(recorder) == ""
+
+    def test_unfinished_lines_interleave_correctly(self):
+        recorder = ProcessRecorder(cid="x", host="h", rid=1, pid=5)
+        recorder.record(call="read", start_us=100, dur_us=500, path="/a",
+                        fd=3, size=1, requested=1)
+        recorder.record(call="read", start_us=700, dur_us=10, path="/b",
+                        fd=3, size=1, requested=1)
+        text = write_strace_text(recorder, unfinished_probability=1.0,
+                                 rng=np.random.default_rng(0))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "unfinished" in lines[0]
+        assert "resumed" in lines[1]
+
+
+class TestWriteFiles:
+    def test_filenames_follow_convention(self, tmp_path):
+        recorders = [
+            ProcessRecorder(cid="a", host="host1", rid=9042, pid=9054),
+            ProcessRecorder(cid="a", host="host2", rid=9043, pid=9055),
+        ]
+        for recorder in recorders:
+            recorder.record(call="read", start_us=10, dur_us=1,
+                            path="/x", fd=3, size=1, requested=1)
+        paths = write_trace_files(recorders, tmp_path)
+        assert sorted(p.name for p in paths) == [
+            "a_host1_9042.st", "a_host2_9043.st"]
+
+    def test_per_host_clock_offsets(self, tmp_path):
+        recorders = [
+            ProcessRecorder(cid="a", host="host1", rid=1, pid=1),
+            ProcessRecorder(cid="a", host="host2", rid=2, pid=2),
+        ]
+        for recorder in recorders:
+            recorder.record(call="read", start_us=0, dur_us=1,
+                            path="/x", fd=3, size=1, requested=1)
+        paths = write_trace_files(
+            recorders, tmp_path,
+            host_clock_offsets={"host2": 5_000_000})
+        text1 = (tmp_path / "a_host1_1.st").read_text()
+        text2 = (tmp_path / "a_host2_2.st").read_text()
+        assert "00:00:00.000000" in text1
+        assert "00:00:05.000000" in text2
+
+    def test_creates_directory(self, tmp_path):
+        recorder = ProcessRecorder(cid="a", host="h", rid=1, pid=1)
+        recorder.record(call="read", start_us=0, dur_us=1, path="/x",
+                        fd=3, size=1, requested=1)
+        out = tmp_path / "deep" / "dir"
+        write_trace_files([recorder], out)
+        assert (out / "a_h_1.st").exists()

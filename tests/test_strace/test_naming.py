@@ -1,0 +1,97 @@
+"""The <cid>_<host>_<rid>.st naming convention of Fig. 1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.errors import TraceParseError
+from repro.strace.naming import (
+    TraceFileName,
+    format_trace_filename,
+    parse_trace_filename,
+)
+
+
+class TestParse:
+    def test_paper_names(self):
+        name = parse_trace_filename("a_host1_9042.st")
+        assert name == TraceFileName(cid="a", host="host1", rid=9042)
+        assert name.case_id == "a9042"
+
+    def test_full_path_accepted(self):
+        name = parse_trace_filename("/traces/run1/b_host1_9157.st")
+        assert name.case_id == "b9157"
+
+    def test_host_with_underscores(self):
+        # Hosts like "jwc00_n01": first _ ends cid, last _ starts rid.
+        name = parse_trace_filename("x_jwc00_n01_77.st")
+        assert name.cid == "x"
+        assert name.host == "jwc00_n01"
+        assert name.rid == 77
+
+    def test_multichar_cid(self):
+        name = parse_trace_filename("mpiio_node01_40000.st")
+        assert name.cid == "mpiio"
+
+    @pytest.mark.parametrize("bad", [
+        "a_host1_9042.txt",      # wrong suffix
+        "ahost19042.st",         # no separators
+        "a_host1_.st",           # missing rid
+        "_host1_9042.st",        # empty cid
+        "a_host1_xyz.st",        # non-numeric rid
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(TraceParseError):
+            parse_trace_filename(bad)
+
+
+class TestFormat:
+    def test_paper_example(self):
+        assert format_trace_filename("a", "host1", 9042) == \
+            "a_host1_9042.st"
+
+    def test_filename_method(self):
+        assert TraceFileName("b", "host1", 9157).filename() == \
+            "b_host1_9157.st"
+
+    def test_cid_with_underscore_rejected(self):
+        with pytest.raises(ValueError):
+            format_trace_filename("a_b", "host1", 1)
+
+    def test_empty_cid_rejected(self):
+        with pytest.raises(ValueError):
+            format_trace_filename("", "host1", 1)
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            format_trace_filename("a", "", 1)
+
+    def test_negative_rid_rejected(self):
+        with pytest.raises(ValueError):
+            format_trace_filename("a", "host1", -1)
+
+
+@given(
+    cid=st.text(alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=8),
+    host=st.text(alphabet=st.characters(
+        whitelist_categories=("Ll", "Nd"), whitelist_characters="_"),
+        min_size=1, max_size=12).filter(
+            lambda h: not h.split("_")[-1].isdigit() or "_" not in h),
+    rid=st.integers(min_value=0, max_value=10**9),
+)
+def test_roundtrip_property(cid, host, rid):
+    """format → parse recovers the identity (for unambiguous hosts)."""
+    name = format_trace_filename(cid, host, rid)
+    parsed = parse_trace_filename(name)
+    assert parsed.cid == cid
+    assert parsed.host == host
+    assert parsed.rid == rid
+
+
+def test_ordering():
+    names = sorted([
+        TraceFileName("b", "host1", 9157),
+        TraceFileName("a", "host1", 9045),
+        TraceFileName("a", "host1", 9042),
+    ])
+    assert [n.case_id for n in names] == ["a9042", "a9045", "b9157"]

@@ -1,0 +1,101 @@
+"""Bag (multiset) algebra — the B(A_f*) container of activity-logs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.multiset import Bag
+
+elements = st.lists(st.sampled_from("abcde"), max_size=20)
+
+
+class TestConstruction:
+    def test_from_iterable_counts(self):
+        bag = Bag(["x", "x", "y"])
+        assert bag.multiplicity("x") == 2
+        assert bag.multiplicity("y") == 1
+        assert bag.multiplicity("z") == 0
+
+    def test_paper_example(self):
+        # Sec. IV: L_f(C) = {⟨a,a,b⟩², ⟨a,c⟩}
+        bag = Bag([("a", "a", "b"), ("a", "a", "b"), ("a", "c")])
+        assert bag.multiplicity(("a", "a", "b")) == 2
+        assert bag.multiplicity(("a", "c")) == 1
+        assert bag.total() == 3
+        assert len(bag) == 2  # distinct
+
+    def test_from_counts(self):
+        bag = Bag.from_counts({"x": 3, "y": 0})
+        assert bag.multiplicity("x") == 3
+        assert "y" not in bag
+
+    def test_from_counts_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bag.from_counts({"x": -1})
+
+    def test_empty(self):
+        bag = Bag()
+        assert bag.total() == 0
+        assert len(bag) == 0
+        assert list(bag) == []
+
+
+class TestAlgebra:
+    def test_union_keeps_multiplicities(self):
+        # L(Cx) = L(Ca) ⊎ L(Cb) in the paper sums multiplicities.
+        combined = Bag(["t1"] * 3) + Bag(["t1"] * 2 + ["t2"])
+        assert combined.multiplicity("t1") == 5
+        assert combined.multiplicity("t2") == 1
+
+    def test_difference_truncates_at_zero(self):
+        result = Bag(["a"]) - Bag(["a", "a", "b"])
+        assert result.total() == 0
+
+    def test_scalar_multiplication(self):
+        bag = Bag(["x", "y"]) * 3
+        assert bag.multiplicity("x") == 3
+        assert (0 * bag).total() == 0
+
+    def test_scalar_multiplication_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bag(["x"]) * -1
+
+    def test_subbag(self):
+        assert Bag(["a"]).issubbag(Bag(["a", "a"]))
+        assert not Bag(["a", "a"]).issubbag(Bag(["a"]))
+        assert Bag().issubbag(Bag(["a"]))
+
+    def test_iteration_with_multiplicity(self):
+        assert sorted(Bag(["a", "b", "a"])) == ["a", "a", "b"]
+
+    def test_equality_and_hash(self):
+        assert Bag(["a", "b", "a"]) == Bag(["b", "a", "a"])
+        assert hash(Bag(["a"])) == hash(Bag(["a"]))
+        assert Bag(["a"]) != Bag(["a", "a"])
+
+
+class TestProperties:
+    @given(elements, elements)
+    def test_union_commutative(self, xs, ys):
+        assert Bag(xs) + Bag(ys) == Bag(ys) + Bag(xs)
+
+    @given(elements, elements, elements)
+    def test_union_associative(self, xs, ys, zs):
+        a, b, c = Bag(xs), Bag(ys), Bag(zs)
+        assert (a + b) + c == a + (b + c)
+
+    @given(elements)
+    def test_union_with_empty_is_identity(self, xs):
+        assert Bag(xs) + Bag() == Bag(xs)
+
+    @given(elements, elements)
+    def test_total_is_additive(self, xs, ys):
+        assert (Bag(xs) + Bag(ys)).total() == len(xs) + len(ys)
+
+    @given(elements)
+    def test_concatenation_equals_bag_sum(self, xs):
+        half = len(xs) // 2
+        assert Bag(xs[:half]) + Bag(xs[half:]) == Bag(xs)
+
+    @given(elements, st.integers(min_value=0, max_value=5))
+    def test_scalar_distributes(self, xs, k):
+        assert Bag(xs) * k == Bag(xs * k)

@@ -1,0 +1,96 @@
+"""Byte/rate formatting — the exact strings of the paper's node labels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.sizes import format_bytes, format_rate, parse_size
+
+
+class TestFormatBytes:
+    def test_paper_fig3_usr_lib(self):
+        # Fig. 3b: "Load:0.22 (14.98 KB)"
+        assert format_bytes(14980) == "14.98 KB"
+
+    def test_paper_fig8_gigabytes(self):
+        # Fig. 8a: "(9.66 GB)"
+        assert format_bytes(9.66e9) == "9.66 GB"
+
+    def test_paper_fig8_megabytes(self):
+        # Fig. 8a: "(825.82 MB)"
+        assert format_bytes(825.82e6) == "825.82 MB"
+
+    def test_sub_kilobyte_plain_bytes(self):
+        # Fig. 3b write:/dev/pts moves 0.75 KB; below 1 KB we print B.
+        assert format_bytes(750) == "750 B"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_fractional_bytes(self):
+        assert format_bytes(0.5) == "0.50 B"
+
+    def test_terabytes(self):
+        assert format_bytes(2.5e12) == "2.50 TB"
+
+    def test_exact_boundary_1kb(self):
+        assert format_bytes(1000) == "1.00 KB"
+
+    def test_decimals_parameter(self):
+        assert format_bytes(1500, decimals=0) == "2 KB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatRate:
+    def test_paper_fig3_rate(self):
+        # Fig. 3b: "DR: 2x10.15 MB/s"
+        assert format_rate(10.15e6) == "10.15 MB/s"
+
+    def test_paper_fig8_high_rate_stays_mb(self):
+        # Fig. 8a: "96x3175.20 MB/s" — never switches to GB/s.
+        assert format_rate(3175.2e6) == "3175.20 MB/s"
+
+    def test_slow_rate(self):
+        assert format_rate(0.61e6) == "0.61 MB/s"
+
+    def test_zero(self):
+        assert format_rate(0) == "0.00 MB/s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_rate(-5.0)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("14.98 KB", 14980.0),
+        ("9.66 GB", 9.66e9),
+        ("512 B", 512.0),
+        ("2.50 TB", 2.5e12),
+        ("825.82 MB", 825.82e6),
+    ])
+    def test_round_values(self, text, expected):
+        assert parse_size(text) == pytest.approx(expected)
+
+    def test_case_insensitive(self):
+        assert parse_size("1.5 kb") == pytest.approx(1500.0)
+
+    @pytest.mark.parametrize("bad", ["", "KB", "1.5 XB", "abc", "1..2 KB"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    @given(st.floats(min_value=0, max_value=1e13,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_within_precision(self, value):
+        """parse(format(x)) stays within the printed precision."""
+        text = format_bytes(value)
+        recovered = parse_size(text)
+        # Two decimals of the chosen unit: error bound is half a unit
+        # of the last printed digit.
+        if value >= 1000:
+            assert abs(recovered - value) / value < 0.01
+        else:
+            assert abs(recovered - value) <= 0.5

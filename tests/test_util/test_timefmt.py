@@ -1,0 +1,89 @@
+"""Wall-clock and duration parsing (strace -tt / -T formats)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.timefmt import (
+    MICROSECONDS_PER_DAY,
+    format_duration,
+    format_wallclock,
+    micros_to_seconds,
+    parse_duration,
+    parse_wallclock,
+)
+
+
+class TestWallclock:
+    def test_paper_fig2a_stamp(self):
+        us = parse_wallclock("08:55:54.153994")
+        assert us == ((8 * 3600 + 55 * 60 + 54) * 1_000_000 + 153994)
+
+    def test_midnight(self):
+        assert parse_wallclock("00:00:00.000000") == 0
+
+    def test_last_microsecond_of_day(self):
+        us = parse_wallclock("23:59:59.999999")
+        assert us == MICROSECONDS_PER_DAY - 1
+
+    @pytest.mark.parametrize("bad", [
+        "8:55:54.153994",      # missing zero pad
+        "08:55:54.1539",       # short microseconds
+        "08:55:54",            # no microseconds at all
+        "24:00:00.000000",     # hour out of range
+        "08:61:54.153994",     # minutes out of range
+        "banana",
+        "",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_wallclock(bad)
+
+    def test_format_roundtrip_paper_value(self):
+        text = "08:55:54.153994"
+        assert format_wallclock(parse_wallclock(text)) == text
+
+    def test_format_wraps_past_midnight(self):
+        us = parse_wallclock("23:59:59.999999")
+        assert format_wallclock(us + 2) == "00:00:00.000001"
+
+    def test_format_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_wallclock(-1)
+
+    @given(st.integers(min_value=0, max_value=MICROSECONDS_PER_DAY - 1))
+    def test_roundtrip_property(self, us):
+        assert parse_wallclock(format_wallclock(us)) == us
+
+
+class TestDuration:
+    def test_paper_fig2a_duration(self):
+        assert parse_duration("<0.000203>") == 203
+
+    def test_multisecond(self):
+        assert parse_duration("<12.345678>") == 12_345_678
+
+    @pytest.mark.parametrize("bad", [
+        "0.000203",        # no angle brackets
+        "<0.0002>",        # five digits
+        "<0,000203>",
+        "<>",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_duration(bad)
+
+    def test_format(self):
+        assert format_duration(203) == "<0.000203>"
+        assert format_duration(12_345_678) == "<12.345678>"
+
+    def test_format_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-3)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_roundtrip_property(self, us):
+        assert parse_duration(format_duration(us)) == us
+
+
+def test_micros_to_seconds():
+    assert micros_to_seconds(1_500_000) == pytest.approx(1.5)
