@@ -7,6 +7,9 @@ Graphs (DFGs) annotated with I/O statistics, and compares programs or
 configurations via graph coloring. Subpackages:
 
 - :mod:`repro.strace` — strace trace parsing (Sec. III).
+- :mod:`repro.ingest` — the scale-out ingestion engine: streaming
+  tokenization, process-pool fan-out (``workers=``), sharded DFG
+  construction over the union algebra.
 - :mod:`repro.elstore` — the single-file event-log container (the
   paper's HDF5 store, reimplemented; see DESIGN.md §2).
 - :mod:`repro.core` — event-log formalism, DFG synthesis, statistics,

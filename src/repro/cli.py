@@ -34,15 +34,41 @@ from repro.core.statistics import IOStatistics
 from repro.pipeline.report import activity_report, comparison_report
 
 
-def _load(source: str) -> EventLog:
+def _load(source: str, *, workers: int | None = None,
+          recursive: bool = False, strict: bool = True) -> EventLog:
     path = Path(source)
     if path.is_dir():
-        return EventLog.from_strace_dir(path)
+        return EventLog.from_strace_dir(path, workers=workers,
+                                        recursive=recursive,
+                                        strict=strict)
     if path.suffix.lower() == ".csv":
         from repro.adapters.csv_log import read_csv_log
 
         return read_csv_log(path)
     return EventLog.from_store(path)
+
+
+def _load_args(args: argparse.Namespace) -> EventLog:
+    """Load ``args.source`` honoring the ingest flags when present."""
+    return _load(args.source,
+                 workers=getattr(args, "workers", None),
+                 recursive=getattr(args, "recursive", False),
+                 strict=not getattr(args, "lenient", False))
+
+
+def _add_ingest_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="parse trace files on N processes when the "
+                             "source is a directory (default: auto-detect "
+                             "from the available CPUs; 1 = sequential)")
+    parser.add_argument("--recursive", action="store_true",
+                        help="also discover .st files in nested "
+                             "subdirectories (per-host trace layouts)")
+    parser.add_argument("--lenient", action="store_true",
+                        help="tolerate corrupt input: undecodable bytes "
+                             "become U+FFFD (counted, warned) and orphan "
+                             "resumed records are skipped instead of "
+                             "aborting the parse")
 
 
 def _mapping(args: argparse.Namespace):
@@ -61,6 +87,7 @@ def _mapping(args: argparse.Namespace):
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("source", help=".st directory or .elog store")
+    _add_ingest_options(parser)
     parser.add_argument("--filter", default=None, metavar="SUBSTR",
                         help="keep only events whose path contains SUBSTR")
     parser.add_argument("--mapping", default="topdirs",
@@ -75,7 +102,7 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _prepared_log(args: argparse.Namespace) -> EventLog:
-    log = _load(args.source)
+    log = _load_args(args)
     if args.filter:
         log.apply_fp_filter(args.filter)
     if args.exclude_calls:
@@ -129,7 +156,10 @@ def cmd_simulate_ior(args: argparse.Namespace) -> int:
 def cmd_convert(args: argparse.Namespace) -> int:
     from repro.elstore.convert import convert_strace_dir
 
-    out = convert_strace_dir(args.trace_dir, args.output)
+    out = convert_strace_dir(args.trace_dir, args.output,
+                             workers=args.workers,
+                             recursive=args.recursive,
+                             strict=not args.lenient)
     from repro.elstore.reader import EventLogStore
 
     store = EventLogStore(out)
@@ -264,7 +294,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_counters(args: argparse.Namespace) -> int:
     from repro.pipeline.counters import counters_report
 
-    log = _load(args.source)
+    log = _load_args(args)
     if args.filter:
         log.apply_fp_filter(args.filter)
     print(counters_report(log, top=args.top), end="")
@@ -275,7 +305,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from repro.pipeline.validate import validate_event_log, \
         validation_report
 
-    log = _load(args.source)
+    log = _load_args(args)
     print(validation_report(log), end="")
     issues = validate_event_log(log)
     return 1 if any(i.severity == "error" for i in issues) else 0
@@ -284,7 +314,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_export_csv(args: argparse.Namespace) -> int:
     from repro.adapters.csv_log import write_csv_log
 
-    log = _load(args.source)
+    log = _load_args(args)
     out = write_csv_log(log, args.output)
     print(f"wrote {out} ({log.n_events} events)")
     return 0
@@ -324,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pack .st traces into an .elog store")
     p.add_argument("trace_dir")
     p.add_argument("output")
+    _add_ingest_options(p)
     p.set_defaults(fn=cmd_convert)
 
     p = sub.add_parser("synthesize", help="build and render the DFG")
@@ -367,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("counters",
                        help="Darshan-style per-case counters")
     p.add_argument("source", help=".st directory or .elog store")
+    _add_ingest_options(p)
     p.add_argument("--filter", default=None, metavar="SUBSTR")
     p.add_argument("--top", type=int, default=None)
     p.set_defaults(fn=cmd_counters)
@@ -375,12 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check the log against the Sec. III/IV "
                             "preconditions")
     p.add_argument("source", help=".st directory or .elog store")
+    _add_ingest_options(p)
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("export-csv",
                        help="export the event-log as CSV (tool-agnostic)")
     p.add_argument("source", help=".st directory or .elog store")
     p.add_argument("output")
+    _add_ingest_options(p)
     p.set_defaults(fn=cmd_export_csv)
 
     p = sub.add_parser("variants",

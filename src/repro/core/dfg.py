@@ -146,17 +146,28 @@ class DFG:
 
         Satisfies ``DFG(L1 ⊎ L2) == DFG(L1) | DFG(L2)``.
         """
-        merged = DFG()
-        merged._edges = dict(self._edges)
-        for edge, count in other._edges.items():
-            merged._edges[edge] = merged._edges.get(edge, 0) + count
-        merged._node_freq = dict(self._node_freq)
-        for node, freq in other._node_freq.items():
-            merged._node_freq[node] = merged._node_freq.get(node, 0) + freq
-        return merged
+        return DFG.union_all((self, other))
 
     def __or__(self, other: "DFG") -> "DFG":
         return self.union(other)
+
+    @classmethod
+    def union_all(cls, dfgs: "Iterable[DFG]") -> "DFG":
+        """Fold any number of shard graphs into one (n-ary union).
+
+        ``DFG.union_all(DFG(L(c)) for c in cases) == DFG(L(C))`` — the
+        merge step of sharded ingestion (:mod:`repro.ingest.shards`).
+        Accumulates in place, so folding k shards with e edges each is
+        O(k·e) rather than the O(k²·e) of repeated binary union.
+        """
+        merged = cls()
+        for dfg in dfgs:
+            for edge, count in dfg._edges.items():
+                merged._edges[edge] = merged._edges.get(edge, 0) + count
+            for node, freq in dfg._node_freq.items():
+                merged._node_freq[node] = \
+                    merged._node_freq.get(node, 0) + freq
+        return merged
 
     def exclusive_nodes(self, other: "DFG") -> set[str]:
         """Nodes present here but not in ``other`` (sentinels excluded —

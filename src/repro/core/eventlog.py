@@ -43,12 +43,21 @@ class EventLog:
 
     @classmethod
     def from_strace_dir(cls, directory, *, cids: set[str] | None = None,
-                        strict: bool = True) -> "EventLog":
-        """Read every ``<cid>_<host>_<rid>.st`` file in a directory."""
-        from repro.strace.reader import read_trace_dir
+                        strict: bool = True, recursive: bool = False,
+                        workers: int | None = None) -> "EventLog":
+        """Read every ``<cid>_<host>_<rid>.st`` file in a directory.
 
-        cases = read_trace_dir(directory, cids=cids, strict=strict)
-        return cls(EventFrame.from_cases(cases))
+        ``workers`` fans per-file parsing out over a process pool
+        (``None`` auto-detects, ``1`` forces the sequential path; the
+        resulting log is identical either way — workers columnarize
+        cases in place and only arrays cross the process boundary).
+        ``recursive`` descends into nested per-host subdirectories.
+        """
+        from repro.ingest.parallel import ingest_event_frame
+
+        return cls(ingest_event_frame(directory, cids=cids,
+                                      strict=strict, recursive=recursive,
+                                      workers=workers))
 
     @classmethod
     def from_cases(cls, cases, pools: FramePools | None = None) -> "EventLog":

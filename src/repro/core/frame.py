@@ -117,51 +117,19 @@ class EventFrame:
         per-record pid/call/start/dur/fp/size. Records within each case
         arrive already sorted by start timestamp (reader guarantee);
         cases are laid out contiguously.
+
+        Implemented as columnarize-then-assemble on the parallel-ingest
+        wire format (:mod:`repro.ingest.parallel`), so the sequential
+        and fanned-out paths share one interning sequence by
+        construction.
         """
-        pools = pools or FramePools()
-        case_codes: list[int] = []
-        cid_codes: list[int] = []
-        host_codes: list[int] = []
-        rids: list[int] = []
-        pids: list[int] = []
-        call_codes: list[int] = []
-        starts: list[int] = []
-        durs: list[int] = []
-        fp_codes: list[int] = []
-        sizes: list[int] = []
-        for case in cases:
-            case_code = pools.cases.intern(case.case_id)
-            cid_code = pools.cids.intern(case.name.cid)
-            host_code = pools.hosts.intern(case.name.host)
-            for record in case.records:
-                case_codes.append(case_code)
-                cid_codes.append(cid_code)
-                host_codes.append(host_code)
-                rids.append(case.name.rid)
-                pids.append(record.pid)
-                call_codes.append(pools.calls.intern(record.call))
-                starts.append(record.start_us)
-                durs.append(record.dur_us if record.dur_us is not None
-                            else MISSING)
-                fp_codes.append(pools.paths.intern(record.fp)
-                                if record.fp is not None else MISSING)
-                sizes.append(record.size if record.size is not None
-                             else MISSING)
-        n = len(case_codes)
-        columns = {
-            "case": np.array(case_codes, dtype=np.int32),
-            "cid": np.array(cid_codes, dtype=np.int32),
-            "host": np.array(host_codes, dtype=np.int32),
-            "rid": np.array(rids, dtype=np.int64),
-            "pid": np.array(pids, dtype=np.int64),
-            "call": np.array(call_codes, dtype=np.int32),
-            "start": np.array(starts, dtype=np.int64),
-            "dur": np.array(durs, dtype=np.int64),
-            "fp": np.array(fp_codes, dtype=np.int32),
-            "size": np.array(sizes, dtype=np.int64),
-            "activity": np.full(n, MISSING, dtype=np.int32),
-        }
-        return cls(pools, columns)
+        from repro.ingest.parallel import (
+            case_to_columns,
+            frame_from_case_columns,
+        )
+
+        return frame_from_case_columns(
+            [case_to_columns(case) for case in cases], pools)
 
     # -- basic shape ---------------------------------------------------------
 

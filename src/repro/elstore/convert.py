@@ -13,7 +13,6 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.strace.reader import read_trace_dir
 from repro.elstore.writer import DEFAULT_CHUNK_VALUES, EventLogWriter
 
 
@@ -23,17 +22,40 @@ def convert_strace_dir(
     *,
     cids: set[str] | None = None,
     strict: bool = True,
+    recursive: bool = False,
+    workers: int | None = None,
     chunk_values: int = DEFAULT_CHUNK_VALUES,
 ) -> Path:
     """Parse a directory of strace files into one ``.elog`` container.
+
+    Parsing fans out over ``workers`` processes (``None`` auto-detects;
+    see :mod:`repro.ingest`) which columnarize each case in place; the
+    parent streams the columns into the container as they arrive, so
+    memory stays O(case) and the written bytes are identical for every
+    worker count (the store is append-ordered and discovery order is
+    sorted). ``recursive`` descends into nested per-host trace layouts.
 
     Returns the destination path. Raises
     :class:`~repro._util.errors.TraceParseError` if any file fails to
     parse (the container is not left half-written — the writer removes
     the file on error).
     """
-    cases = read_trace_dir(source_dir, cids=cids, strict=strict)
+    from repro.ingest.parallel import iter_case_columns, resolve_workers
+    from repro.strace.reader import discover_trace_files
+
+    found = discover_trace_files(source_dir, cids=cids,
+                                 recursive=recursive)
+    count = resolve_workers(workers, len(found))
     with EventLogWriter(dest_path, chunk_values=chunk_values) as writer:
-        for case in cases:
-            writer.add_case_records(case.name, case.records)
+        for case in iter_case_columns(found, strict=strict,
+                                      workers=count):
+            writer.add_case_arrays(
+                case_id=case.name.case_id,
+                cid=case.name.cid,
+                host=case.name.host,
+                rid=case.name.rid,
+                columns=case.columns(),
+                call_strings=case.calls,
+                path_strings=case.paths,
+            )
     return Path(dest_path)

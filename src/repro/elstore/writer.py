@@ -164,44 +164,20 @@ class EventLogWriter:
 
     def add_case_records(self, name: "TraceFileName",
                          records: "list[ParsedRecord]") -> None:
-        """Add one case from parsed strace records (reader output)."""
-        calls: list[str] = []
-        call_index: dict[str, int] = {}
-        paths: list[str] = []
-        path_index: dict[str, int] = {}
+        """Add one case from parsed strace records (reader output).
 
-        def intern_local(value: str, strings: list[str],
-                         index: dict[str, int]) -> int:
-            code = index.get(value)
-            if code is None:
-                code = len(strings)
-                index[value] = code
-                strings.append(value)
-            return code
+        Columnarization is shared with the parallel-ingest wire format
+        (:func:`repro.ingest.parallel.case_to_columns`), so records
+        stream into the store and across process pools identically.
+        """
+        from repro.ingest.parallel import case_to_columns
+        from repro.strace.reader import TraceCase
 
-        n = len(records)
-        columns = {
-            "pid": np.empty(n, dtype=np.int64),
-            "call": np.empty(n, dtype=np.int32),
-            "start": np.empty(n, dtype=np.int64),
-            "dur": np.empty(n, dtype=np.int64),
-            "fp": np.empty(n, dtype=np.int32),
-            "size": np.empty(n, dtype=np.int64),
-        }
-        for i, record in enumerate(records):
-            columns["pid"][i] = record.pid
-            columns["call"][i] = intern_local(record.call, calls, call_index)
-            columns["start"][i] = record.start_us
-            columns["dur"][i] = (record.dur_us
-                                 if record.dur_us is not None else -1)
-            columns["fp"][i] = (intern_local(record.fp, paths, path_index)
-                                if record.fp is not None else -1)
-            columns["size"][i] = (record.size
-                                  if record.size is not None else -1)
+        case = case_to_columns(TraceCase(name=name, records=records))
         self.add_case_arrays(
             case_id=name.case_id, cid=name.cid, host=name.host,
-            rid=name.rid, columns=columns,
-            call_strings=calls, path_strings=paths)
+            rid=name.rid, columns=case.columns(),
+            call_strings=case.calls, path_strings=case.paths)
 
     def close(self) -> None:
         """Write the TOC, patch the header, close the file."""

@@ -1,0 +1,144 @@
+"""Streaming tokenization: trace file → token generator, O(1) memory.
+
+The original reader materialized every line of a trace file into a
+``list[Token]`` before the unfinished/resumed merge — for multi-GB
+traces that list dominates peak memory even though the merge itself
+only ever needs the per-pid in-flight slot (Sec. III). This module
+replaces the list with a generator pipeline::
+
+    open(file) → decode line → tokenize_line → (merge_unfinished)
+
+:class:`TokenStream` is the file-side half: it opens the trace lazily,
+decodes it line by line, classifies each line with
+:func:`~repro.strace.tokenizer.tokenize_line` and yields
+:class:`~repro.strace.tokenizer.Token` objects one at a time. The
+merger (:func:`~repro.strace.resume.merge_unfinished`) consumes any
+token iterable, so the two halves compose without an intermediate list.
+
+Decoding is done from bytes so that undecodable input is *diagnosed*
+instead of silently smoothed over: the old text-mode
+``errors="replace"`` swallowed bad bytes with no trace. A
+:class:`TokenStream` counts every replacement character it has to
+introduce (exposed as :attr:`TokenStream.decode_replacements`, surfaced
+as ``MergeStats.decode_replacements`` by the reader) and, under
+``strict=True``, raises :class:`~repro._util.errors.TraceParseError` at
+the offending line instead of continuing.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro._util.errors import TraceParseError
+from repro.strace.tokenizer import Token, tokenize_line
+
+#: The replacement character produced by ``errors="replace"`` decoding.
+REPLACEMENT_CHAR = "�"
+
+#: The universal-newline terminators of the pre-streaming text reader,
+#: as bytes: splitting before decoding is safe for UTF-8 because the
+#: 0x0A/0x0D bytes never occur inside a multi-byte sequence.
+_NEWLINE_BYTES_RE = re.compile(b"\r\n|\r|\n")
+
+#: Read granularity of the chunked line splitter.
+_CHUNK_BYTES = 1 << 16
+
+
+def _iter_raw_lines(handle, chunk_size: int = _CHUNK_BYTES):
+    """Yield logical lines (terminators stripped) from a binary stream.
+
+    Splits on the universal-newline terminators ``\\r\\n``, ``\\r``,
+    ``\\n`` — matching the pre-streaming text-mode reader — while
+    holding at most ``chunk_size`` plus one logical line in memory.
+    Plain ``for line in handle`` splits on ``\\n`` only, which would
+    read a whole CR-terminated file as one "line".
+    """
+    carry = b""
+    while True:
+        chunk = handle.read(chunk_size)
+        if not chunk:
+            break
+        data = carry + chunk
+        # Hold back a trailing '\r': it may pair with a '\n' that
+        # starts the next chunk.
+        if data.endswith(b"\r"):
+            data, hold = data[:-1], b"\r"
+        else:
+            hold = b""
+        pieces = _NEWLINE_BYTES_RE.split(data)
+        carry = pieces.pop() + hold
+        yield from pieces
+    if carry.endswith(b"\r"):  # lone '\r' at EOF terminates the line
+        carry = carry[:-1]
+    if carry:
+        yield carry
+
+
+class TokenStream:
+    """A restartable iterable of the tokens of one trace file.
+
+    Each iteration re-opens the file and streams it front to back;
+    nothing beyond the current line is held in memory. Diagnostic
+    counters (:attr:`decode_replacements`, :attr:`n_lines`) reflect the
+    most recent (possibly in-progress) iteration.
+
+    Parameters
+    ----------
+    path:
+        The trace file to stream.
+    strict:
+        If True, lines containing bytes that are not valid UTF-8 raise
+        :class:`TraceParseError`; if False they are decoded with
+        U+FFFD replacements, which are counted.
+    default_pid:
+        Forwarded to :func:`tokenize_line` for pid-less traces.
+    """
+
+    __slots__ = ("path", "strict", "default_pid", "decode_replacements",
+                 "n_lines")
+
+    def __init__(self, path: str | os.PathLike[str], *,
+                 strict: bool = True, default_pid: int = 0) -> None:
+        self.path = Path(path)
+        self.strict = strict
+        self.default_pid = default_pid
+        self.decode_replacements = 0
+        self.n_lines = 0
+
+    def __iter__(self) -> Iterator[Token]:
+        self.decode_replacements = 0
+        self.n_lines = 0
+        path_str = str(self.path)
+        with open(self.path, "rb") as handle:
+            for lineno, raw in enumerate(_iter_raw_lines(handle),
+                                         start=1):
+                self.n_lines = lineno
+                try:
+                    text = raw.decode("utf-8")
+                except UnicodeDecodeError:
+                    text = raw.decode("utf-8", errors="replace")
+                    # Count only the characters *introduced* by the
+                    # replace decode — a line may legitimately contain
+                    # U+FFFD (encoded as EF BF BD) already.
+                    replaced = max(
+                        text.count(REPLACEMENT_CHAR)
+                        - raw.count("\N{REPLACEMENT CHARACTER}".encode()),
+                        1)
+                    self.decode_replacements += replaced
+                    if self.strict:
+                        raise TraceParseError(
+                            f"{replaced} undecodable byte(s); the trace is "
+                            f"corrupt or not UTF-8 — pass strict=False "
+                            f"(CLI: --lenient) to continue with U+FFFD "
+                            f"replacements",
+                            path=path_str, lineno=lineno, line=text)
+                if not text.strip():
+                    continue
+                yield tokenize_line(text, path=path_str, lineno=lineno,
+                                    default_pid=self.default_pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenStream({str(self.path)!r})"

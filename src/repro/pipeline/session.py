@@ -49,8 +49,16 @@ class InspectionSession:
 
     @classmethod
     def from_strace_dir(cls, directory: str | os.PathLike[str], *,
-                        cids: set[str] | None = None) -> "InspectionSession":
-        return cls(EventLog.from_strace_dir(directory, cids=cids))
+                        cids: set[str] | None = None,
+                        strict: bool = True,
+                        recursive: bool = False,
+                        workers: int | None = None) -> "InspectionSession":
+        """Start a session from raw traces; ``strict``/``workers``/
+        ``recursive`` are forwarded to the ingestion engine
+        (:mod:`repro.ingest`)."""
+        return cls(EventLog.from_strace_dir(
+            directory, cids=cids, strict=strict, recursive=recursive,
+            workers=workers))
 
     @classmethod
     def from_store(cls, path: str | os.PathLike[str]) -> "InspectionSession":

@@ -22,7 +22,10 @@ Layering (bottom → top):
 - :mod:`repro.strace.naming` — the ``<cid>_<host>_<rid>.st`` trace-file
   naming convention of Fig. 1.
 - :mod:`repro.strace.reader` — reads files/directories into
-  per-case record lists ready for event-log construction.
+  per-case record lists ready for event-log construction. Reading
+  streams (one line in memory at a time, via
+  :mod:`repro.ingest.streaming`) and directories can be parsed on a
+  process pool (``workers=``, via :mod:`repro.ingest.parallel`).
 """
 
 from repro.strace.syscalls import (
@@ -38,7 +41,12 @@ from repro.strace.tokenizer import RecordKind, Token, tokenize_line
 from repro.strace.parser import ParsedRecord, parse_line, parse_body
 from repro.strace.resume import merge_unfinished, MergeStats
 from repro.strace.naming import TraceFileName, parse_trace_filename, format_trace_filename
-from repro.strace.reader import TraceCase, read_trace_file, read_trace_dir
+from repro.strace.reader import (
+    TraceCase,
+    discover_trace_files,
+    read_trace_file,
+    read_trace_dir,
+)
 
 __all__ = [
     "SyscallSpec",
@@ -60,6 +68,7 @@ __all__ = [
     "parse_trace_filename",
     "format_trace_filename",
     "TraceCase",
+    "discover_trace_files",
     "read_trace_file",
     "read_trace_dir",
 ]

@@ -6,11 +6,21 @@ produces one :class:`TraceCase` per file: tokenize every line, merge
 unfinished/resumed pairs, drop ERESTARTSYS records, and keep the result
 sorted by start timestamp — the exact preprocessing Sec. III prescribes
 before events enter the event-log formalism.
+
+Since the ingestion engine landed (:mod:`repro.ingest`), both steps
+stream: :func:`read_trace_file` pipes a lazy
+:class:`~repro.ingest.streaming.TokenStream` straight into
+:func:`~repro.strace.resume.merge_unfinished`, so the full token list
+of a file never exists in memory, and :func:`read_trace_dir` can fan
+the per-file work out over a process pool (``workers=``) — safe because
+cases are independent by construction and the resulting case list is
+ordered by file path either way.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -18,7 +28,6 @@ from repro._util.errors import TraceParseError
 from repro.strace.naming import TRACE_SUFFIX, TraceFileName, parse_trace_filename
 from repro.strace.parser import ParsedRecord
 from repro.strace.resume import MergeStats, merge_unfinished
-from repro.strace.tokenizer import Token, tokenize_line
 
 
 @dataclass(slots=True)
@@ -32,7 +41,8 @@ class TraceCase:
     records:
         Parsed records sorted by start timestamp.
     merge_stats:
-        Diagnostics from the unfinished/resumed merge pass.
+        Diagnostics from the unfinished/resumed merge pass (plus the
+        reader's undecodable-byte count).
     source:
         The file the case was read from (None for synthetic cases).
     """
@@ -57,7 +67,7 @@ def read_trace_file(
     name: TraceFileName | None = None,
     strict: bool = True,
 ) -> TraceCase:
-    """Read and fully parse one ``.st`` trace file.
+    """Read and fully parse one ``.st`` trace file, streaming.
 
     Parameters
     ----------
@@ -68,23 +78,81 @@ def read_trace_file(
         Override the (cid, host, rid) identity (useful for files named
         outside the convention).
     strict:
-        Forwarded to the unfinished/resumed merger: orphan *resumed*
-        records raise when True.
+        Governs both the unfinished/resumed merger (orphan *resumed*
+        records raise when True) and byte-level decoding: undecodable
+        bytes raise when True, and are replaced with U+FFFD, counted in
+        ``merge_stats.decode_replacements`` and warned about when
+        False.
     """
+    # Imported here, not at module top: repro.ingest.streaming pulls in
+    # the tokenizer, whose package __init__ imports this module.
+    from repro.ingest.streaming import TokenStream
+
     file_path = Path(path)
     if name is None:
         name = parse_trace_filename(file_path.name)
-    tokens: list[Token] = []
-    with open(file_path, "r", encoding="utf-8", errors="replace") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            if not line.strip():
-                continue
-            tokens.append(
-                tokenize_line(line, path=str(file_path), lineno=lineno))
+    stream = TokenStream(file_path, strict=strict)
     records, stats = merge_unfinished(
-        tokens, path=str(file_path), strict=strict)
+        stream, path=str(file_path), strict=strict)
+    stats.decode_replacements = stream.decode_replacements
+    if stats.decode_replacements:
+        warnings.warn(
+            f"{file_path}: replaced {stats.decode_replacements} "
+            f"undecodable byte(s) with U+FFFD — the trace is corrupt "
+            f"or not UTF-8",
+            stacklevel=2)
     return TraceCase(name=name, records=records, merge_stats=stats,
                      source=file_path)
+
+
+def discover_trace_files(
+    directory: str | os.PathLike[str],
+    *,
+    cids: set[str] | None = None,
+    recursive: bool = False,
+) -> list[tuple[Path, TraceFileName]]:
+    """Find every ``*.st`` file in a directory, deterministically.
+
+    Files are returned sorted by path, so ingestion order — and with it
+    the case layout of every downstream frame — is reproducible
+    regardless of filesystem enumeration order or worker scheduling.
+    ``recursive=True`` descends into nested per-host subdirectories
+    (e.g. ``traces/<host>/<cid>_<host>_<rid>.st``); case identity still
+    comes from the basename alone, and a duplicate case id across
+    subdirectories is an error rather than a silent event merge.
+
+    Raises
+    ------
+    TraceParseError
+        If the directory does not exist, contains no matching trace
+        files, or two files map to the same case.
+    """
+    dir_path = Path(directory)
+    if not dir_path.is_dir():
+        raise TraceParseError(f"not a directory: {dir_path}")
+    if recursive:
+        entries = sorted(dir_path.rglob(f"*{TRACE_SUFFIX}"))
+    else:
+        entries = sorted(dir_path.iterdir())
+    found: list[tuple[Path, TraceFileName]] = []
+    seen: dict[str, Path] = {}
+    for entry in entries:
+        if entry.suffix != TRACE_SUFFIX or not entry.is_file():
+            continue
+        name = parse_trace_filename(entry.name)
+        if cids is not None and name.cid not in cids:
+            continue
+        previous = seen.get(name.case_id)
+        if previous is not None:
+            raise TraceParseError(
+                f"duplicate case {name.case_id!r}: {previous} and {entry}")
+        seen[name.case_id] = entry
+        found.append((entry, name))
+    if not found:
+        raise TraceParseError(
+            f"no {TRACE_SUFFIX} trace files found in {dir_path}"
+            + (f" for cids {sorted(cids)}" if cids else ""))
+    return found
 
 
 def read_trace_dir(
@@ -92,12 +160,23 @@ def read_trace_dir(
     *,
     cids: set[str] | None = None,
     strict: bool = True,
+    recursive: bool = False,
+    workers: int | None = None,
 ) -> list[TraceCase]:
     """Read every ``*.st`` file in a directory into cases.
 
     Files are discovered in sorted order for determinism. ``cids``
     optionally restricts to a subset of command identifiers — e.g.
     ``{"a"}`` reads only the ``ls`` run of the paper's Fig. 1 example.
+    ``recursive`` descends into nested subdirectories (per-host trace
+    layouts).
+
+    ``workers`` parses files concurrently on a process pool: ``None``
+    auto-detects from the available CPUs, ``1`` forces the exact
+    sequential path. Cases are independent per the paper's definition,
+    and results are returned in the same sorted-path order either way,
+    so the parallel path is observably identical to the sequential one
+    (a property the ingest test suite pins down).
 
     Raises
     ------
@@ -105,19 +184,8 @@ def read_trace_dir(
         If the directory contains no matching trace files, or any file
         fails to parse.
     """
-    dir_path = Path(directory)
-    if not dir_path.is_dir():
-        raise TraceParseError(f"not a directory: {dir_path}")
-    cases: list[TraceCase] = []
-    for entry in sorted(dir_path.iterdir()):
-        if entry.suffix != TRACE_SUFFIX or not entry.is_file():
-            continue
-        name = parse_trace_filename(entry.name)
-        if cids is not None and name.cid not in cids:
-            continue
-        cases.append(read_trace_file(entry, name=name, strict=strict))
-    if not cases:
-        raise TraceParseError(
-            f"no {TRACE_SUFFIX} trace files found in {dir_path}"
-            + (f" for cids {sorted(cids)}" if cids else ""))
-    return cases
+    found = discover_trace_files(directory, cids=cids, recursive=recursive)
+    from repro.ingest.parallel import read_cases, resolve_workers
+
+    return read_cases(found, strict=strict,
+                      workers=resolve_workers(workers, len(found)))

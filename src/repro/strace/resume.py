@@ -25,6 +25,7 @@ skipped here; the reader records their counts for diagnostics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro._util.errors import TraceParseError
 from repro.strace.parser import ParsedRecord, parse_body
@@ -55,6 +56,9 @@ class MergeStats:
     skipped_exits: int = 0
     orphan_unfinished: int = 0
     orphan_resumed: int = 0
+    #: Undecodable bytes replaced with U+FFFD while reading the file
+    #: (filled in by the reader; only non-zero under ``strict=False``).
+    decode_replacements: int = 0
 
 
 def _is_restart(record: ParsedRecord) -> bool:
@@ -62,7 +66,7 @@ def _is_restart(record: ParsedRecord) -> bool:
 
 
 def merge_unfinished(
-    tokens: list[Token],
+    tokens: Iterable[Token],
     *,
     path: str | None = None,
     strict: bool = True,
@@ -72,7 +76,10 @@ def merge_unfinished(
     Parameters
     ----------
     tokens:
-        Tokenized lines of *one* trace file, in file order.
+        Tokenized lines of *one* trace file, in file order. Any
+        iterable works — in particular a lazy
+        :class:`~repro.ingest.streaming.TokenStream`, so the full token
+        list of a file never needs to exist in memory.
     path:
         For error messages.
     strict:

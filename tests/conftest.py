@@ -13,6 +13,27 @@ from pathlib import Path
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="also run tests marked @pytest.mark.slow / .bench "
+             "(excluded from tier-1 to keep it fast)")
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden ingestion summaries under "
+             "tests/test_golden/golden/ instead of comparing")
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: list[pytest.Item]) -> None:
+    if config.getoption("--run-slow"):
+        return
+    skip = pytest.mark.skip(reason="needs --run-slow")
+    for item in items:
+        if "slow" in item.keywords or "bench" in item.keywords:
+            item.add_marker(skip)
+
 FIG2A_TEXT = """\
 9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, ..., 832) = 832 <0.000203>
 9054  08:55:54.156640 read(3</usr/lib/x86_64-linux-gnu/libc.so.6>, ..., 832) = 832 <0.000079>

@@ -1,0 +1,88 @@
+"""Recursive trace discovery in nested per-host layouts."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro._util.errors import TraceParseError
+from repro.core.eventlog import EventLog
+from repro.strace.reader import discover_trace_files, read_trace_dir
+
+
+@pytest.fixture()
+def nested_dir(workload_dirs, tmp_path):
+    """The ls traces rearranged into host subdirectories."""
+    root = tmp_path / "nested"
+    for index, (path, name) in enumerate(
+            discover_trace_files(workload_dirs["ls"])):
+        sub = root / f"host{index % 2 + 1}" / "rack0"
+        sub.mkdir(parents=True, exist_ok=True)
+        shutil.copy(path, sub / path.name)
+    return root
+
+
+class TestDiscovery:
+    def test_flat_scan_misses_nested_files(self, nested_dir):
+        with pytest.raises(TraceParseError, match="no .st trace files"):
+            discover_trace_files(nested_dir)
+
+    def test_recursive_finds_all(self, nested_dir, workload_dirs):
+        found = discover_trace_files(nested_dir, recursive=True)
+        flat = discover_trace_files(workload_dirs["ls"])
+        assert sorted(n.case_id for _, n in found) == \
+            sorted(n.case_id for _, n in flat)
+
+    def test_ordering_is_deterministic(self, nested_dir):
+        """Sorted by path — independent of filesystem enumeration and
+        repeatable across scans."""
+        first = [path for path, _ in
+                 discover_trace_files(nested_dir, recursive=True)]
+        second = [path for path, _ in
+                  discover_trace_files(nested_dir, recursive=True)]
+        assert first == second == sorted(first)
+
+    def test_duplicate_case_across_subdirs_rejected(self, nested_dir):
+        original = next(nested_dir.rglob("*.st"))
+        clone_dir = nested_dir / "host9"
+        clone_dir.mkdir()
+        shutil.copy(original, clone_dir / original.name)
+        with pytest.raises(TraceParseError, match="duplicate case"):
+            discover_trace_files(nested_dir, recursive=True)
+
+    def test_recursive_respects_cids(self, nested_dir):
+        found = discover_trace_files(nested_dir, cids={"a"},
+                                     recursive=True)
+        assert all(name.cid == "a" for _, name in found)
+        assert len(found) == 3
+
+
+class TestRecursiveIngestion:
+    def test_same_log_as_flat_layout(self, nested_dir, workload_dirs):
+        """Nesting changes discovery order, not content: same cases,
+        same events, same DFG as the flat directory (code pools differ
+        because interning follows discovery order)."""
+        from repro.core.dfg import DFG
+        from repro.core.mapping import CallTopDirs
+
+        mapping = CallTopDirs(levels=2)
+        nested = EventLog.from_strace_dir(nested_dir, recursive=True)
+        flat = EventLog.from_strace_dir(workload_dirs["ls"])
+        assert nested.case_ids() == flat.case_ids()
+        assert nested.n_events == flat.n_events
+        assert DFG(nested.with_mapping(mapping)) == \
+            DFG(flat.with_mapping(mapping))
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parallel_recursive(self, nested_dir, workers,
+                                logs_identical):
+        parallel = EventLog.from_strace_dir(nested_dir, recursive=True,
+                                            workers=workers)
+        sequential = EventLog.from_strace_dir(nested_dir,
+                                              recursive=True, workers=1)
+        logs_identical(parallel, sequential)
+
+    def test_read_trace_dir_recursive_flag(self, nested_dir):
+        cases = read_trace_dir(nested_dir, recursive=True)
+        assert len(cases) == 6

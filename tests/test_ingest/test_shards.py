@@ -1,0 +1,97 @@
+"""Sharded DFG construction and the union algebra it rests on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activity import ActivityLog
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallOnly, CallTopDirs
+from repro.ingest.shards import (
+    case_dfg,
+    dfg_from_trace_dir,
+    iter_case_dfgs,
+)
+from repro.strace.reader import read_trace_dir
+
+WORKLOADS = ("ls", "ior", "ckpt")
+
+
+class TestUnionAll:
+    def test_empty_fold_is_empty_graph(self):
+        merged = DFG.union_all([])
+        assert merged.n_nodes == 0
+        assert merged.n_edges == 0
+
+    def test_singleton_fold_is_identity(self):
+        dfg = DFG(ActivityLog([("●", "a", "b", "■")]))
+        assert DFG.union_all([dfg]) == dfg
+
+    def test_matches_repeated_binary_union(self):
+        shards = [
+            DFG(ActivityLog([("●", "a", "b", "■")])),
+            DFG(ActivityLog([("●", "b", "b", "■")])),
+            DFG(ActivityLog([("●", "a", "c", "■")])),
+        ]
+        folded = DFG.union_all(shards)
+        binary = shards[0] | shards[1] | shards[2]
+        assert folded == binary
+
+    def test_does_not_mutate_inputs(self):
+        left = DFG(ActivityLog([("●", "a", "■")]))
+        right = DFG(ActivityLog([("●", "a", "■")]))
+        before = left.edges()
+        DFG.union_all([left, right])
+        assert left.edges() == before
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestShardMergeCorrectness:
+    """The tentpole property: union of per-case shards == whole-log DFG
+    for every simulate workload."""
+
+    def test_iter_case_dfgs_folds_to_whole(self, workload_dirs,
+                                           workload):
+        log = EventLog.from_strace_dir(workload_dirs[workload]) \
+            .with_mapping(CallTopDirs(levels=2))
+        shards = [dfg for _, dfg in iter_case_dfgs(log)]
+        assert len(shards) == log.n_cases
+        assert DFG.union_all(shards) == DFG(log)
+
+    def test_case_dfg_matches_single_case_log(self, workload_dirs,
+                                              workload):
+        mapping = CallTopDirs(levels=2)
+        case = read_trace_dir(workload_dirs[workload])[0]
+        expected = DFG(EventLog.from_cases([case]).with_mapping(mapping))
+        assert case_dfg(case, mapping) == expected
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_dfg_from_trace_dir_equals_whole_log(self, workload_dirs,
+                                                 workload, workers):
+        mapping = CallTopDirs(levels=2)
+        sharded = dfg_from_trace_dir(workload_dirs[workload], mapping,
+                                     workers=workers)
+        whole = DFG(EventLog.from_strace_dir(workload_dirs[workload])
+                    .with_mapping(mapping))
+        assert sharded == whole
+
+
+class TestShardOptions:
+    def test_without_endpoints(self, workload_dirs):
+        mapping = CallOnly()
+        sharded = dfg_from_trace_dir(workload_dirs["ls"], mapping,
+                                     add_endpoints=False)
+        whole = DFG(EventLog.from_strace_dir(workload_dirs["ls"])
+                    .with_mapping(mapping), add_endpoints=False)
+        assert sharded == whole
+        assert sharded.nodes() == sharded.activities()  # no sentinels
+
+    def test_cids_filter(self, workload_dirs):
+        mapping = CallOnly()
+        sharded = dfg_from_trace_dir(workload_dirs["ls"], mapping,
+                                     cids={"b"})
+        whole = DFG(EventLog.from_strace_dir(workload_dirs["ls"],
+                                             cids={"b"})
+                    .with_mapping(mapping))
+        assert sharded == whole
