@@ -1,0 +1,166 @@
+"""Incremental live ingestion vs full re-ingest on a growing directory.
+
+The scenario the live subsystem exists for: a trace directory fills up
+over time (here, ``POLLS`` rounds of ``FILES_PER_POLL`` new files
+each — one IOR rank's trace per file) and an observer wants the
+current DFG after every round. Two strategies:
+
+- **full re-ingest** — batch-parse the whole directory from scratch at
+  every round (what the tooling forced before ``repro.live``): cost of
+  round *k* grows with the *total* bytes, O(k · file);
+- **incremental** — one :class:`~repro.live.engine.LiveIngest` polls
+  the directory and folds only the delta: cost of round *k* is the
+  *new* bytes, O(file).
+
+The bench times both, asserts the incremental DFG equals the batch one
+*after every round* (equivalence first, throughput second), and
+reports the totals: summed over n rounds the full-re-ingest strategy
+does O(n²/2) file-parses against the incremental O(n), so the expected
+advantage at 10 rounds is ~5x and grows linearly with the horizon.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_live_incremental.py
+    PYTHONPATH=src python benchmarks/bench_live_incremental.py --polls 20
+
+or through pytest (excluded from tier-1; the files are bench_*.py)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_live_incremental.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.live.engine import LiveIngest
+
+from conftest import paper_vs_measured
+
+#: Directory growth schedule: POLLS rounds x FILES_PER_POLL new files.
+POLLS = 10
+FILES_PER_POLL = 10
+
+MAPPING = CallTopDirs(levels=2)
+
+
+def build_source(directory: Path, *, polls: int,
+                 files_per_poll: int) -> list[Path]:
+    """Simulate one IOR rank per eventual file; returns sorted paths."""
+    from repro.simulate.strace_writer import (
+        EXPERIMENT_A_CALLS,
+        write_trace_files,
+    )
+    from repro.simulate.workloads.ior import IORConfig, simulate_ior
+
+    ranks = polls * files_per_poll
+    result = simulate_ior(IORConfig(
+        ranks=ranks, ranks_per_node=files_per_poll, segments=2,
+        cid="ior", seed=4242))
+    return sorted(write_trace_files(
+        result.recorders, directory, trace_calls=EXPERIMENT_A_CALLS,
+        unfinished_probability=0.1, seed=7))
+
+
+def run_growth(source_files: list[Path], live_dir: Path, *,
+               polls: int, files_per_poll: int) -> dict:
+    """Replay the growth schedule, timing both strategies per round."""
+    engine = LiveIngest(live_dir, mapping=MAPPING)
+    incremental_s = 0.0
+    full_s = 0.0
+    batch_dfg = None
+    for round_index in range(polls):
+        batch = source_files[round_index * files_per_poll:
+                             (round_index + 1) * files_per_poll]
+        for path in batch:
+            shutil.copy(path, live_dir / path.name)
+
+        begin = time.perf_counter()
+        engine.poll()
+        live_dfg = engine.snapshot_dfg()
+        incremental_s += time.perf_counter() - begin
+
+        begin = time.perf_counter()
+        log = EventLog.from_strace_dir(live_dir, workers=1)
+        batch_dfg = DFG(log.with_mapping(MAPPING))
+        full_s += time.perf_counter() - begin
+
+        assert live_dfg == batch_dfg, (
+            f"round {round_index + 1}: incremental DFG diverged "
+            f"from full re-ingest")
+    return {
+        "polls": polls,
+        "files": polls * files_per_poll,
+        "events": engine.total_events,
+        "edges": batch_dfg.n_edges,
+        "incremental_s": incremental_s,
+        "full_s": full_s,
+        "advantage": full_s / incremental_s,
+    }
+
+
+def report(result: dict) -> None:
+    paper_vs_measured(
+        f"live growth: {result['polls']} polls x "
+        f"{result['files'] // result['polls']} files "
+        f"({result['events']} events, {result['edges']} edges)",
+        [
+            ("full re-ingest / round", "O(total so far)",
+             f"{result['full_s'] * 1e3:.0f} ms total"),
+            ("incremental poll", "O(delta)",
+             f"{result['incremental_s'] * 1e3:.0f} ms total"),
+            ("advantage", f"~{result['polls'] / 2:.0f}x "
+                          f"(n/2 at n rounds)",
+             f"{result['advantage']:.2f}x"),
+        ])
+
+
+@pytest.mark.bench
+def test_incremental_beats_full_reingest(tmp_path):
+    source = tmp_path / "source"
+    live = tmp_path / "live"
+    source.mkdir()
+    live.mkdir()
+    files = build_source(source, polls=POLLS,
+                         files_per_poll=FILES_PER_POLL)
+    result = run_growth(files, live, polls=POLLS,
+                        files_per_poll=FILES_PER_POLL)
+    report(result)
+    # Equivalence is asserted per round inside run_growth; the
+    # throughput claim is conservative (theory says ~POLLS/2).
+    assert result["advantage"] >= 2.0, (
+        f"incremental polling should amortize far below repeated "
+        f"re-ingest, got {result['advantage']:.2f}x")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--polls", type=int, default=POLLS)
+    parser.add_argument("--files-per-poll", type=int,
+                        default=FILES_PER_POLL)
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        source = Path(tmp) / "source"
+        live = Path(tmp) / "live"
+        source.mkdir()
+        live.mkdir()
+        files = build_source(source, polls=args.polls,
+                             files_per_poll=args.files_per_poll)
+        result = run_growth(files, live, polls=args.polls,
+                            files_per_poll=args.files_per_poll)
+    report(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,10 @@ configurations via graph coloring. Subpackages:
   paper's HDF5 store, reimplemented; see DESIGN.md §2).
 - :mod:`repro.core` — event-log formalism, DFG synthesis, statistics,
   coloring, rendering (Sec. IV).
+- :mod:`repro.live` — incremental ingestion of *growing* trace
+  directories: byte-offset tailing with carry-over merge state, an
+  incrementally folded DFG, resumable checkpoints, and the
+  ``st-inspector watch`` refresh loop.
 - :mod:`repro.simulate` — discrete-event simulator of HPC I/O workloads
   (IOR, ``ls``) over a GPFS-like filesystem model, emitting authentic
   strace text (substitute for the paper's JUWELS testbed).

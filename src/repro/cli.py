@@ -56,8 +56,44 @@ def _load_args(args: argparse.Namespace) -> EventLog:
                  strict=not getattr(args, "lenient", False))
 
 
+def _workers_arg(text: str) -> int:
+    """argparse type for ``--workers``: a positive integer, rejected at
+    parse time with a readable message instead of a pool failure."""
+    try:
+        return _positive_int_arg(text)
+    except argparse.ArgumentTypeError as exc:
+        raise argparse.ArgumentTypeError(
+            f"{exc}; omit the flag to auto-detect") from None
+
+
+def _nonneg_float_arg(text: str) -> float:
+    """argparse type for ``--interval``: a non-negative number
+    (``time.sleep`` rejects negatives with a raw traceback)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid float value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {value})")
+    return value
+
+
+def _positive_int_arg(text: str) -> int:
+    """argparse type for ``--polls``: a positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
+
+
 def _add_ingest_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=None, metavar="N",
+    parser.add_argument("--workers", type=_workers_arg, default=None,
+                        metavar="N",
                         help="parse trace files on N processes when the "
                              "source is a directory (default: auto-detect "
                              "from the available CPUs; 1 = sequential)")
@@ -301,6 +337,25 @@ def cmd_counters(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.live.engine import LiveIngest
+    from repro.live.watch import run_watch
+
+    engine = LiveIngest(
+        args.directory,
+        mapping=_mapping(args),
+        strict=not args.lenient,
+        recursive=args.recursive,
+        # Records feed only the statistics of the rendered DFG; the
+        # summary-only mode keeps memory bounded by the graph.
+        keep_records=not args.no_dfg,
+        checkpoint=args.checkpoint,
+    )
+    polls = 1 if args.once else args.polls
+    return run_watch(engine, interval=args.interval, polls=polls,
+                     show_dfg=not args.no_dfg, top=args.top)
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.pipeline.validate import validate_event_log, \
         validation_report
@@ -402,6 +457,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--filter", default=None, metavar="SUBSTR")
     p.add_argument("--top", type=int, default=None)
     p.set_defaults(fn=cmd_counters)
+
+    p = sub.add_parser("watch",
+                       help="live-monitor a growing trace directory "
+                            "(incremental ingestion + standing DFG)")
+    p.add_argument("directory", help="trace directory being written "
+                                     "(may still be empty)")
+    p.add_argument("--interval", type=_nonneg_float_arg, default=2.0,
+                   metavar="SEC",
+                   help="seconds between polls (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="poll a single time and exit")
+    p.add_argument("--polls", type=_positive_int_arg, default=None,
+                   metavar="N",
+                   help="stop after N polls (default: run until ^C)")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="JSON sidecar making ingestion resumable: "
+                        "loaded if present, rewritten after every poll")
+    p.add_argument("--recursive", action="store_true",
+                   help="also follow .st files in nested subdirectories")
+    p.add_argument("--lenient", action="store_true",
+                   help="tolerate corrupt input (as for batch ingestion)")
+    p.add_argument("--mapping", default="topdirs",
+                   choices=("topdirs", "path", "call", "site"),
+                   help="event→activity mapping (default: the paper's "
+                        "call+top-2-dirs)")
+    p.add_argument("--levels", type=int, default=2,
+                   help="directory levels for the mapping")
+    p.add_argument("--no-dfg", action="store_true",
+                   help="print the status/diff summary only, skip the "
+                        "ASCII DFG")
+    p.add_argument("--top", type=int, default=5,
+                   help="rows in the change-diff summary")
+    p.set_defaults(fn=cmd_watch)
 
     p = sub.add_parser("validate",
                        help="check the log against the Sec. III/IV "

@@ -14,6 +14,9 @@ This package implements Sec. IV of the paper end to end:
   activity-logs L_f(C) ∈ B(A_f*) with • / ■ sentinels.
 - :mod:`repro.core.dfg` — Directly-Follows-Graph construction
   (Sec. IV-A) and graph algebra for comparisons.
+- :mod:`repro.core.incremental` — the union algebra applied as a
+  running fold: a standing DFG absorbing per-case deltas in O(delta)
+  (the engine behind :mod:`repro.live`).
 - :mod:`repro.core.statistics` — rd_f, b_f, dr̄_f, mc_f (Sec. IV-B).
 - :mod:`repro.core.partition` — event-log partitioning (Sec. IV-C).
 - :mod:`repro.core.coloring` — statistics- and partition-based stylers.
@@ -46,6 +49,7 @@ from repro.core.coloring import (
     PlainColoring,
 )
 from repro.core.diff import ActivityDelta, DFGDiff, EdgeDelta
+from repro.core.incremental import IncrementalDFG
 from repro.core.analysis import (
     bottleneck_activities,
     dominant_path,
@@ -87,6 +91,7 @@ __all__ = [
     "ActivityDelta",
     "DFGDiff",
     "EdgeDelta",
+    "IncrementalDFG",
     "bottleneck_activities",
     "dominant_path",
     "edge_probabilities",

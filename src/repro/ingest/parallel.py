@@ -210,8 +210,20 @@ def read_cases(
     the returned cases keep that order exactly, whatever the worker
     count.
     """
+    _check_worker_count(workers)
     tasks = [(path, name, strict) for path, name in found]
     return _map_tasks(_parse_one, tasks, workers)
+
+
+def _check_worker_count(workers: int) -> None:
+    """Reject zero/negative worker counts at the API boundary.
+
+    ``resolve_workers`` already rejects them for the ``None``-aware
+    entry points; the list-shaped paths take a concrete count and
+    would otherwise silently degrade 0/-1 to the sequential loop.
+    """
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1: {workers}")
 
 
 # -- columnar wire format -----------------------------------------------------
@@ -371,7 +383,20 @@ def iter_case_columns(
     the first result — falls back to in-process streaming; a pool that
     breaks mid-stream propagates (a partially consumed stream cannot
     be restarted without duplicating yielded cases).
+
+    An invalid ``workers`` raises at the call, not at first ``next()``
+    — hence the non-generator wrapper.
     """
+    _check_worker_count(workers)
+    return _iter_case_columns(found, strict=strict, workers=workers)
+
+
+def _iter_case_columns(
+    found: "list[tuple[Path, TraceFileName]]",
+    *,
+    strict: bool,
+    workers: int,
+) -> "Iterator[CaseColumns]":
     tasks = [(path, name, strict) for path, name in found]
     if workers <= 1 or len(tasks) <= 1:
         for task in tasks:

@@ -47,6 +47,36 @@ _NEWLINE_BYTES_RE = re.compile(b"\r\n|\r|\n")
 _CHUNK_BYTES = 1 << 16
 
 
+def decode_trace_line(raw: bytes, *, strict: bool,
+                      path: str | None = None,
+                      lineno: int | None = None) -> tuple[str, int]:
+    """Decode one raw trace line, diagnosing undecodable bytes.
+
+    Returns ``(text, replacements)`` where ``replacements`` counts the
+    U+FFFD characters *introduced* by lenient decoding (a line may
+    legitimately contain U+FFFD already). Under ``strict=True`` an
+    undecodable line raises :class:`TraceParseError` instead. Shared by
+    the batch :class:`TokenStream` and the live file follower
+    (:mod:`repro.live`), so both diagnose corruption identically.
+    """
+    try:
+        return raw.decode("utf-8"), 0
+    except UnicodeDecodeError:
+        text = raw.decode("utf-8", errors="replace")
+        replaced = max(
+            text.count(REPLACEMENT_CHAR)
+            - raw.count("\N{REPLACEMENT CHARACTER}".encode()),
+            1)
+        if strict:
+            raise TraceParseError(
+                f"{replaced} undecodable byte(s); the trace is "
+                f"corrupt or not UTF-8 — pass strict=False "
+                f"(CLI: --lenient) to continue with U+FFFD "
+                f"replacements",
+                path=path, lineno=lineno, line=text) from None
+        return text, replaced
+
+
 def _iter_raw_lines(handle, chunk_size: int = _CHUNK_BYTES):
     """Yield logical lines (terminators stripped) from a binary stream.
 
@@ -116,25 +146,9 @@ class TokenStream:
             for lineno, raw in enumerate(_iter_raw_lines(handle),
                                          start=1):
                 self.n_lines = lineno
-                try:
-                    text = raw.decode("utf-8")
-                except UnicodeDecodeError:
-                    text = raw.decode("utf-8", errors="replace")
-                    # Count only the characters *introduced* by the
-                    # replace decode — a line may legitimately contain
-                    # U+FFFD (encoded as EF BF BD) already.
-                    replaced = max(
-                        text.count(REPLACEMENT_CHAR)
-                        - raw.count("\N{REPLACEMENT CHARACTER}".encode()),
-                        1)
-                    self.decode_replacements += replaced
-                    if self.strict:
-                        raise TraceParseError(
-                            f"{replaced} undecodable byte(s); the trace is "
-                            f"corrupt or not UTF-8 — pass strict=False "
-                            f"(CLI: --lenient) to continue with U+FFFD "
-                            f"replacements",
-                            path=path_str, lineno=lineno, line=text)
+                text, replaced = decode_trace_line(
+                    raw, strict=self.strict, path=path_str, lineno=lineno)
+                self.decode_replacements += replaced
                 if not text.strip():
                     continue
                 yield tokenize_line(text, path=path_str, lineno=lineno,

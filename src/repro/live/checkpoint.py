@@ -1,0 +1,161 @@
+"""JSON sidecar persistence for resumable live ingestion.
+
+A checkpoint captures everything a restarted watcher needs to continue
+*exactly* where the killed one stopped, without re-reading a single
+already-parsed byte:
+
+- per file: the byte offset, the undecoded line carry (base64 — it may
+  end mid-UTF-8-sequence), the cumulative line number and merge
+  diagnostics, the in-flight unfinished halves, and the
+  completed-but-unsealed records of the merge buffer;
+- the incremental graph: edge counts, node frequencies and each case's
+  tail activity (:meth:`~repro.core.incremental.IncrementalDFG.to_state`);
+- engine counters and the settings the state depends on (mapping name,
+  recursiveness, strictness), which are checked on load — resuming a
+  checkpoint under a different mapping would silently corrupt the
+  graph, so it is an error instead.
+
+The sidecar is written atomically (temp file + ``os.replace``), so a
+watcher killed mid-save leaves the previous checkpoint intact. File
+paths are stored relative to the trace directory, so a checkpoint
+travels with the directory (e.g. onto another node of the cluster).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro._util.errors import ReproError
+from repro.core.incremental import IncrementalDFG
+from repro.live.tail import FileTail
+from repro.strace.parser import ParsedRecord
+from repro.strace.resume import MergeStats
+from repro.strace.tokenizer import RecordKind, Token
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.live.engine import LiveIngest
+
+#: Bump when the state layout changes; loaders reject other versions.
+CHECKPOINT_VERSION = 1
+
+
+def _record_to_state(record: ParsedRecord) -> dict:
+    state = dataclasses.asdict(record)
+    state["args"] = list(state["args"])
+    return state
+
+
+def _record_from_state(state: dict) -> ParsedRecord:
+    return ParsedRecord(**{**state, "args": tuple(state["args"])})
+
+
+def _tail_to_state(tail: FileTail, directory: Path) -> dict:
+    return {
+        "path": tail.path.relative_to(directory).as_posix(),
+        "cid": tail.name.cid,
+        "host": tail.name.host,
+        "rid": tail.name.rid,
+        "offset": tail.offset,
+        "carry": base64.b64encode(tail.carry).decode("ascii"),
+        "lineno": tail.lineno,
+        "stats": dataclasses.asdict(tail.merger.stats),
+        "pending": [{"pid": token.pid, "start_us": token.start_us,
+                     "body": token.body}
+                    for token in tail.merger.pending_tokens()],
+        "buffer": [[seq, _record_to_state(record)]
+                   for seq, record in tail.merger.buffered_records()],
+        "next_seq": tail.merger.next_seq,
+    }
+
+
+def _tail_from_state(state: dict, directory: Path,
+                     strict: bool) -> FileTail:
+    from repro.strace.naming import TraceFileName
+
+    path = directory / state["path"]
+    name = TraceFileName(cid=state["cid"], host=state["host"],
+                         rid=int(state["rid"]))
+    tail = FileTail(path, name, strict=strict)
+    tail.offset = int(state["offset"])
+    tail.carry = base64.b64decode(state["carry"])
+    tail.lineno = int(state["lineno"])
+    tail.merger.restore(
+        pending=[Token(pid=int(t["pid"]), start_us=int(t["start_us"]),
+                       kind=RecordKind.UNFINISHED, body=t["body"])
+                 for t in state["pending"]],
+        buffered=[(int(seq), _record_from_state(record))
+                  for seq, record in state["buffer"]],
+        next_seq=int(state["next_seq"]),
+        stats=MergeStats(**state["stats"]),
+    )
+    return tail
+
+
+def engine_state(engine: "LiveIngest") -> dict:
+    """The full resumable state of a :class:`LiveIngest`, as JSON data."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "mapping": engine.mapping.name,
+        "recursive": engine.recursive,
+        "strict": engine.strict,
+        "cids": sorted(engine.cids) if engine.cids is not None else None,
+        "n_polls": engine.n_polls,
+        "total_events": engine.total_events,
+        "files": [_tail_to_state(engine._tails[path], engine.directory)
+                  for path in sorted(engine._tails)],
+        "dfg": engine.incremental.to_state(),
+    }
+
+
+def restore_engine(engine: "LiveIngest", state: dict) -> None:
+    """Load :func:`engine_state` output into a freshly built engine."""
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ReproError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build writes {CHECKPOINT_VERSION})")
+    current_cids = sorted(engine.cids) if engine.cids is not None else None
+    for attribute, current in (("mapping", engine.mapping.name),
+                               ("recursive", engine.recursive),
+                               ("strict", engine.strict),
+                               ("cids", current_cids)):
+        if state[attribute] != current:
+            raise ReproError(
+                f"checkpoint was taken with {attribute}="
+                f"{state[attribute]!r} but the engine runs with "
+                f"{current!r} — resuming would corrupt the graph")
+    engine.n_polls = int(state["n_polls"])
+    engine.total_events = int(state["total_events"])
+    engine.incremental = IncrementalDFG.from_state(state["dfg"])
+    for tail_state in state["files"]:
+        tail = _tail_from_state(tail_state, engine.directory,
+                                engine.strict)
+        engine._tails[tail.path] = tail
+        engine._case_paths[tail.name.case_id] = tail.path
+
+
+def save_checkpoint(engine: "LiveIngest",
+                    path: str | os.PathLike[str]) -> Path:
+    """Serialize the engine atomically to ``path``; returns the path."""
+    target = Path(path)
+    payload = json.dumps(engine_state(engine), indent=1, sort_keys=True)
+    temp = target.with_name(target.name + ".tmp")
+    temp.write_text(payload, encoding="utf-8")
+    os.replace(temp, target)
+    return target
+
+
+def load_checkpoint(engine: "LiveIngest",
+                    path: str | os.PathLike[str]) -> None:
+    """Restore a fresh engine from a sidecar written by
+    :func:`save_checkpoint`."""
+    try:
+        state = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt checkpoint {path}: {exc}") from exc
+    restore_engine(engine, state)

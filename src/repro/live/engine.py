@@ -1,0 +1,338 @@
+"""The live ingestion engine: directory polls → standing EventLog/DFG.
+
+:class:`LiveIngest` is the orchestrator of the live subsystem. Each
+:meth:`~LiveIngest.poll`:
+
+1. re-scans the trace directory (optionally recursively) for new
+   ``<cid>_<host>_<rid>.st`` files, enforcing the same naming and
+   duplicate-case rules as batch discovery;
+2. lets every file's :class:`~repro.live.tail.FileTail` consume its
+   newly appended bytes, which yields the records *sealed* by this
+   poll — records whose final position in the case can no longer
+   change (see :class:`~repro.strace.resume.IncrementalMerger`);
+3. maps the sealed records to activities and folds them per case into
+   an :class:`~repro.core.incremental.IncrementalDFG` — the union
+   algebra of Sec. IV-A applied as a running fold.
+
+The standing invariants (pinned by ``tests/test_live``):
+
+* ``DFG(snapshot_log with mapping)`` equals :meth:`snapshot_dfg` after
+  every poll — log and graph never disagree;
+* after the directory stops growing, one last :meth:`poll` plus
+  :meth:`finalize` make both equal one-shot batch ingestion of the
+  final directory, byte for byte (frame columns, pools, merge stats).
+
+Passing ``checkpoint=`` makes ingestion resumable across process
+restarts: the sidecar persists every byte offset, line carry, merge
+slot and the incremental graph, so a restarted watcher continues from
+where the killed one stopped instead of re-parsing gigabytes. After a
+restart only the *graph* carries the full history — records parsed by
+the previous process are not kept (that is what ``.elog`` conversion
+is for), so :meth:`snapshot_log` then covers this process's lifetime
+only, while :meth:`snapshot_dfg` still equals batch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro._util.errors import ReproError, TraceParseError
+from repro.core.dfg import DFG
+from repro.core.diff import DFGDiff
+from repro.core.event import Event
+from repro.core.eventlog import EventLog
+from repro.core.incremental import IncrementalDFG
+from repro.core.mapping import CallTopDirs, Mapping, mapping_from_callable
+from repro.live.tail import FileTail
+from repro.strace.naming import TraceFileName
+from repro.strace.parser import ParsedRecord
+from repro.strace.reader import TraceCase, discover_trace_files
+
+
+@dataclass(slots=True)
+class PollResult:
+    """What one :meth:`LiveIngest.poll` observed."""
+
+    #: 1-based poll sequence number (counts across checkpoint restarts).
+    n_poll: int
+    #: Case ids of files first seen by this poll, in path order.
+    new_files: list[str] = field(default_factory=list)
+    #: Records sealed by this poll, per case (cases with none omitted).
+    sealed: dict[str, int] = field(default_factory=dict)
+    #: Files tracked after the scan.
+    n_files: int = 0
+    #: Total records sealed so far (across restarts).
+    total_events: int = 0
+    #: Unfinished calls still awaiting their resumed half.
+    n_pending: int = 0
+    #: Completed records still buffered behind the seal watermark.
+    n_buffered: int = 0
+    #: Bytes consumed by this poll across all files. Can be non-zero
+    #: with nothing sealed (bytes went into a line carry or behind an
+    #: in-flight unfinished call) — follower state moved even though
+    #: the graph did not, which matters for checkpointing.
+    n_bytes: int = 0
+
+    @property
+    def n_sealed(self) -> int:
+        """Records sealed by this poll across all cases."""
+        return sum(self.sealed.values())
+
+    @property
+    def changed(self) -> bool:
+        """Whether the *graph-visible* state moved (files or events)."""
+        return bool(self.new_files or self.sealed)
+
+    @property
+    def state_moved(self) -> bool:
+        """Whether *any* engine state moved, including carry-only
+        progress — i.e. whether a checkpoint written before this poll
+        is now stale."""
+        return self.changed or bool(self.n_bytes)
+
+
+class LiveIngest:
+    """Maintain an always-current EventLog/DFG over a growing directory.
+
+    Parameters
+    ----------
+    directory:
+        The trace directory to follow. May start empty (unlike batch
+        discovery, which treats that as an error).
+    mapping:
+        Event→activity mapping applied to sealed records before they
+        enter the graph; defaults to the paper's f̂
+        (:class:`~repro.core.mapping.CallTopDirs` with two levels).
+    cids:
+        Optional restriction to a subset of command identifiers.
+    strict:
+        Forwarded to decoding and the merger, as in batch ingestion.
+    recursive:
+        Descend into nested per-host subdirectories.
+    add_endpoints:
+        Wrap cases in ● / ■ (the batch default).
+    keep_records:
+        Keep every sealed :class:`ParsedRecord` in memory so
+        :meth:`snapshot_log` / :meth:`cases` cover the full run (the
+        default). ``False`` bounds memory to O(graph + carry state)
+        for arbitrarily large directories: records are folded into the
+        DFG and dropped, and :meth:`snapshot_log` stays empty — the
+        same trade a checkpoint restart makes.
+    checkpoint:
+        Optional sidecar path. If the file exists, the engine resumes
+        from it; :meth:`save_checkpoint` rewrites it atomically.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str], *,
+                 mapping: "Mapping | Callable[[Event], str | None] | None"
+                 = None,
+                 cids: set[str] | None = None,
+                 strict: bool = True,
+                 recursive: bool = False,
+                 add_endpoints: bool = True,
+                 keep_records: bool = True,
+                 checkpoint: str | os.PathLike[str] | None = None) -> None:
+        self.directory = Path(directory)
+        self.mapping = mapping_from_callable(
+            mapping if mapping is not None else CallTopDirs(levels=2))
+        self.cids = set(cids) if cids is not None else None
+        self.strict = strict
+        self.recursive = recursive
+        self.incremental = IncrementalDFG(add_endpoints=add_endpoints)
+        self.keep_records = keep_records
+        self.n_polls = 0
+        self.total_events = 0
+        #: True once state from a previous process was loaded — in that
+        #: case :meth:`snapshot_log` covers this process only while the
+        #: graph covers the full history.
+        self.restored = False
+        self._tails: dict[Path, FileTail] = {}
+        self._case_paths: dict[str, Path] = {}
+        self._records: dict[str, list[ParsedRecord]] = {}
+        # Per-(call, fp) activity memo for call/fp-only mappings — the
+        # live analogue of the batch broadcast in eventlog._apply_mapping.
+        self._activity_memo: dict[tuple[str, str | None], str | None] = {}
+        self.checkpoint_path = Path(checkpoint) if checkpoint else None
+        if self.checkpoint_path is not None \
+                and self.checkpoint_path.exists():
+            from repro.live.checkpoint import load_checkpoint
+
+            load_checkpoint(self, self.checkpoint_path)
+            self.restored = True
+
+    # -- discovery ---------------------------------------------------------
+
+    def scan(self) -> list[tuple[Path, TraceFileName]]:
+        """Current ``.st`` files in deterministic (sorted-path) order.
+
+        Batch discovery's grammar and duplicate-case rules verbatim
+        (it *is* :func:`~repro.strace.reader.discover_trace_files`),
+        with the two live adjustments: an empty / not-yet-populated
+        directory is a normal state for a watcher, and duplicate
+        detection extends across polls via the followed-case map. A
+        followed file vanishing from the scan is an error — its
+        records cannot be un-folded.
+        """
+        found = discover_trace_files(
+            self.directory, cids=self.cids, recursive=self.recursive,
+            allow_empty=True, known_cases=self._case_paths)
+        missing = set(self._tails) - {path for path, _ in found}
+        if missing:
+            raise TraceParseError(
+                f"tracked trace file(s) disappeared: "
+                f"{sorted(str(p) for p in missing)[:3]}")
+        return found
+
+    # -- polling -----------------------------------------------------------
+
+    def poll(self) -> PollResult:
+        """One incremental pass: discover, tail, map, fold."""
+        self.n_polls += 1
+        result = PollResult(n_poll=self.n_polls)
+        for path, name in self.scan():
+            tail = self._tail_for(path, name, result)
+            before = tail.offset
+            sealed = tail.poll()
+            result.n_bytes += tail.offset - before
+            if sealed:
+                self._absorb(name, sealed)
+                result.sealed[name.case_id] = len(sealed)
+        self._fill_result(result)
+        return result
+
+    def finalize(self) -> PollResult:
+        """Treat the directory as finished: one last poll (files and
+        bytes that appeared since the previous one are not lost), then
+        flush carries, orphan in-flight unfinished calls (batch EOF
+        semantics), and fold the remaining buffered records. After
+        this, snapshots equal batch ingestion of the final directory.
+        """
+        self.n_polls += 1
+        result = PollResult(n_poll=self.n_polls)
+        for path, name in self.scan():
+            tail = self._tail_for(path, name, result)
+            if tail.finished:  # repeated finalize is a no-op per file
+                continue
+            before = tail.offset
+            sealed = tail.poll() + tail.finish()
+            result.n_bytes += tail.offset - before
+            if sealed:
+                self._absorb(name, sealed)
+                result.sealed[name.case_id] = len(sealed)
+        self._fill_result(result)
+        return result
+
+    def _tail_for(self, path: Path, name: TraceFileName,
+                  result: PollResult) -> FileTail:
+        """The follower of a discovered file, registering new ones."""
+        tail = self._tails.get(path)
+        if tail is None:
+            tail = FileTail(path, name, strict=self.strict)
+            self._tails[path] = tail
+            self._case_paths[name.case_id] = path
+            result.new_files.append(name.case_id)
+        return tail
+
+    def _fill_result(self, result: PollResult) -> None:
+        result.n_files = len(self._tails)
+        result.total_events = self.total_events
+        result.n_pending = sum(t.merger.n_pending
+                               for t in self._tails.values())
+        result.n_buffered = sum(t.merger.n_buffered
+                                for t in self._tails.values())
+
+    def _absorb(self, name: TraceFileName, sealed: list[ParsedRecord],
+                ) -> None:
+        case_id = name.case_id
+        if self.keep_records:
+            self._records.setdefault(case_id, []).extend(sealed)
+        self.total_events += len(sealed)
+        self.incremental.extend_case(
+            case_id, self._map_records(name, sealed))
+
+    def _map_records(self, name: TraceFileName,
+                     records: list[ParsedRecord]) -> Iterator[str]:
+        """Sealed records → mapped activities, skipping unmapped ones."""
+        mapping = self.mapping
+        if mapping.uses_only_call_fp:
+            memo = self._activity_memo
+            for record in records:
+                key = (record.call, record.fp)
+                try:
+                    activity = memo[key]
+                except KeyError:
+                    activity = memo[key] = mapping.map_call_fp(*key)
+                if activity is not None:
+                    yield activity
+            return
+        for record in records:
+            activity = mapping.map_event(Event(
+                cid=name.cid, host=name.host, rid=name.rid,
+                pid=record.pid, call=record.call, start=record.start_us,
+                dur=record.dur_us, fp=record.fp, size=record.size))
+            if activity is not None:
+                yield activity
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot_dfg(self) -> DFG:
+        """Immutable copy of the standing graph (cheap, O(graph))."""
+        return self.incremental.snapshot()
+
+    def diff_since(self, baseline: DFG) -> DFGDiff:
+        """Diff the standing graph against an earlier snapshot."""
+        return self.incremental.diff_since(baseline)
+
+    def cases(self) -> list[TraceCase]:
+        """Parsed cases held in memory, in batch (sorted-path) order.
+
+        One case per followed file — including files with no sealed
+        record yet (empty traces, or everything dropped/orphaned):
+        batch parsing interns those cases and reports their merge
+        diagnostics too, and byte-identity covers them. Record lists
+        are the sealed sequences, already in the final start-timestamp
+        order batch parsing produces. Empty under
+        ``keep_records=False``, where nothing is retained.
+        """
+        if not self.keep_records:
+            return []
+        result: list[TraceCase] = []
+        for path in sorted(self._tails):
+            tail = self._tails[path]
+            records = self._records.get(tail.name.case_id, [])
+            result.append(TraceCase(
+                name=tail.name, records=list(records),
+                merge_stats=tail.merger.stats, source=path))
+        return result
+
+    def snapshot_log(self) -> EventLog:
+        """The unmapped EventLog of every record sealed so far.
+
+        Built in batch interning order, so once the directory is final
+        (and :meth:`finalize` ran) it is byte-identical to
+        ``EventLog.from_strace_dir`` over the same directory. Note the
+        log covers this process's lifetime — after a checkpoint
+        restart, earlier records live only in the graph.
+        """
+        return EventLog.from_cases(self.cases())
+
+    # -- checkpointing -----------------------------------------------------
+
+    def save_checkpoint(self,
+                        path: str | os.PathLike[str] | None = None) -> Path:
+        """Atomically write the resumable state sidecar."""
+        from repro.live.checkpoint import save_checkpoint
+
+        target = Path(path) if path is not None else self.checkpoint_path
+        if target is None:
+            raise ReproError(
+                "no checkpoint path: pass one here or at construction")
+        return save_checkpoint(self, target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LiveIngest({str(self.directory)!r}, "
+                f"{len(self._tails)} files, {self.total_events} events, "
+                f"{self.incremental.n_edges} edges)")

@@ -1,0 +1,180 @@
+"""Following one growing trace file across polls.
+
+A :class:`FileTail` is the live counterpart of
+:class:`~repro.ingest.streaming.TokenStream`: instead of streaming a
+finished file front to back, it resumes from a persisted byte offset on
+every poll, consumes the newly appended bytes, and carries two pieces
+of parse state forward so incremental parsing is indistinguishable from
+batch parsing of the final file:
+
+- the **line carry** — the bytes of a trailing line not yet terminated
+  by a newline (strace appends whole lines, but a poll can race the
+  write; a held-back trailing ``\\r`` may also pair with a ``\\n`` that
+  arrives next poll);
+- the **merge state** — the per-pid unfinished/resumed slot and the
+  seal buffer of :class:`~repro.strace.resume.IncrementalMerger`, so a
+  syscall whose two halves land in different polls merges exactly as
+  Sec. III prescribes.
+
+Byte-level decoding reuses the batch reader's diagnosis
+(:func:`~repro.ingest.streaming.decode_trace_line`): undecodable bytes
+raise under ``strict=True`` and are counted as U+FFFD replacements
+otherwise. Line numbers are cumulative across polls, so parse errors
+point at the same line batch parsing would name.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro._util.errors import TraceParseError
+from repro.ingest.streaming import (
+    _CHUNK_BYTES,
+    _NEWLINE_BYTES_RE,
+    decode_trace_line,
+)
+from repro.strace.naming import TraceFileName
+from repro.strace.parser import ParsedRecord
+from repro.strace.resume import IncrementalMerger
+from repro.strace.tokenizer import Token, tokenize_line
+
+
+class FileTail:
+    """Incremental reader of one ``.st`` trace file.
+
+    Attributes
+    ----------
+    path, name:
+        The file and its (cid, host, rid) case identity.
+    offset:
+        Bytes consumed so far (everything before it is parsed or held
+        in :attr:`carry`). Checkpoints persist this.
+    merger:
+        The carry-over merge state; its :attr:`~IncrementalMerger.stats`
+        accumulate exactly the per-file diagnostics batch reading
+        reports (including ``decode_replacements``).
+    """
+
+    __slots__ = ("path", "name", "strict", "default_pid", "offset",
+                 "carry", "lineno", "merger", "finished")
+
+    def __init__(self, path: str | os.PathLike[str],
+                 name: TraceFileName | None = None, *,
+                 strict: bool = True, default_pid: int = 0) -> None:
+        from repro.strace.naming import parse_trace_filename
+
+        self.path = Path(path)
+        self.name = name or parse_trace_filename(self.path.name)
+        self.strict = strict
+        self.default_pid = default_pid
+        self.offset = 0
+        self.carry = b""
+        self.lineno = 0
+        self.merger = IncrementalMerger(path=str(self.path), strict=strict)
+        self.finished = False
+
+    # -- polling -----------------------------------------------------------
+
+    def poll(self) -> list[ParsedRecord]:
+        """Consume newly appended bytes; return newly *sealed* records.
+
+        Sealed records are final — their position in the case's record
+        sequence can no longer change — so callers fold them into the
+        incremental DFG immediately. Records completed but still
+        waiting behind an in-flight unfinished call stay buffered in
+        the merger until a later poll (or :meth:`finish`) seals them.
+
+        The appended region is consumed in bounded chunks (the batch
+        reader's granularity), so pointing a fresh follower at a
+        directory that already holds multi-GB files never materializes
+        a whole file in memory.
+        """
+        if self.finished:
+            raise TraceParseError(
+                "poll() after finish()", path=str(self.path))
+        try:
+            size = os.path.getsize(self.path)
+        except OSError as exc:
+            raise TraceParseError(
+                f"trace file vanished mid-follow: {exc}",
+                path=str(self.path)) from exc
+        if size < self.offset:
+            raise TraceParseError(
+                f"trace file shrank from {self.offset} to {size} bytes — "
+                f"truncated or rotated under the follower",
+                path=str(self.path))
+        if size == self.offset:
+            return []
+        records: list[ParsedRecord] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            remaining = size - self.offset
+            while remaining:
+                chunk = handle.read(min(_CHUNK_BYTES, remaining))
+                if not chunk:
+                    raise TraceParseError(
+                        f"trace file shrank to {self.offset} bytes "
+                        f"mid-read (expected {size}) — truncated or "
+                        f"rotated under the follower",
+                        path=str(self.path))
+                remaining -= len(chunk)
+                self.offset += len(chunk)
+                records.extend(self.merger.feed(self._split_lines(chunk)))
+        return records
+
+    def finish(self) -> list[ParsedRecord]:
+        """End of growth: flush the carry, orphan in-flight calls, and
+        seal every remaining record (batch EOF semantics)."""
+        if self.finished:
+            return []
+        self.finished = True
+        tokens: list[Token] = []
+        carry = self.carry
+        self.carry = b""
+        if carry.endswith(b"\r"):  # lone '\r' at EOF terminates the line
+            carry = carry[:-1]
+        if carry:
+            token = self._tokenize(carry)
+            if token is not None:
+                tokens.append(token)
+        records = self.merger.feed(tokens) if tokens else []
+        return records + self.merger.finish()
+
+    # -- internals ---------------------------------------------------------
+
+    def _split_lines(self, data: bytes) -> list[Token]:
+        """Split appended bytes into tokens, updating the line carry.
+
+        Mirrors the universal-newline splitting of the batch reader's
+        ``_iter_raw_lines``: a trailing ``\\r`` is held back because the
+        matching ``\\n`` may start the next poll's bytes.
+        """
+        data = self.carry + data
+        if data.endswith(b"\r"):
+            data, hold = data[:-1], b"\r"
+        else:
+            hold = b""
+        pieces = _NEWLINE_BYTES_RE.split(data)
+        self.carry = pieces.pop() + hold
+        tokens: list[Token] = []
+        for raw in pieces:
+            token = self._tokenize(raw)
+            if token is not None:
+                tokens.append(token)
+        return tokens
+
+    def _tokenize(self, raw: bytes) -> Token | None:
+        self.lineno += 1
+        text, replaced = decode_trace_line(
+            raw, strict=self.strict, path=str(self.path),
+            lineno=self.lineno)
+        self.merger.stats.decode_replacements += replaced
+        if not text.strip():
+            return None
+        return tokenize_line(text, path=str(self.path), lineno=self.lineno,
+                             default_pid=self.default_pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FileTail({str(self.path)!r}, offset={self.offset}, "
+                f"pending={self.merger.n_pending})")

@@ -1,0 +1,138 @@
+"""The ``st-inspector watch`` refresh loop.
+
+Periodically polls a :class:`~repro.live.engine.LiveIngest` and prints
+a status block; whenever the graph moved, the block includes the
+ASCII-rendered DFG (:mod:`repro.core.render.ascii`) with the elements
+that changed since the previous refresh highlighted: the current and
+previous snapshots act as the green/red halves of a
+:class:`~repro.core.coloring.PartitionColoring` — new nodes/edges tag
+``[G]``, vanished ones are reported by the numeric
+:class:`~repro.core.diff.DFGDiff` summary (an edge *can* vanish live:
+a case's closing ``(a, ■)`` edge moves when the case grows).
+
+The loop is dependency-injectable (``out``, ``sleep``) so tests drive
+it without a terminal or a clock; the CLI passes the defaults.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.coloring import PartitionColoring
+from repro.core.dfg import DFG
+from repro.core.diff import DFGDiff
+from repro.core.render.ascii import render_ascii
+from repro.live.engine import LiveIngest, PollResult
+
+
+class WatchView:
+    """Stateful renderer of watch refreshes (remembers the baseline)."""
+
+    def __init__(self, engine: LiveIngest, *, show_dfg: bool = True,
+                 show_stats: bool = True, top: int = 5) -> None:
+        self.engine = engine
+        self.show_dfg = show_dfg
+        self.show_stats = show_stats
+        self.top = top
+        self._baseline: DFG | None = None
+
+    def refresh(self, result: PollResult) -> str:
+        """Render one poll's outcome; advances the change baseline."""
+        engine = self.engine
+        lines = [self._status_line(result)]
+        if result.changed or self._baseline is None:
+            current = engine.snapshot_dfg()
+            if self._baseline is not None:
+                diff = DFGDiff(current, self._baseline)
+                lines.append(diff.report(top=self.top).rstrip("\n"))
+            if self.show_dfg:
+                lines.append(self._render_dfg(current).rstrip("\n"))
+            self._baseline = current
+        return "\n".join(lines) + "\n"
+
+    def _status_line(self, result: PollResult) -> str:
+        engine = self.engine
+        news = (f" (+{len(result.new_files)} new: "
+                f"{', '.join(result.new_files[:4])}"
+                f"{', …' if len(result.new_files) > 4 else ''})"
+                if result.new_files else "")
+        return (f"poll {result.n_poll}: {result.n_files} files{news}, "
+                f"{engine.incremental.n_cases} cases, "
+                f"{result.total_events} events "
+                f"(+{result.n_sealed} sealed, {result.n_pending} "
+                f"in-flight, {result.n_buffered} buffered), "
+                f"DFG {engine.incremental.n_nodes} nodes / "
+                f"{engine.incremental.n_edges} edges")
+
+    def _render_dfg(self, current: DFG) -> str:
+        """ASCII DFG with change highlighting.
+
+        Statistics come from the full snapshot log, an O(total events)
+        rebuild — acceptable as a *display* step, and skippable with
+        ``show_stats=False`` / ``--no-dfg`` where polling cost must
+        stay O(delta).
+        """
+        stats = None
+        note = ""
+        if self.show_stats:
+            from repro.pipeline.session import InspectionSession
+
+            session = InspectionSession.from_live(self.engine)
+            if session.event_log.n_events:
+                stats = session.stats
+            if self.engine.restored:
+                note = ("\n(statistics cover records parsed since the "
+                        "last checkpoint restart; the graph covers the "
+                        "full history)")
+        styler = (PartitionColoring(current, self._baseline, stats)
+                  if self._baseline is not None else None)
+        return render_ascii(current, stats, styler) + note
+
+
+def run_watch(engine: LiveIngest, *,
+              interval: float = 2.0,
+              polls: int | None = None,
+              show_dfg: bool = True,
+              show_stats: bool = True,
+              top: int = 5,
+              out: Callable[[str], None] = print,
+              sleep: Callable[[float], None] = time.sleep) -> int:
+    """Poll → render → checkpoint → sleep, until stopped.
+
+    ``polls`` bounds the number of refreshes (``1`` is the CLI's
+    ``--once``); ``None`` runs until KeyboardInterrupt. The engine's
+    checkpoint (when configured) is saved after every poll that moved
+    any state — including carry-only progress with nothing sealed —
+    so a kill at any point loses at most one interval of work, while
+    idle intervals skip the sidecar rewrite entirely (it is still
+    written once if it does not exist yet). The
+    interrupt handler deliberately does NOT save: a ^C landing inside
+    ``poll()`` can leave byte offsets advanced past records not yet
+    folded into the graph, and persisting that torn state would
+    silently break the restart-equals-batch guarantee — the last
+    post-poll sidecar is always consistent. Returns a process exit
+    code.
+    """
+    view = WatchView(engine, show_dfg=show_dfg, show_stats=show_stats,
+                     top=top)
+    completed = 0
+    try:
+        while True:
+            result = engine.poll()
+            out(view.refresh(result))
+            if engine.checkpoint_path is not None \
+                    and (result.state_moved
+                         or not engine.checkpoint_path.exists()):
+                engine.save_checkpoint()
+            completed += 1
+            if polls is not None and completed >= polls:
+                return 0
+            sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        out(f"stopped after {completed} poll(s); "
+            + (f"checkpoint as of the last completed poll: "
+               f"{engine.checkpoint_path}"
+               if engine.checkpoint_path is not None and completed
+               else "no checkpoint written"))
+        return 0

@@ -64,6 +64,17 @@ class InspectionSession:
     def from_store(cls, path: str | os.PathLike[str]) -> "InspectionSession":
         return cls(EventLog.from_store(path))
 
+    @classmethod
+    def from_live(cls, engine) -> "InspectionSession":
+        """Session over the current snapshot of a live ingestion engine
+        (:class:`~repro.live.engine.LiveIngest`).
+
+        The engine's mapping is applied, so the DFG and statistics are
+        immediately available; the session holds a point-in-time copy —
+        take a fresh one after later polls.
+        """
+        return cls(engine.snapshot_log().with_mapping(engine.mapping))
+
     # -- pipeline steps -------------------------------------------------------
 
     def filter_fp(self, substring: str) -> "InspectionSession":

@@ -39,7 +39,7 @@ from repro.strace.syscalls import (
 )
 from repro.strace.tokenizer import RecordKind, Token, tokenize_line
 from repro.strace.parser import ParsedRecord, parse_line, parse_body
-from repro.strace.resume import merge_unfinished, MergeStats
+from repro.strace.resume import IncrementalMerger, merge_unfinished, MergeStats
 from repro.strace.naming import TraceFileName, parse_trace_filename, format_trace_filename
 from repro.strace.reader import (
     TraceCase,
@@ -62,6 +62,7 @@ __all__ = [
     "ParsedRecord",
     "parse_line",
     "parse_body",
+    "IncrementalMerger",
     "merge_unfinished",
     "MergeStats",
     "TraceFileName",

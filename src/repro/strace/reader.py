@@ -110,6 +110,8 @@ def discover_trace_files(
     *,
     cids: set[str] | None = None,
     recursive: bool = False,
+    allow_empty: bool = False,
+    known_cases: dict[str, Path] | None = None,
 ) -> list[tuple[Path, TraceFileName]]:
     """Find every ``*.st`` file in a directory, deterministically.
 
@@ -121,11 +123,20 @@ def discover_trace_files(
     comes from the basename alone, and a duplicate case id across
     subdirectories is an error rather than a silent event merge.
 
+    The live follower (:meth:`repro.live.engine.LiveIngest.scan`)
+    shares this grammar via two knobs batch callers never set:
+    ``allow_empty`` makes a directory with no matching files a normal
+    result (a watcher may start before traces appear), and
+    ``known_cases`` (case id → path) extends duplicate detection
+    across polls — a newly discovered file colliding with a case
+    already followed from a *different* path is an error.
+
     Raises
     ------
     TraceParseError
         If the directory does not exist, contains no matching trace
-        files, or two files map to the same case.
+        files (unless ``allow_empty``), or two files map to the same
+        case.
     """
     dir_path = Path(directory)
     if not dir_path.is_dir():
@@ -143,12 +154,16 @@ def discover_trace_files(
         if cids is not None and name.cid not in cids:
             continue
         previous = seen.get(name.case_id)
+        if previous is None and known_cases is not None:
+            tracked = known_cases.get(name.case_id)
+            if tracked is not None and tracked != entry:
+                previous = tracked
         if previous is not None:
             raise TraceParseError(
                 f"duplicate case {name.case_id!r}: {previous} and {entry}")
         seen[name.case_id] = entry
         found.append((entry, name))
-    if not found:
+    if not found and not allow_empty:
         raise TraceParseError(
             f"no {TRACE_SUFFIX} trace files found in {dir_path}"
             + (f" for cids {sorted(cids)}" if cids else ""))

@@ -65,6 +65,182 @@ def _is_restart(record: ParsedRecord) -> bool:
     return record.errno in RESTART_ERRNOS
 
 
+class IncrementalMerger:
+    """Stateful unfinished/resumed merger, consumable in arbitrary slices.
+
+    The live follower (:mod:`repro.live`) sees a trace file a few lines
+    at a time, so the merge state — the per-pid in-flight slot — must
+    survive between feeds. This class carries it, and additionally
+    solves an ordering problem batch merging hides: a merged record
+    sits at its *unfinished* (start) position, which precedes records
+    already produced from lines between the two halves. Emitting those
+    intermediate records eagerly would put them ahead of a record that
+    still belongs before them.
+
+    The merger therefore *seals* records with a watermark: a completed
+    record leaves the internal buffer only once its start timestamp is
+    at or below every in-flight unfinished call's start — at that point
+    no future merge can sort ahead of it (strace writes plain lines in
+    timestamp order; any inversion would have forced a split, which is
+    represented in the pending map). Sealed output across feeds is
+    exactly the sorted record list batch merging produces: ties on
+    start timestamp break by completion order, matching the stable
+    sort of :func:`merge_unfinished` — which is now a thin wrapper
+    around one feed + finish.
+
+    Parameters mirror :func:`merge_unfinished`; :attr:`stats` is
+    updated in place as tokens arrive.
+    """
+
+    __slots__ = ("path", "strict", "stats", "_pending", "_buffer", "_seq")
+
+    def __init__(self, *, path: str | None = None,
+                 strict: bool = True) -> None:
+        self.path = path
+        self.strict = strict
+        self.stats = MergeStats()
+        # pid -> (token, call name) for the in-flight unfinished record.
+        self._pending: dict[int, tuple[Token, str]] = {}
+        # Completed but unsealed records: (start_us, completion seq,
+        # record). The seq is the batch completion index, so sealing in
+        # (start, seq) order reproduces the batch stable sort exactly.
+        self._buffer: list[tuple[int, int, ParsedRecord]] = []
+        self._seq = 0
+
+    # -- introspection (live status displays) -----------------------------
+
+    @property
+    def n_pending(self) -> int:
+        """In-flight unfinished calls awaiting their resumed half."""
+        return len(self._pending)
+
+    @property
+    def n_buffered(self) -> int:
+        """Completed records still held behind the seal watermark."""
+        return len(self._buffer)
+
+    def pending_tokens(self) -> list[Token]:
+        """The unfinished halves currently in flight (for checkpoints)."""
+        return [token for token, _ in self._pending.values()]
+
+    def buffered_records(self) -> list[tuple[int, ParsedRecord]]:
+        """``(completion_seq, record)`` of unsealed records (for
+        checkpoints), in completion order."""
+        return sorted(((seq, record)
+                       for _, seq, record in self._buffer))
+
+    # -- checkpoint restore ------------------------------------------------
+
+    def restore(self, *, pending: Iterable[Token],
+                buffered: Iterable[tuple[int, ParsedRecord]],
+                next_seq: int, stats: MergeStats) -> None:
+        """Reload carry-over state saved by a live checkpoint."""
+        self._pending = {token.pid: (token, unfinished_call_name(token.body))
+                         for token in pending}
+        self._buffer = [(record.start_us, seq, record)
+                        for seq, record in buffered]
+        self._seq = next_seq
+        self.stats = stats
+
+    @property
+    def next_seq(self) -> int:
+        """The completion index the next record will get."""
+        return self._seq
+
+    # -- the merge ---------------------------------------------------------
+
+    def feed(self, tokens: Iterable[Token]) -> list[ParsedRecord]:
+        """Consume tokens and return the records sealed by them.
+
+        Sealed records are final: their position in the overall record
+        sequence can no longer change, so callers may fold them into
+        downstream incremental structures immediately.
+        """
+        for token in tokens:
+            self._consume(token)
+        return self._drain()
+
+    def finish(self) -> list[ParsedRecord]:
+        """End of input: orphan in-flight calls, seal everything left."""
+        self.stats.orphan_unfinished += len(self._pending)
+        self._pending.clear()
+        return self._drain()
+
+    def _consume(self, token: Token) -> None:
+        stats = self.stats
+        if token.kind is RecordKind.SIGNAL:
+            stats.skipped_signals += 1
+            return
+        if token.kind is RecordKind.EXIT:
+            stats.skipped_exits += 1
+            # An exit while a call is pending orphans it.
+            if token.pid in self._pending:
+                del self._pending[token.pid]
+                stats.orphan_unfinished += 1
+            return
+        if token.kind is RecordKind.UNFINISHED:
+            if token.pid in self._pending:
+                raise TraceParseError(
+                    f"pid {token.pid} has two in-flight unfinished calls",
+                    path=self.path)
+            self._pending[token.pid] = (
+                token, unfinished_call_name(token.body))
+            return
+        if token.kind is RecordKind.RESUMED:
+            entry = self._pending.pop(token.pid, None)
+            call = resumed_call_name(token.body)
+            if entry is None:
+                if self.strict:
+                    raise TraceParseError(
+                        f"resumed {call!r} for pid {token.pid} without a "
+                        f"matching unfinished record", path=self.path)
+                stats.orphan_resumed += 1
+                return
+            head_token, head_call = entry
+            if head_call != call:
+                raise TraceParseError(
+                    f"pid {token.pid}: unfinished {head_call!r} resumed as "
+                    f"{call!r}", path=self.path)
+            body = _join_bodies(head_token.body, token.body, call)
+            record = parse_body(head_token.pid, head_token.start_us, body,
+                                path=self.path)
+            if _is_restart(record):
+                stats.dropped_restarts += 1
+            else:
+                stats.merged_pairs += 1
+                self._complete(record)
+            return
+        # Plain complete syscall record.
+        record = parse_body(token.pid, token.start_us, token.body,
+                            path=self.path)
+        if _is_restart(record):
+            stats.dropped_restarts += 1
+        else:
+            self._complete(record)
+
+    def _complete(self, record: ParsedRecord) -> None:
+        self._buffer.append((record.start_us, self._seq, record))
+        self._seq += 1
+
+    def _drain(self) -> list[ParsedRecord]:
+        if not self._buffer:
+            return []
+        if self._pending:
+            horizon = min(token.start_us
+                          for token, _ in self._pending.values())
+            sealed = [entry for entry in self._buffer
+                      if entry[0] <= horizon]
+            if not sealed:
+                return []
+            self._buffer = [entry for entry in self._buffer
+                            if entry[0] > horizon]
+        else:
+            sealed = self._buffer
+            self._buffer = []
+        sealed.sort()
+        return [record for _, _, record in sealed]
+
+
 def merge_unfinished(
     tokens: Iterable[Token],
     *,
@@ -94,66 +270,14 @@ def merge_unfinished(
         Parsed records in start-timestamp order of their *initiating*
         line, and merge statistics.
     """
-    records: list[ParsedRecord] = []
-    stats = MergeStats()
-    # pid -> (token, call name) for the in-flight unfinished record.
-    pending: dict[int, tuple[Token, str]] = {}
-
-    for token in tokens:
-        if token.kind is RecordKind.SIGNAL:
-            stats.skipped_signals += 1
-            continue
-        if token.kind is RecordKind.EXIT:
-            stats.skipped_exits += 1
-            # An exit while a call is pending orphans it.
-            if token.pid in pending:
-                del pending[token.pid]
-                stats.orphan_unfinished += 1
-            continue
-        if token.kind is RecordKind.UNFINISHED:
-            if token.pid in pending:
-                raise TraceParseError(
-                    f"pid {token.pid} has two in-flight unfinished calls",
-                    path=path)
-            pending[token.pid] = (token, unfinished_call_name(token.body))
-            continue
-        if token.kind is RecordKind.RESUMED:
-            entry = pending.pop(token.pid, None)
-            call = resumed_call_name(token.body)
-            if entry is None:
-                if strict:
-                    raise TraceParseError(
-                        f"resumed {call!r} for pid {token.pid} without a "
-                        f"matching unfinished record", path=path)
-                stats.orphan_resumed += 1
-                continue
-            head_token, head_call = entry
-            if head_call != call:
-                raise TraceParseError(
-                    f"pid {token.pid}: unfinished {head_call!r} resumed as "
-                    f"{call!r}", path=path)
-            body = _join_bodies(head_token.body, token.body, call)
-            record = parse_body(head_token.pid, head_token.start_us, body,
-                                path=path)
-            if _is_restart(record):
-                stats.dropped_restarts += 1
-            else:
-                stats.merged_pairs += 1
-                records.append(record)
-            continue
-        # Plain complete syscall record.
-        record = parse_body(token.pid, token.start_us, token.body, path=path)
-        if _is_restart(record):
-            stats.dropped_restarts += 1
-        else:
-            records.append(record)
-
-    stats.orphan_unfinished += len(pending)
-    # Stable sort by start time: merged records were appended at their
-    # *resumed* position but must sit at their start position, matching
-    # the paper's case definition (events ordered by start timestamp).
+    merger = IncrementalMerger(path=path, strict=strict)
+    records = merger.feed(tokens)
+    records += merger.finish()
+    # Stable sort by start time: sealed output is already sorted for
+    # timestamp-ordered input; this restores the documented order for
+    # token lists assembled out of file order (tests, synthetic input).
     records.sort(key=lambda r: r.start_us)
-    return records, stats
+    return records, merger.stats
 
 
 def _join_bodies(unfinished_body: str, resumed_body: str, call: str) -> str:

@@ -42,6 +42,18 @@ class TestResolveWorkers:
         with pytest.raises(ReproError):
             resolve_workers(-2)
 
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_list_shaped_entry_points_reject_bad_counts(self, workers):
+        """read_cases / iter_case_columns take a concrete count and
+        must not silently degrade 0/-1 to the sequential loop."""
+        from repro.ingest.parallel import iter_case_columns, read_cases
+
+        with pytest.raises(ReproError, match="workers must be >= 1"):
+            read_cases([], workers=workers)
+        with pytest.raises(ReproError, match="workers must be >= 1"):
+            # At the call boundary — not deferred to the first next().
+            iter_case_columns([], workers=workers)
+
 
 @pytest.mark.parametrize("workload", WORKLOADS)
 @pytest.mark.parametrize("workers", [1, 2, 4])

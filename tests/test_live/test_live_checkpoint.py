@@ -1,0 +1,147 @@
+"""Checkpoint sidecars: kill the watcher, restart, same final DFG."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro._util.errors import ReproError
+from repro.core.dfg import DFG
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallOnly, CallTopDirs
+from repro.live.engine import LiveIngest
+
+MAPPING = CallTopDirs(levels=2)
+
+
+def batch_dfg(directory: Path) -> DFG:
+    log = EventLog.from_strace_dir(directory, workers=1)
+    return DFG(log.with_mapping(MAPPING))
+
+
+def grow(directory: Path, filename: str, chunk: bytes) -> None:
+    with open(directory / filename, "ab") as handle:
+        handle.write(chunk)
+
+
+class TestRestart:
+    def test_restart_mid_directory_same_final_dfg(self, tmp_path,
+                                                  ior_file_bytes):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        sidecar = tmp_path / "watch.ckpt.json"
+        items = sorted(ior_file_bytes.items())
+
+        engine = LiveIngest(trace_dir, checkpoint=sidecar)
+        # First life: half of each of the first two files — offsets,
+        # carries and (typically) in-flight unfinished calls all live
+        # in the checkpoint.
+        for name, content in items[:2]:
+            grow(trace_dir, name, content[: len(content) // 2 + 13])
+        engine.poll()
+        engine.save_checkpoint()
+        events_before = engine.total_events
+        del engine
+
+        # Second life: resumes from the sidecar, never re-reads the
+        # consumed prefix.
+        revived = LiveIngest(trace_dir, checkpoint=sidecar)
+        assert revived.total_events == events_before
+        offsets = {tail.path.name: tail.offset
+                   for tail in revived._tails.values()}
+        for name, content in items:
+            grow(trace_dir, name,
+                 content[offsets.get(name, 0):])
+        revived.poll()
+        revived.finalize()
+        assert revived.snapshot_dfg() == batch_dfg(trace_dir)
+
+    def test_restart_equals_uninterrupted_run(self, tmp_path,
+                                              ior_file_bytes):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        sidecar = tmp_path / "ckpt.json"
+        items = sorted(ior_file_bytes.items())
+
+        straight = LiveIngest(trace_dir)
+        interrupted = LiveIngest(trace_dir, checkpoint=sidecar)
+        for step, (name, content) in enumerate(items):
+            grow(trace_dir, name, content)
+            straight.poll()
+            interrupted.poll()
+            interrupted.save_checkpoint()
+            if step == 1:  # kill + revive mid-directory
+                interrupted = LiveIngest(trace_dir, checkpoint=sidecar)
+        straight.finalize()
+        interrupted.finalize()
+        assert interrupted.snapshot_dfg() == straight.snapshot_dfg()
+
+    def test_checkpoint_is_json_and_atomic(self, tmp_path,
+                                           ls_file_bytes):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        sidecar = tmp_path / "ckpt.json"
+        name, content = next(iter(ls_file_bytes.items()))
+        (trace_dir / name).write_bytes(content)
+        engine = LiveIngest(trace_dir, checkpoint=sidecar)
+        engine.poll()
+        engine.save_checkpoint()
+        state = json.loads(sidecar.read_text())
+        assert state["version"] == 1
+        assert state["files"][0]["path"] == name
+        assert not sidecar.with_name(sidecar.name + ".tmp").exists()
+
+    def test_save_without_path_is_an_error(self, tmp_path):
+        with pytest.raises(ReproError, match="no checkpoint path"):
+            LiveIngest(tmp_path).save_checkpoint()
+
+
+class TestGuards:
+    def _checkpointed(self, tmp_path, ls_file_bytes) -> Path:
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        sidecar = tmp_path / "ckpt.json"
+        name, content = next(iter(ls_file_bytes.items()))
+        (trace_dir / name).write_bytes(content)
+        engine = LiveIngest(trace_dir, checkpoint=sidecar)
+        engine.poll()
+        engine.save_checkpoint()
+        return sidecar
+
+    def test_mapping_mismatch_rejected(self, tmp_path, ls_file_bytes):
+        sidecar = self._checkpointed(tmp_path, ls_file_bytes)
+        with pytest.raises(ReproError, match="mapping"):
+            LiveIngest(tmp_path / "traces", mapping=CallOnly(),
+                       checkpoint=sidecar)
+
+    def test_strictness_mismatch_rejected(self, tmp_path,
+                                          ls_file_bytes):
+        sidecar = self._checkpointed(tmp_path, ls_file_bytes)
+        with pytest.raises(ReproError, match="strict"):
+            LiveIngest(tmp_path / "traces", strict=False,
+                       checkpoint=sidecar)
+
+    def test_cids_filter_mismatch_rejected(self, tmp_path,
+                                           ls_file_bytes):
+        """Restarting with a different cid filter would fold cases the
+        checkpointed graph never saw (or drop ones it has)."""
+        sidecar = self._checkpointed(tmp_path, ls_file_bytes)
+        with pytest.raises(ReproError, match="cids"):
+            LiveIngest(tmp_path / "traces", cids={"a"},
+                       checkpoint=sidecar)
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        sidecar = tmp_path / "ckpt.json"
+        sidecar.write_text("{not json")
+        with pytest.raises(ReproError, match="corrupt"):
+            LiveIngest(tmp_path, checkpoint=sidecar)
+
+    def test_version_mismatch_rejected(self, tmp_path, ls_file_bytes):
+        sidecar = self._checkpointed(tmp_path, ls_file_bytes)
+        state = json.loads(sidecar.read_text())
+        state["version"] = 999
+        sidecar.write_text(json.dumps(state))
+        with pytest.raises(ReproError, match="version"):
+            LiveIngest(tmp_path / "traces", checkpoint=sidecar)

@@ -1,0 +1,132 @@
+"""The watch loop and the ``st-inspector watch`` command."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.live.engine import LiveIngest
+from repro.live.watch import WatchView, run_watch
+
+
+def _write_all(directory: Path, file_bytes: dict[str, bytes]) -> None:
+    for filename, content in file_bytes.items():
+        (directory / filename).write_bytes(content)
+
+
+class TestRunWatch:
+    def test_bounded_polls_with_injected_clock(self, tmp_path,
+                                               ls_file_bytes):
+        _write_all(tmp_path, ls_file_bytes)
+        outputs: list[str] = []
+        naps: list[float] = []
+        code = run_watch(LiveIngest(tmp_path), interval=0.5, polls=3,
+                         out=outputs.append, sleep=naps.append)
+        assert code == 0
+        assert len(outputs) == 3
+        assert naps == [0.5, 0.5]  # no sleep after the final poll
+        assert "poll 1:" in outputs[0]
+        assert "NODES" in outputs[0]  # first refresh renders the DFG
+        assert "NODES" not in outputs[1]  # nothing changed: status only
+
+    def test_changes_are_highlighted_between_refreshes(self, tmp_path,
+                                                       ls_file_bytes):
+        items = sorted(ls_file_bytes.items())
+        engine = LiveIngest(tmp_path)
+        view = WatchView(engine, top=3)
+        _write_all(tmp_path, dict(items[:3]))  # the three 'a' cases
+        view.refresh(engine.poll())
+        _write_all(tmp_path, dict(items[3:]))  # 'b' brings new edges
+        text = view.refresh(engine.poll())
+        assert "DFG DIFF" in text
+        assert "[G]" in text  # new-since-baseline elements tagged
+
+    def test_checkpoint_saved_every_poll(self, tmp_path, ls_file_bytes):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        _write_all(trace_dir, ls_file_bytes)
+        sidecar = tmp_path / "ckpt.json"
+        run_watch(LiveIngest(trace_dir, checkpoint=sidecar), polls=1,
+                  out=lambda _: None, sleep=lambda _: None)
+        assert sidecar.exists()
+
+    def test_idle_polls_skip_the_sidecar_rewrite(self, tmp_path,
+                                                 ls_file_bytes):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        _write_all(trace_dir, ls_file_bytes)
+        sidecar = tmp_path / "ckpt.json"
+        run_watch(LiveIngest(trace_dir, checkpoint=sidecar), polls=1,
+                  out=lambda _: None, sleep=lambda _: None)
+        first_save = sidecar.stat().st_mtime_ns
+        # Nothing grows: three more polls must not rewrite the file.
+        run_watch(LiveIngest(trace_dir, checkpoint=sidecar), polls=3,
+                  interval=0, out=lambda _: None, sleep=lambda _: None)
+        assert sidecar.stat().st_mtime_ns == first_save
+
+
+class TestCli:
+    def test_watch_once(self, tmp_path, ls_file_bytes, capsys):
+        _write_all(tmp_path, ls_file_bytes)
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "poll 1:" in out
+        assert "EDGES" in out
+
+    def test_watch_polls_and_no_dfg(self, tmp_path, ls_file_bytes,
+                                    capsys):
+        _write_all(tmp_path, ls_file_bytes)
+        assert main(["watch", str(tmp_path), "--polls", "2",
+                     "--interval", "0", "--no-dfg"]) == 0
+        out = capsys.readouterr().out
+        assert "poll 2:" in out
+        assert "EDGES" not in out
+
+    def test_watch_checkpoint_roundtrip(self, tmp_path, ls_file_bytes,
+                                        capsys):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        _write_all(trace_dir, ls_file_bytes)
+        sidecar = tmp_path / "ckpt.json"
+        assert main(["watch", str(trace_dir), "--once",
+                     "--checkpoint", str(sidecar)]) == 0
+        assert sidecar.exists()
+        capsys.readouterr()
+        # Second run resumes: same files, no new events.
+        assert main(["watch", str(trace_dir), "--once",
+                     "--checkpoint", str(sidecar)]) == 0
+        assert "poll 2:" in capsys.readouterr().out
+
+    def test_watch_missing_directory_fails_cleanly(self, tmp_path,
+                                                   capsys):
+        assert main(["watch", str(tmp_path / "nope"), "--once"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flags", [
+        ("--interval", "-1"),
+        ("--interval", "soon"),
+        ("--polls", "0"),
+        ("--polls", "-3"),
+    ])
+    def test_invalid_interval_and_polls_rejected(self, tmp_path, flags,
+                                                 capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["watch", str(tmp_path), *flags])
+        assert excinfo.value.code == 2
+        assert flags[0] in capsys.readouterr().err
+
+    def test_restart_marks_statistics_as_partial(self, tmp_path,
+                                                 ls_file_bytes, capsys):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        _write_all(trace_dir, ls_file_bytes)
+        sidecar = tmp_path / "ckpt.json"
+        assert main(["watch", str(trace_dir), "--once",
+                     "--checkpoint", str(sidecar)]) == 0
+        assert "checkpoint restart" not in capsys.readouterr().out
+        assert main(["watch", str(trace_dir), "--once",
+                     "--checkpoint", str(sidecar)]) == 0
+        assert "since the last checkpoint restart" in \
+            capsys.readouterr().out

@@ -92,6 +92,18 @@ class TestErrors:
         code = main(["compare", str(directory), "--green", "zzz"])
         assert code == 2
 
+    @pytest.mark.parametrize("value", ["0", "-2", "zero"])
+    def test_invalid_workers_rejected_at_parse_time(self, tmp_path,
+                                                    value, capsys):
+        """--workers 0 / negatives fail with a readable argparse error
+        before any directory is touched (not an opaque pool failure)."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synthesize", str(tmp_path), "--workers", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert "must be >= 1" in err or "invalid int value" in err
+
 
 class TestExtendedCommands:
     @pytest.fixture()
