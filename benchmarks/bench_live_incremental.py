@@ -18,6 +18,13 @@ reports the totals: summed over n rounds the full-re-ingest strategy
 does O(n²/2) file-parses against the incremental O(n), so the expected
 advantage at 10 rounds is ~5x and grows linearly with the horizon.
 
+The same comparison is made for the *render path*: per refresh, the
+watch display needs the Sec. IV-B statistics of the standing graph.
+``engine.statistics()`` assembles them from the seal-time accumulators
+at O(delta); the pre-accumulator strategy rebuilt the snapshot log and
+recomputed ``IOStatistics`` at O(total events) per refresh. Both are
+timed every round and asserted field-identical (floats included).
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_live_incremental.py
@@ -40,6 +47,7 @@ import pytest
 from repro.core.dfg import DFG
 from repro.core.eventlog import EventLog
 from repro.core.mapping import CallTopDirs
+from repro.core.statistics import IOStatistics
 from repro.live.engine import LiveIngest
 
 from conftest import paper_vs_measured
@@ -75,6 +83,8 @@ def run_growth(source_files: list[Path], live_dir: Path, *,
     engine = LiveIngest(live_dir, mapping=MAPPING)
     incremental_s = 0.0
     full_s = 0.0
+    stats_inc_s = 0.0
+    stats_full_s = 0.0
     batch_dfg = None
     for round_index in range(polls):
         batch = source_files[round_index * files_per_poll:
@@ -86,6 +96,24 @@ def run_growth(source_files: list[Path], live_dir: Path, *,
         engine.poll()
         live_dfg = engine.snapshot_dfg()
         incremental_s += time.perf_counter() - begin
+
+        # Render path, new: statistics assembled from the seal-time
+        # accumulators — O(delta events) per refresh.
+        begin = time.perf_counter()
+        live_stats = engine.statistics()
+        stats_inc_s += time.perf_counter() - begin
+
+        # Render path, old: rebuild the snapshot log and recompute
+        # IOStatistics from scratch — O(total events) per refresh.
+        begin = time.perf_counter()
+        rebuilt = IOStatistics(
+            engine.snapshot_log().with_mapping(MAPPING))
+        stats_full_s += time.perf_counter() - begin
+
+        for activity in rebuilt.activities():
+            assert live_stats[activity] == rebuilt[activity], (
+                f"round {round_index + 1}: incremental statistics "
+                f"diverged on {activity!r}")
 
         begin = time.perf_counter()
         log = EventLog.from_strace_dir(live_dir, workers=1)
@@ -103,6 +131,9 @@ def run_growth(source_files: list[Path], live_dir: Path, *,
         "incremental_s": incremental_s,
         "full_s": full_s,
         "advantage": full_s / incremental_s,
+        "stats_inc_s": stats_inc_s,
+        "stats_full_s": stats_full_s,
+        "stats_advantage": stats_full_s / stats_inc_s,
     }
 
 
@@ -119,6 +150,12 @@ def report(result: dict) -> None:
             ("advantage", f"~{result['polls'] / 2:.0f}x "
                           f"(n/2 at n rounds)",
              f"{result['advantage']:.2f}x"),
+            ("stats rebuild / refresh", "O(total events)",
+             f"{result['stats_full_s'] * 1e3:.0f} ms total"),
+            ("incremental statistics", "O(delta)",
+             f"{result['stats_inc_s'] * 1e3:.0f} ms total"),
+            ("render advantage", "grows with the horizon",
+             f"{result['stats_advantage']:.2f}x"),
         ])
 
 
@@ -134,10 +171,14 @@ def test_incremental_beats_full_reingest(tmp_path):
                         files_per_poll=FILES_PER_POLL)
     report(result)
     # Equivalence is asserted per round inside run_growth; the
-    # throughput claim is conservative (theory says ~POLLS/2).
+    # throughput claims are conservative (theory says ~POLLS/2).
     assert result["advantage"] >= 2.0, (
         f"incremental polling should amortize far below repeated "
         f"re-ingest, got {result['advantage']:.2f}x")
+    assert result["stats_advantage"] >= 2.0, (
+        f"the O(delta) statistics render path should amortize far "
+        f"below per-refresh recomputation, got "
+        f"{result['stats_advantage']:.2f}x")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,6 +186,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--polls", type=int, default=POLLS)
     parser.add_argument("--files-per-poll", type=int,
                         default=FILES_PER_POLL)
+    parser.add_argument(
+        "--min-advantage", type=float, default=None, metavar="X",
+        help="fail (exit 1) unless both the incremental-poll and the "
+             "statistics-render advantage reach X — the CI smoke "
+             "guard against either path regressing to O(total)")
     args = parser.parse_args(argv)
 
     import tempfile
@@ -159,6 +205,16 @@ def main(argv: list[str] | None = None) -> int:
         result = run_growth(files, live, polls=args.polls,
                             files_per_poll=args.files_per_poll)
     report(result)
+    if args.min_advantage is not None:
+        failed = [name for name, value
+                  in (("poll", result["advantage"]),
+                      ("statistics render", result["stats_advantage"]))
+                  if value < args.min_advantage]
+        if failed:
+            print(f"FAIL: {', '.join(failed)} advantage below "
+                  f"{args.min_advantage:.2f}x — the O(delta) path "
+                  f"regressed toward O(total)")
+            return 1
     return 0
 
 

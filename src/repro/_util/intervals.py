@@ -145,14 +145,18 @@ def concurrency_profile(
 
     Returns ``[(time, active_count), ...]``: at each boundary time the
     number of active intervals *from* that instant (piecewise-constant
-    until the next entry). The last entry always has count 0. The
-    maximum over the profile equals :func:`max_concurrency` for inputs
-    without zero-length intervals (a zero-length interval contributes
-    an instantaneous spike that the step function cannot represent) —
-    a property the tests verify.
+    until the next entry). The last entry always has count 0.
+    Zero-length intervals are instantaneous spikes a pure step
+    function cannot carry, so a boundary instant whose peak count
+    exceeds its settled count emits *two* entries — ``(t, peak)``
+    immediately followed by ``(t, settled)`` — which keeps
+    ``max(count)`` over the profile equal to :func:`max_concurrency`
+    on every input (a property the tests verify).
 
     >>> concurrency_profile([(0, 10), (5, 15)])
     [(0.0, 1), (5.0, 2), (10.0, 1), (15.0, 0)]
+    >>> concurrency_profile([(3, 3)])
+    [(3.0, 1), (3.0, 0)]
     """
     starts, ends = _as_arrays(intervals)
     if starts.size == 0:
@@ -161,17 +165,39 @@ def concurrency_profile(
     times = np.concatenate([starts, ends])
     deltas = np.concatenate([np.ones(n, dtype=np.int64),
                              -np.ones(n, dtype=np.int64)])
-    # At equal times, ends (-1) sort before starts (+1) → half-open.
-    order = np.lexsort((deltas, times))
+    # The max_concurrency ordering: at equal times, ends of *other*
+    # intervals (key 0) sort before starts (key 1), and the end of a
+    # zero-length interval (key 2) after its own start — so the
+    # running count passes through the spike value.
+    zero_len = ends == starts
+    keys = np.concatenate([
+        np.ones(n, dtype=np.int8),
+        np.where(zero_len, np.int8(2), np.int8(0)),
+    ])
+    order = np.lexsort((keys, times))
     sorted_times = times[order]
+    sorted_keys = keys[order]
     running = np.cumsum(deltas[order])
     profile: list[tuple[float, int]] = []
-    for i in range(len(sorted_times)):
+    i = 0
+    total = len(sorted_times)
+    while i < total:
+        j = i
+        while j + 1 < total and sorted_times[j + 1] == sorted_times[i]:
+            j += 1
         t = float(sorted_times[i])
-        # Keep only the last entry per distinct time.
-        if i + 1 < len(sorted_times) and sorted_times[i + 1] == t:
-            continue
-        profile.append((t, int(running[i])))
+        settled = int(running[j])
+        # The instantaneous count *at* t is the running value after the
+        # last start (key 1): every interval active at t has been
+        # opened, and only zero-length ends (key 2) follow. It exceeds
+        # the settled count exactly when zero-length intervals spiked.
+        starts_at = np.flatnonzero(sorted_keys[i:j + 1] == 1)
+        peak = (int(running[i + int(starts_at[-1])])
+                if starts_at.size else settled)
+        if peak > settled:
+            profile.append((t, peak))
+        profile.append((t, settled))
+        i = j + 1
     return profile
 
 

@@ -346,9 +346,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
         mapping=_mapping(args),
         strict=not args.lenient,
         recursive=args.recursive,
-        # Records feed only the statistics of the rendered DFG; the
-        # summary-only mode keeps memory bounded by the graph.
-        keep_records=not args.no_dfg,
+        # The graph and statistics are both maintained incrementally,
+        # so the watcher never needs the raw records: run every watch
+        # with the bounded-memory trade (use `convert` to persist the
+        # full event-log).
+        keep_records=False,
         checkpoint=args.checkpoint,
     )
     polls = 1 if args.once else args.polls

@@ -40,7 +40,11 @@ from repro.core.mapping import (
 )
 from repro.core.activity import START_ACTIVITY, END_ACTIVITY, ActivityLog
 from repro.core.dfg import DFG
-from repro.core.statistics import ActivityStats, IOStatistics
+from repro.core.statistics import (
+    ActivityStats,
+    IOStatistics,
+    StatsAccumulator,
+)
 from repro.core.partition import PartitionEL, partition_by_cid, partition_by_predicate
 from repro.core.coloring import (
     Style,
@@ -81,6 +85,7 @@ __all__ = [
     "DFG",
     "ActivityStats",
     "IOStatistics",
+    "StatsAccumulator",
     "PartitionEL",
     "partition_by_cid",
     "partition_by_predicate",

@@ -22,15 +22,36 @@ The node labels in the paper's figures combine these as
 call :meth:`IOStatistics.load_label` / :meth:`IOStatistics.dr_label`
 to produce exactly those strings.
 
-Complexity: one pass over the frame plus a group-by on the activity
-column — the O(mn) of Sec. V, implemented as a stable sort + split so
-the Python-level cost is O(m), not O(mn).
+Architecture: all statistics are folded through per-activity
+:class:`ActivityAccumulator` objects managed by a
+:class:`StatsAccumulator`. The accumulators absorb events one at a
+time (:meth:`StatsAccumulator.feed_event` — what the live engine calls
+at seal time) or a whole columnar frame at once
+(:meth:`StatsAccumulator.feed_frame` — the vectorized batch pass), and
+both roads produce *identical* :class:`IOStatistics` down to the float
+bit patterns: the per-case event order is the same either way, so the
+per-activity rate sequence — and with it NumPy's pairwise mean — is
+reproduced exactly. This is what lets a live watcher render
+full-history statistics at O(delta) per refresh and lets checkpoints
+persist statistics across process restarts
+(:mod:`repro.live.checkpoint`).
+
+Complexity of the batch pass: one group-by on the activity column plus
+columnar per-case slicing — the O(mn) of Sec. V, implemented as a
+stable sort + split + vectorized column math so the Python-level cost
+is O(m + cases), not O(mn). Derived per-activity scalars (max
+concurrency, mean rate) are cached and recomputed only for activities
+that received events since the last assembly — a touched activity
+re-sweeps its own interval buffer, an untouched one costs O(1) — and
+Eq. 15 timeline rows are materialized lazily from the append-only
+per-case buffers, so the accumulators never hold a second O(events)
+copy of the history.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -41,6 +62,7 @@ from repro.core.frame import MISSING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.eventlog import EventLog
+    from repro.core.frame import EventFrame
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +104,343 @@ class ActivityStats:
                 f"{format_rate(self.process_data_rate)}")
 
 
+class ActivityAccumulator:
+    """Running statistics of one activity, updatable per event.
+
+    Scalar statistics (counts, duration and byte sums, rank/case sets)
+    are folded directly. Order-sensitive state — the Eq. 15 timeline
+    and the per-event rate sequence feeding the Eq. 13 mean — is kept
+    *per case*: within a case, events arrive in their final
+    start-timestamp order on both the batch and the live road, so
+    assembling cases in a deterministic order reproduces the batch
+    sequence exactly regardless of how polls interleaved the cases.
+
+    The derived scalars (max concurrency, mean rate) are cached under
+    a dirty flag: an activity untouched since the last assembly costs
+    O(1) to re-render. Timelines are *not* duplicated into the cache —
+    the per-case buffers stay the only O(events) state, and
+    :meth:`timeline_snapshot` materializes labeled rows on demand.
+    """
+
+    __slots__ = ("activity", "event_count", "dur_sum", "bytes_sum",
+                 "has_transfers", "rids", "_case_timelines",
+                 "_case_rates", "_dirty", "_view_key", "_view")
+
+    def __init__(self, activity: str) -> None:
+        self.activity = activity
+        self.event_count = 0
+        self.dur_sum = 0
+        self.bytes_sum = 0
+        self.has_transfers = False
+        self.rids: set[int] = set()
+        #: case id -> [(start_us, end_us), ...] in sealed event order.
+        self._case_timelines: dict[str, list[tuple[int, int]]] = {}
+        #: case id -> [bytes/second, ...] for rate-carrying events.
+        self._case_rates: dict[str, list[float]] = {}
+        self._dirty = True
+        self._view_key: tuple[str, ...] = ()
+        self._view: tuple[int, float | None] = (0, None)
+
+    @property
+    def rate_count(self) -> int:
+        """Events contributing to the Eq. 13 mean (size and dur > 0)."""
+        return sum(len(rates) for rates in self._case_rates.values())
+
+    @property
+    def case_ids(self) -> set[str]:
+        """Cases holding at least one event of this activity."""
+        return set(self._case_timelines)
+
+    # -- folding -----------------------------------------------------------
+
+    def add_event(self, case_id: str, *, rid: int, start_us: int,
+                  dur_us: int | None, size: int | None) -> None:
+        """Fold one event (live seal-time semantics: None = absent)."""
+        self.event_count += 1
+        end = start_us
+        if dur_us is not None:
+            self.dur_sum += dur_us
+            end = start_us + dur_us
+            if size is not None and dur_us > 0:
+                self._case_rates.setdefault(case_id, []).append(
+                    size / (dur_us / 1e6))
+        if size is not None:
+            self.has_transfers = True
+            self.bytes_sum += size
+        self.rids.add(rid)
+        self._case_timelines.setdefault(case_id, []).append(
+            (start_us, end))
+        self._dirty = True
+
+    def add_case_chunk(self, case_id: str, *, rids: np.ndarray,
+                       starts: np.ndarray, ends: np.ndarray,
+                       durs: np.ndarray, sizes: np.ndarray) -> None:
+        """Fold a columnar slice of one case's events (batch road).
+
+        ``ends`` must already be ``start + dur`` with missing durations
+        treated as zero; ``durs``/``sizes`` use the frame's ``MISSING``
+        sentinel. Equivalent to calling :meth:`add_event` per row, but
+        with all per-row work in NumPy/C.
+        """
+        self.event_count += int(len(starts))
+        valid_dur = durs != MISSING
+        self.dur_sum += int(durs[valid_dur].sum())
+        transfer = sizes != MISSING
+        if transfer.any():
+            self.has_transfers = True
+            self.bytes_sum += int(sizes[transfer].sum())
+        rate_mask = transfer & valid_dur & (durs > 0)
+        if rate_mask.any():
+            rates = sizes[rate_mask] / (durs[rate_mask] / 1e6)
+            self._case_rates.setdefault(case_id, []).extend(
+                rates.tolist())
+        self.rids.update(map(int, np.unique(rids)))
+        self._case_timelines.setdefault(case_id, []).extend(
+            zip(starts.tolist(), ends.tolist()))
+        self._dirty = True
+
+    # -- assembled view ----------------------------------------------------
+
+    def view(self, ordered_cases: tuple[str, ...],
+             ) -> tuple[int, float | None]:
+        """``(max_concurrency, mean_rate)`` with the activity's cases
+        laid out in ``ordered_cases`` order.
+
+        Cached: recomputed only when events arrived since the last call
+        or the case order changed (insertions of *other* cases never
+        reorder this activity's cases, so live case arrival keeps the
+        cache warm).
+        """
+        if not self._dirty and self._view_key == ordered_cases:
+            return self._view
+        flat: list[tuple[int, int]] = []
+        rates: list[float] = []
+        for case_id in ordered_cases:
+            flat.extend(self._case_timelines[case_id])
+            rates.extend(self._case_rates.get(case_id, ()))
+        mc = max_concurrency(np.array(flat, dtype=np.float64))
+        if rates:
+            mean_rate: float | None = float(
+                np.array(rates, dtype=np.float64).mean())
+        else:
+            mean_rate = None
+        self._view = (mc, mean_rate)
+        self._view_key = ordered_cases
+        self._dirty = False
+        return self._view
+
+    def timeline_snapshot(self, ordered_cases: tuple[str, ...],
+                          ) -> "Callable[[], list[tuple[str, int, int]]]":
+        """A zero-cost handle materializing the Eq. 15 rows on demand.
+
+        Captures ``(case, buffer, length)`` triples — the per-case
+        buffers are append-only, so the prefix of ``length`` entries is
+        immutable and the handle stays a faithful point-in-time
+        snapshot even while the accumulator keeps absorbing events.
+        Materialization costs O(activity events) but allocates only
+        when somebody actually asks for the timeline (Fig. 5 plots);
+        rendering node labels never does.
+        """
+        captured = [(case_id, buffer, len(buffer))
+                    for case_id in ordered_cases
+                    for buffer in (self._case_timelines[case_id],)]
+
+        def materialize() -> list[tuple[str, int, int]]:
+            return [(case_id, start, end)
+                    for case_id, buffer, length in captured
+                    for start, end in buffer[:length]]
+
+        return materialize
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ActivityAccumulator({self.activity!r}, "
+                f"{self.event_count} events, "
+                f"{len(self._case_timelines)} cases)")
+
+
+class StatsAccumulator:
+    """Per-activity statistics folded incrementally — the engine behind
+    both batch :meth:`IOStatistics.compute_statistics` and the live
+    :meth:`~repro.live.engine.LiveIngest.statistics`.
+
+    Feed events through :meth:`feed_event` (one sealed record at a
+    time) or :meth:`feed_frame` (a whole columnar frame, vectorized);
+    then :meth:`statistics` assembles an :class:`IOStatistics`. The
+    two feeding roads commute with assembly: any split of the same
+    events over any interleaving of cases yields identical statistics,
+    because all cross-case state is either order-free (integer sums,
+    sets) or reassembled in the caller-supplied case order.
+
+    State round-trips through :meth:`to_state` / :meth:`from_state`
+    for the live checkpoint sidecar (version ≥ 2).
+    """
+
+    def __init__(self) -> None:
+        self._activities: dict[str, ActivityAccumulator] = {}
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    @property
+    def total_duration_us(self) -> int:
+        """Denominator of Eq. 8 over everything folded so far."""
+        return sum(acc.dur_sum for acc in self._activities.values())
+
+    def _accumulator(self, activity: str) -> ActivityAccumulator:
+        acc = self._activities.get(activity)
+        if acc is None:
+            acc = self._activities[activity] = \
+                ActivityAccumulator(activity)
+        return acc
+
+    # -- feeding -----------------------------------------------------------
+
+    def feed_event(self, activity: str, case_id: str, *, rid: int,
+                   start_us: int, dur_us: int | None,
+                   size: int | None) -> None:
+        """Fold one mapped event (the live engine's seal-time call)."""
+        self._accumulator(activity).add_event(
+            case_id, rid=rid, start_us=start_us, dur_us=dur_us,
+            size=size)
+
+    def feed_frame(self, frame: "EventFrame") -> "StatsAccumulator":
+        """Fold every mapped row of a columnar frame, vectorized.
+
+        One group-by on the activity column; within each group the
+        rows are already case-major and start-sorted (the frame
+        invariant), so per-case chunks are boundary splits. Ends are
+        computed columnally and case codes decoded once per chunk —
+        no per-row Python.
+        """
+        pools = frame.pools
+        dur = frame.column("dur")
+        size = frame.column("size")
+        start = frame.column("start")
+        rid = frame.column("rid")
+        case = frame.column("case")
+        for code, rows in frame.groupby_activity():
+            acc = self._accumulator(pools.activities.decode(code))
+            durs = dur[rows]
+            sizes = size[rows]
+            starts = start[rows]
+            ends = starts + np.where(durs != MISSING, durs, 0)
+            case_codes = case[rows]
+            bounds = np.flatnonzero(np.diff(case_codes)) + 1
+            edges = [0, *bounds.tolist(), len(rows)]
+            for lo, hi in zip(edges, edges[1:]):
+                acc.add_case_chunk(
+                    pools.cases.decode(int(case_codes[lo])),
+                    rids=rid[rows[lo:hi]],
+                    starts=starts[lo:hi], ends=ends[lo:hi],
+                    durs=durs[lo:hi], sizes=sizes[lo:hi])
+        return self
+
+    # -- assembly ----------------------------------------------------------
+
+    def statistics(self, case_order: Sequence[str] | None = None,
+                   ) -> "IOStatistics":
+        """Assemble the folded state into an :class:`IOStatistics`.
+
+        ``case_order`` fixes the cross-case layout of timelines and
+        rate sequences (batch passes the frame's case interning order;
+        the live engine passes its sorted-path order — identical for a
+        directory that reached its final state). ``None`` falls back
+        to lexicographic case-id order, which is deterministic but
+        only matches batch for flat single-directory layouts.
+
+        Cost: O(activities + events-of-touched-activities) — an
+        activity that gained no events since the last assembly reuses
+        its cached view.
+        """
+        if case_order is None:
+            order_index: dict[str, int] = {}
+        else:
+            order_index = {case: i for i, case in enumerate(case_order)}
+        total_dur = self.total_duration_us
+        stats: dict[str, ActivityStats] = {}
+        lazy: dict[str, Callable[[], list[tuple[str, int, int]]]] = {}
+        for activity, acc in self._activities.items():
+            ordered = tuple(sorted(
+                acc._case_timelines,
+                key=lambda c: (order_index[c], "") if c in order_index
+                else (len(order_index), c)))
+            mc, mean_rate = acc.view(ordered)
+            stats[activity] = ActivityStats(
+                activity=activity,
+                event_count=acc.event_count,
+                total_dur_us=acc.dur_sum,
+                relative_duration=(acc.dur_sum / total_dur
+                                   if total_dur > 0 else 0.0),
+                total_bytes=acc.bytes_sum,
+                has_transfers=acc.has_transfers,
+                process_data_rate=mean_rate,
+                max_concurrency=mc,
+                ranks=len(acc.rids),
+                cases=len(acc._case_timelines),
+            )
+            lazy[activity] = acc.timeline_snapshot(ordered)
+        result = IOStatistics()
+        result._stats = stats
+        result._lazy_timelines = lazy
+        result._total_dur_us = total_dur
+        return result
+
+    # -- checkpoint state --------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable state (live checkpoint sidecars, v2+).
+
+        Rates are stored as JSON floats — ``repr``-based serialization
+        round-trips IEEE doubles exactly, so restored statistics stay
+        bit-identical to an uninterrupted run.
+        """
+        return {
+            "activities": {
+                activity: {
+                    "event_count": acc.event_count,
+                    "dur_sum": acc.dur_sum,
+                    "bytes_sum": acc.bytes_sum,
+                    "has_transfers": acc.has_transfers,
+                    "rids": sorted(acc.rids),
+                    "cases": {
+                        case: {
+                            "timeline": [[s, e] for s, e in rows],
+                            "rates": acc._case_rates.get(case, []),
+                        }
+                        for case, rows
+                        in sorted(acc._case_timelines.items())
+                    },
+                }
+                for activity, acc in sorted(self._activities.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StatsAccumulator":
+        """Rebuild from :meth:`to_state` output."""
+        accumulator = cls()
+        for activity, acc_state in state["activities"].items():
+            acc = accumulator._accumulator(str(activity))
+            acc.event_count = int(acc_state["event_count"])
+            acc.dur_sum = int(acc_state["dur_sum"])
+            acc.bytes_sum = int(acc_state["bytes_sum"])
+            acc.has_transfers = bool(acc_state["has_transfers"])
+            acc.rids = {int(r) for r in acc_state["rids"]}
+            for case, case_state in acc_state["cases"].items():
+                acc._case_timelines[str(case)] = [
+                    (int(s), int(e))
+                    for s, e in case_state["timeline"]]
+                rates = [float(r) for r in case_state["rates"]]
+                if rates:
+                    acc._case_rates[str(case)] = rates
+        return accumulator
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StatsAccumulator({len(self._activities)} activities, "
+                f"{sum(a.event_count for a in self._activities.values())}"
+                f" events)")
+
+
 class IOStatistics:
     """Per-activity statistics over an event-log (paper Fig. 6, step 4).
 
@@ -90,12 +449,18 @@ class IOStatistics:
         stats = IOStatistics()
         stats.compute_statistics(event_log)
 
-    or the one-step form ``IOStatistics(event_log)``.
+    or the one-step form ``IOStatistics(event_log)``. Instances are
+    point-in-time results; the live subsystem assembles them from a
+    standing :class:`StatsAccumulator` instead of recomputing.
     """
 
     def __init__(self, event_log: "EventLog | None" = None) -> None:
         self._stats: dict[str, ActivityStats] = {}
+        #: Materialized Eq. 15 rows, filled on first access per
+        #: activity from the snapshot handles below.
         self._timelines: dict[str, list[tuple[str, int, int]]] = {}
+        self._lazy_timelines: dict[
+            str, Callable[[], list[tuple[str, int, int]]]] = {}
         self._total_dur_us = 0
         if event_log is not None:
             self.compute_statistics(event_log)
@@ -103,71 +468,23 @@ class IOStatistics:
     # -- computation ---------------------------------------------------------
 
     def compute_statistics(self, event_log: "EventLog") -> "IOStatistics":
-        """Compute all statistics; replaces any previous results."""
+        """Compute all statistics; replaces any previous results.
+
+        Implemented as "feed the frame once" into a fresh
+        :class:`StatsAccumulator` and assemble — the exact code path
+        the live engine drives per sealed event, so batch and live
+        statistics cannot drift apart.
+        """
         event_log._require_mapping()
         frame = event_log.frame
-        pools = frame.pools
-        dur = frame.column("dur")
-        size = frame.column("size")
-        start = frame.column("start")
-        rid = frame.column("rid")
-        case = frame.column("case")
-
-        groups = frame.groupby_activity()
-        # Denominator of Eq. 8: total duration across all activities.
-        total_dur = 0
-        per_activity: list[tuple[str, np.ndarray]] = []
-        for code, rows in groups:
-            activity = pools.activities.decode(code)
-            per_activity.append((activity, rows))
-            durs = dur[rows]
-            total_dur += int(durs[durs != MISSING].sum())
-        self._total_dur_us = total_dur
-
-        self._stats = {}
-        self._timelines = {}
-        for activity, rows in per_activity:
-            durs = dur[rows]
-            sizes = size[rows]
-            starts = start[rows]
-            valid_dur = durs != MISSING
-            act_dur = int(durs[valid_dur].sum())
-            has_transfers = bool((sizes != MISSING).any())
-            total_bytes = int(sizes[sizes != MISSING].sum())
-            # Eq. 11-13: mean of per-event size/dur over events that
-            # have both; zero-duration events cannot contribute.
-            rate_mask = (sizes != MISSING) & valid_dur & (durs > 0)
-            if rate_mask.any():
-                rates = sizes[rate_mask] / (durs[rate_mask] / 1e6)
-                mean_rate: float | None = float(rates.mean())
-            else:
-                mean_rate = None
-            # Eq. 14-16: intervals (start, start+dur); missing dur -> 0.
-            ends = starts + np.where(valid_dur, durs, 0)
-            intervals = np.stack(
-                [starts.astype(np.float64), ends.astype(np.float64)],
-                axis=1)
-            mc = max_concurrency(intervals)
-            self._stats[activity] = ActivityStats(
-                activity=activity,
-                event_count=int(len(rows)),
-                total_dur_us=act_dur,
-                relative_duration=(act_dur / total_dur
-                                   if total_dur > 0 else 0.0),
-                total_bytes=total_bytes,
-                has_transfers=has_transfers,
-                process_data_rate=mean_rate,
-                max_concurrency=mc,
-                ranks=int(np.unique(rid[rows]).size),
-                cases=int(np.unique(case[rows]).size),
-            )
-            # Timeline rows for Fig. 5: (case_id, start, end) per event.
-            case_pool = pools.cases
-            self._timelines[activity] = [
-                (case_pool.decode(int(case[r])), int(start[r]),
-                 int(start[r]) + (int(dur[r]) if dur[r] != MISSING else 0))
-                for r in rows
-            ]
+        accumulator = StatsAccumulator().feed_frame(frame)
+        pool = frame.pools.cases
+        case_order = [pool.decode(code) for code in range(len(pool))]
+        computed = accumulator.statistics(case_order=case_order)
+        self._stats = computed._stats
+        self._timelines = computed._timelines
+        self._lazy_timelines = computed._lazy_timelines
+        self._total_dur_us = computed._total_dur_us
         return self
 
     # -- access -------------------------------------------------------------------
@@ -220,11 +537,18 @@ class IOStatistics:
     def timeline(self, activity: str) -> list[tuple[str, int, int]]:
         """The t_f(a, C) list (Eq. 15) as (case_id, start_us, end_us).
 
-        This is the input to the Fig. 5 timeline plot.
+        This is the input to the Fig. 5 timeline plot. Rows are
+        materialized from the accumulator snapshot on first access —
+        node-label rendering never pays for them.
         """
-        if activity not in self._timelines:
-            raise ReproError(f"no timeline for activity {activity!r}")
-        return list(self._timelines[activity])
+        rows = self._timelines.get(activity)
+        if rows is None:
+            snapshot = self._lazy_timelines.get(activity)
+            if snapshot is None:
+                raise ReproError(
+                    f"no timeline for activity {activity!r}")
+            rows = self._timelines[activity] = snapshot()
+        return list(rows)
 
     def metric(self, activity: str, name: str) -> float:
         """Numeric metric accessor used by statistics-based coloring."""
@@ -238,7 +562,10 @@ class IOStatistics:
         if name == "event_count":
             return float(stats.event_count)
         if name == "process_data_rate":
-            return stats.process_data_rate or 0.0
+            # A 0.0 rate is a real measurement (a zero-byte transfer
+            # with positive duration), distinct from "no transfers".
+            return (0.0 if stats.process_data_rate is None
+                    else stats.process_data_rate)
         raise ReproError(f"unknown metric {name!r}")
 
     def as_rows(self) -> list[dict]:

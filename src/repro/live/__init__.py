@@ -22,11 +22,15 @@ Layering (bottom → top):
   polls the directory for new files and appended bytes, maps sealed
   records, and folds them into a
   :class:`~repro.core.incremental.IncrementalDFG` via the union
-  algebra; snapshot/diff views reuse :mod:`repro.core.diff` and
-  :mod:`repro.core.coloring`.
+  algebra *and* into per-activity statistics accumulators
+  (:class:`~repro.core.statistics.StatsAccumulator`), so
+  :meth:`~repro.live.engine.LiveIngest.statistics` serves full-history
+  Sec. IV-B node annotations at O(delta); snapshot/diff views reuse
+  :mod:`repro.core.diff` and :mod:`repro.core.coloring`.
 - :mod:`repro.live.checkpoint` — JSON sidecar serialization of the
-  full follower + graph state, so a killed watcher restarts from the
-  recorded byte offsets instead of re-parsing gigabytes.
+  full follower + graph + statistics state (version 2), so a killed
+  watcher restarts from the recorded byte offsets instead of
+  re-parsing gigabytes, with statistics still covering the full run.
 - :mod:`repro.live.watch` — the ``st-inspector watch`` refresh loop:
   periodic ASCII summary with change highlighting.
 """

@@ -10,10 +10,20 @@ already-parsed byte:
   completed-but-unsealed records of the merge buffer;
 - the incremental graph: edge counts, node frequencies and each case's
   tail activity (:meth:`~repro.core.incremental.IncrementalDFG.to_state`);
+- the statistics accumulators (since v2): per-activity counts, sums,
+  rank sets, and the per-case interval/rate buffers
+  (:meth:`~repro.core.statistics.StatsAccumulator.to_state`), so a
+  restarted watcher renders *full-history* node annotations instead of
+  statistics covering only its own lifetime;
 - engine counters and the settings the state depends on (mapping name,
   recursiveness, strictness), which are checked on load — resuming a
   checkpoint under a different mapping would silently corrupt the
   graph, so it is an error instead.
+
+Version 1 sidecars (pre-statistics) are rejected with instructions to
+delete and re-watch: silently resuming one would render full-history
+graphs against current-process-only statistics — exactly the gap v2
+closes.
 
 The sidecar is written atomically (temp file + ``os.replace``), so a
 watcher killed mid-save leaves the previous checkpoint intact. File
@@ -32,6 +42,7 @@ from typing import TYPE_CHECKING
 
 from repro._util.errors import ReproError
 from repro.core.incremental import IncrementalDFG
+from repro.core.statistics import StatsAccumulator
 from repro.live.tail import FileTail
 from repro.strace.parser import ParsedRecord
 from repro.strace.resume import MergeStats
@@ -41,7 +52,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.live.engine import LiveIngest
 
 #: Bump when the state layout changes; loaders reject other versions.
-CHECKPOINT_VERSION = 1
+#: v2 added the statistics accumulators (full-history node annotations
+#: across restarts).
+CHECKPOINT_VERSION = 2
 
 
 def _record_to_state(record: ParsedRecord) -> dict:
@@ -109,6 +122,7 @@ def engine_state(engine: "LiveIngest") -> dict:
         "files": [_tail_to_state(engine._tails[path], engine.directory)
                   for path in sorted(engine._tails)],
         "dfg": engine.incremental.to_state(),
+        "stats": engine.stats.to_state(),
     }
 
 
@@ -116,9 +130,14 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
     """Load :func:`engine_state` output into a freshly built engine."""
     version = state.get("version")
     if version != CHECKPOINT_VERSION:
+        hint = ""
+        if version == 1:
+            hint = (" — v1 sidecars predate persisted statistics and "
+                    "cannot be upgraded in place; delete the sidecar "
+                    "and re-watch the directory to rebuild it")
         raise ReproError(
             f"unsupported checkpoint version {version!r} "
-            f"(this build writes {CHECKPOINT_VERSION})")
+            f"(this build writes {CHECKPOINT_VERSION}){hint}")
     current_cids = sorted(engine.cids) if engine.cids is not None else None
     for attribute, current in (("mapping", engine.mapping.name),
                                ("recursive", engine.recursive),
@@ -132,6 +151,7 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
     engine.n_polls = int(state["n_polls"])
     engine.total_events = int(state["total_events"])
     engine.incremental = IncrementalDFG.from_state(state["dfg"])
+    engine.stats = StatsAccumulator.from_state(state["stats"])
     for tail_state in state["files"]:
         tail = _tail_from_state(tail_state, engine.directory,
                                 engine.strict)
@@ -141,9 +161,20 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
 
 def save_checkpoint(engine: "LiveIngest",
                     path: str | os.PathLike[str]) -> Path:
-    """Serialize the engine atomically to ``path``; returns the path."""
+    """Serialize the engine atomically to ``path``; returns the path.
+
+    Cost: O(accumulated state), not O(delta) — the statistics buffers
+    carry a ``[start, end]`` pair (and possibly a rate) per sealed
+    event, so the sidecar grows with the watch and each save rewrites
+    it (compactly — no whitespace). That is the price of full-history
+    statistics surviving restarts; a watcher that cannot afford it can
+    checkpoint less often (``save_checkpoint`` is the caller's call,
+    one per poll in ``run_watch``) — windowed compaction of the
+    buffers is an open ROADMAP item.
+    """
     target = Path(path)
-    payload = json.dumps(engine_state(engine), indent=1, sort_keys=True)
+    payload = json.dumps(engine_state(engine), sort_keys=True,
+                         separators=(",", ":"))
     temp = target.with_name(target.name + ".tmp")
     temp.write_text(payload, encoding="utf-8")
     os.replace(temp, target)

@@ -22,14 +22,21 @@ The standing invariants (pinned by ``tests/test_live``):
   :meth:`finalize` make both equal one-shot batch ingestion of the
   final directory, byte for byte (frame columns, pools, merge stats).
 
+Besides the graph, every sealed record is folded into a standing
+:class:`~repro.core.statistics.StatsAccumulator`, so
+:meth:`LiveIngest.statistics` yields the full-history per-activity
+statistics (Sec. IV-B node annotations) at O(delta) — no rebuild of
+the snapshot log per refresh.
+
 Passing ``checkpoint=`` makes ingestion resumable across process
 restarts: the sidecar persists every byte offset, line carry, merge
-slot and the incremental graph, so a restarted watcher continues from
-where the killed one stopped instead of re-parsing gigabytes. After a
-restart only the *graph* carries the full history — records parsed by
-the previous process are not kept (that is what ``.elog`` conversion
-is for), so :meth:`snapshot_log` then covers this process's lifetime
-only, while :meth:`snapshot_dfg` still equals batch.
+slot, the incremental graph *and* the statistics accumulators, so a
+restarted watcher continues from where the killed one stopped instead
+of re-parsing gigabytes. After a restart the graph and the statistics
+carry the full history — records parsed by the previous process are
+not kept (that is what ``.elog`` conversion is for), so
+:meth:`snapshot_log` then covers this process's lifetime only, while
+:meth:`snapshot_dfg` and :meth:`statistics` still equal batch.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from repro.core.event import Event
 from repro.core.eventlog import EventLog
 from repro.core.incremental import IncrementalDFG
 from repro.core.mapping import CallTopDirs, Mapping, mapping_from_callable
+from repro.core.statistics import IOStatistics, StatsAccumulator
 from repro.live.tail import FileTail
 from repro.strace.naming import TraceFileName
 from repro.strace.parser import ParsedRecord
@@ -117,10 +125,12 @@ class LiveIngest:
     keep_records:
         Keep every sealed :class:`ParsedRecord` in memory so
         :meth:`snapshot_log` / :meth:`cases` cover the full run (the
-        default). ``False`` bounds memory to O(graph + carry state)
-        for arbitrarily large directories: records are folded into the
-        DFG and dropped, and :meth:`snapshot_log` stays empty — the
-        same trade a checkpoint restart makes.
+        default). ``False`` drops records once folded: memory shrinks
+        to the graph, carry state and the compact statistics buffers
+        (two ints + at most one float per event, no record objects),
+        and :meth:`snapshot_log` stays empty — the same trade a
+        checkpoint restart makes. :meth:`statistics` covers the full
+        history either way.
     checkpoint:
         Optional sidecar path. If the file exists, the engine resumes
         from it; :meth:`save_checkpoint` rewrites it atomically.
@@ -142,12 +152,13 @@ class LiveIngest:
         self.strict = strict
         self.recursive = recursive
         self.incremental = IncrementalDFG(add_endpoints=add_endpoints)
+        self.stats = StatsAccumulator()
         self.keep_records = keep_records
         self.n_polls = 0
         self.total_events = 0
         #: True once state from a previous process was loaded — in that
         #: case :meth:`snapshot_log` covers this process only while the
-        #: graph covers the full history.
+        #: graph and statistics cover the full history.
         self.restored = False
         self._tails: dict[Path, FileTail] = {}
         self._case_paths: dict[str, Path] = {}
@@ -250,12 +261,21 @@ class LiveIngest:
         if self.keep_records:
             self._records.setdefault(case_id, []).extend(sealed)
         self.total_events += len(sealed)
-        self.incremental.extend_case(
-            case_id, self._map_records(name, sealed))
+        rid = name.rid
+        feed = self.stats.feed_event
+        activities: list[str] = []
+        for record, activity in self._map_records(name, sealed):
+            if activity is None:
+                continue
+            activities.append(activity)
+            feed(activity, case_id, rid=rid, start_us=record.start_us,
+                 dur_us=record.dur_us, size=record.size)
+        self.incremental.extend_case(case_id, activities)
 
     def _map_records(self, name: TraceFileName,
-                     records: list[ParsedRecord]) -> Iterator[str]:
-        """Sealed records → mapped activities, skipping unmapped ones."""
+                     records: list[ParsedRecord],
+                     ) -> Iterator[tuple[ParsedRecord, str | None]]:
+        """Sealed records with their mapped activities (None=unmapped)."""
         mapping = self.mapping
         if mapping.uses_only_call_fp:
             memo = self._activity_memo
@@ -265,22 +285,44 @@ class LiveIngest:
                     activity = memo[key]
                 except KeyError:
                     activity = memo[key] = mapping.map_call_fp(*key)
-                if activity is not None:
-                    yield activity
+                yield record, activity
             return
         for record in records:
-            activity = mapping.map_event(Event(
+            yield record, mapping.map_event(Event(
                 cid=name.cid, host=name.host, rid=name.rid,
                 pid=record.pid, call=record.call, start=record.start_us,
                 dur=record.dur_us, fp=record.fp, size=record.size))
-            if activity is not None:
-                yield activity
 
     # -- snapshots ---------------------------------------------------------
 
     def snapshot_dfg(self) -> DFG:
         """Immutable copy of the standing graph (cheap, O(graph))."""
         return self.incremental.snapshot()
+
+    def statistics(self) -> IOStatistics:
+        """Full-history per-activity statistics (Sec. IV-B), assembled
+        from the standing accumulators.
+
+        Covers every record sealed since the watch began — across
+        checkpoint restarts and regardless of ``keep_records`` — and
+        equals batch ``IOStatistics`` of the final directory once
+        growth stops (every field, including timelines and max
+        concurrency; pinned by ``tests/test_live``). Cost is
+        O(activities + events of activities touched since the last
+        call): untouched activities reuse their cached scalars, while
+        a touched activity re-runs its max-concurrency sweep over its
+        full interval buffer (the recompute granularity the
+        accumulator design trades for exactness — an always-hot
+        activity therefore costs O(its history) per refresh, still
+        far below rebuilding the whole snapshot log).
+        """
+        return self.stats.statistics(case_order=self._case_order())
+
+    def _case_order(self) -> list[str]:
+        """Case ids in sorted-path order — the batch interning order of
+        the final directory, which fixes cross-case statistics layout."""
+        return [self._tails[path].name.case_id
+                for path in sorted(self._tails)]
 
     def diff_since(self, baseline: DFG) -> DFGDiff:
         """Diff the standing graph against an earlier snapshot."""

@@ -68,26 +68,20 @@ class WatchView:
     def _render_dfg(self, current: DFG) -> str:
         """ASCII DFG with change highlighting.
 
-        Statistics come from the full snapshot log, an O(total events)
-        rebuild — acceptable as a *display* step, and skippable with
-        ``show_stats=False`` / ``--no-dfg`` where polling cost must
-        stay O(delta).
+        Statistics are assembled from the engine's standing
+        accumulators (:meth:`~repro.live.engine.LiveIngest.statistics`)
+        — O(delta) per refresh, full history even after checkpoint
+        restarts, so the Load/DR labels always describe the same span
+        of events as the graph they annotate.
         """
         stats = None
-        note = ""
         if self.show_stats:
-            from repro.pipeline.session import InspectionSession
-
-            session = InspectionSession.from_live(self.engine)
-            if session.event_log.n_events:
-                stats = session.stats
-            if self.engine.restored:
-                note = ("\n(statistics cover records parsed since the "
-                        "last checkpoint restart; the graph covers the "
-                        "full history)")
+            computed = self.engine.statistics()
+            if len(computed):
+                stats = computed
         styler = (PartitionColoring(current, self._baseline, stats)
                   if self._baseline is not None else None)
-        return render_ascii(current, stats, styler) + note
+        return render_ascii(current, stats, styler)
 
 
 def run_watch(engine: LiveIngest, *,

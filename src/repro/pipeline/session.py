@@ -69,11 +69,19 @@ class InspectionSession:
         """Session over the current snapshot of a live ingestion engine
         (:class:`~repro.live.engine.LiveIngest`).
 
-        The engine's mapping is applied, so the DFG and statistics are
-        immediately available; the session holds a point-in-time copy —
-        take a fresh one after later polls.
+        The DFG and statistics are seeded from the engine's standing
+        incremental state — O(graph + delta), full history even after
+        a checkpoint restart or under ``keep_records=False``, where
+        the snapshot log covers less than the graph. The session holds
+        a point-in-time copy — take a fresh one after later polls.
+        Applying a further filter or mapping recomputes from the
+        snapshot log and therefore narrows to the records the engine
+        kept in memory.
         """
-        return cls(engine.snapshot_log().with_mapping(engine.mapping))
+        session = cls(engine.snapshot_log().with_mapping(engine.mapping))
+        session._dfg = engine.snapshot_dfg()
+        session._stats = engine.statistics()
+        return session
 
     # -- pipeline steps -------------------------------------------------------
 

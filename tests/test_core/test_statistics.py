@@ -80,6 +80,31 @@ class TestProcessDataRate:
         assert stats["read:/f"].process_data_rate == \
             pytest.approx(10 / 10e-6)
 
+    def test_zero_byte_transfer_is_a_real_zero_rate(self, tmp_path):
+        """A size-0 read with positive duration measures 0.0 B/s —
+        a legitimate rate, distinct from 'no transfers' (None)."""
+        (tmp_path / "z_h_1.st").write_text(
+            '1  00:00:00.000001 read(3</f>, "", 1024) = 0 <0.000040>\n')
+        log = EventLog.from_strace_dir(tmp_path)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        record = stats["read:/f"]
+        assert record.process_data_rate == 0.0
+        assert record.has_transfers
+        assert record.dr_label == "DR: 1x0.00 MB/s"
+        # The metric accessor must not conflate 0.0 with None either.
+        assert stats.metric("read:/f", "process_data_rate") == 0.0
+
+    def test_metric_for_no_transfers_is_zero(self, tmp_path):
+        (tmp_path / "z_h_1.st").write_text(
+            "1  00:00:00.000001 lseek(3</f>, 0, SEEK_SET) = 0 "
+            "<0.000002>\n")
+        log = EventLog.from_strace_dir(tmp_path)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        stats = IOStatistics(log)
+        assert stats["lseek:/f"].process_data_rate is None
+        assert stats.metric("lseek:/f", "process_data_rate") == 0.0
+
     def test_no_transfer_activities_have_none(self, tmp_path):
         (tmp_path / "z_h_1.st").write_text(
             "1  00:00:00.000001 lseek(3</f>, 0, SEEK_SET) = 0 "
@@ -168,3 +193,74 @@ class TestAccessors:
         log = EventLog.from_strace_dir(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         assert len(IOStatistics(log)) == 8
+
+
+class TestStatsAccumulator:
+    """The accumulator layer behind both batch and live statistics."""
+
+    def _mapped_log(self, fig1_dir) -> EventLog:
+        log = EventLog.from_strace_dir(fig1_dir)
+        log.apply_mapping_fn(CallTopDirs(levels=2))
+        return log
+
+    def test_event_by_event_feed_equals_frame_feed(self, fig1_dir):
+        """Feeding one event at a time (the live road) produces
+        field-identical statistics to the vectorized frame feed (the
+        batch road) — floats included, no approx."""
+        from repro.core.frame import MISSING
+        from repro.core.statistics import StatsAccumulator
+
+        log = self._mapped_log(fig1_dir)
+        frame = log.frame
+        pools = frame.pools
+        case_order = [pools.cases.decode(c)
+                      for c in range(len(pools.cases))]
+        batch = IOStatistics(log)
+
+        fed = StatsAccumulator()
+        activity_col = frame.column("activity")
+        for row in range(len(frame)):
+            code = int(activity_col[row])
+            if code == MISSING:
+                continue
+            dur = int(frame.column("dur")[row])
+            size = int(frame.column("size")[row])
+            fed.feed_event(
+                pools.activities.decode(code),
+                pools.cases.decode(int(frame.column("case")[row])),
+                rid=int(frame.column("rid")[row]),
+                start_us=int(frame.column("start")[row]),
+                dur_us=None if dur == MISSING else dur,
+                size=None if size == MISSING else size)
+        live = fed.statistics(case_order=case_order)
+        assert live.activities() == batch.activities()
+        assert live.total_duration_us == batch.total_duration_us
+        for activity in batch.activities():
+            assert live[activity] == batch[activity], activity
+            assert live.timeline(activity) == \
+                batch.timeline(activity), activity
+
+    def test_state_roundtrip(self, fig1_dir):
+        from repro.core.statistics import StatsAccumulator
+
+        log = self._mapped_log(fig1_dir)
+        accumulator = StatsAccumulator().feed_frame(log.frame)
+        revived = StatsAccumulator.from_state(accumulator.to_state())
+        one = accumulator.statistics()
+        two = revived.statistics()
+        for activity in one.activities():
+            assert one[activity] == two[activity]
+            assert one.timeline(activity) == two.timeline(activity)
+
+    def test_default_case_order_is_lexicographic(self, fig1_dir):
+        """Without an explicit order the flat-directory layout (case
+        ids sorted) matches the frame interning order."""
+        from repro.core.statistics import StatsAccumulator
+
+        log = self._mapped_log(fig1_dir)
+        accumulator = StatsAccumulator().feed_frame(log.frame)
+        batch = IOStatistics(log)
+        implicit = accumulator.statistics()
+        for activity in batch.activities():
+            assert implicit.timeline(activity) == \
+                batch.timeline(activity)

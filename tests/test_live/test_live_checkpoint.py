@@ -89,8 +89,9 @@ class TestRestart:
         engine.poll()
         engine.save_checkpoint()
         state = json.loads(sidecar.read_text())
-        assert state["version"] == 1
+        assert state["version"] == 2
         assert state["files"][0]["path"] == name
+        assert "stats" in state
         assert not sidecar.with_name(sidecar.name + ".tmp").exists()
 
     def test_save_without_path_is_an_error(self, tmp_path):
@@ -144,4 +145,17 @@ class TestGuards:
         state["version"] = 999
         sidecar.write_text(json.dumps(state))
         with pytest.raises(ReproError, match="version"):
+            LiveIngest(tmp_path / "traces", checkpoint=sidecar)
+
+    def test_v1_sidecar_rejected_with_rebuild_hint(self, tmp_path,
+                                                   ls_file_bytes):
+        """Pre-statistics sidecars cannot be silently misread as v2 —
+        the error says to delete and re-watch."""
+        sidecar = self._checkpointed(tmp_path, ls_file_bytes)
+        state = json.loads(sidecar.read_text())
+        state["version"] = 1
+        del state["stats"]
+        sidecar.write_text(json.dumps(state))
+        with pytest.raises(ReproError,
+                           match="delete the sidecar"):
             LiveIngest(tmp_path / "traces", checkpoint=sidecar)

@@ -99,6 +99,66 @@ class TestCli:
                      "--checkpoint", str(sidecar)]) == 0
         assert "poll 2:" in capsys.readouterr().out
 
+    def test_no_dfg_watch_still_accumulates_statistics(self, tmp_path,
+                                                       ls_file_bytes):
+        """--no-dfg skips rendering, not accounting: the engine behind
+        a summary-only watch holds full batch-equal statistics."""
+        from repro.core.eventlog import EventLog
+        from repro.core.mapping import CallTopDirs
+        from repro.core.statistics import IOStatistics
+
+        _write_all(tmp_path, ls_file_bytes)
+        engine = LiveIngest(tmp_path, keep_records=False)
+        outputs: list[str] = []
+        run_watch(engine, polls=1, show_dfg=False,
+                  out=outputs.append, sleep=lambda _: None)
+        assert "NODES" not in outputs[0]
+        log = EventLog.from_strace_dir(tmp_path, workers=1)
+        batch = IOStatistics(log.with_mapping(CallTopDirs(levels=2)))
+        live = engine.statistics()
+        for activity in batch.activities():
+            assert live[activity] == batch[activity], activity
+
+    def test_watch_cli_runs_without_record_retention(self, tmp_path,
+                                                     ls_file_bytes,
+                                                     capsys):
+        """The watch command never keeps raw records (graph and
+        statistics are incremental) yet still renders full labels."""
+        _write_all(tmp_path, ls_file_bytes)
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "Load:" in out  # statistics rendered from accumulators
+
+    def test_no_dfg_checkpoint_restart_keeps_statistics(self, tmp_path,
+                                                        ls_file_bytes,
+                                                        capsys):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        items = sorted(ls_file_bytes.items())
+        sidecar = tmp_path / "ckpt.json"
+        _write_all(trace_dir, dict(items[:3]))
+        assert main(["watch", str(trace_dir), "--once", "--no-dfg",
+                     "--checkpoint", str(sidecar)]) == 0
+        _write_all(trace_dir, dict(items[3:]))
+        assert main(["watch", str(trace_dir), "--once", "--no-dfg",
+                     "--checkpoint", str(sidecar)]) == 0
+        capsys.readouterr()
+        # A third life still carries the full accumulated history.
+        revived = LiveIngest(trace_dir, checkpoint=sidecar)
+        revived.poll()
+        revived.finalize()
+        from repro.core.eventlog import EventLog
+        from repro.core.mapping import CallTopDirs
+        from repro.core.statistics import IOStatistics
+
+        log = EventLog.from_strace_dir(trace_dir, workers=1)
+        batch = IOStatistics(log.with_mapping(CallTopDirs(levels=2)))
+        live = revived.statistics()
+        for activity in batch.activities():
+            assert live[activity] == batch[activity], activity
+            assert live.timeline(activity) == \
+                batch.timeline(activity), activity
+
     def test_watch_missing_directory_fails_cleanly(self, tmp_path,
                                                    capsys):
         assert main(["watch", str(tmp_path / "nope"), "--once"]) == 2
@@ -117,16 +177,36 @@ class TestCli:
         assert excinfo.value.code == 2
         assert flags[0] in capsys.readouterr().err
 
-    def test_restart_marks_statistics_as_partial(self, tmp_path,
-                                                 ls_file_bytes, capsys):
+    def test_restart_renders_full_history_statistics(self, tmp_path,
+                                                     ls_file_bytes,
+                                                     capsys):
+        """A restarted watcher's node labels (Load/DR) must equal a
+        batch run over the final directory — the post-restart
+        statistics gap — and the old partial-statistics caveat note
+        must be gone from the output."""
+        from repro.core.eventlog import EventLog
+        from repro.core.mapping import CallTopDirs
+        from repro.core.statistics import IOStatistics
+
         trace_dir = tmp_path / "traces"
         trace_dir.mkdir()
-        _write_all(trace_dir, ls_file_bytes)
         sidecar = tmp_path / "ckpt.json"
+        items = sorted(ls_file_bytes.items())
+        _write_all(trace_dir, dict(items[:3]))
         assert main(["watch", str(trace_dir), "--once",
                      "--checkpoint", str(sidecar)]) == 0
-        assert "checkpoint restart" not in capsys.readouterr().out
+        capsys.readouterr()
+        # Kill (process gone), grow, restart from the sidecar: the
+        # restarted process itself parses only the last three files.
+        _write_all(trace_dir, dict(items[3:]))
         assert main(["watch", str(trace_dir), "--once",
                      "--checkpoint", str(sidecar)]) == 0
-        assert "since the last checkpoint restart" in \
-            capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "checkpoint restart" not in out
+        log = EventLog.from_strace_dir(trace_dir, workers=1)
+        batch = IOStatistics(log.with_mapping(CallTopDirs(levels=2)))
+        for activity in batch.activities():
+            assert batch[activity].load_label in out, activity
+            dr = batch[activity].dr_label
+            if dr is not None:
+                assert dr in out, activity

@@ -158,7 +158,42 @@ class TestConcurrencyProfile:
             lambda se: (float(se[0]), float(se[0] + se[1]))),
         min_size=1, max_size=30))
     def test_profile_times_strictly_increasing(self, intervals):
+        """Positive-length intervals never need spike entries, so
+        times stay strictly increasing."""
         from repro._util.intervals import concurrency_profile
         profile = concurrency_profile(intervals)
         times = [t for t, _ in profile]
         assert times == sorted(set(times))
+
+    def test_zero_length_spike_is_emitted(self):
+        """Regression: a zero-length interval used to vanish from the
+        profile entirely, so max(profile) != max_concurrency."""
+        from repro._util.intervals import concurrency_profile
+        assert concurrency_profile([(3, 3)]) == [(3.0, 1), (3.0, 0)]
+
+    def test_zero_length_spike_inside_long_interval(self):
+        from repro._util.intervals import concurrency_profile
+        intervals = [(0, 10), (5, 5)]
+        profile = concurrency_profile(intervals)
+        assert (5.0, 2) in profile
+        assert (5.0, 1) in profile  # settles back to the long interval
+
+    def test_zero_length_at_boundary_of_touching_intervals(self):
+        from repro._util.intervals import concurrency_profile
+        profile = concurrency_profile([(0, 5), (5, 10), (5, 5)])
+        assert max(count for _, count in profile) == \
+            max_concurrency([(0, 5), (5, 10), (5, 5)])
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 100), st.integers(0, 30)).map(
+            lambda se: (float(se[0]), float(se[0] + se[1]))),
+        min_size=1, max_size=30))
+    def test_profile_max_equals_sweep_with_zero_lengths(self,
+                                                       intervals):
+        """The satellite regression property: with spike entries the
+        profile's max equals max_concurrency on *all* inputs,
+        zero-duration events included."""
+        from repro._util.intervals import concurrency_profile
+        profile = concurrency_profile(intervals)
+        assert max(c for _, c in profile) == max_concurrency(intervals)
+        assert profile[-1][1] == 0
