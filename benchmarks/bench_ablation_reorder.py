@@ -39,7 +39,7 @@ def _read_stats(tmp_path, *, reorder: bool, label: str):
     directory = tmp_path / label
     write_trace_files(result.recorders, directory,
                       trace_calls=EXPERIMENT_A_CALLS)
-    log = EventLog.from_strace_dir(directory)
+    log = EventLog.from_source(directory)
     log.apply_fp_filter("/p/scratch")
     log.apply_mapping_fn(SiteVariables(JUWELS_SITE_VARIABLES,
                                        extra_levels=1))

@@ -17,7 +17,7 @@ from conftest import paper_vs_measured
 
 
 def test_fig3_dfg_construction(benchmark, ls_trace_dir):
-    base = EventLog.from_strace_dir(ls_trace_dir)
+    base = EventLog.from_source(ls_trace_dir)
 
     def synthesize():
         log = base.with_mapping(CallTopDirs(levels=2))
@@ -45,7 +45,7 @@ def test_fig3_dfg_construction(benchmark, ls_trace_dir):
 
 
 def test_fig3_statistics(benchmark, ls_trace_dir):
-    log = EventLog.from_strace_dir(ls_trace_dir)
+    log = EventLog.from_source(ls_trace_dir)
     log.apply_mapping_fn(CallTopDirs(levels=2))
 
     stats = benchmark(lambda: IOStatistics(log))
@@ -60,7 +60,7 @@ def test_fig3_statistics(benchmark, ls_trace_dir):
 
 
 def test_fig4_filtered_dfg(benchmark, ls_trace_dir):
-    base = EventLog.from_strace_dir(ls_trace_dir)
+    base = EventLog.from_source(ls_trace_dir)
 
     def synthesize():
         log = base.filtered_fp("/usr/lib")

@@ -21,13 +21,13 @@ from conftest import paper_vs_measured
 
 @pytest.fixture(scope="module")
 def cb_stats(ls_trace_dir):
-    log = EventLog.from_strace_dir(ls_trace_dir, cids={"b"})
+    log = EventLog.from_source(ls_trace_dir, cids={"b"})
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return IOStatistics(log)
 
 
 def test_fig5_max_concurrency(benchmark, ls_trace_dir):
-    log = EventLog.from_strace_dir(ls_trace_dir, cids={"b"})
+    log = EventLog.from_source(ls_trace_dir, cids={"b"})
     log.apply_mapping_fn(CallTopDirs(levels=2))
 
     stats = benchmark(lambda: IOStatistics(log))

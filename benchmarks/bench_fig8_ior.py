@@ -28,7 +28,7 @@ from conftest import PAPER_RANKS, paper_vs_measured
 
 @pytest.fixture(scope="module")
 def exp_a_log(ior_exp_a_dir):
-    return EventLog.from_strace_dir(ior_exp_a_dir)
+    return EventLog.from_source(ior_exp_a_dir)
 
 
 def test_fig8a_full_dfg(benchmark, exp_a_log):

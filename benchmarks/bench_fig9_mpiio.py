@@ -30,7 +30,7 @@ TRANSFERS = 3 * 16
 
 @pytest.fixture(scope="module")
 def exp_b_log(ior_exp_b_dir):
-    log = EventLog.from_strace_dir(ior_exp_b_dir)
+    log = EventLog.from_source(ior_exp_b_dir)
     # The paper skips rendering openat calls in Fig. 9.
     log = log.filtered(~log.frame.call_in(["openat", "open"]))
     log.apply_mapping_fn(SiteVariables(JUWELS_SITE_VARIABLES))

@@ -1,7 +1,7 @@
 """Sequential vs parallel ingestion throughput (repro.ingest).
 
 Each simulate workload is written as a ≥100-file trace directory and
-ingested end-to-end (``EventLog.from_strace_dir``) sequentially
+ingested end-to-end (``EventLog.from_source``) sequentially
 (``workers=1``) and on a process pool (``workers=4`` by default). The
 bench reports events/s and the speedup, and *always* verifies the two
 paths produce the same DFG — throughput without equivalence is not a
@@ -113,7 +113,7 @@ def _time_ingest(directory: Path, workers: int, repeats: int = 2):
     best, log = float("inf"), None
     for _ in range(repeats):
         begin = time.perf_counter()
-        log = EventLog.from_strace_dir(directory, workers=workers)
+        log = EventLog.from_source(directory, workers=workers)
         best = min(best, time.perf_counter() - begin)
     return best, log
 

@@ -116,7 +116,7 @@ def run_growth(source_files: list[Path], live_dir: Path, *,
                 f"diverged on {activity!r}")
 
         begin = time.perf_counter()
-        log = EventLog.from_strace_dir(live_dir, workers=1)
+        log = EventLog.from_source(live_dir, workers=1)
         batch_dfg = DFG(log.with_mapping(MAPPING))
         full_s += time.perf_counter() - begin
 

@@ -29,7 +29,7 @@ def store_path(ior_exp_a_dir, tmp_path_factory):
 
 
 def test_stage_parse(benchmark, ior_exp_a_dir):
-    log = benchmark.pedantic(EventLog.from_strace_dir,
+    log = benchmark.pedantic(EventLog.from_source,
                              args=(ior_exp_a_dir,), rounds=3,
                              iterations=1)
     assert log.n_cases == 192
@@ -78,7 +78,7 @@ def test_store_roundtrip_lossless(benchmark, ior_exp_a_dir, store_path):
     mapping = SiteVariables(JUWELS_SITE_VARIABLES)
 
     def both():
-        direct = EventLog.from_strace_dir(ior_exp_a_dir) \
+        direct = EventLog.from_source(ior_exp_a_dir) \
             .with_mapping(mapping)
         stored = read_event_log(store_path).with_mapping(mapping)
         return DFG(direct), DFG(stored)

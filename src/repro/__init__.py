@@ -10,6 +10,10 @@ configurations via graph coloring. Subpackages:
 - :mod:`repro.ingest` — the scale-out ingestion engine: streaming
   tokenization, process-pool fan-out (``workers=``), sharded DFG
   construction over the union algebra.
+- :mod:`repro.sources` — the pluggable trace-source API: one registry
+  (``open_source``) behind every entry point, with batch strace
+  directories, ``.elog`` stores, CSV dumps and simulated workloads as
+  first-class schemes (``strace:``, ``elog:``, ``csv:``, ``sim:``).
 - :mod:`repro.elstore` — the single-file event-log container (the
   paper's HDF5 store, reimplemented; see DESIGN.md §2).
 - :mod:`repro.core` — event-log formalism, DFG synthesis, statistics,
@@ -28,11 +32,19 @@ configurations via graph coloring. Subpackages:
 Quickstart::
 
     from repro import EventLog, CallTopDirs, DFG, IOStatistics, DFGViewer
-    log = EventLog.from_strace_dir("traces/")
+    log = EventLog.from_source("traces/")        # or "strace:traces/",
+    #   "elog:run.elog", "csv:events.csv", "sim:ior?ranks=4" — every
+    #   input goes through the same trace-source registry.
     log.apply_mapping_fn(CallTopDirs(levels=2))
     dfg = DFG(log)
     stats = IOStatistics(log)
     print(DFGViewer(dfg, stats).render("ascii"))
+
+Migration note: the per-format constructors
+``EventLog.from_strace_dir`` / ``EventLog.from_store`` (and their
+``InspectionSession`` twins) are deprecated shims over
+``from_source`` — same results, byte for byte; new code should pass a
+path or scheme URI to ``from_source`` / ``open_source`` instead.
 """
 
 from repro.core import (
@@ -67,9 +79,26 @@ from repro.core.render import (
     render_timeline_ascii,
     render_timeline_svg,
 )
-from repro.elstore import EventLogStore, convert_strace_dir, read_event_log, write_event_log
+from repro.elstore import (
+    EventLogStore,
+    convert_source,
+    convert_strace_dir,
+    read_event_log,
+    write_event_log,
+)
+from repro.sources import (
+    CsvLogSource,
+    ElstoreSource,
+    SimulationSource,
+    StraceDirSource,
+    TraceSource,
+    UnsupportedSourceOptionWarning,
+    open_source,
+    register_source,
+    registered_schemes,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DFG",
@@ -101,8 +130,18 @@ __all__ = [
     "render_timeline_ascii",
     "render_timeline_svg",
     "EventLogStore",
+    "convert_source",
     "convert_strace_dir",
     "read_event_log",
     "write_event_log",
+    "CsvLogSource",
+    "ElstoreSource",
+    "SimulationSource",
+    "StraceDirSource",
+    "TraceSource",
+    "UnsupportedSourceOptionWarning",
+    "open_source",
+    "register_source",
+    "registered_schemes",
     "__version__",
 ]

@@ -46,6 +46,15 @@ class StoreFormatError(ReproError):
     """An ``.elog`` event-log container is malformed or unsupported."""
 
 
+class SourceError(ReproError):
+    """A trace-source specification could not be resolved.
+
+    Raised by the :mod:`repro.sources` registry for unknown URI
+    schemes, nonexistent paths, and malformed or unsupported
+    ``?key=value`` options.
+    """
+
+
 class MappingError(ReproError):
     """A mapping function ``f : E ⇀ A_f`` misbehaved (wrong type, etc.)."""
 

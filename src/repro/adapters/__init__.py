@@ -1,19 +1,32 @@
-"""Alternative event-log inputs (beyond strace).
+"""Deprecated: alternative event-log inputs moved to
+:mod:`repro.sources`.
 
 Sec. II of the paper: "The methodology by itself does not depend on
 strace and can be applied over data instrumented by one of the other
-existing tools." These adapters make that claim concrete: any tool that
-can dump events with the Eq. 1 attributes can feed the pipeline.
-
-- :mod:`repro.adapters.csv_log` — delimited text with the columns
-  ``cid,host,rid,pid,call,start,dur,fp,size`` (the lingua franca every
-  tracing tool can export to).
+existing tools." That claim is now carried by the
+:class:`~repro.sources.TraceSource` API — the CSV adapter lives at
+:mod:`repro.sources.csv_log` and is reachable from every entry point
+via ``open_source("csv:events.csv")``. This package re-exports the
+old names for compatibility and warns on use.
 """
 
-from repro.adapters.csv_log import (
-    CSV_COLUMNS,
-    read_csv_log,
-    write_csv_log,
-)
+from __future__ import annotations
 
-__all__ = ["CSV_COLUMNS", "read_csv_log", "write_csv_log"]
+import warnings
+
+_MOVED = {"CSV_COLUMNS", "read_csv_log", "write_csv_log"}
+
+__all__ = sorted(_MOVED)
+
+
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.adapters.{name} moved to repro.sources "
+            f"(see also open_source('csv:...'))",
+            DeprecationWarning, stacklevel=2)
+        import repro.sources.csv_log as _csv_log
+
+        return getattr(_csv_log, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

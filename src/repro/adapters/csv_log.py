@@ -1,138 +1,25 @@
-"""CSV event-log adapter: Eq. 1 attributes as delimited text.
+"""Deprecated location of the CSV event-log adapter.
 
-Format: a header row naming (a superset of) the columns below, then
-one row per event. ``start`` and ``dur`` are integer microseconds;
-``fp`` and ``size`` may be empty (the attributes are optional in the
-paper's model); extra columns are ignored so exports from richer tools
-load unchanged.
-
-    cid,host,rid,pid,call,start,dur,fp,size
-    a,host1,9042,9054,read,32154153994,203,/usr/lib/libc.so.6,832
-
-Cases are formed exactly as in Sec. IV: one case per distinct
-(cid, host, rid), events ordered by start.
+The adapter was promoted into the trace-source API as
+:mod:`repro.sources.csv_log` (``open_source("csv:events.csv")``); this
+module re-exports its names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import csv
-import os
-from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+import warnings
 
-import numpy as np
+from repro.sources.csv_log import (  # noqa: F401 - re-exports
+    CSV_COLUMNS,
+    CsvLogSource,
+    read_csv_log,
+    write_csv_log,
+)
 
-from repro._util.errors import TraceParseError
-from repro.core.eventlog import EventLog
-from repro.core.frame import EventFrame, FramePools
+warnings.warn(
+    "repro.adapters.csv_log moved to repro.sources.csv_log "
+    "(see also open_source('csv:...'))",
+    DeprecationWarning, stacklevel=2)
 
-if TYPE_CHECKING:  # pragma: no cover
-    pass
-
-#: Required columns, in canonical order (Eq. 1).
-CSV_COLUMNS: tuple[str, ...] = (
-    "cid", "host", "rid", "pid", "call", "start", "dur", "fp", "size")
-
-
-def _parse_int(value: str, column: str, lineno: int,
-               *, optional: bool = False) -> int:
-    if value == "" and optional:
-        return -1
-    try:
-        return int(value)
-    except ValueError:
-        raise TraceParseError(
-            f"line {lineno}: column {column!r} is not an integer: "
-            f"{value!r}") from None
-
-
-def read_csv_log(path: str | os.PathLike[str], *,
-                 delimiter: str = ",") -> EventLog:
-    """Load an event-log from a CSV file.
-
-    Raises :class:`TraceParseError` on missing required columns or
-    malformed values; empty ``fp``/``size``/``dur`` become missing.
-    """
-    file_path = Path(path)
-    pools = FramePools()
-    columns: dict[str, list[int]] = {name: [] for name in (
-        "case", "cid", "host", "rid", "pid", "call", "start", "dur",
-        "fp", "size")}
-    with open(file_path, newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle, delimiter=delimiter)
-        if reader.fieldnames is None:
-            raise TraceParseError(f"{file_path}: empty CSV")
-        missing = set(CSV_COLUMNS) - set(reader.fieldnames)
-        if missing:
-            raise TraceParseError(
-                f"{file_path}: missing columns {sorted(missing)}")
-        for lineno, row in enumerate(reader, start=2):
-            cid = row["cid"]
-            host = row["host"]
-            rid = _parse_int(row["rid"], "rid", lineno)
-            if not cid or not host:
-                raise TraceParseError(
-                    f"line {lineno}: empty cid/host")
-            columns["case"].append(pools.cases.intern(f"{cid}{rid}"))
-            columns["cid"].append(pools.cids.intern(cid))
-            columns["host"].append(pools.hosts.intern(host))
-            columns["rid"].append(rid)
-            columns["pid"].append(_parse_int(row["pid"], "pid", lineno))
-            columns["call"].append(pools.calls.intern(row["call"]))
-            columns["start"].append(
-                _parse_int(row["start"], "start", lineno))
-            columns["dur"].append(
-                _parse_int(row["dur"], "dur", lineno, optional=True))
-            fp = row["fp"]
-            columns["fp"].append(
-                pools.paths.intern(fp) if fp else -1)
-            columns["size"].append(
-                _parse_int(row["size"], "size", lineno, optional=True))
-    n = len(columns["start"])
-    frame = EventFrame(pools, {
-        "case": np.array(columns["case"], dtype=np.int32),
-        "cid": np.array(columns["cid"], dtype=np.int32),
-        "host": np.array(columns["host"], dtype=np.int32),
-        "rid": np.array(columns["rid"], dtype=np.int64),
-        "pid": np.array(columns["pid"], dtype=np.int64),
-        "call": np.array(columns["call"], dtype=np.int32),
-        "start": np.array(columns["start"], dtype=np.int64),
-        "dur": np.array(columns["dur"], dtype=np.int64),
-        "fp": np.array(columns["fp"], dtype=np.int32),
-        "size": np.array(columns["size"], dtype=np.int64),
-        "activity": np.full(n, -1, dtype=np.int32),
-    })
-    return EventLog(frame)
-
-
-def write_csv_log(event_log: EventLog,
-                  path: str | os.PathLike[str], *,
-                  delimiter: str = ",") -> Path:
-    """Export an event-log to CSV (inverse of :func:`read_csv_log`).
-
-    Lossless for the Eq. 1 attributes: ``read_csv_log(write_csv_log(x))``
-    reconstructs the same events (property-tested).
-    """
-    file_path = Path(path)
-    frame = event_log.frame
-    with open(file_path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(CSV_COLUMNS)
-        cids = frame.decoded("cid")
-        hosts = frame.decoded("host")
-        calls = frame.decoded("call")
-        fps = frame.decoded("fp")
-        rid = frame.column("rid")
-        pid = frame.column("pid")
-        start = frame.column("start")
-        dur = frame.column("dur")
-        size = frame.column("size")
-        for i in range(len(frame)):
-            writer.writerow([
-                cids[i], hosts[i], int(rid[i]), int(pid[i]), calls[i],
-                int(start[i]),
-                "" if dur[i] == -1 else int(dur[i]),
-                fps[i] or "",
-                "" if size[i] == -1 else int(size[i]),
-            ])
-    return file_path
+__all__ = ["CSV_COLUMNS", "CsvLogSource", "read_csv_log",
+           "write_csv_log"]

@@ -5,7 +5,7 @@ Subcommands cover the full paper pipeline plus the simulator:
 - ``simulate-ls <dir>`` — generate the Fig. 1 example traces.
 - ``simulate-ior <dir>`` — run the IOR simulator (Fig. 7 options) and
   write strace files.
-- ``convert <trace-dir> <out.elog>`` — parse + pack into the columnar
+- ``convert <source> <out.elog>`` — pack any source into the columnar
   store (the paper's HDF5 step).
 - ``synthesize <source>`` — build the DFG and print it (ascii/dot/svg),
   with filtering, mapping and coloring options.
@@ -13,8 +13,11 @@ Subcommands cover the full paper pipeline plus the simulator:
 - ``compare <source> --green <cid>`` — partition-colored comparison.
 - ``timeline <source> --activity <a>`` — the Fig. 5 plot.
 
-``<source>`` is either a directory of ``.st`` files or an ``.elog``
-store.
+``<source>`` is any registered trace source
+(:func:`repro.sources.open_source`): a directory of ``.st`` files, an
+``.elog`` store, a ``.csv`` dump, or a scheme URI like
+``strace:traces/``, ``elog:run.elog``, ``csv:log.csv``,
+``sim:ior?ranks=4`` — every analysis subcommand accepts every scheme.
 """
 
 from __future__ import annotations
@@ -34,26 +37,24 @@ from repro.core.statistics import IOStatistics
 from repro.pipeline.report import activity_report, comparison_report
 
 
-def _load(source: str, *, workers: int | None = None,
-          recursive: bool = False, strict: bool = True) -> EventLog:
-    path = Path(source)
-    if path.is_dir():
-        return EventLog.from_strace_dir(path, workers=workers,
-                                        recursive=recursive,
-                                        strict=strict)
-    if path.suffix.lower() == ".csv":
-        from repro.adapters.csv_log import read_csv_log
+#: Help text for every subcommand's ``source`` positional.
+SOURCE_HELP = (".st directory, .elog store, .csv log, or scheme URI "
+               "(strace:, elog:, csv:, sim:workload?opt=val)")
 
-        return read_csv_log(path)
-    return EventLog.from_store(path)
+
+def _open_source_args(args: argparse.Namespace):
+    """Resolve ``args.source`` honoring the ingest flags when present."""
+    from repro.sources import open_source
+
+    return open_source(args.source,
+                       workers=getattr(args, "workers", None),
+                       recursive=getattr(args, "recursive", False),
+                       strict=not getattr(args, "lenient", False))
 
 
 def _load_args(args: argparse.Namespace) -> EventLog:
-    """Load ``args.source`` honoring the ingest flags when present."""
-    return _load(args.source,
-                 workers=getattr(args, "workers", None),
-                 recursive=getattr(args, "recursive", False),
-                 strict=not getattr(args, "lenient", False))
+    """Load ``args.source`` through the trace-source registry."""
+    return _open_source_args(args).event_log()
 
 
 def _workers_arg(text: str) -> int:
@@ -96,7 +97,8 @@ def _add_ingest_options(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="parse trace files on N processes when the "
                              "source is a directory (default: auto-detect "
-                             "from the available CPUs; 1 = sequential)")
+                             "from the available CPUs; 1 = sequential; "
+                             "sources that cannot parallelize warn)")
     parser.add_argument("--recursive", action="store_true",
                         help="also discover .st files in nested "
                              "subdirectories (per-host trace layouts)")
@@ -122,7 +124,7 @@ def _mapping(args: argparse.Namespace):
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("source", help=".st directory or .elog store")
+    parser.add_argument("source", help=SOURCE_HELP)
     _add_ingest_options(parser)
     parser.add_argument("--filter", default=None, metavar="SUBSTR",
                         help="keep only events whose path contains SUBSTR")
@@ -190,12 +192,9 @@ def cmd_simulate_ior(args: argparse.Namespace) -> int:
 
 
 def cmd_convert(args: argparse.Namespace) -> int:
-    from repro.elstore.convert import convert_strace_dir
+    from repro.elstore.convert import convert_source
 
-    out = convert_strace_dir(args.trace_dir, args.output,
-                             workers=args.workers,
-                             recursive=args.recursive,
-                             strict=not args.lenient)
+    out = convert_source(_open_source_args(args), args.output)
     from repro.elstore.reader import EventLogStore
 
     store = EventLogStore(out)
@@ -369,7 +368,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_export_csv(args: argparse.Namespace) -> int:
-    from repro.adapters.csv_log import write_csv_log
+    from repro.sources.csv_log import write_csv_log
 
     log = _load_args(args)
     out = write_csv_log(log, args.output)
@@ -408,8 +407,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_simulate_ior)
 
     p = sub.add_parser("convert",
-                       help="pack .st traces into an .elog store")
-    p.add_argument("trace_dir")
+                       help="pack any trace source into an .elog store")
+    p.add_argument("source", help=SOURCE_HELP)
     p.add_argument("output")
     _add_ingest_options(p)
     p.set_defaults(fn=cmd_convert)
@@ -454,7 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("counters",
                        help="Darshan-style per-case counters")
-    p.add_argument("source", help=".st directory or .elog store")
+    p.add_argument("source", help=SOURCE_HELP)
     _add_ingest_options(p)
     p.add_argument("--filter", default=None, metavar="SUBSTR")
     p.add_argument("--top", type=int, default=None)
@@ -496,13 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate",
                        help="check the log against the Sec. III/IV "
                             "preconditions")
-    p.add_argument("source", help=".st directory or .elog store")
+    p.add_argument("source", help=SOURCE_HELP)
     _add_ingest_options(p)
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("export-csv",
                        help="export the event-log as CSV (tool-agnostic)")
-    p.add_argument("source", help=".st directory or .elog store")
+    p.add_argument("source", help=SOURCE_HELP)
     p.add_argument("output")
     _add_ingest_options(p)
     p.set_defaults(fn=cmd_export_csv)

@@ -5,7 +5,7 @@ holding every event of every case under consideration, and carries the
 currently applied mapping. The interface mirrors the paper's Fig. 6
 listing:
 
->>> event_log = EventLog.from_strace_dir("traces/")   # doctest: +SKIP
+>>> event_log = EventLog.from_source("strace:traces/")  # doctest: +SKIP
 >>> event_log.apply_fp_filter('/usr/lib')             # doctest: +SKIP
 >>> event_log.apply_mapping_fn(f)                     # doctest: +SKIP
 
@@ -42,10 +42,39 @@ class EventLog:
     # -- constructors --------------------------------------------------------
 
     @classmethod
+    def from_source(cls, source, *, cids: set[str] | None = None,
+                    strict: bool = True, recursive: bool = False,
+                    workers: int | None = None) -> "EventLog":
+        """Load from any trace source — the one constructor.
+
+        ``source`` is a ready :class:`~repro.sources.TraceSource`, or a
+        spec string resolved by :func:`~repro.sources.open_source`:
+        ``"strace:traces/"``, ``"elog:run.elog"``, ``"csv:log.csv"``,
+        ``"sim:ior?ranks=4"``, or a bare path (autodetected). The
+        keyword options are the common ingest knobs; sources that
+        cannot honor a requested one warn
+        (:class:`~repro.sources.UnsupportedSourceOptionWarning`) —
+        e.g. ``workers`` only parallelizes directory parsing. A ready
+        source already carries its own options, so combining one with
+        these keywords raises instead of silently dropping them.
+        """
+        from repro.sources.registry import resolve_source
+
+        return resolve_source(source, cids=cids, strict=strict,
+                              recursive=recursive,
+                              workers=workers).event_log()
+
+    @classmethod
     def from_strace_dir(cls, directory, *, cids: set[str] | None = None,
                         strict: bool = True, recursive: bool = False,
                         workers: int | None = None) -> "EventLog":
         """Read every ``<cid>_<host>_<rid>.st`` file in a directory.
+
+        .. deprecated:: 1.1
+           Use :meth:`from_source` (``EventLog.from_source(directory)``
+           or ``"strace:<dir>"``); this shim delegates to
+           :class:`~repro.sources.StraceDirSource` and produces a
+           byte-identical log.
 
         ``workers`` fans per-file parsing out over a process pool
         (``None`` auto-detects, ``1`` forces the sequential path; the
@@ -53,11 +82,17 @@ class EventLog:
         cases in place and only arrays cross the process boundary).
         ``recursive`` descends into nested per-host subdirectories.
         """
-        from repro.ingest.parallel import ingest_event_frame
+        import warnings
 
-        return cls(ingest_event_frame(directory, cids=cids,
-                                      strict=strict, recursive=recursive,
-                                      workers=workers))
+        warnings.warn(
+            "EventLog.from_strace_dir is deprecated; use "
+            "EventLog.from_source(...)", DeprecationWarning,
+            stacklevel=2)
+        from repro.sources import StraceDirSource
+
+        return StraceDirSource(directory, cids=cids, strict=strict,
+                               recursive=recursive,
+                               workers=workers).event_log()
 
     @classmethod
     def from_cases(cls, cases, pools: FramePools | None = None) -> "EventLog":
@@ -67,7 +102,18 @@ class EventLog:
     @classmethod
     def from_store(cls, path) -> "EventLog":
         """Load from an ``.elog`` columnar container (see
-        :mod:`repro.elstore`)."""
+        :mod:`repro.elstore`).
+
+        .. deprecated:: 1.1
+           Use :meth:`from_source` (``EventLog.from_source(path)`` or
+           ``"elog:<path>"``).
+        """
+        import warnings
+
+        warnings.warn(
+            "EventLog.from_store is deprecated; use "
+            "EventLog.from_source(...)", DeprecationWarning,
+            stacklevel=2)
         from repro.elstore.reader import read_event_log
 
         return read_event_log(path)

@@ -81,6 +81,15 @@ class EventLogStore:
         """Sorted case identifiers present in the container."""
         return sorted(self._cases)
 
+    def stored_case_ids(self) -> list[str]:
+        """Case identifiers in on-file (append) order.
+
+        Streaming consumers that want to reproduce the container —
+        e.g. an ``elog`` → ``elog`` repack — must iterate this order,
+        not the sorted one, to keep bytes identical.
+        """
+        return list(self._cases)
+
     def case_meta(self, case_id: str) -> CaseMeta:
         """Metadata of one case (cid/host/rid/n_events/columns)."""
         try:

@@ -21,9 +21,9 @@ golden regression tests that lock all of this equivalence in.
 
 Entry points elsewhere accept ``workers=`` / ``recursive=`` and route
 through here: :func:`repro.strace.reader.read_trace_dir`,
-:meth:`repro.core.eventlog.EventLog.from_strace_dir`,
-:func:`repro.elstore.convert.convert_strace_dir` and the CLI's
-``--workers`` / ``--recursive`` flags.
+:class:`repro.sources.StraceDirSource` (behind
+``EventLog.from_source``), :func:`repro.elstore.convert.convert_source`
+and the CLI's ``--workers`` / ``--recursive`` flags.
 """
 
 from repro.ingest.streaming import TokenStream

@@ -355,7 +355,7 @@ class LiveIngest:
 
         Built in batch interning order, so once the directory is final
         (and :meth:`finalize` ran) it is byte-identical to
-        ``EventLog.from_strace_dir`` over the same directory. Note the
+        ``EventLog.from_source`` over the same directory. Note the
         log covers this process's lifetime — after a checkpoint
         restart, earlier records live only in the graph.
         """

@@ -4,7 +4,7 @@ One object that walks the paper's full pipeline (Fig. 6) — load, filter,
 map, synthesize, compute statistics, color, render — while keeping all
 intermediate artifacts accessible:
 
->>> session = InspectionSession.from_strace_dir("traces/")  # doctest: +SKIP
+>>> session = InspectionSession.from_source("strace:traces/")  # doctest: +SKIP
 >>> session.filter_fp("/usr/lib")                           # doctest: +SKIP
 >>> session.map(CallTopDirs(levels=2))                      # doctest: +SKIP
 >>> print(session.render("ascii"))                          # doctest: +SKIP
@@ -48,21 +48,61 @@ class InspectionSession:
     # -- constructors -----------------------------------------------------
 
     @classmethod
+    def from_source(cls, source, *,
+                    cids: set[str] | None = None,
+                    strict: bool = True,
+                    recursive: bool = False,
+                    workers: int | None = None) -> "InspectionSession":
+        """Start a session from any trace source.
+
+        ``source`` is a :class:`~repro.sources.TraceSource` or a spec
+        resolved by :func:`~repro.sources.open_source` —
+        ``"strace:traces/"``, ``"elog:run.elog"``, ``"csv:log.csv"``,
+        ``"sim:ior?ranks=4"``, or a bare path (autodetected).
+        """
+        return cls(EventLog.from_source(
+            source, cids=cids, strict=strict, recursive=recursive,
+            workers=workers))
+
+    @classmethod
     def from_strace_dir(cls, directory: str | os.PathLike[str], *,
                         cids: set[str] | None = None,
                         strict: bool = True,
                         recursive: bool = False,
                         workers: int | None = None) -> "InspectionSession":
-        """Start a session from raw traces; ``strict``/``workers``/
-        ``recursive`` are forwarded to the ingestion engine
-        (:mod:`repro.ingest`)."""
-        return cls(EventLog.from_strace_dir(
+        """Start a session from raw traces.
+
+        .. deprecated:: 1.1
+           Use :meth:`from_source` — this shim delegates to it.
+        """
+        import warnings
+
+        warnings.warn(
+            "InspectionSession.from_strace_dir is deprecated; use "
+            "InspectionSession.from_source(...)", DeprecationWarning,
+            stacklevel=2)
+        from repro.sources import StraceDirSource
+
+        return cls.from_source(StraceDirSource(
             directory, cids=cids, strict=strict, recursive=recursive,
             workers=workers))
 
     @classmethod
     def from_store(cls, path: str | os.PathLike[str]) -> "InspectionSession":
-        return cls(EventLog.from_store(path))
+        """Open a stored event-log.
+
+        .. deprecated:: 1.1
+           Use :meth:`from_source` — this shim delegates to it.
+        """
+        import warnings
+
+        warnings.warn(
+            "InspectionSession.from_store is deprecated; use "
+            "InspectionSession.from_source(...)", DeprecationWarning,
+            stacklevel=2)
+        from repro.sources import ElstoreSource
+
+        return cls.from_source(ElstoreSource(path))
 
     @classmethod
     def from_live(cls, engine) -> "InspectionSession":

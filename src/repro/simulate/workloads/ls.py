@@ -105,6 +105,26 @@ def simulate_ls(config: LsConfig | None = None) -> list[ProcessRecorder]:
     return recorders
 
 
+def fig1_recorders(
+    *,
+    stagger_us: int = 150,
+) -> tuple[list[ProcessRecorder], list[ProcessRecorder]]:
+    """The six recorders of Fig. 1: ``(ls_recorders, ls_l_recorders)``.
+
+    The single owner of the figure's constants (cids ``a``/``b``,
+    rids, pid offsets, the ~10 s ``ls -l`` start delay) — both the
+    trace-file writer (:func:`generate_fig1_traces`) and the ``sim:ls``
+    trace source build on it, so they cannot drift apart.
+    """
+    ls_recorders = simulate_ls(LsConfig(stagger_us=stagger_us))
+    ls_l_recorders = simulate_ls(LsConfig(
+        cid="b", long_format=True, rids=(9157, 9158, 9160),
+        pid_offset=16,
+        start_wallclock_us=parse_wallclock("08:56:04.731999"),
+        stagger_us=stagger_us))
+    return ls_recorders, ls_l_recorders
+
+
 def generate_fig1_traces(
     directory: str | Path,
     *,
@@ -117,12 +137,7 @@ def generate_fig1_traces(
     """
     from repro.simulate.strace_writer import write_trace_files
 
-    ls_recorders = simulate_ls(LsConfig(stagger_us=stagger_us))
-    ls_l_recorders = simulate_ls(LsConfig(
-        cid="b", long_format=True, rids=(9157, 9158, 9160),
-        pid_offset=16,
-        start_wallclock_us=parse_wallclock("08:56:04.731999"),
-        stagger_us=stagger_us))
+    ls_recorders, ls_l_recorders = fig1_recorders(stagger_us=stagger_us)
     ls_paths = write_trace_files(ls_recorders, directory)
     ls_l_paths = write_trace_files(ls_l_recorders, directory)
     return ls_paths, ls_l_paths

@@ -1,0 +1,204 @@
+"""``sim:`` — run a :mod:`repro.simulate` workload straight into
+columns, no temp directory.
+
+``open_source("sim:ior?ranks=4&segments=1")`` simulates the workload,
+renders each rank's records to strace text *in memory*, and pushes the
+text through the normal tokenizer → unfinished/resumed merger →
+columnarizer. The result is byte-identical to writing the trace files
+to disk and ingesting the directory (same text, same parse, same
+sorted-by-filename case order) — pinned by the source equivalence
+tests — which makes ``sim:`` the zero-setup demo and test input for
+every CLI subcommand.
+
+Workloads and their ``?key=value`` options (all optional):
+
+- ``sim:ls`` — the paper's Fig. 1 example, six cases (3× ``ls``,
+  3× ``ls -l``). Options: ``stagger_us``.
+- ``sim:ior`` — the IOR simulator (Fig. 7). Options: ``ranks``,
+  ``ranks_per_node``, ``transfer_kib``, ``block_mib``, ``segments``,
+  ``seed`` (ints); ``fpp``, ``trace_lseek`` (bools); ``api``
+  (``posix``/``mpiio``); ``cid``, ``test_file`` (strings).
+- ``sim:checkpoint`` — the checkpoint/restart workload. Options:
+  ``ranks``, ``ranks_per_node``, ``steps``, ``seed`` (ints);
+  ``shared_file``, ``restart`` (bools); ``cid`` (string).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro._util.errors import SourceError
+from repro.sources.base import (
+    SourceOptions,
+    TraceSource,
+    case_columns_from_text,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.parallel import CaseColumns
+    from repro.simulate.recording import ProcessRecorder
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+def _coerce(workload: str, key: str, value: str, kind) -> object:
+    if kind is int:
+        try:
+            return int(value)
+        except ValueError:
+            raise SourceError(
+                f"sim:{workload}: option {key!r} must be an integer "
+                f"(got {value!r})") from None
+    if kind is bool:
+        lowered = value.lower()
+        if lowered in _TRUE:
+            return True
+        if lowered in _FALSE:
+            return False
+        raise SourceError(
+            f"sim:{workload}: option {key!r} must be a boolean "
+            f"(got {value!r}; use 1/0, true/false, yes/no, on/off)")
+    return value
+
+
+def _parse_options(workload: str, options: dict[str, str],
+                   schema: dict[str, type]) -> dict[str, object]:
+    unknown = set(options) - set(schema)
+    if unknown:
+        raise SourceError(
+            f"sim:{workload}: unknown option(s) {sorted(unknown)} "
+            f"(valid: {sorted(schema)})")
+    return {key: _coerce(workload, key, value, schema[key])
+            for key, value in options.items()}
+
+
+#: (recorders, trace_calls) of one simulated run.
+_SimRun = "tuple[list[ProcessRecorder], frozenset[str] | None]"
+
+
+def _run_ls(opts: dict[str, object]) -> "_SimRun":
+    from repro.simulate.workloads.ls import fig1_recorders
+
+    ls_recorders, ls_l_recorders = fig1_recorders(
+        stagger_us=int(opts.get("stagger_us", 150)))
+    return ls_recorders + ls_l_recorders, None
+
+
+def _run_ior(opts: dict[str, object]) -> "_SimRun":
+    from repro.simulate.strace_writer import (
+        EXPERIMENT_A_CALLS,
+        EXPERIMENT_B_CALLS,
+    )
+    from repro.simulate.workloads.ior import IORConfig, simulate_ior
+
+    config = IORConfig(
+        ranks=int(opts.get("ranks", 8)),
+        ranks_per_node=int(opts.get("ranks_per_node", 4)),
+        transfer_size=int(opts.get("transfer_kib", 1024)) << 10,
+        block_size=int(opts.get("block_mib", 16)) << 20,
+        segments=int(opts.get("segments", 3)),
+        file_per_process=bool(opts.get("fpp", False)),
+        api=str(opts.get("api", "posix")),
+        cid=str(opts.get("cid", "ior")),
+        test_file=str(opts.get("test_file", "/p/scratch/ssf/test")),
+        seed=int(opts.get("seed", 4242)),
+    )
+    calls = (EXPERIMENT_B_CALLS if opts.get("trace_lseek", False)
+             else EXPERIMENT_A_CALLS)
+    return simulate_ior(config).recorders, calls
+
+
+def _run_checkpoint(opts: dict[str, object]) -> "_SimRun":
+    from repro.simulate.workloads.checkpoint import (
+        CheckpointConfig,
+        simulate_checkpoint,
+    )
+
+    config = CheckpointConfig(
+        ranks=int(opts.get("ranks", 8)),
+        ranks_per_node=int(opts.get("ranks_per_node", 4)),
+        steps=int(opts.get("steps", 2)),
+        shared_file=bool(opts.get("shared_file", False)),
+        restart=bool(opts.get("restart", True)),
+        cid=str(opts.get("cid", "ckpt")),
+        seed=int(opts.get("seed", 303)),
+    )
+    return simulate_checkpoint(config).recorders, None
+
+
+#: workload name → (option schema, runner). The sim: URI grammar is
+#: data-driven: adding a workload here is the whole integration.
+_WORKLOADS: dict[str, tuple[dict[str, type], Callable]] = {
+    "ls": ({"stagger_us": int}, _run_ls),
+    "ior": ({"ranks": int, "ranks_per_node": int, "transfer_kib": int,
+             "block_mib": int, "segments": int, "seed": int,
+             "fpp": bool, "trace_lseek": bool, "api": str, "cid": str,
+             "test_file": str}, _run_ior),
+    "checkpoint": ({"ranks": int, "ranks_per_node": int, "steps": int,
+                    "seed": int, "shared_file": bool, "restart": bool,
+                    "cid": str}, _run_checkpoint),
+}
+
+
+class SimulationSource(TraceSource):
+    """A simulated workload as a first-class trace source.
+
+    Deterministic for fixed options (the simulators are seeded); the
+    run happens lazily at first ``iter_cases``/``event_log`` and is
+    re-run per call (runs are cheap at test scale and the source stays
+    stateless).
+    """
+
+    scheme = "sim"
+    # strict governs the unfinished/resumed merger the rendered text
+    # runs through, same as for on-disk traces.
+    supports_strict = True
+
+    def __init__(self, workload: str,
+                 options: dict[str, str] | None = None, *,
+                 strict: bool = True,
+                 cids: set[str] | None = None) -> None:
+        if workload not in _WORKLOADS:
+            raise SourceError(
+                f"unknown sim workload {workload!r} "
+                f"(valid: {sorted(_WORKLOADS)})")
+        schema, self._runner = _WORKLOADS[workload]
+        self.workload = workload
+        self.options = _parse_options(workload, options or {}, schema)
+        self.strict = strict
+        self.cids = cids
+
+    @classmethod
+    def from_uri(cls, target: str, options: dict[str, str],
+                 opts: SourceOptions) -> "SimulationSource":
+        return cls(target, options, strict=opts.strict, cids=opts.cids)
+
+    def describe(self) -> str:
+        return f"simulated workload sim:{self.workload}"
+
+    def iter_cases(self) -> "Iterator[CaseColumns]":
+        """Simulate, render per-rank strace text, parse, columnarize.
+
+        Text is rendered in recorder order (matching
+        :func:`~repro.simulate.strace_writer.write_trace_files`) but
+        yielded sorted by trace-file name — the order directory
+        ingestion would produce, so downstream frames are identical to
+        the write-then-ingest path.
+        """
+        from repro.simulate.strace_writer import write_strace_text
+        from repro.strace.naming import parse_trace_filename
+
+        recorders, trace_calls = self._runner(self.options)
+        rendered: list[tuple[str, str]] = []
+        for recorder in recorders:
+            if self.cids is not None and recorder.cid not in self.cids:
+                continue
+            rendered.append((
+                recorder.filename(),
+                write_strace_text(recorder, trace_calls=trace_calls)))
+        for filename, text in sorted(rendered):
+            yield case_columns_from_text(
+                parse_trace_filename(filename), text,
+                strict=self.strict,
+                path_label=f"sim:{self.workload}/{filename}")

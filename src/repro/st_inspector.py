@@ -71,10 +71,9 @@ def EventLogH5(path: str | os.PathLike[str]) -> EventLog:
     Fig. 6.
 
     Accepts an ``.elog`` container (the HDF5-equivalent single file,
-    one group per case) or, for convenience, a directory of raw
-    ``<cid>_<host>_<rid>.st`` strace files.
+    one group per case) or, for convenience, any other trace source
+    the registry resolves (:func:`repro.sources.open_source`): a
+    directory of raw ``<cid>_<host>_<rid>.st`` strace files, a CSV
+    dump, or a scheme URI.
     """
-    target = Path(path)
-    if target.is_dir():
-        return EventLog.from_strace_dir(target)
-    return EventLog.from_store(target)
+    return EventLog.from_source(Path(path))

@@ -24,7 +24,7 @@ PAPER_TRACE_A = (
 
 @pytest.fixture()
 def ca_log(fig1_dir) -> ActivityLog:
-    log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+    log = EventLog.from_source(fig1_dir, cids={"a"})
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return ActivityLog.from_event_log(log)
 
@@ -42,7 +42,7 @@ class TestConstruction:
         assert multiplicity == 3
 
     def test_without_endpoints(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log = EventLog.from_source(fig1_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         activity_log = ActivityLog.from_event_log(log,
                                                   add_endpoints=False)
@@ -55,13 +55,13 @@ class TestConstruction:
 
     def test_requires_mapping(self, fig1_dir):
         from repro._util.errors import MappingError
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         with pytest.raises(MappingError):
             ActivityLog.from_event_log(log)
 
     def test_unmapped_case_yields_empty_trace(self, fig1_dir):
         """A case whose events all map to None still contributes ⟨●,■⟩."""
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(
             CallTopDirs(levels=2).restricted_to_fp("/etc/passwd"))
         activity_log = ActivityLog.from_event_log(log)
@@ -94,8 +94,8 @@ class TestDirectlyFollows:
 
 class TestAlgebra:
     def test_union_multiplicities(self, fig1_dir):
-        log_a = EventLog.from_strace_dir(fig1_dir, cids={"a"})
-        log_b = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        log_a = EventLog.from_source(fig1_dir, cids={"a"})
+        log_b = EventLog.from_source(fig1_dir, cids={"b"})
         mapping = CallTopDirs(levels=2)
         la = ActivityLog.from_event_log(log_a.with_mapping(mapping))
         lb = ActivityLog.from_event_log(log_b.with_mapping(mapping))

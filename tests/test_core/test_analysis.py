@@ -29,7 +29,7 @@ def wrap(*traces):
 
 @pytest.fixture()
 def ls_log(fig1_dir) -> EventLog:
-    log = EventLog.from_strace_dir(fig1_dir)
+    log = EventLog.from_source(fig1_dir)
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return log
 
@@ -81,7 +81,7 @@ class TestDominantPath:
 
 class TestVariantCoverage:
     def test_homogeneous_log(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log = EventLog.from_source(fig1_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         coverage = variant_coverage(log)
         assert coverage == [(1, 1.0)]

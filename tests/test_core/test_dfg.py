@@ -13,7 +13,7 @@ from repro.core.mapping import CallTopDirs
 
 @pytest.fixture()
 def ca_dfg(fig1_dir) -> DFG:
-    log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+    log = EventLog.from_source(fig1_dir, cids={"a"})
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return DFG(log)
 
@@ -21,7 +21,7 @@ def ca_dfg(fig1_dir) -> DFG:
 class TestConstruction:
     def test_accepts_event_log_like_fig6(self, fig1_dir):
         # dfg = DFG(event_log) — the paper's step 3.
-        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log = EventLog.from_source(fig1_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         assert DFG(log).n_nodes == 6
 
@@ -82,9 +82,9 @@ class TestAlgebra:
     def test_union_is_dfg_of_merged_log(self, fig1_dir):
         """G[L(Ca)] ∪ G[L(Cb)] == G[L(Ca ∪ Cb)] — the Sec. IV-C basis."""
         mapping = CallTopDirs(levels=2)
-        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"}) \
+        ca = EventLog.from_source(fig1_dir, cids={"a"}) \
             .with_mapping(mapping)
-        cb = EventLog.from_strace_dir(fig1_dir, cids={"b"}) \
+        cb = EventLog.from_source(fig1_dir, cids={"b"}) \
             .with_mapping(mapping)
         la = ActivityLog.from_event_log(ca)
         lb = ActivityLog.from_event_log(cb)
@@ -94,9 +94,9 @@ class TestAlgebra:
         """Fig. 3d: red = ls -l exclusive nodes; exactly one green
         (ls-exclusive) edge: locale.alias → write:/dev/pts."""
         mapping = CallTopDirs(levels=2)
-        green = DFG(EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        green = DFG(EventLog.from_source(fig1_dir, cids={"a"})
                     .with_mapping(mapping))
-        red = DFG(EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        red = DFG(EventLog.from_source(fig1_dir, cids={"b"})
                   .with_mapping(mapping))
         assert green.exclusive_nodes(red) == set()
         assert red.exclusive_nodes(green) == {
@@ -107,9 +107,9 @@ class TestAlgebra:
 
     def test_shared_sets(self, fig1_dir):
         mapping = CallTopDirs(levels=2)
-        green = DFG(EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        green = DFG(EventLog.from_source(fig1_dir, cids={"a"})
                     .with_mapping(mapping))
-        red = DFG(EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        red = DFG(EventLog.from_source(fig1_dir, cids={"b"})
                   .with_mapping(mapping))
         assert green.shared_nodes(red) == {
             "read:/usr/lib", "read:/proc/filesystems",

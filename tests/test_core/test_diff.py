@@ -11,7 +11,7 @@ from repro.core.partition import PartitionEL
 
 @pytest.fixture()
 def diff(fig1_dir) -> DFGDiff:
-    log = EventLog.from_strace_dir(fig1_dir)
+    log = EventLog.from_source(fig1_dir)
     log.apply_mapping_fn(CallTopDirs(levels=2))
     green_log, red_log = PartitionEL(log)  # a=green, b=red
     return DFGDiff.between(green_log, red_log)
@@ -80,7 +80,7 @@ class TestScalars:
         assert diff.total_count_delta() == 27 - 54
 
     def test_identical_logs_full_similarity(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log = EventLog.from_source(fig1_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         dfg = DFG(log)
         same = DFGDiff(dfg, dfg)

@@ -10,7 +10,7 @@ from repro.core.mapping import CallOnly, CallTopDirs
 
 @pytest.fixture()
 def log(fig1_dir) -> EventLog:
-    return EventLog.from_strace_dir(fig1_dir)
+    return EventLog.from_source(fig1_dir)
 
 
 class TestShape:
@@ -126,22 +126,22 @@ class TestMappingApplication:
 
 class TestUnion:
     def test_union_eq3(self, fig1_dir):
-        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
-        cb = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        ca = EventLog.from_source(fig1_dir, cids={"a"})
+        cb = EventLog.from_source(fig1_dir, cids={"b"})
         cx = ca | cb
         assert cx.n_cases == 6
         assert cx.n_events == 75
 
     def test_union_overlapping_cases_rejected(self, fig1_dir):
-        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
-        ca2 = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        ca = EventLog.from_source(fig1_dir, cids={"a"})
+        ca2 = EventLog.from_source(fig1_dir, cids={"a"})
         with pytest.raises(ReproError, match="overlapping"):
             ca | ca2
 
     def test_union_reapplies_shared_mapping(self, fig1_dir):
         mapping = CallTopDirs(levels=2)
-        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
-        cb = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        ca = EventLog.from_source(fig1_dir, cids={"a"})
+        cb = EventLog.from_source(fig1_dir, cids={"b"})
         ca.apply_mapping_fn(mapping)
         cb.apply_mapping_fn(mapping)
         cx = ca | cb
@@ -149,8 +149,8 @@ class TestUnion:
         assert "read:/etc/passwd" in cx.activities()
 
     def test_union_different_mappings_drops_mapping(self, fig1_dir):
-        ca = EventLog.from_strace_dir(fig1_dir, cids={"a"})
-        cb = EventLog.from_strace_dir(fig1_dir, cids={"b"})
+        ca = EventLog.from_source(fig1_dir, cids={"a"})
+        cb = EventLog.from_source(fig1_dir, cids={"b"})
         ca.apply_mapping_fn(CallTopDirs(levels=2))
         cb.apply_mapping_fn(CallOnly())
         assert (ca | cb).mapping is None
@@ -159,7 +159,7 @@ class TestUnion:
 class TestClockShifting:
     def test_uniform_shift_preserves_everything(self, fig1_dir):
         from repro.core.statistics import IOStatistics
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         shifted = log.with_shifted_host_clocks({"host1": 5_000_000})
         from repro.core.dfg import DFG
@@ -174,7 +174,7 @@ class TestClockShifting:
 
     def test_unknown_host_is_noop(self, fig1_dir):
         import numpy as np
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         shifted = log.with_shifted_host_clocks({"ghost": 999})
         assert np.array_equal(shifted.frame.column("start"),
                               log.frame.column("start"))
@@ -189,7 +189,7 @@ class TestClockShifting:
         line = "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000050>\n"
         (tmp_path / "x_h1_1.st").write_text(line)
         (tmp_path / "x_h2_2.st").write_text(line)
-        log = EventLog.from_strace_dir(tmp_path)
+        log = EventLog.from_source(tmp_path)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         base_stats = IOStatistics(log)
         assert base_stats["read:/f"].max_concurrency == 2

@@ -14,7 +14,7 @@ from repro.core.partition import (
 
 @pytest.fixture()
 def log(fig1_dir) -> EventLog:
-    return EventLog.from_strace_dir(fig1_dir)
+    return EventLog.from_source(fig1_dir)
 
 
 class TestPartitionByCid:

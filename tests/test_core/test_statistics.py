@@ -10,14 +10,14 @@ from repro.core.statistics import IOStatistics
 
 @pytest.fixture()
 def stats(fig1_dir) -> IOStatistics:
-    log = EventLog.from_strace_dir(fig1_dir)
+    log = EventLog.from_source(fig1_dir)
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return IOStatistics(log)
 
 
 @pytest.fixture()
 def ca_stats(fig1_dir) -> IOStatistics:
-    log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+    log = EventLog.from_source(fig1_dir, cids={"a"})
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return IOStatistics(log)
 
@@ -74,7 +74,7 @@ class TestProcessDataRate:
         (tmp_path / "z_h_1.st").write_text(
             "1  00:00:00.000001 read(3</f>, ..., 10) = 10 <0.000000>\n"
             "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000010>\n")
-        log = EventLog.from_strace_dir(tmp_path)
+        log = EventLog.from_source(tmp_path)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         assert stats["read:/f"].process_data_rate == \
@@ -85,7 +85,7 @@ class TestProcessDataRate:
         a legitimate rate, distinct from 'no transfers' (None)."""
         (tmp_path / "z_h_1.st").write_text(
             '1  00:00:00.000001 read(3</f>, "", 1024) = 0 <0.000040>\n')
-        log = EventLog.from_strace_dir(tmp_path)
+        log = EventLog.from_source(tmp_path)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         record = stats["read:/f"]
@@ -99,7 +99,7 @@ class TestProcessDataRate:
         (tmp_path / "z_h_1.st").write_text(
             "1  00:00:00.000001 lseek(3</f>, 0, SEEK_SET) = 0 "
             "<0.000002>\n")
-        log = EventLog.from_strace_dir(tmp_path)
+        log = EventLog.from_source(tmp_path)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         assert stats["lseek:/f"].process_data_rate is None
@@ -109,7 +109,7 @@ class TestProcessDataRate:
         (tmp_path / "z_h_1.st").write_text(
             "1  00:00:00.000001 lseek(3</f>, 0, SEEK_SET) = 0 "
             "<0.000002>\n")
-        log = EventLog.from_strace_dir(tmp_path)
+        log = EventLog.from_source(tmp_path)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         record = stats["lseek:/f"]
@@ -123,14 +123,14 @@ class TestMaxConcurrency:
     def test_identical_timestamps_give_case_count(self, fig1_dir):
         """The fig1 fixture replays identical timestamps per rank, so
         every activity is 3-concurrent within each command."""
-        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log = EventLog.from_source(fig1_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         assert stats["read:/usr/lib"].max_concurrency == 3
 
     def test_staggered_simulated_ls_gives_two(self, ls_sim_dir):
         """The simulator staggers ranks by 150 µs → Fig. 5's mc = 2."""
-        log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+        log = EventLog.from_source(ls_sim_dir, cids={"b"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         assert stats["read:/usr/lib"].max_concurrency == 2
@@ -184,13 +184,13 @@ class TestAccessors:
                 "total_bytes"} <= set(rows[0])
 
     def test_compute_replaces_previous(self, fig1_dir, stats):
-        log = EventLog.from_strace_dir(fig1_dir, cids={"a"})
+        log = EventLog.from_source(fig1_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats.compute_statistics(log)
         assert len(stats) == 4  # only the ls activities now
 
     def test_one_step_constructor(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         assert len(IOStatistics(log)) == 8
 
@@ -199,7 +199,7 @@ class TestStatsAccumulator:
     """The accumulator layer behind both batch and live statistics."""
 
     def _mapped_log(self, fig1_dir) -> EventLog:
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         return log
 

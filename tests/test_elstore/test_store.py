@@ -107,7 +107,7 @@ class TestWriterReader:
 
 class TestEventLogIntegration:
     def test_eventlog_roundtrip(self, fig1_dir, tmp_path):
-        original = EventLog.from_strace_dir(fig1_dir)
+        original = EventLog.from_source(fig1_dir)
         path = write_event_log(original, tmp_path / "fig1.elog")
         loaded = read_event_log(path)
         assert loaded.n_events == original.n_events
@@ -123,14 +123,14 @@ class TestEventLogIntegration:
             original.frame.decoded("call")
 
     def test_cid_subset_load(self, fig1_dir, tmp_path):
-        path = write_event_log(EventLog.from_strace_dir(fig1_dir),
+        path = write_event_log(EventLog.from_source(fig1_dir),
                                tmp_path / "fig1.elog")
         loaded = read_event_log(path, cids={"a"})
         assert loaded.cids() == ["a"]
         assert loaded.n_cases == 3
 
     def test_missing_cid_subset_rejected(self, fig1_dir, tmp_path):
-        path = write_event_log(EventLog.from_strace_dir(fig1_dir),
+        path = write_event_log(EventLog.from_source(fig1_dir),
                                tmp_path / "fig1.elog")
         with pytest.raises(StoreFormatError):
             read_event_log(path, cids={"zzz"})
@@ -147,9 +147,9 @@ class TestEventLogIntegration:
         from repro.core.dfg import DFG
         from repro.core.mapping import CallTopDirs
 
-        direct = EventLog.from_strace_dir(fig1_dir)
+        direct = EventLog.from_source(fig1_dir)
         direct.apply_mapping_fn(CallTopDirs(levels=2))
-        path = write_event_log(EventLog.from_strace_dir(fig1_dir),
+        path = write_event_log(EventLog.from_source(fig1_dir),
                                tmp_path / "x.elog")
         via_store = read_event_log(path)
         via_store.apply_mapping_fn(CallTopDirs(levels=2))
@@ -215,7 +215,7 @@ class TestCorruption:
 
 class TestColumnProjection:
     def test_subset_read(self, fig1_dir, tmp_path):
-        path = write_event_log(EventLog.from_strace_dir(fig1_dir),
+        path = write_event_log(EventLog.from_source(fig1_dir),
                                tmp_path / "p.elog")
         store = EventLogStore(path)
         data = store.read_case("a9042", columns=["start", "dur"])
@@ -223,13 +223,13 @@ class TestColumnProjection:
         assert len(data["start"]) == 8
 
     def test_unknown_column_rejected(self, fig1_dir, tmp_path):
-        path = write_event_log(EventLog.from_strace_dir(fig1_dir),
+        path = write_event_log(EventLog.from_source(fig1_dir),
                                tmp_path / "p.elog")
         with pytest.raises(StoreFormatError, match="unknown columns"):
             EventLogStore(path).read_case("a9042", columns=["bogus"])
 
     def test_projection_matches_full_read(self, fig1_dir, tmp_path):
-        path = write_event_log(EventLog.from_strace_dir(fig1_dir),
+        path = write_event_log(EventLog.from_source(fig1_dir),
                                tmp_path / "p.elog")
         store = EventLogStore(path)
         full = store.read_case("b9157")

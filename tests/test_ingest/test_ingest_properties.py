@@ -116,8 +116,8 @@ def test_random_dirs_ingest_identically_in_parallel(
         tmp_path_factory, all_cases, workers):
     directory = tmp_path_factory.mktemp("rand")
     _write_random_dir(directory, all_cases)
-    sequential = EventLog.from_strace_dir(directory, workers=1)
-    parallel = EventLog.from_strace_dir(directory, workers=workers)
+    sequential = EventLog.from_source(directory, workers=1)
+    parallel = EventLog.from_source(directory, workers=workers)
     for column in COLUMN_ORDER:
         assert np.array_equal(sequential.frame.column(column),
                               parallel.frame.column(column))

@@ -78,16 +78,16 @@ class TestParallelEquivalence:
     def test_event_log_byte_identical(self, workload_dirs, workload,
                                       workers, logs_identical):
         directory = workload_dirs[workload]
-        sequential = EventLog.from_strace_dir(directory, workers=1)
-        parallel = EventLog.from_strace_dir(directory, workers=workers)
+        sequential = EventLog.from_source(directory, workers=1)
+        parallel = EventLog.from_source(directory, workers=workers)
         logs_identical(parallel, sequential)
 
     def test_dfg_identical(self, workload_dirs, workload, workers):
         directory = workload_dirs[workload]
         mapping = CallTopDirs(levels=2)
-        sequential = DFG(EventLog.from_strace_dir(directory, workers=1)
+        sequential = DFG(EventLog.from_source(directory, workers=1)
                          .with_mapping(mapping))
-        parallel = DFG(EventLog.from_strace_dir(directory,
+        parallel = DFG(EventLog.from_source(directory,
                                                 workers=workers)
                        .with_mapping(mapping))
         assert parallel == sequential

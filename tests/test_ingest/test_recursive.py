@@ -67,8 +67,8 @@ class TestRecursiveIngestion:
         from repro.core.mapping import CallTopDirs
 
         mapping = CallTopDirs(levels=2)
-        nested = EventLog.from_strace_dir(nested_dir, recursive=True)
-        flat = EventLog.from_strace_dir(workload_dirs["ls"])
+        nested = EventLog.from_source(nested_dir, recursive=True)
+        flat = EventLog.from_source(workload_dirs["ls"])
         assert nested.case_ids() == flat.case_ids()
         assert nested.n_events == flat.n_events
         assert DFG(nested.with_mapping(mapping)) == \
@@ -77,9 +77,9 @@ class TestRecursiveIngestion:
     @pytest.mark.parametrize("workers", [1, 2])
     def test_parallel_recursive(self, nested_dir, workers,
                                 logs_identical):
-        parallel = EventLog.from_strace_dir(nested_dir, recursive=True,
+        parallel = EventLog.from_source(nested_dir, recursive=True,
                                             workers=workers)
-        sequential = EventLog.from_strace_dir(nested_dir,
+        sequential = EventLog.from_source(nested_dir,
                                               recursive=True, workers=1)
         logs_identical(parallel, sequential)
 

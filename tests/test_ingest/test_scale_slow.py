@@ -37,8 +37,8 @@ def big_ior_dir(tmp_path_factory):
 @pytest.mark.parametrize("workers", [2, 4, 8])
 def test_parallel_equivalence_at_scale(big_ior_dir, workers,
                                        logs_identical):
-    sequential = EventLog.from_strace_dir(big_ior_dir, workers=1)
-    parallel = EventLog.from_strace_dir(big_ior_dir, workers=workers)
+    sequential = EventLog.from_source(big_ior_dir, workers=1)
+    parallel = EventLog.from_source(big_ior_dir, workers=workers)
     logs_identical(parallel, sequential)
 
 
@@ -46,6 +46,6 @@ def test_parallel_equivalence_at_scale(big_ior_dir, workers,
 def test_sharded_dfg_at_scale(big_ior_dir):
     mapping = CallTopDirs(levels=2)
     sharded = dfg_from_trace_dir(big_ior_dir, mapping, workers=4)
-    whole = DFG(EventLog.from_strace_dir(big_ior_dir)
+    whole = DFG(EventLog.from_source(big_ior_dir)
                 .with_mapping(mapping))
     assert sharded == whole

@@ -53,7 +53,7 @@ class TestShardMergeCorrectness:
 
     def test_iter_case_dfgs_folds_to_whole(self, workload_dirs,
                                            workload):
-        log = EventLog.from_strace_dir(workload_dirs[workload]) \
+        log = EventLog.from_source(workload_dirs[workload]) \
             .with_mapping(CallTopDirs(levels=2))
         shards = [dfg for _, dfg in iter_case_dfgs(log)]
         assert len(shards) == log.n_cases
@@ -72,7 +72,7 @@ class TestShardMergeCorrectness:
         mapping = CallTopDirs(levels=2)
         sharded = dfg_from_trace_dir(workload_dirs[workload], mapping,
                                      workers=workers)
-        whole = DFG(EventLog.from_strace_dir(workload_dirs[workload])
+        whole = DFG(EventLog.from_source(workload_dirs[workload])
                     .with_mapping(mapping))
         assert sharded == whole
 
@@ -82,7 +82,7 @@ class TestShardOptions:
         mapping = CallOnly()
         sharded = dfg_from_trace_dir(workload_dirs["ls"], mapping,
                                      add_endpoints=False)
-        whole = DFG(EventLog.from_strace_dir(workload_dirs["ls"])
+        whole = DFG(EventLog.from_source(workload_dirs["ls"])
                     .with_mapping(mapping), add_endpoints=False)
         assert sharded == whole
         assert sharded.nodes() == sharded.activities()  # no sentinels
@@ -91,7 +91,7 @@ class TestShardOptions:
         mapping = CallOnly()
         sharded = dfg_from_trace_dir(workload_dirs["ls"], mapping,
                                      cids={"b"})
-        whole = DFG(EventLog.from_strace_dir(workload_dirs["ls"],
+        whole = DFG(EventLog.from_source(workload_dirs["ls"],
                                              cids={"b"})
                     .with_mapping(mapping))
         assert sharded == whole

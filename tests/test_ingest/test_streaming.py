@@ -150,9 +150,9 @@ class TestDecodeDiagnostics:
         path = tmp_path / "a_h_1.st"
         path.write_bytes(GOOD_LINE.encode() + self.MALFORMED)
         with pytest.raises(TraceParseError):
-            InspectionSession.from_strace_dir(tmp_path)
+            InspectionSession.from_source(tmp_path)
         with pytest.warns(UserWarning):
-            session = InspectionSession.from_strace_dir(tmp_path,
+            session = InspectionSession.from_source(tmp_path,
                                                        strict=False)
         assert session.event_log.n_events == 2
 

@@ -23,7 +23,7 @@ def grow_file(directory: Path, filename: str, chunk: bytes) -> None:
 
 
 def batch_dfg(directory: Path, mapping=MAPPING) -> DFG:
-    log = EventLog.from_strace_dir(directory, workers=1)
+    log = EventLog.from_source(directory, workers=1)
     return DFG(log.with_mapping(mapping))
 
 
@@ -48,7 +48,7 @@ class TestPolling:
             assert result.new_files  # the file was picked up
         engine.finalize()
         logs_identical(engine.snapshot_log(),
-                       EventLog.from_strace_dir(tmp_path, workers=1))
+                       EventLog.from_source(tmp_path, workers=1))
         assert engine.snapshot_dfg() == batch_dfg(tmp_path)
 
     def test_appends_at_odd_byte_boundaries(self, tmp_path,
@@ -68,7 +68,7 @@ class TestPolling:
             engine.poll()
         engine.finalize()
         logs_identical(engine.snapshot_log(),
-                       EventLog.from_strace_dir(tmp_path, workers=1))
+                       EventLog.from_source(tmp_path, workers=1))
         assert engine.snapshot_dfg() == batch_dfg(tmp_path)
 
     def test_log_and_graph_agree_after_every_poll(self, tmp_path,
@@ -111,7 +111,7 @@ class TestPolling:
         engine.poll()
         engine.finalize()
         logs_identical(engine.snapshot_log(),
-                       EventLog.from_strace_dir(tmp_path, workers=1))
+                       EventLog.from_source(tmp_path, workers=1))
         assert cases_summary(engine.cases()) == \
             cases_summary(read_trace_dir(tmp_path, workers=1))
 
@@ -130,7 +130,7 @@ class TestPolling:
             (tmp_path / name).write_bytes(content)
         engine.finalize()
         logs_identical(engine.snapshot_log(),
-                       EventLog.from_strace_dir(tmp_path, workers=1))
+                       EventLog.from_source(tmp_path, workers=1))
         assert engine.snapshot_dfg() == batch_dfg(tmp_path)
         engine.finalize()  # idempotent
 
@@ -162,7 +162,7 @@ class TestDiscoveryRules:
         engine.finalize()
         logs_identical(
             engine.snapshot_log(),
-            EventLog.from_strace_dir(tmp_path, workers=1,
+            EventLog.from_source(tmp_path, workers=1,
                                      recursive=True))
 
     def test_duplicate_case_across_subdirs_rejected(self, tmp_path):
@@ -182,7 +182,7 @@ class TestDiscoveryRules:
         engine.finalize()
         log = engine.snapshot_log()
         assert log.cids() == ["a"]
-        batch = EventLog.from_strace_dir(tmp_path, cids={"a"},
+        batch = EventLog.from_source(tmp_path, cids={"a"},
                                          workers=1)
         assert log.n_events == batch.n_events
 
@@ -216,7 +216,7 @@ class TestBoundedMemory:
         lean.finalize()
         assert lean.snapshot_dfg() == batch_dfg(tmp_path)
         assert lean.total_events == \
-            EventLog.from_strace_dir(tmp_path, workers=1).n_events
+            EventLog.from_source(tmp_path, workers=1).n_events
         # The trade: no record retention, so the snapshot log is empty.
         assert lean.snapshot_log().n_events == 0
         assert lean.cases() == []

@@ -17,7 +17,7 @@ MAPPING = CallTopDirs(levels=2)
 
 
 def batch_dfg(directory: Path) -> DFG:
-    log = EventLog.from_strace_dir(directory, workers=1)
+    log = EventLog.from_source(directory, workers=1)
     return DFG(log.with_mapping(MAPPING))
 
 

@@ -72,7 +72,7 @@ def _replay(file_bytes: dict[str, bytes], schedule, *,
 
 
 def _assert_batch_identical(engine: LiveIngest, live_dir: Path) -> None:
-    batch_log = EventLog.from_strace_dir(live_dir, workers=1)
+    batch_log = EventLog.from_source(live_dir, workers=1)
     live_log = engine.snapshot_log()
     assert len(live_log.frame) == len(batch_log.frame)
     for column in COLUMN_ORDER:
@@ -116,7 +116,7 @@ class TestLiveEqualsBatch:
                 restart_after=min(restart_after,
                                   max(len(schedule) - 1, 0)),
                 sidecar=sidecar)
-            batch_log = EventLog.from_strace_dir(live_dir, workers=1)
+            batch_log = EventLog.from_source(live_dir, workers=1)
             assert engine.snapshot_dfg() == \
                 DFG(batch_log.with_mapping(MAPPING))
 

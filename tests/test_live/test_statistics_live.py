@@ -47,7 +47,7 @@ def assert_stats_equal(live: IOStatistics, batch: IOStatistics) -> None:
 
 
 def batch_statistics(directory: Path) -> IOStatistics:
-    log = EventLog.from_strace_dir(directory, workers=1)
+    log = EventLog.from_source(directory, workers=1)
     return IOStatistics(log.with_mapping(MAPPING))
 
 

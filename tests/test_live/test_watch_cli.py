@@ -113,7 +113,7 @@ class TestCli:
         run_watch(engine, polls=1, show_dfg=False,
                   out=outputs.append, sleep=lambda _: None)
         assert "NODES" not in outputs[0]
-        log = EventLog.from_strace_dir(tmp_path, workers=1)
+        log = EventLog.from_source(tmp_path, workers=1)
         batch = IOStatistics(log.with_mapping(CallTopDirs(levels=2)))
         live = engine.statistics()
         for activity in batch.activities():
@@ -151,7 +151,7 @@ class TestCli:
         from repro.core.mapping import CallTopDirs
         from repro.core.statistics import IOStatistics
 
-        log = EventLog.from_strace_dir(trace_dir, workers=1)
+        log = EventLog.from_source(trace_dir, workers=1)
         batch = IOStatistics(log.with_mapping(CallTopDirs(levels=2)))
         live = revived.statistics()
         for activity in batch.activities():
@@ -203,7 +203,7 @@ class TestCli:
                      "--checkpoint", str(sidecar)]) == 0
         out = capsys.readouterr().out
         assert "checkpoint restart" not in out
-        log = EventLog.from_strace_dir(trace_dir, workers=1)
+        log = EventLog.from_source(trace_dir, workers=1)
         batch = IOStatistics(log.with_mapping(CallTopDirs(levels=2)))
         for activity in batch.activities():
             assert batch[activity].load_label in out, activity

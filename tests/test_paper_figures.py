@@ -42,11 +42,11 @@ class TestFig3DFGs:
     @pytest.fixture()
     def logs(self, ls_sim_dir):
         mapping = CallTopDirs(levels=2)
-        ca = EventLog.from_strace_dir(ls_sim_dir, cids={"a"}) \
+        ca = EventLog.from_source(ls_sim_dir, cids={"a"}) \
             .with_mapping(mapping)
-        cb = EventLog.from_strace_dir(ls_sim_dir, cids={"b"}) \
+        cb = EventLog.from_source(ls_sim_dir, cids={"b"}) \
             .with_mapping(mapping)
-        cx = EventLog.from_strace_dir(ls_sim_dir).with_mapping(mapping)
+        cx = EventLog.from_source(ls_sim_dir).with_mapping(mapping)
         return ca, cb, cx
 
     def test_fig3b_ls_dfg(self, logs):
@@ -108,7 +108,7 @@ class TestFig4FilteredDFG:
     """Fig. 4: restrict to /usr/lib with a file-level mapping."""
 
     def test_three_node_chain_with_weight_six(self, ls_sim_dir):
-        log = EventLog.from_strace_dir(ls_sim_dir)
+        log = EventLog.from_source(ls_sim_dir)
         log.apply_fp_filter("/usr/lib")
         log.apply_mapping_fn(CallPathTail(levels=2))
         dfg = DFG(log)
@@ -125,11 +125,11 @@ class TestFig4FilteredDFG:
     def test_restricted_mapping_equivalent_to_filter(self, ls_sim_dir):
         """The paper's f₁ (mapping-level restriction) and the fp filter
         (log-level restriction) must synthesize the same DFG."""
-        filtered = EventLog.from_strace_dir(ls_sim_dir)
+        filtered = EventLog.from_source(ls_sim_dir)
         filtered.apply_fp_filter("/usr/lib")
         filtered.apply_mapping_fn(CallPathTail(levels=2))
 
-        restricted = EventLog.from_strace_dir(ls_sim_dir)
+        restricted = EventLog.from_source(ls_sim_dir)
         restricted.apply_mapping_fn(RestrictedMapping(
             CallPathTail(levels=2), fp_substring="/usr/lib"))
         assert DFG(filtered) == DFG(restricted)
@@ -158,7 +158,7 @@ class TestFig8SsfVsFpp:
 
     def test_fig8a_scratch_dominates(self, fig8_logs):
         directory, _, _ = fig8_logs
-        log = EventLog.from_strace_dir(directory)
+        log = EventLog.from_source(directory)
         log.apply_mapping_fn(SiteVariables(JUWELS_SITE_VARIABLES))
         stats = IOStatistics(log)
         scratch_load = sum(
@@ -174,7 +174,7 @@ class TestFig8SsfVsFpp:
 
     def test_fig8b_load_ordering(self, fig8_logs):
         directory, _, _ = fig8_logs
-        log = EventLog.from_strace_dir(directory)
+        log = EventLog.from_source(directory)
         log.apply_fp_filter("/p/scratch")
         log.apply_mapping_fn(
             SiteVariables(JUWELS_SITE_VARIABLES, extra_levels=1))
@@ -190,7 +190,7 @@ class TestFig8SsfVsFpp:
     def test_fig8b_rates_and_concurrency(self, fig8_logs):
         directory, ssf, _ = fig8_logs
         ranks = ssf.config.ranks
-        log = EventLog.from_strace_dir(directory)
+        log = EventLog.from_source(directory)
         log.apply_fp_filter("/p/scratch")
         log.apply_mapping_fn(
             SiteVariables(JUWELS_SITE_VARIABLES, extra_levels=1))
@@ -213,7 +213,7 @@ class TestFig8SsfVsFpp:
         directory, ssf, _ = fig8_logs
         cfg = ssf.config
         expected = (cfg.ranks * cfg.segments * cfg.block_size)
-        log = EventLog.from_strace_dir(directory)
+        log = EventLog.from_source(directory)
         log.apply_fp_filter("/p/scratch")
         log.apply_mapping_fn(
             SiteVariables(JUWELS_SITE_VARIABLES, extra_levels=1))
@@ -238,7 +238,7 @@ def fig9_setup(tmp_path_factory):
                       trace_calls=EXPERIMENT_B_CALLS)
     write_trace_files(mpiio.recorders, directory,
                       trace_calls=EXPERIMENT_B_CALLS)
-    log = EventLog.from_strace_dir(directory)
+    log = EventLog.from_source(directory)
     # The paper skips rendering openat in Fig. 9.
     log = log.filtered(~log.frame.call_in(["openat", "open"]))
     log.apply_mapping_fn(SiteVariables(JUWELS_SITE_VARIABLES))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro._util.errors import MappingError, ReproError, TraceParseError
-from repro.adapters.csv_log import read_csv_log, write_csv_log
+from repro.sources.csv_log import read_csv_log, write_csv_log
 from repro.core.dfg import DFG
 from repro.core.eventlog import EventLog
 from repro.core.mapping import (
@@ -19,7 +19,7 @@ from repro.pipeline.validate import validate_event_log, validation_report
 
 class TestCsvAdapter:
     def test_roundtrip_from_strace(self, fig1_dir, tmp_path):
-        original = EventLog.from_strace_dir(fig1_dir)
+        original = EventLog.from_source(fig1_dir)
         csv_path = write_csv_log(original, tmp_path / "log.csv")
         loaded = read_csv_log(csv_path)
         assert loaded.n_events == original.n_events
@@ -77,19 +77,19 @@ class TestCsvAdapter:
 
 class TestValidation:
     def test_clean_log(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         assert validate_event_log(log) == []
         assert validation_report(log).startswith("OK")
 
     def test_empty_log_warning(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir).filtered_fp("/none")
+        log = EventLog.from_source(fig1_dir).filtered_fp("/none")
         issues = validate_event_log(log)
         assert [i.rule for i in issues] == ["empty-log"]
 
     def test_duplicate_events_detected(self, tmp_path):
         line = "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000050>\n"
         (tmp_path / "x_h_1.st").write_text(line + line)
-        log = EventLog.from_strace_dir(tmp_path)
+        log = EventLog.from_source(tmp_path)
         issues = validate_event_log(log)
         assert any(i.rule == "duplicate-events" and i.severity == "error"
                    for i in issues)
@@ -115,7 +115,7 @@ class TestValidation:
     def test_report_lists_issues(self, tmp_path):
         line = "1  00:00:00.000100 read(3</f>, ..., 10) = 10 <0.000050>\n"
         (tmp_path / "x_h_1.st").write_text(line + line)
-        log = EventLog.from_strace_dir(tmp_path)
+        log = EventLog.from_source(tmp_path)
         text = validation_report(log)
         assert "duplicate-events" in text
 
@@ -123,7 +123,7 @@ class TestValidation:
 class TestDfgFiltering:
     @pytest.fixture()
     def dfg(self, fig1_dir) -> DFG:
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         return DFG(log)
 
@@ -159,7 +159,7 @@ class TestDfgFiltering:
 
 class TestComposedMapping:
     def test_first_match_wins(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         composed = ComposedMapping([
             RestrictedMapping(CallPath(), fp_substring="/etc/passwd"),
             CallTopDirs(levels=2),

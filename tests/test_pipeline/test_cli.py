@@ -142,3 +142,85 @@ class TestExtendedCommands:
         out = run(capsys, "counters", str(traces), "--top", "3")
         assert "io frac" in out
         assert "b9157" in out
+
+
+class TestSourceSchemes:
+    """Every analysis subcommand accepts every registered scheme."""
+
+    @pytest.fixture()
+    def traces(self, tmp_path, capsys):
+        directory = tmp_path / "traces"
+        run(capsys, "simulate-ls", str(directory))
+        return directory
+
+    @pytest.fixture()
+    def store(self, traces, tmp_path, capsys):
+        path = tmp_path / "log.elog"
+        run(capsys, "convert", str(traces), str(path))
+        return path
+
+    @pytest.fixture()
+    def csv_file(self, store, tmp_path, capsys):
+        path = tmp_path / "log.csv"
+        run(capsys, "export-csv", str(store), str(path))
+        return path
+
+    def test_report_on_every_scheme(self, traces, store, csv_file,
+                                    capsys):
+        specs = [f"strace:{traces}", f"elog:{store}", f"csv:{csv_file}",
+                 "sim:ls"]
+        outputs = [run(capsys, "report", spec, "--top", "3")
+                   for spec in specs]
+        assert "rel.dur" in outputs[0]
+        # Same events however they arrive: the tables agree verbatim.
+        assert len(set(outputs)) == 1
+
+    def test_synthesize_on_sim_scheme(self, capsys):
+        out = run(capsys, "synthesize",
+                  "sim:ior?ranks=4&ranks_per_node=2&segments=1")
+        assert "NODES" in out
+
+    def test_diff_on_csv_scheme(self, csv_file, capsys):
+        out = run(capsys, "diff", f"csv:{csv_file}", "--green", "a")
+        assert "DFG DIFF" in out
+
+    def test_convert_from_sim_scheme(self, tmp_path, capsys):
+        out = run(capsys, "convert", "sim:ls",
+                  str(tmp_path / "sim.elog"))
+        assert "6 cases" in out
+        out = run(capsys, "report", f"elog:{tmp_path / 'sim.elog'}")
+        assert "rel.dur" in out
+
+    def test_convert_from_csv_scheme(self, csv_file, tmp_path, capsys):
+        out = run(capsys, "convert", f"csv:{csv_file}",
+                  str(tmp_path / "fromcsv.elog"))
+        assert "6 cases" in out
+
+    def test_unknown_scheme_exits_2_with_hint(self, capsys):
+        code = main(["report", "bogus:somewhere"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown source scheme 'bogus'" in err
+        assert "strace:" in err and "sim:" in err  # the hint
+
+    def test_missing_bare_path_exits_2_with_hint(self, tmp_path,
+                                                 capsys):
+        code = main(["report", str(tmp_path / "nothing-here")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "source not found" in err
+        assert "autodetected" in err
+
+    def test_bad_sim_option_exits_2(self, capsys):
+        code = main(["report", "sim:ior?bogus=1"])
+        assert code == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_workers_on_store_warns_not_silently_ignored(
+            self, store, capsys):
+        from repro.sources import UnsupportedSourceOptionWarning
+
+        with pytest.warns(UnsupportedSourceOptionWarning,
+                          match="workers=3 ignored"):
+            run(capsys, "report", f"elog:{store}", "--workers", "3")

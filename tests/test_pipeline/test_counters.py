@@ -8,7 +8,7 @@ from repro.pipeline.counters import case_counters, counters_report
 
 @pytest.fixture()
 def log(fig1_dir) -> EventLog:
-    return EventLog.from_strace_dir(fig1_dir)
+    return EventLog.from_source(fig1_dir)
 
 
 class TestCaseCounters:
@@ -55,7 +55,7 @@ class TestCaseCounters:
         assert b9157.rid == 9157
 
     def test_ior_counters_include_opens_and_seeks(self, small_ior_dir):
-        log = EventLog.from_strace_dir(small_ior_dir)
+        log = EventLog.from_source(small_ior_dir)
         counters = case_counters(log)
         ssf = [c for c in counters if c.cid == "ssf"]
         assert all(c.n_opens >= 1 for c in ssf)

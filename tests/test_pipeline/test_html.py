@@ -13,7 +13,7 @@ from repro.pipeline.html import render_html_report, save_html_report
 
 @pytest.fixture()
 def mapped_log(fig1_dir) -> EventLog:
-    log = EventLog.from_strace_dir(fig1_dir)
+    log = EventLog.from_source(fig1_dir)
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return log
 
@@ -65,7 +65,7 @@ class TestRenderHtml:
         assert "Timeline:" not in text
 
     def test_html_escaping(self, fig1_dir):
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(lambda e: f"<{e['call']}>&")
         text = render_html_report(log)
         assert "<read>" not in text

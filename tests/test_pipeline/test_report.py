@@ -17,7 +17,7 @@ from repro.pipeline.report import (
 
 @pytest.fixture()
 def mapped_log(fig1_dir) -> EventLog:
-    log = EventLog.from_strace_dir(fig1_dir)
+    log = EventLog.from_source(fig1_dir)
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return log
 

@@ -8,7 +8,7 @@ from repro.elstore.writer import write_event_log
 
 @pytest.fixture()
 def store_path(fig1_dir, tmp_path):
-    return write_event_log(EventLog.from_strace_dir(fig1_dir),
+    return write_event_log(EventLog.from_source(fig1_dir),
                            tmp_path / "fig1.elog")
 
 

@@ -55,7 +55,7 @@ def logs(tmp_path):
             recorders.append(recorder)
     directory = tmp_path / "gen"
     write_trace_files(recorders, directory)
-    log = EventLog.from_strace_dir(directory)
+    log = EventLog.from_source(directory)
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return log
 

@@ -14,7 +14,7 @@ from repro.core.statistics import IOStatistics
 
 @pytest.fixture()
 def pipeline(fig1_dir):
-    log = EventLog.from_strace_dir(fig1_dir)
+    log = EventLog.from_source(fig1_dir)
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return log, DFG(log), IOStatistics(log)
 

@@ -84,7 +84,7 @@ class TestActivityLabelLines:
 class TestNodeLabelLines:
     @pytest.fixture()
     def stats(self, fig1_dir) -> IOStatistics:
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         return IOStatistics(log)
 

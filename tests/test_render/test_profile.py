@@ -15,7 +15,7 @@ from repro.core.statistics import IOStatistics
 
 @pytest.fixture()
 def rows(ls_sim_dir):
-    log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+    log = EventLog.from_source(ls_sim_dir, cids={"b"})
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return IOStatistics(log).timeline("read:/usr/lib")
 

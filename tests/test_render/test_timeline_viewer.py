@@ -19,7 +19,7 @@ from repro.core.statistics import IOStatistics
 
 @pytest.fixture()
 def cb_stats(ls_sim_dir) -> IOStatistics:
-    log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+    log = EventLog.from_source(ls_sim_dir, cids={"b"})
     log.apply_mapping_fn(CallTopDirs(levels=2))
     return IOStatistics(log)
 
@@ -63,7 +63,7 @@ class TestTimelineAscii:
 class TestViewer:
     @pytest.fixture()
     def viewer(self, fig1_dir) -> DFGViewer:
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         return DFGViewer(DFG(log), stats, StatisticsColoring(stats))
@@ -92,7 +92,7 @@ class TestViewer:
     def test_stats_inherited_from_styler(self, fig1_dir):
         """Paper's Fig. 6 passes stats only to the styler; the viewer
         must pick them up for node labels."""
-        log = EventLog.from_strace_dir(fig1_dir)
+        log = EventLog.from_source(fig1_dir)
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         viewer = DFGViewer(DFG(log), styler=StatisticsColoring(stats))

@@ -25,7 +25,7 @@ def result():
 def mapped_log(result, tmp_path_factory):
     directory = tmp_path_factory.mktemp("ckpt")
     write_trace_files(result.recorders, directory)
-    log = EventLog.from_strace_dir(directory)
+    log = EventLog.from_source(directory)
     log.apply_mapping_fn(CallTopDirs(levels=4))
     return log
 

@@ -68,7 +68,7 @@ class TestGeneratedTraces:
             parse_trace_filename(name)  # all follow the convention
 
     def test_fig3b_edge_counts_from_simulated_traces(self, ls_sim_dir):
-        log = EventLog.from_strace_dir(ls_sim_dir, cids={"a"})
+        log = EventLog.from_source(ls_sim_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         dfg = DFG(log)
         assert dfg.edge_count("read:/usr/lib", "read:/usr/lib") == 6
@@ -78,19 +78,19 @@ class TestGeneratedTraces:
 
     def test_fig5_max_concurrency_two(self, ls_sim_dir):
         """The headline Fig. 5 claim: mc(read:/usr/lib, Cb) = 2."""
-        log = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+        log = EventLog.from_source(ls_sim_dir, cids={"b"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         assert stats["read:/usr/lib"].max_concurrency == 2
 
     def test_ls_l_run_starts_after_ls(self, ls_sim_dir):
-        log_a = EventLog.from_strace_dir(ls_sim_dir, cids={"a"})
-        log_b = EventLog.from_strace_dir(ls_sim_dir, cids={"b"})
+        log_a = EventLog.from_source(ls_sim_dir, cids={"a"})
+        log_b = EventLog.from_source(ls_sim_dir, cids={"b"})
         assert log_b.frame.column("start").min() > \
             log_a.frame.column("start").max()
 
     def test_bytes_match_template(self, ls_sim_dir):
-        log = EventLog.from_strace_dir(ls_sim_dir, cids={"a"})
+        log = EventLog.from_source(ls_sim_dir, cids={"a"})
         log.apply_mapping_fn(CallTopDirs(levels=2))
         stats = IOStatistics(log)
         assert stats["read:/usr/lib"].total_bytes == 3 * 3 * 832
