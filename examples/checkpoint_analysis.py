@@ -52,7 +52,7 @@ def build_log(shared_file: bool, label: str) -> EventLog:
     print(f"{label}: {result.total_syscalls()} syscalls, makespan "
           f"{result.makespan_us / 1e6:.3f} s, "
           f"{result.fs.conflict_stalls} token conflicts")
-    log = EventLog.from_strace_dir(directory)
+    log = EventLog.from_source(directory)
     log.apply_mapping_fn(CallTopDirs(levels=4))
     return log
 

@@ -42,7 +42,7 @@ def main() -> int:
         ranks=8, ranks_per_node=4, segments=2, cid="demo"))
     write_trace_files(result.recorders, trace_dir,
                       trace_calls=EXPERIMENT_A_CALLS)
-    base = EventLog.from_strace_dir(trace_dir)
+    base = EventLog.from_source(trace_dir)
     print(f"event-log: {base.n_events} events, {base.n_cases} cases\n")
 
     # -- lens 1: the paper's default f̂ ---------------------------------

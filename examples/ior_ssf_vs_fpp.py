@@ -72,7 +72,7 @@ def main() -> int:
                       trace_calls=EXPERIMENT_A_CALLS)
 
     # --- Fig. 8a: all events, site-variable mapping -------------------
-    log = EventLog.from_strace_dir(trace_dir)
+    log = EventLog.from_source(trace_dir)
     log.apply_mapping_fn(SiteVariables(JUWELS_SITE_VARIABLES))
     stats = IOStatistics(log)
     print("=== Fig. 8a — full DFG statistics (all events) ===")
@@ -81,7 +81,7 @@ def main() -> int:
         out_dir / "fig8a.svg")
 
     # --- Fig. 8b: restrict to $SCRATCH, one more path level ----------
-    scratch = EventLog.from_strace_dir(trace_dir)
+    scratch = EventLog.from_source(trace_dir)
     scratch.apply_fp_filter("/p/scratch")
     scratch.apply_mapping_fn(
         SiteVariables(JUWELS_SITE_VARIABLES, extra_levels=1))

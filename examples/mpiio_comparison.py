@@ -71,7 +71,7 @@ def main() -> int:
     write_trace_files(mpiio.recorders, trace_dir,
                       trace_calls=EXPERIMENT_B_CALLS)
 
-    log = EventLog.from_strace_dir(trace_dir)
+    log = EventLog.from_source(trace_dir)
     # "we skip the rendering of openat calls in Figure 9"
     log = log.filtered(~log.frame.call_in(["openat", "open"]))
     log.apply_mapping_fn(SiteVariables(JUWELS_SITE_VARIABLES))

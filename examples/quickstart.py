@@ -39,7 +39,9 @@ def main() -> int:
     print(f"traces written to {trace_dir}\n")
 
     # 2. Build the event-log (one case per trace file, Sec. IV).
-    event_log = EventLog.from_strace_dir(trace_dir)
+    #    from_source accepts bare paths and scheme URIs alike
+    #    ("strace:...", "elog:...", "csv:...", "sim:...").
+    event_log = EventLog.from_source(trace_dir)
     print(f"event-log: {event_log.n_events} events in "
           f"{event_log.n_cases} cases ({', '.join(event_log.cids())})\n")
 

@@ -22,6 +22,10 @@ configurations via graph coloring. Subpackages:
   directories: byte-offset tailing with carry-over merge state, an
   incrementally folded DFG, resumable checkpoints, and the
   ``st-inspector watch`` refresh loop.
+- :mod:`repro.alerts` — live alerting over the refresh deltas:
+  declarative threshold rules (new edges, weight/load ratios, Sec.
+  IV-B metric bounds, sealing starvation) fired into pluggable sinks,
+  with latches and history surviving checkpoint restarts.
 - :mod:`repro.simulate` — discrete-event simulator of HPC I/O workloads
   (IOR, ``ls``) over a GPFS-like filesystem model, emitting authentic
   strace text (substitute for the paper's JUWELS testbed).
@@ -47,6 +51,12 @@ Migration note: the per-format constructors
 path or scheme URI to ``from_source`` / ``open_source`` instead.
 """
 
+from repro.alerts import (
+    Alert,
+    AlertEngine,
+    NewEdgeRule,
+    StatThresholdRule,
+)
 from repro.core import (
     DFG,
     ActivityLog,
@@ -101,6 +111,8 @@ from repro.sources import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
     "DFG",
     "ActivityLog",
     "CallOnly",
@@ -113,6 +125,7 @@ __all__ = [
     "EventLog",
     "IOStatistics",
     "Mapping",
+    "NewEdgeRule",
     "PartitionColoring",
     "PartitionEL",
     "PlainColoring",
@@ -120,6 +133,7 @@ __all__ = [
     "RestrictedMapping",
     "START_ACTIVITY",
     "SiteVariables",
+    "StatThresholdRule",
     "StatisticsColoring",
     "Style",
     "mapping_from_callable",

@@ -1,0 +1,206 @@
+"""Loading declarative rules files (TOML or JSON).
+
+The file format (see ``docs/rules.md`` for the full reference)::
+
+    baseline = "elog:known-good.elog"     # optional reference run
+
+    [sinks]                               # optional routing
+    stderr = true
+    jsonl = "alerts.jsonl"
+    command = "curl -sf -d @- https://hooks.example/pager"
+
+    [[rule]]
+    name = "unexpected-relations"
+    type = "new_edge"
+    absent_from_baseline = true
+
+    [[rule]]
+    name = "read-rate-collapse"
+    type = "stat_threshold"
+    metric = "process_data_rate"
+    op = "<"
+    value = 1e6
+    pattern = "read"
+
+``*.json`` files carry the same structure as a JSON object (``rule``
+is an array). Every validation error is an
+:class:`~repro.alerts.rules.AlertConfigError` *naming the offending
+rule*, and the CLI surfaces it with a non-zero exit — a malformed
+pager config must fail loudly at startup, not silently never fire.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import tomllib
+from pathlib import Path
+
+from repro.alerts.rules import RULE_TYPES, AlertConfigError, Rule
+from repro.alerts.sinks import (
+    AlertSink,
+    CommandSink,
+    JsonlSink,
+    StderrSink,
+)
+
+#: Option value types, validated before rule construction so a string
+#: where a number belongs fails with the rule's name instead of
+#: surfacing later as a bizarre comparison.
+_NUMBER_OPTIONS = frozenset({"ratio", "value", "max_age", "min_value"})
+_INT_OPTIONS = frozenset({"min_count"})
+_BOOL_OPTIONS = frozenset({"include_sentinels", "absent_from_baseline"})
+_STRING_OPTIONS = frozenset({"pattern", "against", "metric", "op"})
+
+
+def _accepted_options(rule_cls: type[Rule]) -> set[str]:
+    """Keyword parameters a rule class accepts (beyond ``name``)."""
+    signature = inspect.signature(rule_cls.__init__)
+    return {param for param in signature.parameters
+            if param not in ("self", "name")}
+
+
+def _check_option_value(rule_name: str, key: str, value) -> None:
+    if key in _NUMBER_OPTIONS:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise AlertConfigError(
+                f"rule {rule_name!r}: option {key!r} must be a number "
+                f"(got {value!r})")
+    elif key in _INT_OPTIONS:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise AlertConfigError(
+                f"rule {rule_name!r}: option {key!r} must be an integer "
+                f"(got {value!r})")
+    elif key in _BOOL_OPTIONS:
+        if not isinstance(value, bool):
+            raise AlertConfigError(
+                f"rule {rule_name!r}: option {key!r} must be a boolean "
+                f"(got {value!r})")
+    elif key in _STRING_OPTIONS:
+        if not isinstance(value, str):
+            raise AlertConfigError(
+                f"rule {rule_name!r}: option {key!r} must be a string "
+                f"(got {value!r})")
+
+
+def build_rule(table: dict) -> Rule:
+    """Construct one rule from its ``[[rule]]`` table."""
+    if not isinstance(table, dict):
+        raise AlertConfigError(
+            f"each [[rule]] must be a table (got {table!r})")
+    name = table.get("name")
+    if not name or not isinstance(name, str):
+        raise AlertConfigError(
+            f"rule without a valid name: {table!r} (every [[rule]] "
+            f"needs name = \"...\")")
+    kind = table.get("type")
+    if kind not in RULE_TYPES:
+        raise AlertConfigError(
+            f"rule {name!r}: unknown type {kind!r} "
+            f"(known: {', '.join(sorted(RULE_TYPES))})")
+    rule_cls = RULE_TYPES[kind]
+    options = {key: value for key, value in table.items()
+               if key not in ("name", "type")}
+    accepted = _accepted_options(rule_cls)
+    unknown = sorted(set(options) - accepted)
+    if unknown:
+        raise AlertConfigError(
+            f"rule {name!r}: unknown option(s) {', '.join(unknown)} for "
+            f"type {kind!r} (accepted: {', '.join(sorted(accepted))})")
+    for key, value in options.items():
+        _check_option_value(name, key, value)
+    try:
+        return rule_cls(name, **options)
+    except TypeError as exc:
+        # A required keyword is missing (e.g. stat_threshold without
+        # metric/op/value) — surface it with the rule's name.
+        raise AlertConfigError(f"rule {name!r}: {exc}") from exc
+
+
+def build_sinks(table: dict) -> list[AlertSink]:
+    """Construct the sink list from the ``[sinks]`` table."""
+    if not isinstance(table, dict):
+        raise AlertConfigError(f"[sinks] must be a table (got {table!r})")
+    unknown = sorted(set(table) - {"stderr", "jsonl", "command"})
+    if unknown:
+        raise AlertConfigError(
+            f"[sinks]: unknown sink(s) {', '.join(unknown)} "
+            f"(known: stderr, jsonl, command)")
+    sinks: list[AlertSink] = []
+    if table.get("stderr"):
+        if not isinstance(table["stderr"], bool):
+            raise AlertConfigError(
+                f"[sinks]: stderr must be a boolean "
+                f"(got {table['stderr']!r})")
+        sinks.append(StderrSink())
+    if "jsonl" in table:
+        if not isinstance(table["jsonl"], str) or not table["jsonl"]:
+            raise AlertConfigError(
+                f"[sinks]: jsonl must be a file path "
+                f"(got {table['jsonl']!r})")
+        sinks.append(JsonlSink(table["jsonl"]))
+    if "command" in table:
+        if not isinstance(table["command"], str) or not table["command"]:
+            raise AlertConfigError(
+                f"[sinks]: command must be a shell command "
+                f"(got {table['command']!r})")
+        sinks.append(CommandSink(table["command"]))
+    return sinks
+
+
+def parse_rules_data(data: dict, *, where: str = "rules data",
+                     ) -> tuple[list[Rule], list[AlertSink], str | None]:
+    """Validate parsed rules-file data into (rules, sinks, baseline).
+
+    ``where`` names the file in error messages.
+    """
+    if not isinstance(data, dict):
+        raise AlertConfigError(
+            f"{where}: top level must be a table/object")
+    unknown = sorted(set(data) - {"rule", "sinks", "baseline"})
+    if unknown:
+        raise AlertConfigError(
+            f"{where}: unknown top-level key(s) {', '.join(unknown)} "
+            f"(known: rule, sinks, baseline)")
+    tables = data.get("rule", [])
+    if not isinstance(tables, list) or not tables:
+        raise AlertConfigError(
+            f"{where}: no rules — declare at least one [[rule]] table "
+            f"(JSON: a non-empty \"rule\" array)")
+    rules: list[Rule] = []
+    seen: set[str] = set()
+    for table in tables:
+        rule = build_rule(table)
+        if rule.name in seen:
+            raise AlertConfigError(
+                f"rule {rule.name!r}: duplicate rule name")
+        seen.add(rule.name)
+        rules.append(rule)
+    sinks = build_sinks(data.get("sinks", {}))
+    baseline = data.get("baseline")
+    if baseline is not None and (not isinstance(baseline, str)
+                                 or not baseline):
+        raise AlertConfigError(
+            f"{where}: baseline must be a trace-source spec string "
+            f"(got {baseline!r})")
+    return rules, sinks, baseline
+
+
+def load_rules_file(path: str | os.PathLike[str],
+                    ) -> tuple[list[Rule], list[AlertSink], str | None]:
+    """Read and validate a rules file (TOML by default, ``*.json``)."""
+    target = Path(path)
+    try:
+        raw = target.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AlertConfigError(f"cannot read rules file: {exc}") from exc
+    try:
+        if target.suffix.lower() == ".json":
+            data = json.loads(raw)
+        else:
+            data = tomllib.loads(raw)
+    except (json.JSONDecodeError, tomllib.TOMLDecodeError) as exc:
+        raise AlertConfigError(
+            f"malformed rules file {target}: {exc}") from exc
+    return parse_rules_data(data, where=str(target))

@@ -1,0 +1,240 @@
+"""The alert engine: rules × one refresh delta → routed alerts.
+
+:class:`AlertEngine` is evaluated once per
+:meth:`~repro.live.engine.LiveIngest.poll` by the watch loop. Each
+:meth:`~AlertEngine.evaluate`:
+
+1. snapshots the live engine (graph, O(delta)-assembled statistics,
+   watermark ages) into one shared
+   :class:`~repro.alerts.rules.RefreshContext` — rules never touch the
+   live engine directly;
+2. runs every rule, collecting the alerts whose latched conditions
+   newly tripped this refresh;
+3. appends them to the persistent :attr:`history` *first*, then fans
+   them out to the sinks (a crashing sink cannot lose an alert).
+
+Attach the engine to the :class:`~repro.live.engine.LiveIngest`
+(``LiveIngest(..., alerts=engine)``) and checkpoint sidecars (v3)
+persist the rule latches and the alert history: a restarted watcher
+neither re-fires alerts its previous life already paged nor forgets
+them.
+
+Basic programmatic use (files usually come from ``--rules``)::
+
+    >>> from repro.alerts import AlertEngine, StatThresholdRule
+    >>> engine = AlertEngine()
+    >>> engine.add_rule(StatThresholdRule(
+    ...     "hot-activity", metric="event_count", op=">", value=1000))
+    AlertEngine(1 rules, 0 sinks, 0 fired)
+    >>> [rule.name for rule in engine.rules]
+    ['hot-activity']
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import TYPE_CHECKING
+
+from repro.alerts.config import load_rules_file
+from repro.alerts.model import Alert
+from repro.alerts.rules import AlertConfigError, RefreshContext, Rule
+from repro.alerts.sinks import AlertSink, AlertSinkWarning
+from repro.core.dfg import DFG
+from repro.core.statistics import IOStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.live.engine import LiveIngest, PollResult
+
+
+def empty_alert_state() -> dict:
+    """The alert state a fresh (or alert-less) watch persists —
+    also what a v2 sidecar upgrades to."""
+    return {"rules": {}, "history": []}
+
+
+class AlertEngine:
+    """Declarative threshold rules over live refresh deltas.
+
+    Parameters
+    ----------
+    rules:
+        Initial :class:`~repro.alerts.rules.Rule` list (extend with
+        :meth:`add_rule`).
+    sinks:
+        Where fired alerts are routed besides :attr:`history` and the
+        watch pane (:mod:`repro.alerts.sinks`).
+    baseline:
+        Optional reference run to compare against: any trace-source
+        spec (``"elog:good.elog"``, ``"sim:ior?ranks=4"``, a bare
+        path). Resolved lazily on first evaluation *with the live
+        engine's mapping*, so baseline activities live in the same
+        namespace as live ones.
+    """
+
+    def __init__(self, rules: "list[Rule] | None" = None, *,
+                 sinks: "list[AlertSink] | None" = None,
+                 baseline: str | os.PathLike[str] | None = None) -> None:
+        self.rules: list[Rule] = list(rules or [])
+        self.sinks: list[AlertSink] = list(sinks or [])
+        self.baseline = os.fspath(baseline) if baseline is not None \
+            else None
+        #: Every alert fired over the engine's lifetime (checkpoint-
+        #: persisted, so "lifetime" spans watcher restarts).
+        self.history: list[Alert] = []
+        self._baseline_pair: tuple[DFG, IOStatistics] | None = None
+        self._prev_dfg: DFG | None = None
+        self._prev_stats: IOStatistics | None = None
+
+    @classmethod
+    def from_rules_file(cls, path: str | os.PathLike[str], *,
+                        baseline: str | os.PathLike[str] | None = None,
+                        ) -> "AlertEngine":
+        """Build from a TOML/JSON rules file (see ``docs/rules.md``).
+
+        ``baseline`` overrides the file's ``baseline =`` entry (the
+        CLI's ``--baseline`` flag). The configuration is
+        :meth:`validate`-d before returning: a baseline-requiring rule
+        without a baseline, or an unresolvable baseline source, fails
+        here — at startup — not minutes into the first poll of a huge
+        directory.
+        """
+        rules, sinks, file_baseline = load_rules_file(path)
+        chosen = baseline if baseline is not None else file_baseline
+        engine = cls(rules, sinks=sinks, baseline=chosen)
+        engine.validate()
+        return engine
+
+    # -- configuration -----------------------------------------------------
+
+    def validate(self) -> "AlertEngine":
+        """Fail fast on configurations that cannot ever evaluate.
+
+        Checks that every baseline-requiring rule
+        (``absent_from_baseline``, ``against = "baseline"``) has a
+        baseline configured, and that the baseline spec itself
+        resolves to a source (missing path, unknown scheme). Called by
+        :meth:`from_rules_file`; call it yourself after programmatic
+        :meth:`add_rule` chains if you want the same startup
+        guarantee — evaluation re-checks lazily either way.
+        """
+        if self.baseline is None:
+            needy = [rule.name for rule in self.rules
+                     if rule.needs_baseline]
+            if needy:
+                raise AlertConfigError(
+                    f"rule(s) {', '.join(map(repr, needy))} compare "
+                    f"against a baseline, but no baseline source is "
+                    f"configured (set baseline = \"...\" in the rules "
+                    f"file or pass --baseline)")
+        else:
+            from repro.sources import open_source
+
+            # Resolve (not ingest) the spec: catches missing paths and
+            # unknown schemes now; the log itself is built lazily at
+            # first evaluation, with the live engine's mapping.
+            open_source(self.baseline)
+        return self
+
+    def add_rule(self, rule: Rule) -> "AlertEngine":
+        """Register a rule (chainable)."""
+        self.rules.append(rule)
+        return self
+
+    def add_sink(self, sink: AlertSink) -> "AlertEngine":
+        """Register a sink (chainable)."""
+        self.sinks.append(sink)
+        return self
+
+    @property
+    def n_fired(self) -> int:
+        """Alerts fired over the (checkpoint-spanning) lifetime."""
+        return len(self.history)
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, engine: "LiveIngest",
+                 result: "PollResult") -> list[Alert]:
+        """Run every rule against the refresh that produced ``result``.
+
+        Returns the alerts fired by *this* refresh (already recorded
+        in :attr:`history` and routed to the sinks). Call once per
+        poll — the previous-snapshot baseline the ``against =
+        "previous"`` rules compare to advances here.
+        """
+        current = engine.snapshot_dfg()
+        stats = engine.statistics()
+        baseline_dfg, baseline_stats = self._baseline_for(engine)
+        ctx = RefreshContext(
+            n_poll=result.n_poll,
+            total_events=result.total_events,
+            current=current,
+            previous=self._prev_dfg,
+            stats=stats,
+            previous_stats=self._prev_stats,
+            baseline_dfg=baseline_dfg,
+            baseline_stats=baseline_stats,
+            watermark_ages=engine.watermark_ages(),
+        )
+        fired: list[Alert] = []
+        for rule in self.rules:
+            fired.extend(rule.evaluate(ctx))
+        self._prev_dfg = current
+        self._prev_stats = stats
+        self.history.extend(fired)
+        for alert in fired:
+            for sink in self.sinks:
+                # The paging path must not take down the monitoring
+                # path: a crashing sink (full disk, dead pager, buggy
+                # user sink) warns, and the alert is already safe in
+                # the history above.
+                try:
+                    sink.emit(alert)
+                except Exception as exc:
+                    warnings.warn(
+                        f"alert sink {type(sink).__name__} failed for "
+                        f"{alert.identity}: {exc}",
+                        AlertSinkWarning, stacklevel=2)
+        return fired
+
+    def _baseline_for(self, engine: "LiveIngest",
+                      ) -> tuple[DFG | None, IOStatistics | None]:
+        if self.baseline is None:
+            return None, None
+        if self._baseline_pair is None:
+            from repro.sources import open_source
+
+            log = open_source(self.baseline).event_log()
+            mapped = log.with_mapping(engine.mapping)
+            self._baseline_pair = (DFG(mapped), IOStatistics(mapped))
+        return self._baseline_pair
+
+    # -- checkpoint state --------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable latch + history state (sidecar v3).
+
+        Latches are keyed by rule name; a restart with a different
+        rules file restores what still matches and starts the rest
+        fresh. The previous-refresh snapshot is deliberately *not*
+        persisted — ``against = "previous"`` deltas are a per-process
+        notion, and the first refresh of a new life has no previous.
+        """
+        return {
+            "rules": {rule.name: rule.latch_state()
+                      for rule in self.rules},
+            "history": [alert.to_json() for alert in self.history],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`to_state` (called by checkpoint load)."""
+        latches = state.get("rules", {})
+        for rule in self.rules:
+            if rule.name in latches:
+                rule.restore_latch(latches[rule.name])
+        self.history = [Alert.from_json(data)
+                        for data in state.get("history", [])]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AlertEngine({len(self.rules)} rules, "
+                f"{len(self.sinks)} sinks, {self.n_fired} fired)")

@@ -1,0 +1,91 @@
+"""The :class:`Alert` record — what a firing rule produces.
+
+An alert is a *structured* observation, not a log line: sinks render it
+(stderr line, JSONL row, webhook payload), the watch pane highlights
+it, and the checkpoint sidecar persists it, all from the same fields.
+
+Two layers of identity matter:
+
+- :attr:`Alert.identity` — ``(rule, kind, subject)`` — names *what*
+  fired, independent of when. The live-equals-batch discipline of the
+  rest of the system extends to alerting through it: for latched rules
+  over monotone conditions, the multiset of identities fired over a
+  watch is a deterministic function of the final directory, regardless
+  of how polls sliced the growth (pinned by
+  ``tests/test_alerts/test_alert_properties.py``).
+- the full record — observed value, threshold, poll number, event
+  count — carries the point-in-time measurement for operators; it
+  naturally varies with the poll schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One firing of one alerting rule.
+
+    Attributes
+    ----------
+    rule:
+        The user-given rule name (the ``name =`` of the rules file).
+    kind:
+        The rule type (``new_edge``, ``stat_threshold``, ...).
+    subject:
+        What fired: an edge label (``"a -> b"``), an activity (with
+        newlines flattened to spaces), or a case id.
+    message:
+        Human-readable one-liner, ready for a terminal or a pager.
+    value:
+        The observed measurement that crossed the rule (edge count,
+        metric value, ratio, age in µs) — ``None`` for rules without
+        a natural scalar.
+    threshold:
+        The configured bound the value crossed, if any.
+    n_poll:
+        Poll sequence number of the refresh that fired the alert
+        (counts across checkpoint restarts).
+    total_events:
+        Records sealed when the alert fired.
+    """
+
+    rule: str
+    kind: str
+    subject: str
+    message: str
+    value: float | None = None
+    threshold: float | None = None
+    n_poll: int = 0
+    total_events: int = 0
+
+    @property
+    def identity(self) -> tuple[str, str, str]:
+        """Schedule-independent identity: ``(rule, kind, subject)``."""
+        return (self.rule, self.kind, self.subject)
+
+    def to_json(self) -> dict:
+        """Plain-data form (JSONL sink, webhook payload, checkpoint)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Alert":
+        """Inverse of :meth:`to_json` (checkpoint restore)."""
+        value = data.get("value")
+        threshold = data.get("threshold")
+        return cls(
+            rule=str(data["rule"]),
+            kind=str(data["kind"]),
+            subject=str(data["subject"]),
+            message=str(data["message"]),
+            value=None if value is None else float(value),
+            threshold=None if threshold is None else float(threshold),
+            n_poll=int(data.get("n_poll", 0)),
+            total_events=int(data.get("total_events", 0)),
+        )
+
+    def render_line(self) -> str:
+        """The one-line terminal form shared by the stderr sink and the
+        watch pane: ``!! [rule] message``."""
+        return f"!! [{self.rule}] {self.message}"

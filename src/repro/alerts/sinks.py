@@ -1,0 +1,104 @@
+"""Pluggable alert routing: where fired alerts go besides the pane.
+
+A sink is anything with an ``emit(alert)`` method. The engine fans
+every fired alert out to every registered sink *after* recording it in
+its history, so a crashing sink can never lose an alert — sink
+failures are reported as warnings and the watch keeps running (a
+paging path must not take down the monitoring path).
+
+Built-ins:
+
+- :class:`StderrSink` — one ``!! [rule] message`` line per alert on
+  stderr (stdout belongs to the watch rendering);
+- :class:`JsonlSink` — appends one JSON object per alert to a file,
+  opened per emit so the stream survives watcher restarts and is
+  tail-able by other tools;
+- :class:`CommandSink` — runs a shell command per alert with the JSON
+  payload on stdin (webhook escape hatch: ``curl -d @- ...``,
+  ``mail``, a cluster pager script).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+from typing import IO, Protocol, runtime_checkable
+
+from repro.alerts.model import Alert
+
+
+class AlertSinkWarning(UserWarning):
+    """A sink failed to deliver an alert (the alert itself is safe in
+    the engine history / checkpoint)."""
+
+
+@runtime_checkable
+class AlertSink(Protocol):
+    """Anything that can receive a fired :class:`Alert`."""
+
+    def emit(self, alert: Alert) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class StderrSink:
+    """One highlighted line per alert on stderr (stream injectable)."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream
+
+    def emit(self, alert: Alert) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(alert.render_line(), file=stream)
+
+
+class JsonlSink:
+    """Append alerts as JSON lines to a file.
+
+    The file is opened in append mode per emit: restarted watchers
+    extend the same stream, and concurrent readers (``tail -f``,
+    ingest into a TSDB) see complete lines only.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    def emit(self, alert: Alert) -> None:
+        line = json.dumps(alert.to_json(), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+
+class CommandSink:
+    """Run a shell command per alert, JSON payload on stdin.
+
+    The command is the operator's webhook bridge — it is *their*
+    configured code, run with a timeout so a hung pager cannot stall
+    the poll loop. Non-zero exits and spawn failures warn
+    (:class:`AlertSinkWarning`) instead of raising.
+    """
+
+    def __init__(self, command: str, *, timeout: float = 30.0) -> None:
+        self.command = command
+        self.timeout = timeout
+
+    def emit(self, alert: Alert) -> None:
+        payload = json.dumps(alert.to_json(), sort_keys=True)
+        try:
+            completed = subprocess.run(
+                self.command, shell=True, input=payload.encode("utf-8"),
+                timeout=self.timeout, capture_output=True)
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            warnings.warn(
+                f"alert command sink failed for {alert.identity}: {exc}",
+                AlertSinkWarning, stacklevel=2)
+            return
+        if completed.returncode != 0:
+            warnings.warn(
+                f"alert command sink exited {completed.returncode} for "
+                f"{alert.identity}: "
+                f"{completed.stderr.decode(errors='replace').strip()}",
+                AlertSinkWarning, stacklevel=2)

@@ -12,6 +12,11 @@ Subcommands cover the full paper pipeline plus the simulator:
 - ``report <source>`` — per-activity statistics table.
 - ``compare <source> --green <cid>`` — partition-colored comparison.
 - ``timeline <source> --activity <a>`` — the Fig. 5 plot.
+- ``watch <dir>`` — live-monitor a growing trace directory
+  (incremental ingestion, resumable ``--checkpoint``, declarative
+  ``--rules`` alerting).
+
+The full subcommand/flag reference lives in ``docs/cli.md``.
 
 ``<source>`` is any registered trace source
 (:func:`repro.sources.open_source`): a directory of ``.st`` files, an
@@ -340,6 +345,20 @@ def cmd_watch(args: argparse.Namespace) -> int:
     from repro.live.engine import LiveIngest
     from repro.live.watch import run_watch
 
+    alerts = None
+    if args.rules:
+        from repro.alerts import AlertEngine, JsonlSink
+
+        # A malformed rules file raises AlertConfigError (a ReproError)
+        # naming the offending rule; main() turns it into exit 2.
+        alerts = AlertEngine.from_rules_file(args.rules,
+                                             baseline=args.baseline)
+        if args.alert_log:
+            alerts.add_sink(JsonlSink(args.alert_log))
+    elif args.alert_log or args.baseline:
+        raise ReproError(
+            "--alert-log/--baseline require --rules (no rules, "
+            "nothing to fire or compare)")
     engine = LiveIngest(
         args.directory,
         mapping=_mapping(args),
@@ -351,6 +370,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
         # full event-log).
         keep_records=False,
         checkpoint=args.checkpoint,
+        # Attached before checkpoint load so a resumed sidecar (v3)
+        # restores rule latches and alert history into it.
+        alerts=alerts,
     )
     polls = 1 if args.once else args.polls
     return run_watch(engine, interval=args.interval, polls=polls,
@@ -475,6 +497,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="JSON sidecar making ingestion resumable: "
                         "loaded if present, rewritten after every poll")
+    p.add_argument("--rules", default=None, metavar="FILE",
+                   help="alerting rules file (TOML, or *.json): "
+                        "threshold rules over the refresh deltas, "
+                        "evaluated every poll (see docs/rules.md); "
+                        "fired alerts render as a pane and route to "
+                        "the configured sinks")
+    p.add_argument("--alert-log", default=None, metavar="FILE",
+                   help="append fired alerts as JSON lines to FILE "
+                        "(adds a jsonl sink on top of the rules "
+                        "file's [sinks]); requires --rules")
+    p.add_argument("--baseline", default=None, metavar="SOURCE",
+                   help="reference run for against='baseline' and "
+                        "absent_from_baseline rules — any trace "
+                        "source (elog:good.elog, sim:ior?ranks=4, a "
+                        "bare path); overrides the rules file's "
+                        "baseline entry; requires --rules")
     p.add_argument("--recursive", action="store_true",
                    help="also follow .st files in nested subdirectories")
     p.add_argument("--lenient", action="store_true",

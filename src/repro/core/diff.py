@@ -143,6 +143,22 @@ class DFGDiff:
         deltas.sort(key=lambda d: (-abs(d.rd_delta), d.activity))
         return deltas
 
+    def added_edges(self) -> list[Edge]:
+        """Green-exclusive edges, sorted — for ``diff_since(baseline)``
+        diffs (green = now) these are exactly the directly-follows
+        relations that appeared since the baseline snapshot.
+        """
+        return sorted(set(self.green_dfg.edges())
+                      - set(self.red_dfg.edges()))
+
+    def vanished_edges(self) -> list[Edge]:
+        """Red-exclusive edges, sorted — relations present in the
+        baseline but gone from the current graph (live, only a case's
+        closing ``(a, ■)`` edge can vanish: it moves when the case
+        grows)."""
+        return sorted(set(self.red_dfg.edges())
+                      - set(self.green_dfg.edges()))
+
     # -- scalar summaries ---------------------------------------------------------
 
     def jaccard_nodes(self) -> float:

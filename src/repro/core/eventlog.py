@@ -57,6 +57,12 @@ class EventLog:
         e.g. ``workers`` only parallelizes directory parsing. A ready
         source already carries its own options, so combining one with
         these keywords raises instead of silently dropping them.
+
+        >>> log = EventLog.from_source("sim:ls")
+        >>> log.n_cases, log.n_events
+        (6, 75)
+        >>> log.cids()
+        ['a', 'b']
         """
         from repro.sources.registry import resolve_source
 

@@ -65,6 +65,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.frame import EventFrame
 
 
+#: Every per-activity metric addressable by name through
+#: :meth:`IOStatistics.metric` — the vocabulary of statistics-based
+#: coloring and of the ``stat_threshold`` alerting rule
+#: (:mod:`repro.alerts`). Keep in sync with the accessor below.
+METRIC_NAMES: tuple[str, ...] = (
+    "relative_duration",
+    "total_bytes",
+    "max_concurrency",
+    "event_count",
+    "process_data_rate",
+)
+
+
 @dataclass(frozen=True, slots=True)
 class ActivityStats:
     """Computed statistics of one activity."""
@@ -566,7 +579,8 @@ class IOStatistics:
             # with positive duration), distinct from "no transfers".
             return (0.0 if stats.process_data_rate is None
                     else stats.process_data_rate)
-        raise ReproError(f"unknown metric {name!r}")
+        raise ReproError(
+            f"unknown metric {name!r} (known: {', '.join(METRIC_NAMES)})")
 
     def as_rows(self) -> list[dict]:
         """All stats as dict rows (report/CSV export)."""

@@ -32,7 +32,13 @@ Layering (bottom → top):
   watcher restarts from the recorded byte offsets instead of
   re-parsing gigabytes, with statistics still covering the full run.
 - :mod:`repro.live.watch` — the ``st-inspector watch`` refresh loop:
-  periodic ASCII summary with change highlighting.
+  periodic ASCII summary with change highlighting, an alert pane, and
+  a sealing-starvation note in the status line.
+
+Sitting on top (separate package, evaluated by the watch loop):
+:mod:`repro.alerts` turns refresh deltas into *pages* — declarative
+threshold rules (``watch --rules rules.toml``) whose latches and fired
+history persist in the same checkpoint sidecar (version 3).
 """
 
 from repro.live.tail import FileTail

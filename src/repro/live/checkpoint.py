@@ -15,15 +15,22 @@ already-parsed byte:
   (:meth:`~repro.core.statistics.StatsAccumulator.to_state`), so a
   restarted watcher renders *full-history* node annotations instead of
   statistics covering only its own lifetime;
+- the alert state (since v3): per-rule latch sets and the fired-alert
+  history of an attached :class:`~repro.alerts.AlertEngine`, so a
+  restarted watcher neither re-fires already-paged alerts nor forgets
+  them (``LiveIngest(alerts=...)``);
 - engine counters and the settings the state depends on (mapping name,
   recursiveness, strictness), which are checked on load — resuming a
   checkpoint under a different mapping would silently corrupt the
   graph, so it is an error instead.
 
-Version 1 sidecars (pre-statistics) are rejected with instructions to
-delete and re-watch: silently resuming one would render full-history
-graphs against current-process-only statistics — exactly the gap v2
-closes.
+Version history. **v1** (pre-statistics) is rejected with instructions
+to delete and re-watch: silently resuming one would render
+full-history graphs against current-process-only statistics — exactly
+the gap v2 closed, and the missing state cannot be reconstructed from
+the sidecar. **v2** (statistics, no alerts) is *upgraded in place*:
+alert state genuinely starts empty on a pre-alerting sidecar, so
+loading it as v3-with-no-alerts is lossless; the next save writes v3.
 
 The sidecar is written atomically (temp file + ``os.replace``), so a
 watcher killed mid-save leaves the previous checkpoint intact. File
@@ -53,8 +60,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump when the state layout changes; loaders reject other versions.
 #: v2 added the statistics accumulators (full-history node annotations
-#: across restarts).
-CHECKPOINT_VERSION = 2
+#: across restarts); v3 added the alert state (rule latches + fired
+#: history). v2 sidecars still load — see :func:`restore_engine`.
+CHECKPOINT_VERSION = 3
+
+#: Versions :func:`restore_engine` can load. v2 lacks only the alert
+#: state, which legitimately starts empty.
+_LOADABLE_VERSIONS = frozenset({2, CHECKPOINT_VERSION})
 
 
 def _record_to_state(record: ParsedRecord) -> dict:
@@ -123,13 +135,28 @@ def engine_state(engine: "LiveIngest") -> dict:
                   for path in sorted(engine._tails)],
         "dfg": engine.incremental.to_state(),
         "stats": engine.stats.to_state(),
+        "alerts": _alert_state(engine),
     }
+
+
+def _alert_state(engine: "LiveIngest") -> dict:
+    """The alert state to persist: the attached engine's live state,
+    or the stashed state of a previous life (a watch restarted without
+    rules must not erase the alert history it cannot interpret), or
+    the empty default."""
+    from repro.alerts import empty_alert_state
+
+    if engine.alerts is not None:
+        return engine.alerts.to_state()
+    if engine._alert_state is not None:
+        return engine._alert_state
+    return empty_alert_state()
 
 
 def restore_engine(engine: "LiveIngest", state: dict) -> None:
     """Load :func:`engine_state` output into a freshly built engine."""
     version = state.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in _LOADABLE_VERSIONS:
         hint = ""
         if version == 1:
             hint = (" — v1 sidecars predate persisted statistics and "
@@ -152,6 +179,14 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
     engine.total_events = int(state["total_events"])
     engine.incremental = IncrementalDFG.from_state(state["dfg"])
     engine.stats = StatsAccumulator.from_state(state["stats"])
+    # v2 → v3 upgrade in place: pre-alerting sidecars hold no alert
+    # state, and empty is exactly what was true when they were written.
+    from repro.alerts import empty_alert_state
+
+    alert_state = state.get("alerts") or empty_alert_state()
+    engine._alert_state = alert_state
+    if engine.alerts is not None:
+        engine.alerts.restore_state(alert_state)
     for tail_state in state["files"]:
         tail = _tail_from_state(tail_state, engine.directory,
                                 engine.strict)

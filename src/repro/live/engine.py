@@ -44,7 +44,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro._util.errors import ReproError, TraceParseError
 from repro.core.dfg import DFG
@@ -58,6 +58,9 @@ from repro.live.tail import FileTail
 from repro.strace.naming import TraceFileName
 from repro.strace.parser import ParsedRecord
 from repro.strace.reader import TraceCase, discover_trace_files
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.alerts import AlertEngine
 
 
 @dataclass(slots=True)
@@ -134,6 +137,25 @@ class LiveIngest:
     checkpoint:
         Optional sidecar path. If the file exists, the engine resumes
         from it; :meth:`save_checkpoint` rewrites it atomically.
+    alerts:
+        Optional :class:`~repro.alerts.AlertEngine` evaluated by the
+        watch loop after every poll. Attached here (rather than at the
+        loop) so checkpoints can persist its latch/history state:
+        pass it *before* construction and a resumed sidecar restores
+        the alert state into it — restarted watchers neither re-fire
+        nor forget fired alerts.
+
+    Unlike batch discovery, an empty (not-yet-populated) directory is
+    a normal state for a watcher:
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as empty:
+    ...     engine = LiveIngest(empty)
+    ...     result = engine.poll()
+    >>> (result.n_poll, result.n_files, result.changed)
+    (1, 0, False)
+    >>> engine.snapshot_dfg().n_nodes
+    0
     """
 
     def __init__(self, directory: str | os.PathLike[str], *,
@@ -144,7 +166,8 @@ class LiveIngest:
                  recursive: bool = False,
                  add_endpoints: bool = True,
                  keep_records: bool = True,
-                 checkpoint: str | os.PathLike[str] | None = None) -> None:
+                 checkpoint: str | os.PathLike[str] | None = None,
+                 alerts: "AlertEngine | None" = None) -> None:
         self.directory = Path(directory)
         self.mapping = mapping_from_callable(
             mapping if mapping is not None else CallTopDirs(levels=2))
@@ -166,6 +189,12 @@ class LiveIngest:
         # Per-(call, fp) activity memo for call/fp-only mappings — the
         # live analogue of the batch broadcast in eventlog._apply_mapping.
         self._activity_memo: dict[tuple[str, str | None], str | None] = {}
+        self.alerts = alerts
+        # Alert state carried verbatim from a loaded sidecar when no
+        # AlertEngine is attached this life, so a watch restarted
+        # without --rules still re-saves (and never loses) the alert
+        # history a previous life accumulated.
+        self._alert_state: dict | None = None
         self.checkpoint_path = Path(checkpoint) if checkpoint else None
         if self.checkpoint_path is not None \
                 and self.checkpoint_path.exists():
@@ -327,6 +356,27 @@ class LiveIngest:
     def diff_since(self, baseline: DFG) -> DFGDiff:
         """Diff the standing graph against an earlier snapshot."""
         return self.incremental.diff_since(baseline)
+
+    def watermark_ages(self) -> dict[str, int]:
+        """Per-case sealing-starvation age in µs of *trace* time.
+
+        An in-flight ``<unfinished ...>`` call holds every later
+        completed record of its file behind the seal watermark; the
+        age is how far the newest held-back record's start lies above
+        the watermark (see
+        :attr:`~repro.strace.resume.IncrementalMerger.watermark_age_us`).
+        Only starving cases appear (age > 0); the result is empty for
+        a healthy directory. One accessor feeds both the ``watch``
+        status line and the ``watermark_age`` alerting rule, so the
+        number a rule fires on is the number the operator sees.
+        """
+        ages: dict[str, int] = {}
+        for path in sorted(self._tails):
+            tail = self._tails[path]
+            age = tail.merger.watermark_age_us
+            if age > 0:
+                ages[tail.name.case_id] = age
+        return ages
 
     def cases(self) -> list[TraceCase]:
         """Parsed cases held in memory, in batch (sorted-path) order.

@@ -10,6 +10,14 @@ previous snapshots act as the green/red halves of a
 :class:`~repro.core.diff.DFGDiff` summary (an edge *can* vanish live:
 a case's closing ``(a, ■)`` edge moves when the case grows).
 
+If the engine carries an :class:`~repro.alerts.AlertEngine`
+(``LiveIngest(alerts=...)`` — the CLI's ``--rules``), the loop
+evaluates it after every poll and the refresh block gains a
+highlighted ``ALERTS`` pane listing what fired; the status line also
+surfaces sealing starvation (per-file watermark age, the same
+:meth:`~repro.live.engine.LiveIngest.watermark_ages` accessor the
+``watermark_age`` rule reads).
+
 The loop is dependency-injectable (``out``, ``sleep``) so tests drive
 it without a terminal or a clock; the CLI passes the defaults.
 """
@@ -17,13 +25,16 @@ it without a terminal or a clock; the CLI passes the defaults.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.coloring import PartitionColoring
 from repro.core.dfg import DFG
 from repro.core.diff import DFGDiff
 from repro.core.render.ascii import render_ascii
 from repro.live.engine import LiveIngest, PollResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.alerts import Alert
 
 
 class WatchView:
@@ -37,10 +48,19 @@ class WatchView:
         self.top = top
         self._baseline: DFG | None = None
 
-    def refresh(self, result: PollResult) -> str:
-        """Render one poll's outcome; advances the change baseline."""
+    def refresh(self, result: PollResult,
+                alerts: "list[Alert] | None" = None) -> str:
+        """Render one poll's outcome; advances the change baseline.
+
+        ``alerts`` are the records fired by this refresh — rendered as
+        a pane right under the status line, *before* the diff and the
+        graph, so a paging condition is the first thing an operator
+        scanning the refresh sees.
+        """
         engine = self.engine
         lines = [self._status_line(result)]
+        if alerts:
+            lines.append(self._alerts_pane(alerts))
         if result.changed or self._baseline is None:
             current = engine.snapshot_dfg()
             if self._baseline is not None:
@@ -63,7 +83,28 @@ class WatchView:
                 f"(+{result.n_sealed} sealed, {result.n_pending} "
                 f"in-flight, {result.n_buffered} buffered), "
                 f"DFG {engine.incremental.n_nodes} nodes / "
-                f"{engine.incremental.n_edges} edges")
+                f"{engine.incremental.n_edges} edges"
+                f"{self._starvation_note()}")
+
+    def _starvation_note(self) -> str:
+        """Sealing-starvation suffix: which files hold records back,
+        and by how much trace time (the ROADMAP diagnostic — an
+        unfinished call that never resumes parks everything behind
+        it until finalize)."""
+        ages = self.engine.watermark_ages()
+        if not ages:
+            return ""
+        worst = max(ages, key=lambda case: (ages[case], case))
+        return (f", sealing starved: {len(ages)} file(s), "
+                f"worst {worst} at {ages[worst] / 1e6:.3f}s")
+
+    def _alerts_pane(self, alerts: "list[Alert]") -> str:
+        total = (self.engine.alerts.n_fired
+                 if self.engine.alerts is not None else len(alerts))
+        header = (f"  ALERTS: {len(alerts)} fired this refresh "
+                  f"({total} total)")
+        body = [f"  {alert.render_line()}" for alert in alerts]
+        return "\n".join([header, *body])
 
     def _render_dfg(self, current: DFG) -> str:
         """ASCII DFG with change highlighting.
@@ -95,7 +136,12 @@ def run_watch(engine: LiveIngest, *,
     """Poll → render → checkpoint → sleep, until stopped.
 
     ``polls`` bounds the number of refreshes (``1`` is the CLI's
-    ``--once``); ``None`` runs until KeyboardInterrupt. The engine's
+    ``--once``); ``None`` runs until KeyboardInterrupt. When the
+    engine carries an alert engine, it is evaluated after every poll —
+    *before* the checkpoint save, so the sidecar always holds the
+    latches of the alerts it has seen fire and a kill between the two
+    can at worst replay one refresh of sink deliveries, never lose a
+    latch that was persisted. The engine's
     checkpoint (when configured) is saved after every poll that moved
     any state — including carry-only progress with nothing sealed —
     so a kill at any point loses at most one interval of work, while
@@ -114,10 +160,13 @@ def run_watch(engine: LiveIngest, *,
     try:
         while True:
             result = engine.poll()
-            out(view.refresh(result))
+            fired = (engine.alerts.evaluate(engine, result)
+                     if engine.alerts is not None else None)
+            out(view.refresh(result, fired))
             if engine.checkpoint_path is not None \
                     and (result.state_moved
-                         or not engine.checkpoint_path.exists()):
+                         or not engine.checkpoint_path.exists()
+                         or fired):
                 engine.save_checkpoint()
             completed += 1
             if polls is not None and completed >= polls:

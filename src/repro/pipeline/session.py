@@ -59,6 +59,12 @@ class InspectionSession:
         resolved by :func:`~repro.sources.open_source` —
         ``"strace:traces/"``, ``"elog:run.elog"``, ``"csv:log.csv"``,
         ``"sim:ior?ranks=4"``, or a bare path (autodetected).
+
+        >>> session = InspectionSession.from_source("sim:ls")
+        >>> session.map_default()           # the paper's f̂ mapping
+        InspectionSession(75 events, 6 cases, mapping='call+top2dirs')
+        >>> len(session.dfg.activities()) > 0
+        True
         """
         return cls(EventLog.from_source(
             source, cids=cids, strict=strict, recursive=recursive,

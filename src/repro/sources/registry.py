@@ -190,6 +190,15 @@ def open_source(
 
     Raises :class:`~repro._util.errors.SourceError` for unknown
     schemes, missing paths, and malformed ``?key=value`` options.
+
+    The ``sim:`` scheme needs no files on disk, which makes it the
+    zero-setup way to try any consumer:
+
+    >>> source = open_source("sim:ls")
+    >>> source.describe()
+    'simulated workload sim:ls'
+    >>> source.event_log().n_cases
+    6
     """
     opts = SourceOptions(workers=workers, recursive=recursive,
                          strict=strict, cids=cids)

@@ -28,6 +28,19 @@ being the storage backend: ``EventLogH5`` opens our ``.elog`` columnar
 container instead of HDF5 (h5py is unavailable; see DESIGN.md §2).
 The alias accepts either a store path or a directory of raw ``.st``
 trace files, covering both halves of the paper's pipeline.
+
+Beyond Fig. 6, the facade also carries the two entry points this
+reproduction *adds* to the paper's workflow — live monitoring and
+alerting — so a script that starts from the paper's imports can reach
+them without learning the package layout::
+
+    from repro.st_inspector import LiveIngest, AlertEngine
+
+    engine = LiveIngest("traces/",
+                        alerts=AlertEngine.from_rules_file("rules.toml"))
+
+(`docs/architecture.md` maps the full system; Fig. 6 names stay
+byte-compatible with the paper.)
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.alerts import AlertEngine
 from repro.core.coloring import PartitionColoring, StatisticsColoring
 from repro.core.dfg import DFG
 from repro.core.eventlog import EventLog
@@ -48,6 +62,7 @@ from repro.core.mapping import (
 from repro.core.partition import PartitionEL
 from repro.core.render.viewer import DFGViewer
 from repro.core.statistics import IOStatistics
+from repro.live.engine import LiveIngest
 
 __all__ = [
     "EventLogH5",
@@ -63,6 +78,9 @@ __all__ = [
     "CallPath",
     "CallOnly",
     "SiteVariables",
+    # extensions beyond the paper's Fig. 6 listing:
+    "LiveIngest",
+    "AlertEngine",
 ]
 
 

@@ -119,6 +119,27 @@ class IncrementalMerger:
         """Completed records still held behind the seal watermark."""
         return len(self._buffer)
 
+    @property
+    def watermark_age_us(self) -> int:
+        """How far (in trace time, µs) sealing lags behind parsing.
+
+        Sealing starvation: an in-flight ``<unfinished ...>`` call
+        holds every later completed record of its file behind the seal
+        watermark until its resumed half arrives (or EOF orphans it).
+        The age is the span between the newest buffered record's start
+        and the watermark — ``0`` when nothing is held back. Computed
+        from the pending/buffer state alone, so it is a pure function
+        of the bytes consumed so far and survives checkpoint
+        round-trips unchanged. Surfaced per file by
+        :meth:`~repro.live.engine.LiveIngest.watermark_ages` for the
+        watch status line and the ``watermark_age`` alerting rule.
+        """
+        if not self._pending or not self._buffer:
+            return 0
+        horizon = min(token.start_us
+                      for token, _ in self._pending.values())
+        return max(start for start, _, _ in self._buffer) - horizon
+
     def pending_tokens(self) -> list[Token]:
         """The unfinished halves currently in flight (for checkpoints)."""
         return [token for token, _ in self._pending.values()]

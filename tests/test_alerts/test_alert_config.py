@@ -1,0 +1,159 @@
+"""The rules-file loader: grammar, validation, error naming."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.alerts import (
+    AlertConfigError,
+    CommandSink,
+    JsonlSink,
+    NewEdgeRule,
+    StatThresholdRule,
+    StderrSink,
+    WatermarkAgeRule,
+    load_rules_file,
+)
+
+GOOD_TOML = """
+baseline = "sim:ls"
+
+[sinks]
+stderr = true
+jsonl = "alerts.jsonl"
+command = "cat > /dev/null"
+
+[[rule]]
+name = "unexpected-edges"
+type = "new_edge"
+pattern = "read"
+
+[[rule]]
+name = "busy-activity"
+type = "stat_threshold"
+metric = "event_count"
+op = ">"
+value = 100
+
+[[rule]]
+name = "starved"
+type = "watermark_age"
+max_age = 2.5
+"""
+
+
+class TestLoading:
+    def test_toml_roundtrip(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text(GOOD_TOML)
+        rules, sinks, baseline = load_rules_file(path)
+        assert [type(rule) for rule in rules] == \
+            [NewEdgeRule, StatThresholdRule, WatermarkAgeRule]
+        assert [rule.name for rule in rules] == \
+            ["unexpected-edges", "busy-activity", "starved"]
+        assert rules[0].pattern == "read"
+        assert rules[1].op == ">" and rules[1].value == 100
+        assert rules[2].max_age == 2.5
+        assert [type(sink) for sink in sinks] == \
+            [StderrSink, JsonlSink, CommandSink]
+        assert baseline == "sim:ls"
+
+    def test_json_equivalent(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({
+            "rule": [{"name": "edges", "type": "new_edge"}],
+            "sinks": {"jsonl": "a.jsonl"},
+        }))
+        rules, sinks, baseline = load_rules_file(path)
+        assert isinstance(rules[0], NewEdgeRule)
+        assert isinstance(sinks[0], JsonlSink)
+        assert baseline is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="cannot read"):
+            load_rules_file(tmp_path / "nope.toml")
+
+    def test_unparseable_toml_names_file(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text("[[rule]\nname=")
+        with pytest.raises(AlertConfigError, match="malformed rules"):
+            load_rules_file(path)
+
+
+def _load(tmp_path, text: str):
+    path = tmp_path / "rules.toml"
+    path.write_text(text)
+    return load_rules_file(path)
+
+
+class TestValidationNamesTheRule:
+    def test_unknown_type(self, tmp_path):
+        with pytest.raises(AlertConfigError,
+                           match=r"rule 'x': unknown type 'nope'"):
+            _load(tmp_path, "[[rule]]\nname='x'\ntype='nope'\n")
+
+    def test_missing_name(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="name"):
+            _load(tmp_path, "[[rule]]\ntype='new_edge'\n")
+
+    def test_unknown_option(self, tmp_path):
+        with pytest.raises(
+                AlertConfigError,
+                match=r"rule 'x': unknown option\(s\) colour"):
+            _load(tmp_path,
+                  "[[rule]]\nname='x'\ntype='new_edge'\ncolour='red'\n")
+
+    def test_missing_required_option(self, tmp_path):
+        with pytest.raises(AlertConfigError, match=r"rule 'x':"):
+            _load(tmp_path,
+                  "[[rule]]\nname='x'\ntype='stat_threshold'\n"
+                  "metric='event_count'\n")
+
+    def test_bad_option_type(self, tmp_path):
+        with pytest.raises(AlertConfigError,
+                           match=r"rule 'x': option 'value' must be "
+                                 r"a number"):
+            _load(tmp_path,
+                  "[[rule]]\nname='x'\ntype='stat_threshold'\n"
+                  "metric='event_count'\nop='>'\nvalue='lots'\n")
+
+    def test_bad_metric_names_rule(self, tmp_path):
+        with pytest.raises(AlertConfigError,
+                           match=r"rule 'x': unknown metric"):
+            _load(tmp_path,
+                  "[[rule]]\nname='x'\ntype='stat_threshold'\n"
+                  "metric='nope'\nop='>'\nvalue=1\n")
+
+    def test_duplicate_rule_name(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="duplicate"):
+            _load(tmp_path,
+                  "[[rule]]\nname='x'\ntype='new_edge'\n"
+                  "[[rule]]\nname='x'\ntype='new_edge'\n")
+
+    def test_no_rules(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="no rules"):
+            _load(tmp_path, "baseline = 'sim:ls'\n")
+
+    def test_unknown_top_level_key(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="unknown top-level"):
+            _load(tmp_path,
+                  "rules = 1\n[[rule]]\nname='x'\ntype='new_edge'\n")
+
+    def test_unknown_sink(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="unknown sink"):
+            _load(tmp_path,
+                  "[sinks]\nslack='#ops'\n"
+                  "[[rule]]\nname='x'\ntype='new_edge'\n")
+
+    def test_bad_sink_value(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="jsonl"):
+            _load(tmp_path,
+                  "[sinks]\njsonl=true\n"
+                  "[[rule]]\nname='x'\ntype='new_edge'\n")
+
+    def test_bad_baseline(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="baseline"):
+            _load(tmp_path,
+                  "baseline = 7\n[[rule]]\nname='x'\ntype='new_edge'\n")

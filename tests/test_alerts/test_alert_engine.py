@@ -1,0 +1,233 @@
+"""AlertEngine evaluation over real LiveIngest refreshes, and sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+import warnings
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.alerts import (
+    AlertEngine,
+    AlertSinkWarning,
+    CommandSink,
+    EdgeWeightRatioRule,
+    JsonlSink,
+    NewEdgeRule,
+    StatThresholdRule,
+    StderrSink,
+    WatermarkAgeRule,
+)
+from repro.core.activity import SENTINELS
+from repro.core.eventlog import EventLog
+from repro.core.mapping import CallTopDirs
+from repro.live.engine import LiveIngest
+
+
+class TestEvaluation:
+    def test_new_edge_covers_final_graph_once(self, tmp_path,
+                                              ls_file_bytes,
+                                              write_files):
+        write_files(tmp_path, ls_file_bytes)
+        alerts = AlertEngine([NewEdgeRule("edges")])
+        engine = LiveIngest(tmp_path, alerts=alerts)
+        fired = alerts.evaluate(engine, engine.poll())
+        # Exactly the non-sentinel edges of the final graph, once each.
+        expected = {f"{a} -> {b}"
+                    for a, b in engine.snapshot_dfg().edges()
+                    if a not in SENTINELS and b not in SENTINELS}
+        assert {alert.subject for alert in fired} == expected
+        assert len(fired) == len(expected)
+        # Idle refresh: nothing re-fires, history stands.
+        assert alerts.evaluate(engine, engine.poll()) == []
+        assert alerts.n_fired == len(expected)
+
+    def test_alert_records_carry_poll_context(self, tmp_path,
+                                              ls_file_bytes,
+                                              write_files):
+        write_files(tmp_path, ls_file_bytes)
+        alerts = AlertEngine([StatThresholdRule(
+            "busy", metric="event_count", op=">", value=5)])
+        engine = LiveIngest(tmp_path, alerts=alerts)
+        result = engine.poll()
+        fired = alerts.evaluate(engine, result)
+        assert fired
+        assert all(alert.n_poll == result.n_poll for alert in fired)
+        assert all(alert.total_events == result.total_events
+                   for alert in fired)
+
+    def test_baseline_resolved_with_engine_mapping(self, tmp_path,
+                                                   ls_file_bytes,
+                                                   write_files):
+        """A baseline of the same directory (opened as a source spec)
+        makes every live edge 'known': absent_from_baseline stays
+        quiet, and edge ratios against it fire at ratio 1."""
+        write_files(tmp_path, ls_file_bytes)
+        alerts = AlertEngine(
+            [NewEdgeRule("red-only", absent_from_baseline=True),
+             EdgeWeightRatioRule("reached", ratio=1.0,
+                                 against="baseline")],
+            baseline=str(tmp_path))
+        engine = LiveIngest(tmp_path, alerts=alerts)
+        fired = alerts.evaluate(engine, engine.poll())
+        by_rule = Counter(alert.rule for alert in fired)
+        assert by_rule["red-only"] == 0
+        # Every non-sentinel baseline edge reaches its own count.
+        log = EventLog.from_source(tmp_path, workers=1)
+        from repro.core.dfg import DFG
+
+        batch = DFG(log.with_mapping(CallTopDirs(levels=2)))
+        expected = sum(1 for a, b in batch.edges()
+                       if a not in SENTINELS and b not in SENTINELS)
+        assert by_rule["reached"] == expected
+
+    def test_watermark_rule_fires_on_starved_dir(self, starved_dir):
+        alerts = AlertEngine([WatermarkAgeRule("starved", max_age=2.0)])
+        engine = LiveIngest(starved_dir, alerts=alerts)
+        fired = alerts.evaluate(engine, engine.poll())
+        assert [alert.subject for alert in fired] == ["job0"]
+        # The same accessor feeds the rule and the status line.
+        assert engine.watermark_ages() == {"job0": 5_000_000}
+        # finalize orphans the unfinished call: starvation clears.
+        engine.finalize()
+        assert engine.watermark_ages() == {}
+
+    def test_state_roundtrip_prevents_refires(self, tmp_path,
+                                              ls_file_bytes,
+                                              write_files):
+        write_files(tmp_path, ls_file_bytes)
+        alerts = AlertEngine([NewEdgeRule("edges")])
+        engine = LiveIngest(tmp_path, alerts=alerts)
+        fired = alerts.evaluate(engine, engine.poll())
+        state = alerts.to_state()
+        revived = AlertEngine([NewEdgeRule("edges")])
+        revived.restore_state(state)
+        assert revived.n_fired == len(fired)
+        assert [a.identity for a in revived.history] == \
+            [a.identity for a in fired]
+        engine2 = LiveIngest(tmp_path, alerts=revived)
+        assert revived.evaluate(engine2, engine2.poll()) == []
+
+
+class TestSinks:
+    def _fire_one(self, tmp_path, ls_file_bytes, write_files, sink):
+        write_files(tmp_path, ls_file_bytes)
+        alerts = AlertEngine([StatThresholdRule(
+            "busy", metric="event_count", op=">", value=5)],
+            sinks=[sink])
+        engine = LiveIngest(tmp_path, alerts=alerts)
+        return alerts.evaluate(engine, engine.poll())
+
+    def test_stderr_sink_lines(self, tmp_path, ls_file_bytes,
+                               write_files):
+        stream = io.StringIO()
+        fired = self._fire_one(tmp_path, ls_file_bytes, write_files,
+                               StderrSink(stream))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == len(fired)
+        assert all(line.startswith("!! [busy] ") for line in lines)
+
+    def test_jsonl_sink_appends_parseable_records(self, tmp_path,
+                                                  ls_file_bytes,
+                                                  write_files):
+        out = tmp_path / "alerts.jsonl"
+        fired = self._fire_one(tmp_path / "t", ls_file_bytes,
+                               lambda d, fb: (d.mkdir(),
+                                              write_files(d, fb)),
+                               JsonlSink(out))
+        rows = [json.loads(line)
+                for line in out.read_text().splitlines()]
+        assert [row["subject"] for row in rows] == \
+            [alert.subject for alert in fired]
+        assert all(row["rule"] == "busy" for row in rows)
+
+    def test_command_sink_receives_json_payload(self, tmp_path,
+                                                ls_file_bytes,
+                                                write_files):
+        out = tmp_path / "webhook.log"
+        sink = CommandSink(f"cat >> {out}")
+        fired = self._fire_one(tmp_path / "t2", ls_file_bytes,
+                               lambda d, fb: (d.mkdir(),
+                                              write_files(d, fb)),
+                               sink)
+        assert fired
+        text = out.read_text()
+        assert text.count('"rule": "busy"') == len(fired)
+
+    def test_failing_command_warns_not_raises(self, tmp_path,
+                                              ls_file_bytes,
+                                              write_files):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fired = self._fire_one(tmp_path, ls_file_bytes, write_files,
+                                   CommandSink("exit 3"))
+        assert fired  # evaluation survived the sink failure
+        assert any(issubclass(w.category, AlertSinkWarning)
+                   for w in caught)
+
+    def test_crashing_sink_warns_and_loses_nothing(self, tmp_path,
+                                                   ls_file_bytes,
+                                                   write_files):
+        """The paging path must not take down the monitoring path: a
+        raising sink warns, the poll loop survives, and the alerts
+        are safe in the history (and in later sinks)."""
+        class Boom:
+            def emit(self, alert):
+                raise RuntimeError("pager down")
+
+        received: list = []
+
+        class Capture:
+            def emit(self, alert):
+                received.append(alert)
+
+        write_files(tmp_path, ls_file_bytes)
+        alerts = AlertEngine([NewEdgeRule("edges")],
+                             sinks=[Boom(), Capture()])
+        engine = LiveIngest(tmp_path, alerts=alerts)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fired = alerts.evaluate(engine, engine.poll())
+        assert fired
+        assert alerts.n_fired == len(fired)
+        assert received == fired  # later sinks still served
+        assert sum(issubclass(w.category, AlertSinkWarning)
+                   for w in caught) == len(fired)
+
+
+class TestValidate:
+    def test_baseline_requiring_rule_without_baseline_fails_fast(self):
+        from repro.alerts import AlertConfigError
+
+        alerts = AlertEngine([NewEdgeRule(
+            "red-only", absent_from_baseline=True)])
+        with pytest.raises(AlertConfigError, match="red-only"):
+            alerts.validate()
+
+    def test_unresolvable_baseline_fails_fast(self, tmp_path):
+        from repro._util.errors import SourceError
+
+        alerts = AlertEngine([EdgeWeightRatioRule(
+            "vs-base", ratio=2.0, against="baseline")],
+            baseline=str(tmp_path / "missing.elog"))
+        with pytest.raises(SourceError, match="not found"):
+            alerts.validate()
+
+    def test_from_rules_file_validates_at_startup(self, tmp_path):
+        from repro.alerts import AlertConfigError
+
+        rules = tmp_path / "rules.toml"
+        rules.write_text(
+            "[[rule]]\nname = 'red-only'\ntype = 'new_edge'\n"
+            "absent_from_baseline = true\n")
+        with pytest.raises(AlertConfigError, match="red-only"):
+            AlertEngine.from_rules_file(rules)
+
+    def test_valid_configuration_passes(self):
+        alerts = AlertEngine([EdgeWeightRatioRule(
+            "vs-base", ratio=2.0, against="baseline")],
+            baseline="sim:ls")
+        assert alerts.validate() is alerts

@@ -1,0 +1,183 @@
+"""The alerting determinism invariant, under randomized poll schedules.
+
+The acceptance property of the alerting engine: **for a given rules
+file, the multiset of fired-alert identities is a deterministic
+function of the final directory** — independent of how polls sliced
+the growth (files appearing in any order, bytes cut at arbitrary
+positions, unfinished/resumed pairs split across polls) and of
+kill/restart cycles (latches and history ride the v3 sidecar).
+
+Hypothesis drives the adversary exactly as in
+``tests/test_live/test_live_properties.py``; every replay's identity
+multiset must equal the reference replay's (one file at a time, fully
+written, one poll each).
+
+The rules file deliberately uses *latched monotone* conditions — new
+non-sentinel edges, ``event_count``/``total_bytes`` thresholds, edge
+weights reaching a baseline multiple — plus a ``watermark_age`` rule
+whose bound nothing in the workload crosses. Rules over non-monotone
+samples (``against = "previous"`` ratios, rate bounds) are
+schedule-sensitive by design and are covered by the fixed-schedule
+unit tests instead.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.alerts import AlertEngine
+from repro.live.engine import LiveIngest
+
+#: A growth schedule, as in the live suite: per step (file index,
+#: percent of remaining bytes, poll-after?).
+steps = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=1, max_value=100),
+              st.booleans()),
+    min_size=1, max_size=25)
+
+RULES_TEMPLATE = """
+baseline = "{baseline}"
+
+[[rule]]
+name = "new-relations"
+type = "new_edge"
+
+[[rule]]
+name = "busy-activity"
+type = "stat_threshold"
+metric = "event_count"
+op = ">"
+value = 5
+
+[[rule]]
+name = "heavy-activity"
+type = "stat_threshold"
+metric = "total_bytes"
+op = ">="
+value = 4096
+
+[[rule]]
+name = "outgrew-baseline"
+type = "edge_weight_ratio"
+ratio = 1.0
+against = "baseline"
+
+[[rule]]
+name = "starved"
+type = "watermark_age"
+max_age = 1e9
+"""
+
+
+@pytest.fixture(scope="module")
+def alert_fixture(ior_file_bytes):
+    """(rules file, baseline dir) shared by every replay — plus the
+    reference identity multiset of the simplest schedule."""
+    scratch = tempfile.TemporaryDirectory()
+    root = Path(scratch.name)
+    baseline_dir = root / "baseline"
+    baseline_dir.mkdir()
+    # Baseline = a subset of the final directory: every baseline edge
+    # is eventually reached by the live run (counts only grow), so
+    # "outgrew-baseline" fires deterministically for each of them.
+    name = sorted(ior_file_bytes)[0]
+    (baseline_dir / name).write_bytes(ior_file_bytes[name])
+    rules_path = root / "rules.toml"
+    rules_path.write_text(
+        RULES_TEMPLATE.format(baseline=baseline_dir.as_posix()))
+
+    reference = _replay_identities(ior_file_bytes, [], rules_path)
+    yield {"rules": rules_path, "reference": reference}
+    scratch.cleanup()
+
+
+def _replay_identities(file_bytes, schedule, rules_path, *,
+                       restart_after=None) -> Counter:
+    """Grow a fresh dir per the schedule, evaluating alerts per poll;
+    returns the identity multiset of every alert ever fired."""
+    with tempfile.TemporaryDirectory() as scratch:
+        live_dir = Path(scratch) / "traces"
+        live_dir.mkdir()
+        sidecar = Path(scratch) / "ckpt.json"
+        alerts = AlertEngine.from_rules_file(rules_path)
+        engine = LiveIngest(live_dir, checkpoint=sidecar,
+                            alerts=alerts)
+        names = sorted(file_bytes)
+        offsets = {name: 0 for name in names}
+
+        def poll_and_evaluate():
+            engine.alerts.evaluate(engine, engine.poll())
+
+        for step_index, (file_index, percent, poll) in \
+                enumerate(schedule):
+            name = names[file_index % len(names)]
+            content = file_bytes[name]
+            remaining = len(content) - offsets[name]
+            chunk = max(1, remaining * percent // 100) if remaining \
+                else 0
+            if chunk:
+                with open(live_dir / name, "ab") as handle:
+                    handle.write(
+                        content[offsets[name]:offsets[name] + chunk])
+                offsets[name] += chunk
+            if poll:
+                poll_and_evaluate()
+            if restart_after is not None and step_index == restart_after:
+                engine.save_checkpoint()
+                # Kill: a fresh process re-loads the rules file and
+                # resumes latches + history from the sidecar.
+                alerts = AlertEngine.from_rules_file(rules_path)
+                engine = LiveIngest(live_dir, checkpoint=sidecar,
+                                    alerts=alerts)
+        for name in names:
+            tail = file_bytes[name][offsets[name]:]
+            if tail:
+                with open(live_dir / name, "ab") as handle:
+                    handle.write(tail)
+            poll_and_evaluate()
+        engine.alerts.evaluate(engine, engine.finalize())
+        return Counter(alert.identity
+                       for alert in engine.alerts.history)
+
+
+class TestAlertDeterminism:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(schedule=steps)
+    def test_identity_multiset_schedule_independent(self, schedule,
+                                                    ior_file_bytes,
+                                                    alert_fixture):
+        observed = _replay_identities(ior_file_bytes, schedule,
+                                      alert_fixture["rules"])
+        assert observed == alert_fixture["reference"]
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(schedule=steps,
+           restart_after=st.integers(min_value=0, max_value=24))
+    def test_identity_multiset_kill_restart_stable(self, schedule,
+                                                   restart_after,
+                                                   ior_file_bytes,
+                                                   alert_fixture):
+        observed = _replay_identities(
+            ior_file_bytes, schedule, alert_fixture["rules"],
+            restart_after=min(restart_after,
+                              max(len(schedule) - 1, 0)))
+        assert observed == alert_fixture["reference"]
+
+    def test_reference_is_nonempty_and_multirule(self, alert_fixture):
+        """Guard against a vacuous property: the reference run must
+        actually fire several rules."""
+        fired_rules = {rule for rule, _, _ in alert_fixture["reference"]}
+        assert {"new-relations", "busy-activity", "heavy-activity",
+                "outgrew-baseline"} <= fired_rules
+        assert "starved" not in fired_rules
+        assert all(count == 1
+                   for count in alert_fixture["reference"].values())

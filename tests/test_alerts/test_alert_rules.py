@@ -1,0 +1,247 @@
+"""Unit tests of the rule vocabulary over synthetic refresh contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alerts import (
+    ActivityLoadRatioRule,
+    AlertConfigError,
+    EdgeWeightRatioRule,
+    NewEdgeRule,
+    RefreshContext,
+    StatThresholdRule,
+    WatermarkAgeRule,
+)
+from repro.core.activity import END_ACTIVITY, START_ACTIVITY
+from repro.core.dfg import DFG
+from repro.core.statistics import StatsAccumulator
+
+
+def dfg(edges: dict) -> DFG:
+    nodes: dict[str, int] = {}
+    for (a1, a2), count in edges.items():
+        nodes[a1] = nodes.get(a1, 0) + count
+        nodes[a2] = nodes.get(a2, 0) + count
+    return DFG.from_counts(edges, nodes)
+
+
+def stats_of(events: dict[str, list[tuple[int, int, int | None]]]):
+    """IOStatistics from {activity: [(start, dur, size), ...]}."""
+    acc = StatsAccumulator()
+    for activity, rows in events.items():
+        for start, dur, size in rows:
+            acc.feed_event(activity, "case", rid=0, start_us=start,
+                           dur_us=dur, size=size)
+    return acc.statistics()
+
+
+def ctx(*, current=None, previous=None, stats=None, previous_stats=None,
+        baseline_dfg=None, baseline_stats=None, ages=None,
+        n_poll=1) -> RefreshContext:
+    return RefreshContext(
+        n_poll=n_poll, total_events=0,
+        current=current if current is not None else dfg({}),
+        previous=previous,
+        stats=stats if stats is not None else stats_of({}),
+        previous_stats=previous_stats,
+        baseline_dfg=baseline_dfg, baseline_stats=baseline_stats,
+        watermark_ages=ages or {})
+
+
+class TestNewEdge:
+    def test_fires_once_per_edge(self):
+        rule = NewEdgeRule("edges")
+        first = rule.evaluate(ctx(current=dfg({("a", "b"): 1})))
+        assert [a.subject for a in first] == ["a -> b"]
+        assert first[0].rule == "edges"
+        assert first[0].kind == "new_edge"
+        # Same edge again (weight grew): latched, no refire.
+        assert rule.evaluate(ctx(current=dfg({("a", "b"): 5}))) == []
+        # A second edge fires alone.
+        grown = rule.evaluate(ctx(current=dfg({("a", "b"): 5,
+                                               ("b", "c"): 1})))
+        assert [a.subject for a in grown] == ["b -> c"]
+
+    def test_sentinel_edges_excluded_by_default(self):
+        rule = NewEdgeRule("edges")
+        g = dfg({(START_ACTIVITY, "a"): 1, ("a", END_ACTIVITY): 1,
+                 ("a", "b"): 1})
+        assert [a.subject for a in rule.evaluate(ctx(current=g))] \
+            == ["a -> b"]
+        included = NewEdgeRule("all", include_sentinels=True)
+        assert len(included.evaluate(ctx(current=g))) == 3
+
+    def test_pattern_filters_on_edge_label(self):
+        rule = NewEdgeRule("reads", pattern="read")
+        g = dfg({("read:/x", "write:/y"): 1, ("open:/x", "close:/x"): 1})
+        assert [a.subject for a in rule.evaluate(ctx(current=g))] \
+            == ["read:/x -> write:/y"]
+
+    def test_absent_from_baseline(self):
+        rule = NewEdgeRule("red-only", absent_from_baseline=True)
+        base = dfg({("a", "b"): 7})
+        g = dfg({("a", "b"): 1, ("a", "c"): 1})
+        fired = rule.evaluate(ctx(current=g, baseline_dfg=base))
+        assert [a.subject for a in fired] == ["a -> c"]
+        assert "not in baseline" in fired[0].message
+
+    def test_absent_from_baseline_without_baseline_raises(self):
+        rule = NewEdgeRule("red-only", absent_from_baseline=True)
+        with pytest.raises(AlertConfigError, match="red-only"):
+            rule.evaluate(ctx(current=dfg({("a", "b"): 1})))
+
+    def test_vanished_sentinel_edge_rearms(self):
+        rule = NewEdgeRule("all", include_sentinels=True)
+        closing = {("a", END_ACTIVITY): 1}
+        assert len(rule.evaluate(ctx(current=dfg(closing)))) == 1
+        # The case grew: closing edge moved; the old one re-arms...
+        moved = dfg({("a", "b"): 1, ("b", END_ACTIVITY): 1})
+        fired = {a.subject for a in rule.evaluate(ctx(current=moved))}
+        assert fired == {"a -> b", f"b -> {END_ACTIVITY}"}
+        # ...and fires again if it comes back.
+        again = rule.evaluate(ctx(current=dfg(closing)))
+        assert [a.subject for a in again] == [f"a -> {END_ACTIVITY}"]
+
+
+class TestEdgeWeightRatio:
+    def test_fires_against_previous_on_jump(self):
+        rule = EdgeWeightRatioRule("spike", ratio=2.0)
+        assert rule.evaluate(ctx(current=dfg({("a", "b"): 2}))) == []
+        fired = rule.evaluate(ctx(current=dfg({("a", "b"): 4}),
+                                  previous=dfg({("a", "b"): 2})))
+        assert [a.subject for a in fired] == ["a -> b"]
+        assert fired[0].value == pytest.approx(2.0)
+        assert fired[0].threshold == pytest.approx(2.0)
+
+    def test_latches_until_rearmed(self):
+        rule = EdgeWeightRatioRule("spike", ratio=2.0)
+        prev = dfg({("a", "b"): 2})
+        assert rule.evaluate(ctx(current=dfg({("a", "b"): 4}),
+                                 previous=prev)) != []
+        # Still doubled vs the new previous: tripped, no refire — a
+        # sustained x2-per-refresh growth pages once, not every poll.
+        assert rule.evaluate(ctx(current=dfg({("a", "b"): 8}),
+                                 previous=dfg({("a", "b"): 4}))) == []
+        # A quiet refresh re-arms it; the next doubling pages again.
+        assert rule.evaluate(ctx(current=dfg({("a", "b"): 8}),
+                                 previous=dfg({("a", "b"): 8}))) == []
+        assert rule.evaluate(ctx(current=dfg({("a", "b"): 16}),
+                                 previous=dfg({("a", "b"): 8}))) != []
+
+    def test_collapse_ratio_below_one(self):
+        rule = EdgeWeightRatioRule("collapse", ratio=0.5,
+                                   against="baseline")
+        base = dfg({("a", "b"): 10})
+        fired = rule.evaluate(ctx(current=dfg({("a", "b"): 4}),
+                                  baseline_dfg=base))
+        assert [a.subject for a in fired] == ["a -> b"]
+
+    def test_min_count_suppresses_noise(self):
+        rule = EdgeWeightRatioRule("spike", ratio=2.0, min_count=3)
+        fired = rule.evaluate(ctx(current=dfg({("a", "b"): 4}),
+                                  previous=dfg({("a", "b"): 2})))
+        assert fired == []
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(AlertConfigError, match="ratio"):
+            EdgeWeightRatioRule("r", ratio=0)
+        with pytest.raises(AlertConfigError, match="against"):
+            EdgeWeightRatioRule("r", ratio=2, against="nope")
+        with pytest.raises(AlertConfigError, match="min_count"):
+            EdgeWeightRatioRule("r", ratio=2, min_count=0)
+
+
+class TestActivityLoadRatio:
+    def test_load_doubling_fires(self):
+        rule = ActivityLoadRatioRule("load", ratio=2.0)
+        prev = stats_of({"a": [(0, 100, None)], "b": [(0, 900, None)]})
+        cur = stats_of({"a": [(0, 150, None)], "b": [(0, 900, None)]})
+        # rd(a): 0.1 -> 150/1050 ≈ 0.143, ratio ≈ 1.43 — not doubled.
+        assert rule.evaluate(ctx(stats=cur, previous_stats=prev)) == []
+        cur = stats_of({"a": [(0, 500, None)], "b": [(0, 900, None)]})
+        # rd(a): 0.1 -> 500/1400 ≈ 0.357, ratio ≈ 3.57 — fires.
+        fired = rule.evaluate(ctx(stats=cur, previous_stats=prev))
+        assert [a.subject for a in fired] == ["a"]
+
+    def test_rate_collapse_against_baseline(self):
+        rule = ActivityLoadRatioRule(
+            "rate-collapse", ratio=0.5, against="baseline",
+            metric="process_data_rate")
+        base = stats_of({"a": [(0, 100, 1000)]})    # 10 MB/s
+        cur = stats_of({"a": [(0, 100, 100)]})      # 1 MB/s
+        fired = rule.evaluate(ctx(stats=cur, baseline_stats=base))
+        assert [a.subject for a in fired] == ["a"]
+        assert "process_data_rate" in fired[0].message
+
+    def test_missing_reference_activity_skipped(self):
+        rule = ActivityLoadRatioRule("load", ratio=2.0)
+        prev = stats_of({"b": [(0, 100, None)]})
+        cur = stats_of({"a": [(0, 100, None)], "b": [(0, 100, None)]})
+        assert rule.evaluate(ctx(stats=cur, previous_stats=prev)) == []
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(AlertConfigError, match="unknown metric"):
+            ActivityLoadRatioRule("r", ratio=2, metric="nope")
+
+
+class TestStatThreshold:
+    def test_threshold_crossing_latches_and_rearms(self):
+        rule = StatThresholdRule("busy", metric="event_count",
+                                 op=">", value=2)
+        one = stats_of({"a": [(0, 1, None)]})
+        assert rule.evaluate(ctx(stats=one)) == []
+        three = stats_of({"a": [(0, 1, None)] * 3})
+        fired = rule.evaluate(ctx(stats=three))
+        assert [a.subject for a in fired] == ["a"]
+        assert fired[0].value == 3.0
+        # Still above: latched.
+        assert rule.evaluate(ctx(stats=three)) == []
+
+    def test_pattern_restricts_activities(self):
+        rule = StatThresholdRule("reads", metric="event_count",
+                                 op=">=", value=1, pattern="read")
+        stats = stats_of({"read:/x": [(0, 1, None)],
+                          "write:/y": [(0, 1, None)]})
+        assert [a.subject for a in rule.evaluate(ctx(stats=stats))] \
+            == ["read:/x"]
+
+    def test_rate_below_bound(self):
+        rule = StatThresholdRule("slow", metric="process_data_rate",
+                                 op="<", value=5e6)
+        stats = stats_of({"a": [(0, 100, 100)]})  # 1 MB/s
+        assert len(rule.evaluate(ctx(stats=stats))) == 1
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(AlertConfigError, match="unknown metric"):
+            StatThresholdRule("r", metric="nope", op=">", value=1)
+        with pytest.raises(AlertConfigError, match="unknown op"):
+            StatThresholdRule("r", metric="event_count", op="~", value=1)
+
+
+class TestWatermarkAge:
+    def test_fires_over_threshold_and_rearms_on_recovery(self):
+        rule = WatermarkAgeRule("starved", max_age=2.0)
+        fired = rule.evaluate(ctx(ages={"a": 5_000_000,
+                                        "b": 1_000_000}))
+        assert [a.subject for a in fired] == ["a"]
+        assert "5.000s" in fired[0].message
+        # Still starving: latched.
+        assert rule.evaluate(ctx(ages={"a": 6_000_000})) == []
+        # Recovered, then starves again: refires.
+        assert rule.evaluate(ctx(ages={})) == []
+        assert len(rule.evaluate(ctx(ages={"a": 9_000_000}))) == 1
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(AlertConfigError, match="max_age"):
+            WatermarkAgeRule("r", max_age=-1)
+
+
+class TestLatchState:
+    def test_roundtrip(self):
+        rule = NewEdgeRule("edges")
+        rule.evaluate(ctx(current=dfg({("a", "b"): 1})))
+        state = rule.latch_state()
+        revived = NewEdgeRule("edges")
+        revived.restore_latch(state)
+        assert revived.evaluate(ctx(current=dfg({("a", "b"): 2}))) == []

@@ -1,0 +1,125 @@
+"""Sidecar version migration: v2 upgrades in place, v1 stays rejected,
+v3 round-trips alert state across kill/restart."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro._util.errors import ReproError
+from repro.alerts import AlertEngine, NewEdgeRule
+from repro.live.checkpoint import CHECKPOINT_VERSION
+from repro.live.engine import LiveIngest
+
+
+def checkpointed(tmp_path: Path, ls_file_bytes, write_files) -> Path:
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    write_files(trace_dir, ls_file_bytes)
+    sidecar = tmp_path / "ckpt.json"
+    engine = LiveIngest(trace_dir, checkpoint=sidecar)
+    engine.poll()
+    engine.save_checkpoint()
+    return sidecar
+
+
+def downgrade_to_v2(sidecar: Path) -> None:
+    state = json.loads(sidecar.read_text())
+    assert state["version"] == CHECKPOINT_VERSION == 3
+    state["version"] = 2
+    del state["alerts"]
+    sidecar.write_text(json.dumps(state))
+
+
+class TestV2Migration:
+    def test_v2_loads_with_empty_alert_state(self, tmp_path,
+                                             ls_file_bytes,
+                                             write_files):
+        sidecar = checkpointed(tmp_path, ls_file_bytes, write_files)
+        events = LiveIngest(tmp_path / "traces",
+                            checkpoint=sidecar).total_events
+        downgrade_to_v2(sidecar)
+        alerts = AlertEngine([NewEdgeRule("edges")])
+        revived = LiveIngest(tmp_path / "traces", checkpoint=sidecar,
+                             alerts=alerts)
+        # Full engine state restored; alert state starts empty.
+        assert revived.total_events == events
+        assert alerts.n_fired == 0
+        assert all(rule.latch_state() == {"tripped": []}
+                   for rule in alerts.rules)
+
+    def test_v2_upgrade_persists_as_v3_after_restart(self, tmp_path,
+                                                     ls_file_bytes,
+                                                     write_files):
+        """The restart test pinning the migration: resume a v2
+        sidecar, poll, save — the rewritten sidecar is v3 with alert
+        state, and a third life restores it."""
+        sidecar = checkpointed(tmp_path, ls_file_bytes, write_files)
+        downgrade_to_v2(sidecar)
+        alerts = AlertEngine([NewEdgeRule("edges")])
+        revived = LiveIngest(tmp_path / "traces", checkpoint=sidecar,
+                             alerts=alerts)
+        fired = alerts.evaluate(revived, revived.poll())
+        assert fired  # the latches really did start empty
+        revived.save_checkpoint()
+        state = json.loads(sidecar.read_text())
+        assert state["version"] == 3
+        assert len(state["alerts"]["history"]) == len(fired)
+        third = AlertEngine([NewEdgeRule("edges")])
+        life3 = LiveIngest(tmp_path / "traces", checkpoint=sidecar,
+                           alerts=third)
+        assert third.n_fired == len(fired)
+        assert third.evaluate(life3, life3.poll()) == []
+
+    def test_v2_without_alert_engine_still_loads(self, tmp_path,
+                                                 ls_file_bytes,
+                                                 write_files):
+        sidecar = checkpointed(tmp_path, ls_file_bytes, write_files)
+        downgrade_to_v2(sidecar)
+        revived = LiveIngest(tmp_path / "traces", checkpoint=sidecar)
+        revived.save_checkpoint()
+        state = json.loads(sidecar.read_text())
+        assert state["version"] == 3
+        assert state["alerts"] == {"rules": {}, "history": []}
+
+
+class TestV1StillRejected:
+    def test_v1_rejected_with_rebuild_hint(self, tmp_path,
+                                           ls_file_bytes, write_files):
+        sidecar = checkpointed(tmp_path, ls_file_bytes, write_files)
+        state = json.loads(sidecar.read_text())
+        state["version"] = 1
+        del state["stats"]
+        del state["alerts"]
+        sidecar.write_text(json.dumps(state))
+        with pytest.raises(ReproError, match="delete the sidecar"):
+            LiveIngest(tmp_path / "traces", checkpoint=sidecar)
+
+
+class TestAlertStatePreservation:
+    def test_restart_without_rules_keeps_alert_history(self, tmp_path,
+                                                       ls_file_bytes,
+                                                       write_files):
+        """A life watched without --rules must not erase the alert
+        state a previous life accumulated."""
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        write_files(trace_dir, ls_file_bytes)
+        sidecar = tmp_path / "ckpt.json"
+        alerts = AlertEngine([NewEdgeRule("edges")])
+        engine = LiveIngest(trace_dir, checkpoint=sidecar,
+                            alerts=alerts)
+        fired = alerts.evaluate(engine, engine.poll())
+        assert fired
+        engine.save_checkpoint()
+        # Second life: no alert engine attached.
+        plain = LiveIngest(trace_dir, checkpoint=sidecar)
+        plain.poll()
+        plain.save_checkpoint()
+        # Third life: rules are back; nothing re-fires.
+        third = AlertEngine([NewEdgeRule("edges")])
+        life3 = LiveIngest(trace_dir, checkpoint=sidecar, alerts=third)
+        assert third.n_fired == len(fired)
+        assert third.evaluate(life3, life3.poll()) == []

@@ -45,6 +45,24 @@ class TestEdgeDeltas:
                          | set(diff.red_dfg.edges()))
 
 
+class TestEdgeSets:
+    def test_added_and_vanished_are_the_exclusive_sets(self, diff):
+        added = diff.added_edges()
+        vanished = diff.vanished_edges()
+        assert ("read:/etc/locale.alias", "write:/dev/pts") in added
+        assert ("read:/etc/passwd", "read:/etc/group") in vanished
+        assert not set(added) & set(vanished)
+        by_edge = {d.edge: d for d in diff.edge_deltas()}
+        assert set(added) == {e for e, d in by_edge.items()
+                              if d.status == "green-only"}
+        assert set(vanished) == {e for e, d in by_edge.items()
+                                 if d.status == "red-only"}
+
+    def test_sorted_and_stable(self, diff):
+        assert diff.added_edges() == sorted(diff.added_edges())
+        assert diff.vanished_edges() == sorted(diff.vanished_edges())
+
+
 class TestActivityDeltas:
     def test_red_only_activity(self, diff):
         by_activity = {d.activity: d for d in diff.activity_deltas()}

@@ -89,9 +89,10 @@ class TestRestart:
         engine.poll()
         engine.save_checkpoint()
         state = json.loads(sidecar.read_text())
-        assert state["version"] == 2
+        assert state["version"] == 3
         assert state["files"][0]["path"] == name
         assert "stats" in state
+        assert state["alerts"] == {"rules": {}, "history": []}
         assert not sidecar.with_name(sidecar.name + ".tmp").exists()
 
     def test_save_without_path_is_an_error(self, tmp_path):
