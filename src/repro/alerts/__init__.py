@@ -46,11 +46,16 @@ from repro.alerts.rules import (
     StatThresholdRule,
     WatermarkAgeRule,
 )
-from repro.alerts.config import build_rule, load_rules_file
+from repro.alerts.config import (
+    RulesFileConfig,
+    build_rule,
+    load_rules_file,
+)
 from repro.alerts.sinks import (
     AlertSink,
     AlertSinkWarning,
     CommandSink,
+    HttpSink,
     JsonlSink,
     StderrSink,
 )
@@ -65,11 +70,13 @@ __all__ = [
     "ActivityLoadRatioRule",
     "CommandSink",
     "EdgeWeightRatioRule",
+    "HttpSink",
     "JsonlSink",
     "NewEdgeRule",
     "RefreshContext",
     "Rule",
     "RULE_TYPES",
+    "RulesFileConfig",
     "StatThresholdRule",
     "StderrSink",
     "WatermarkAgeRule",

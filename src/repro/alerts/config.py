@@ -36,11 +36,13 @@ import json
 import os
 import tomllib
 from pathlib import Path
+from typing import NamedTuple
 
 from repro.alerts.rules import RULE_TYPES, AlertConfigError, Rule
 from repro.alerts.sinks import (
     AlertSink,
     CommandSink,
+    HttpSink,
     JsonlSink,
     StderrSink,
 )
@@ -48,10 +50,20 @@ from repro.alerts.sinks import (
 #: Option value types, validated before rule construction so a string
 #: where a number belongs fails with the rule's name instead of
 #: surfacing later as a bizarre comparison.
-_NUMBER_OPTIONS = frozenset({"ratio", "value", "max_age", "min_value"})
+_NUMBER_OPTIONS = frozenset({"ratio", "value", "max_age", "min_value",
+                             "cooldown"})
 _INT_OPTIONS = frozenset({"min_count"})
 _BOOL_OPTIONS = frozenset({"include_sentinels", "absent_from_baseline"})
 _STRING_OPTIONS = frozenset({"pattern", "against", "metric", "op"})
+
+
+class RulesFileConfig(NamedTuple):
+    """Everything a validated rules file configures."""
+
+    rules: list[Rule]
+    sinks: list[AlertSink]
+    baseline: str | None
+    history_limit: int | None
 
 
 def _accepted_options(rule_cls: type[Rule]) -> set[str]:
@@ -118,15 +130,59 @@ def build_rule(table: dict) -> Rule:
         raise AlertConfigError(f"rule {name!r}: {exc}") from exc
 
 
+def _build_http_sink(value) -> HttpSink:
+    """The ``http`` sink entry: a URL string, or a table with options."""
+    if isinstance(value, str) and value:
+        return HttpSink(value)
+    if not isinstance(value, dict):
+        raise AlertConfigError(
+            f"[sinks]: http must be a URL string or a table "
+            f"(got {value!r})")
+    unknown = sorted(set(value)
+                     - {"url", "timeout", "retries", "backoff",
+                        "auth_env"})
+    if unknown:
+        raise AlertConfigError(
+            f"[sinks.http]: unknown option(s) {', '.join(unknown)} "
+            f"(known: url, timeout, retries, backoff, auth_env)")
+    url = value.get("url")
+    if not isinstance(url, str) or not url:
+        raise AlertConfigError(
+            f"[sinks.http]: url must be a non-empty string "
+            f"(got {url!r})")
+    options: dict = {}
+    for key in ("timeout", "backoff"):
+        if key in value:
+            raw = value[key]
+            if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+                raise AlertConfigError(
+                    f"[sinks.http]: {key} must be a number (got {raw!r})")
+            options[key] = float(raw)
+    if "retries" in value:
+        raw = value["retries"]
+        if isinstance(raw, bool) or not isinstance(raw, int):
+            raise AlertConfigError(
+                f"[sinks.http]: retries must be an integer (got {raw!r})")
+        options["retries"] = raw
+    if "auth_env" in value:
+        raw = value["auth_env"]
+        if not isinstance(raw, str) or not raw:
+            raise AlertConfigError(
+                f"[sinks.http]: auth_env must be an environment "
+                f"variable name (got {raw!r})")
+        options["auth_env"] = raw
+    return HttpSink(url, **options)
+
+
 def build_sinks(table: dict) -> list[AlertSink]:
     """Construct the sink list from the ``[sinks]`` table."""
     if not isinstance(table, dict):
         raise AlertConfigError(f"[sinks] must be a table (got {table!r})")
-    unknown = sorted(set(table) - {"stderr", "jsonl", "command"})
+    unknown = sorted(set(table) - {"stderr", "jsonl", "command", "http"})
     if unknown:
         raise AlertConfigError(
             f"[sinks]: unknown sink(s) {', '.join(unknown)} "
-            f"(known: stderr, jsonl, command)")
+            f"(known: stderr, jsonl, command, http)")
     sinks: list[AlertSink] = []
     if table.get("stderr"):
         if not isinstance(table["stderr"], bool):
@@ -146,23 +202,26 @@ def build_sinks(table: dict) -> list[AlertSink]:
                 f"[sinks]: command must be a shell command "
                 f"(got {table['command']!r})")
         sinks.append(CommandSink(table["command"]))
+    if "http" in table:
+        sinks.append(_build_http_sink(table["http"]))
     return sinks
 
 
 def parse_rules_data(data: dict, *, where: str = "rules data",
-                     ) -> tuple[list[Rule], list[AlertSink], str | None]:
-    """Validate parsed rules-file data into (rules, sinks, baseline).
+                     ) -> RulesFileConfig:
+    """Validate parsed rules-file data into a :class:`RulesFileConfig`.
 
     ``where`` names the file in error messages.
     """
     if not isinstance(data, dict):
         raise AlertConfigError(
             f"{where}: top level must be a table/object")
-    unknown = sorted(set(data) - {"rule", "sinks", "baseline"})
+    unknown = sorted(set(data)
+                     - {"rule", "sinks", "baseline", "history_limit"})
     if unknown:
         raise AlertConfigError(
             f"{where}: unknown top-level key(s) {', '.join(unknown)} "
-            f"(known: rule, sinks, baseline)")
+            f"(known: rule, sinks, baseline, history_limit)")
     tables = data.get("rule", [])
     if not isinstance(tables, list) or not tables:
         raise AlertConfigError(
@@ -184,11 +243,19 @@ def parse_rules_data(data: dict, *, where: str = "rules data",
         raise AlertConfigError(
             f"{where}: baseline must be a trace-source spec string "
             f"(got {baseline!r})")
-    return rules, sinks, baseline
+    history_limit = data.get("history_limit")
+    if history_limit is not None and (
+            isinstance(history_limit, bool)
+            or not isinstance(history_limit, int)
+            or history_limit < 1):
+        raise AlertConfigError(
+            f"{where}: history_limit must be a positive integer "
+            f"(got {history_limit!r})")
+    return RulesFileConfig(rules, sinks, baseline, history_limit)
 
 
 def load_rules_file(path: str | os.PathLike[str],
-                    ) -> tuple[list[Rule], list[AlertSink], str | None]:
+                    ) -> RulesFileConfig:
     """Read and validate a rules file (TOML by default, ``*.json``)."""
     target = Path(path)
     try:

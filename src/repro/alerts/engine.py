@@ -33,8 +33,9 @@ Basic programmatic use (files usually come from ``--rules``)::
 from __future__ import annotations
 
 import os
+import time
 import warnings
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.alerts.config import load_rules_file
 from repro.alerts.model import Alert
@@ -70,18 +71,39 @@ class AlertEngine:
         path). Resolved lazily on first evaluation *with the live
         engine's mapping*, so baseline activities live in the same
         namespace as live ones.
+    history_limit:
+        Cap on the full alert records kept in :attr:`history` (and
+        therefore rewritten into every checkpoint). Oldest records
+        beyond the cap are *compacted* into per-identity counts —
+        :attr:`n_fired` and restart-dedup stay exact while the
+        sidecar stops growing with a chatty rule. ``None`` (default)
+        keeps everything.
+    clock:
+        Wall-clock source for rule cooldown windows (injectable for
+        tests); ``None`` disables cooldown gating entirely.
     """
 
     def __init__(self, rules: "list[Rule] | None" = None, *,
                  sinks: "list[AlertSink] | None" = None,
-                 baseline: str | os.PathLike[str] | None = None) -> None:
+                 baseline: str | os.PathLike[str] | None = None,
+                 history_limit: int | None = None,
+                 clock: Callable[[], float] | None = time.time) -> None:
+        if history_limit is not None and history_limit < 1:
+            raise AlertConfigError(
+                f"history_limit must be >= 1 (got {history_limit})")
         self.rules: list[Rule] = list(rules or [])
         self.sinks: list[AlertSink] = list(sinks or [])
         self.baseline = os.fspath(baseline) if baseline is not None \
             else None
-        #: Every alert fired over the engine's lifetime (checkpoint-
-        #: persisted, so "lifetime" spans watcher restarts).
+        self.history_limit = history_limit
+        self.clock = clock
+        #: The newest alert records, full-fidelity (checkpoint-
+        #: persisted, so the span covers watcher restarts); bounded
+        #: by ``history_limit``.
         self.history: list[Alert] = []
+        #: identity -> count of alerts compacted out of :attr:`history`
+        #: (empty until a ``history_limit`` overflows).
+        self.compacted: dict[tuple[str, str, str], int] = {}
         self._baseline_pair: tuple[DFG, IOStatistics] | None = None
         self._prev_dfg: DFG | None = None
         self._prev_stats: IOStatistics | None = None
@@ -99,9 +121,10 @@ class AlertEngine:
         here — at startup — not minutes into the first poll of a huge
         directory.
         """
-        rules, sinks, file_baseline = load_rules_file(path)
-        chosen = baseline if baseline is not None else file_baseline
-        engine = cls(rules, sinks=sinks, baseline=chosen)
+        config = load_rules_file(path)
+        chosen = baseline if baseline is not None else config.baseline
+        engine = cls(config.rules, sinks=config.sinks, baseline=chosen,
+                     history_limit=config.history_limit)
         engine.validate()
         return engine
 
@@ -148,8 +171,10 @@ class AlertEngine:
 
     @property
     def n_fired(self) -> int:
-        """Alerts fired over the (checkpoint-spanning) lifetime."""
-        return len(self.history)
+        """Alerts fired over the (checkpoint-spanning) lifetime —
+        full records still in :attr:`history` plus everything
+        compacted into counts."""
+        return len(self.history) + sum(self.compacted.values())
 
     # -- evaluation --------------------------------------------------------
 
@@ -175,6 +200,7 @@ class AlertEngine:
             baseline_dfg=baseline_dfg,
             baseline_stats=baseline_stats,
             watermark_ages=engine.watermark_ages(),
+            now=self.clock() if self.clock is not None else None,
         )
         fired: list[Alert] = []
         for rule in self.rules:
@@ -182,6 +208,7 @@ class AlertEngine:
         self._prev_dfg = current
         self._prev_stats = stats
         self.history.extend(fired)
+        self._compact()
         for alert in fired:
             for sink in self.sinks:
                 # The paging path must not take down the monitoring
@@ -209,22 +236,48 @@ class AlertEngine:
             self._baseline_pair = (DFG(mapped), IOStatistics(mapped))
         return self._baseline_pair
 
+    def _compact(self) -> None:
+        """Fold history overflow into per-identity counts.
+
+        The newest ``history_limit`` records stay full-fidelity;
+        everything older degrades to ``identity -> count`` — exactly
+        the information :attr:`n_fired` and duplicate accounting need,
+        at O(distinct identities) instead of O(firings). This is what
+        bounds the sidecar under a flapping rule.
+        """
+        if self.history_limit is None:
+            return
+        excess = len(self.history) - self.history_limit
+        if excess <= 0:
+            return
+        for alert in self.history[:excess]:
+            key = alert.identity
+            self.compacted[key] = self.compacted.get(key, 0) + 1
+        del self.history[:excess]
+
     # -- checkpoint state --------------------------------------------------
 
     def to_state(self) -> dict:
-        """JSON-serializable latch + history state (sidecar v3).
+        """JSON-serializable latch + history state (sidecar v3+).
 
         Latches are keyed by rule name; a restart with a different
         rules file restores what still matches and starts the rest
         fresh. The previous-refresh snapshot is deliberately *not*
         persisted — ``against = "previous"`` deltas are a per-process
         notion, and the first refresh of a new life has no previous.
+        Compacted counts (v4) appear only once compaction happened, so
+        an engine that never overflowed keeps the v3 state shape.
         """
-        return {
+        state = {
             "rules": {rule.name: rule.latch_state()
                       for rule in self.rules},
             "history": [alert.to_json() for alert in self.history],
         }
+        if self.compacted:
+            state["compacted"] = [
+                [list(identity), count]
+                for identity, count in sorted(self.compacted.items())]
+        return state
 
     def restore_state(self, state: dict) -> None:
         """Inverse of :meth:`to_state` (called by checkpoint load)."""
@@ -234,6 +287,11 @@ class AlertEngine:
                 rule.restore_latch(latches[rule.name])
         self.history = [Alert.from_json(data)
                         for data in state.get("history", [])]
+        self.compacted = {
+            (str(rule), str(kind), str(subject)): int(count)
+            for (rule, kind, subject), count
+            in state.get("compacted", [])}
+        self._compact()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"AlertEngine({len(self.rules)} rules, "

@@ -22,6 +22,16 @@ Conditions over non-monotone measurements (``relative_duration``
 ratios, ``process_data_rate`` bounds, watermark ages) sample the live
 state and are inherently poll-schedule-sensitive; they re-fire after
 re-arming by design — that oscillation *is* the signal.
+
+**Cooldown.** A week-long watcher cannot afford a flapping subject
+paging on every oscillation: every rule accepts ``cooldown`` (seconds
+of wall clock, default 0 = off) and a subject that re-trips within
+its cooldown of the last *delivered* firing is silently suppressed —
+the latch still updates (so checkpoint restarts stay honest about
+what the condition did), only the alert record is withheld and
+counted in :attr:`Rule.n_suppressed`. Last-fired timestamps persist
+in the sidecar (v4), so a restart inside the cooldown window stays
+quiet too.
 """
 
 from __future__ import annotations
@@ -98,6 +108,10 @@ class RefreshContext:
     #: Per-case sealing-starvation ages in µs of trace time
     #: (:meth:`~repro.live.engine.LiveIngest.watermark_ages`).
     watermark_ages: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds at evaluation time (the alert engine's
+    #: injectable clock) — what ``cooldown`` windows are measured
+    #: against. ``None`` disables cooldown gating for this refresh.
+    now: float | None = None
 
 
 class Rule:
@@ -106,11 +120,21 @@ class Rule:
     #: Rule type tag — the ``type =`` of the rules file.
     kind: str = ""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, *, cooldown: float = 0.0) -> None:
         if not name:
             raise AlertConfigError("rule without a name")
+        if cooldown < 0:
+            raise AlertConfigError(
+                f"rule {name!r}: cooldown must be >= 0 seconds "
+                f"(got {cooldown})")
         self.name = name
+        self.cooldown = float(cooldown)
         self._tripped: set[str] = set()
+        #: subject -> wall-clock time of its last delivered firing
+        #: (tracked only when a cooldown is configured).
+        self._last_fired: dict[str, float] = {}
+        #: Firings withheld by the cooldown over this life.
+        self.n_suppressed = 0
 
     @property
     def needs_baseline(self) -> bool:
@@ -125,25 +149,47 @@ class Rule:
         """Alerts fired by this refresh (may be empty)."""
         raise NotImplementedError
 
-    def _trip(self, subject: str, condition: bool) -> bool:
-        """Latch helper: True exactly when ``subject`` newly trips."""
+    def _trip(self, subject: str, condition: bool,
+              now: float | None = None) -> bool:
+        """Latch helper: True exactly when ``subject`` newly trips
+        *and* its cooldown window allows a delivery."""
         if condition:
             if subject in self._tripped:
                 return False
             self._tripped.add(subject)
-            return True
+            return self._fire_allowed(subject, now)
         self._tripped.discard(subject)
         return False
+
+    def _fire_allowed(self, subject: str, now: float | None) -> bool:
+        """Cooldown gate: record/refuse a delivery for ``subject``."""
+        if self.cooldown <= 0 or now is None:
+            return True
+        last = self._last_fired.get(subject)
+        if last is not None and now - last < self.cooldown:
+            self.n_suppressed += 1
+            return False
+        self._last_fired[subject] = now
+        return True
 
     # -- checkpoint state --------------------------------------------------
 
     def latch_state(self) -> dict:
-        """JSON-serializable latch state (checkpoint sidecars, v3)."""
-        return {"tripped": sorted(self._tripped)}
+        """JSON-serializable latch state (checkpoint sidecars, v3+;
+        ``last_fired`` appears since v4, and only when cooldown
+        tracking recorded anything — empty latches keep their v3
+        shape)."""
+        state: dict = {"tripped": sorted(self._tripped)}
+        if self._last_fired:
+            state["last_fired"] = dict(sorted(self._last_fired.items()))
+        return state
 
     def restore_latch(self, state: dict) -> None:
         """Inverse of :meth:`latch_state`."""
         self._tripped = {str(key) for key in state.get("tripped", [])}
+        self._last_fired = {
+            str(subject): float(when)
+            for subject, when in state.get("last_fired", {}).items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"{type(self).__name__}({self.name!r}, "
@@ -173,8 +219,9 @@ class NewEdgeRule(Rule):
 
     def __init__(self, name: str, *, pattern: str | None = None,
                  include_sentinels: bool = False,
-                 absent_from_baseline: bool = False) -> None:
-        super().__init__(name)
+                 absent_from_baseline: bool = False,
+                 cooldown: float = 0.0) -> None:
+        super().__init__(name, cooldown=cooldown)
         self.pattern = pattern
         self.include_sentinels = include_sentinels
         self.absent_from_baseline = absent_from_baseline
@@ -203,7 +250,7 @@ class NewEdgeRule(Rule):
             if baseline_edges is not None and edge in baseline_edges:
                 continue
             present.add(label)
-            if self._trip(label, True):
+            if self._trip(label, True, ctx.now):
                 suffix = (" (not in baseline)"
                           if self.absent_from_baseline else "")
                 fired.append(Alert(
@@ -243,8 +290,9 @@ class EdgeWeightRatioRule(Rule):
     def __init__(self, name: str, *, ratio: float,
                  against: str = "previous", min_count: int = 1,
                  pattern: str | None = None,
-                 include_sentinels: bool = False) -> None:
-        super().__init__(name)
+                 include_sentinels: bool = False,
+                 cooldown: float = 0.0) -> None:
+        super().__init__(name, cooldown=cooldown)
         if ratio <= 0:
             raise AlertConfigError(
                 f"rule {name!r}: ratio must be > 0 (got {ratio})")
@@ -295,7 +343,7 @@ class EdgeWeightRatioRule(Rule):
             observed = cur / ref
             crossed = (observed >= self.ratio if self.ratio >= 1
                        else observed <= self.ratio)
-            if self._trip(label, crossed):
+            if self._trip(label, crossed, ctx.now):
                 fired.append(Alert(
                     rule=self.name, kind=self.kind, subject=label,
                     message=(f"edge {label} weight x{observed:.2f} vs "
@@ -333,8 +381,9 @@ class ActivityLoadRatioRule(Rule):
                  against: str = "previous",
                  metric: str = "relative_duration",
                  min_value: float = 0.0,
-                 pattern: str | None = None) -> None:
-        super().__init__(name)
+                 pattern: str | None = None,
+                 cooldown: float = 0.0) -> None:
+        super().__init__(name, cooldown=cooldown)
         if ratio <= 0:
             raise AlertConfigError(
                 f"rule {name!r}: ratio must be > 0 (got {ratio})")
@@ -384,7 +433,7 @@ class ActivityLoadRatioRule(Rule):
             observed = cur / ref
             crossed = (observed >= self.ratio if self.ratio >= 1
                        else observed <= self.ratio)
-            if self._trip(label, crossed):
+            if self._trip(label, crossed, ctx.now):
                 fired.append(Alert(
                     rule=self.name, kind=self.kind, subject=label,
                     message=(f"activity {label}: {self.metric} "
@@ -415,8 +464,9 @@ class StatThresholdRule(Rule):
     kind = "stat_threshold"
 
     def __init__(self, name: str, *, metric: str, op: str,
-                 value: float, pattern: str | None = None) -> None:
-        super().__init__(name)
+                 value: float, pattern: str | None = None,
+                 cooldown: float = 0.0) -> None:
+        super().__init__(name, cooldown=cooldown)
         if metric not in METRIC_NAMES:
             raise AlertConfigError(
                 f"rule {name!r}: unknown metric {metric!r} "
@@ -438,7 +488,8 @@ class StatThresholdRule(Rule):
             if self.pattern is not None and self.pattern not in label:
                 continue
             observed = ctx.stats.metric(activity, self.metric)
-            if self._trip(label, compare(observed, self.value)):
+            if self._trip(label, compare(observed, self.value),
+                          ctx.now):
                 fired.append(Alert(
                     rule=self.name, kind=self.kind, subject=label,
                     message=(f"activity {label}: {self.metric} "
@@ -466,8 +517,9 @@ class WatermarkAgeRule(Rule):
 
     kind = "watermark_age"
 
-    def __init__(self, name: str, *, max_age: float) -> None:
-        super().__init__(name)
+    def __init__(self, name: str, *, max_age: float,
+                 cooldown: float = 0.0) -> None:
+        super().__init__(name, cooldown=cooldown)
         if max_age < 0:
             raise AlertConfigError(
                 f"rule {name!r}: max_age must be >= 0 (got {max_age})")
@@ -482,7 +534,8 @@ class WatermarkAgeRule(Rule):
             if age <= threshold_us:
                 continue
             over.add(case_id)
-            if case_id not in self._tripped:
+            if case_id not in self._tripped \
+                    and self._fire_allowed(case_id, ctx.now):
                 fired.append(Alert(
                     rule=self.name, kind=self.kind, subject=case_id,
                     message=(f"case {case_id}: sealing starved for "

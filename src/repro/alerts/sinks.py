@@ -15,7 +15,11 @@ Built-ins:
   tail-able by other tools;
 - :class:`CommandSink` — runs a shell command per alert with the JSON
   payload on stdin (webhook escape hatch: ``curl -d @- ...``,
-  ``mail``, a cluster pager script).
+  ``mail``, a cluster pager script);
+- :class:`HttpSink` — POSTs the JSON payload to an HTTP(S) endpoint
+  directly, with env-sourced auth, a timeout, and bounded
+  retry/exponential backoff — the real pager path, replacing the
+  shell-out for endpoints that just want the webhook.
 """
 
 from __future__ import annotations
@@ -24,11 +28,15 @@ import json
 import os
 import subprocess
 import sys
+import time
+import urllib.error
+import urllib.request
 import warnings
 from pathlib import Path
-from typing import IO, Protocol, runtime_checkable
+from typing import IO, Callable, Protocol, runtime_checkable
 
 from repro.alerts.model import Alert
+from repro.alerts.rules import AlertConfigError
 
 
 class AlertSinkWarning(UserWarning):
@@ -61,10 +69,21 @@ class JsonlSink:
     The file is opened in append mode per emit: restarted watchers
     extend the same stream, and concurrent readers (``tail -f``,
     ingest into a TSDB) see complete lines only.
+
+    The parent directory is created (or validated) at construction —
+    a sink that could only ever warn on every emit is a configuration
+    error, and it fails at rules-load time naming the path, not
+    minutes later at the first firing.
     """
 
     def __init__(self, path: str | os.PathLike[str]) -> None:
         self.path = Path(path)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise AlertConfigError(
+                f"jsonl sink {str(self.path)!r}: cannot create parent "
+                f"directory: {exc}") from exc
 
     def emit(self, alert: Alert) -> None:
         line = json.dumps(alert.to_json(), sort_keys=True)
@@ -102,3 +121,102 @@ class CommandSink:
                 f"{alert.identity}: "
                 f"{completed.stderr.decode(errors='replace').strip()}",
                 AlertSinkWarning, stacklevel=2)
+
+
+class HttpSink:
+    """POST each alert's JSON payload to an HTTP(S) endpoint.
+
+    Parameters
+    ----------
+    url:
+        The endpoint; must be ``http://`` or ``https://``.
+    timeout:
+        Per-attempt socket timeout in seconds.
+    retries:
+        Extra attempts after the first (``0`` = single shot). Network
+        failures and 5xx responses retry; 4xx responses do not — the
+        payload will not get better.
+    backoff:
+        Sleep before the first retry, doubling per further retry
+        (exponential). The worst-case stall of one emit is therefore
+        bounded and knowable up front: ``(retries + 1) × timeout +
+        backoff × (2^retries - 1)`` — a dead pager endpoint delays
+        the poll loop by at most that budget, never indefinitely.
+    auth_env:
+        Name of an environment variable whose *value* is sent as the
+        ``Authorization`` header. The secret stays out of rules files,
+        process listings and checkpoints; a missing variable is a
+        configuration error at construction, not a 401 storm at the
+        first page.
+
+    Delivery failures warn (:class:`AlertSinkWarning`) after the
+    retry budget is spent — the alert itself is already safe in the
+    engine history.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 5.0,
+                 retries: int = 2, backoff: float = 0.5,
+                 auth_env: str | None = None,
+                 opener: "Callable[..., object] | None" = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if not url.startswith(("http://", "https://")):
+            raise AlertConfigError(
+                f"http sink: url must start with http:// or https:// "
+                f"(got {url!r})")
+        if timeout <= 0:
+            raise AlertConfigError(
+                f"http sink {url!r}: timeout must be > 0 (got {timeout})")
+        if retries < 0:
+            raise AlertConfigError(
+                f"http sink {url!r}: retries must be >= 0 (got {retries})")
+        if backoff < 0:
+            raise AlertConfigError(
+                f"http sink {url!r}: backoff must be >= 0 (got {backoff})")
+        self.url = url
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._auth: str | None = None
+        if auth_env is not None:
+            token = os.environ.get(auth_env)
+            if not token:
+                raise AlertConfigError(
+                    f"http sink {url!r}: auth_env names environment "
+                    f"variable {auth_env!r}, which is unset or empty")
+            self._auth = token
+        self._opener = opener if opener is not None \
+            else urllib.request.urlopen
+        self._sleep = sleep
+
+    def emit(self, alert: Alert) -> None:
+        payload = json.dumps(alert.to_json(),
+                             sort_keys=True).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self._auth is not None:
+            headers["Authorization"] = self._auth
+        delay = self.backoff
+        failure = "no attempt made"
+        attempts = 0
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.url, data=payload, headers=headers, method="POST")
+            attempts += 1
+            try:
+                response = self._opener(request, timeout=self.timeout)
+                getattr(response, "close", lambda: None)()
+                return
+            except urllib.error.HTTPError as exc:
+                failure = f"HTTP {exc.code}"
+                if exc.code < 500:  # a 4xx will not get better
+                    break
+            except (urllib.error.URLError, TimeoutError, OSError,
+                    ConnectionError) as exc:
+                failure = str(exc)
+            if attempt < self.retries:
+                if delay > 0:
+                    self._sleep(delay)
+                delay *= 2
+        warnings.warn(
+            f"alert http sink {self.url} failed for {alert.identity} "
+            f"after {attempts} attempt(s): {failure}",
+            AlertSinkWarning, stacklevel=2)

@@ -97,6 +97,20 @@ def _positive_int_arg(text: str) -> int:
     return value
 
 
+def _window_arg(text: str) -> int:
+    """argparse type for ``--window``: an integer >= 2 (a coarsening
+    pass merges adjacent pairs — below two entries there is nothing to
+    merge into)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value < 2:
+        raise argparse.ArgumentTypeError(f"must be >= 2 (got {value})")
+    return value
+
+
 def _add_ingest_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_workers_arg, default=None,
                         metavar="N",
@@ -369,6 +383,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
         # with the bounded-memory trade (use `convert` to persist the
         # full event-log).
         keep_records=False,
+        window=args.window,
+        emit=args.emit,
         checkpoint=args.checkpoint,
         # Attached before checkpoint load so a resumed sidecar (v3)
         # restores rule latches and alert history into it.
@@ -497,6 +513,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="JSON sidecar making ingestion resumable: "
                         "loaded if present, rewritten after every poll")
+    p.add_argument("--window", type=_window_arg, default=None,
+                   metavar="N",
+                   help="bound per-case statistics memory: coarsen "
+                        "interval/rate buffers past N entries "
+                        "(scalar stats stay exact; merge counts and "
+                        "timelines become upper bounds, marked '~'; "
+                        "default: unbounded)")
+    p.add_argument("--emit", default=None, metavar="FILE",
+                   help="stream sealed records to a durable journal "
+                        "next to FILE and pack FILE as an .elog on "
+                        "exit — byte-identical to batch `convert` of "
+                        "the directory, surviving kill/restart cycles "
+                        "(combine with --checkpoint)")
     p.add_argument("--rules", default=None, metavar="FILE",
                    help="alerting rules file (TOML, or *.json): "
                         "threshold rules over the refresh deltas, "

@@ -46,10 +46,26 @@ re-sweeps its own interval buffer, an untouched one costs O(1) — and
 Eq. 15 timeline rows are materialized lazily from the append-only
 per-case buffers, so the accumulators never hold a second O(events)
 copy of the history.
+
+Memory. Scalar state is O(activities): the Eq. 13 mean is folded
+through exact non-overlapping partial sums (Shewchuk's algorithm, the
+machinery behind :func:`math.fsum`), so the mean of the per-event
+rates is bit-exact — the correctly rounded true sum divided by the
+count — without buffering a float per event, and independent of the
+order events were folded in. The only O(events) state left is the
+per-case ``[start, end]`` interval buffers behind Eq. 15/16. Passing
+``window=`` caps those: a per-case buffer exceeding the cap is
+coarsened by merging adjacent intervals, which bounds watcher memory
+for week-long runs at the price of *approximate* max concurrency and
+timelines (flagged via :attr:`ActivityStats.approximate` and rendered
+with a ``~``); every scalar statistic — counts, sums, relative
+duration, the mean rate — stays exact and bit-identical to the
+unwindowed computation.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -92,6 +108,11 @@ class ActivityStats:
     max_concurrency: int
     ranks: int
     cases: int
+    #: True when interval windowing coarsened this activity's history:
+    #: ``max_concurrency`` (and the Eq. 15 timeline) are then computed
+    #: over merged intervals — an upper bound, not the exact sweep.
+    #: Scalar statistics are exact regardless.
+    approximate: bool = False
 
     @property
     def load_label(self) -> str:
@@ -110,54 +131,91 @@ class ActivityStats:
         """``DR: 2x10.15 MB/s`` — Eq. 17 / Fig. 3 node line.
 
         None for activities without a data rate (no transfer events).
+        A windowed (coarsened) concurrency renders as ``DR: ~2x...`` —
+        the rate is still exact, the multiplier is an upper bound.
         """
         if self.process_data_rate is None:
             return None
-        return (f"DR: {self.max_concurrency}x"
+        marker = "~" if self.approximate else ""
+        return (f"DR: {marker}{self.max_concurrency}x"
                 f"{format_rate(self.process_data_rate)}")
+
+
+def _exact_sum_step(partials: list[float], value: float) -> None:
+    """Fold ``value`` into Shewchuk non-overlapping partial sums.
+
+    The invariant: ``partials`` always sums — in *exact* real
+    arithmetic — to the exact sum of every value folded so far (each
+    two-float transform below is error-free). ``math.fsum(partials)``
+    is therefore the correctly rounded true sum, identical no matter
+    how the values were ordered or batched; that is what makes the
+    Eq. 13 mean reproducible bit-for-bit across the batch, live, and
+    checkpoint-restore roads while keeping O(1) state per activity.
+    """
+    i = 0
+    for y in partials:
+        if abs(value) < abs(y):
+            value, y = y, value
+        high = value + y
+        low = y - (high - value)
+        if low:
+            partials[i] = low
+            i += 1
+        value = high
+    partials[i:] = [value]
 
 
 class ActivityAccumulator:
     """Running statistics of one activity, updatable per event.
 
-    Scalar statistics (counts, duration and byte sums, rank/case sets)
-    are folded directly. Order-sensitive state — the Eq. 15 timeline
-    and the per-event rate sequence feeding the Eq. 13 mean — is kept
-    *per case*: within a case, events arrive in their final
-    start-timestamp order on both the batch and the live road, so
-    assembling cases in a deterministic order reproduces the batch
-    sequence exactly regardless of how polls interleaved the cases.
+    Scalar statistics (counts, duration and byte sums, rank/case sets,
+    the exact-sum partials behind the Eq. 13 mean) are folded
+    directly. Order-sensitive state — the Eq. 15 timeline feeding the
+    Eq. 16 concurrency sweep — is kept *per case*: within a case,
+    events arrive in their final start-timestamp order on both the
+    batch and the live road, so assembling cases in a deterministic
+    order reproduces the batch sequence exactly regardless of how
+    polls interleaved the cases.
 
     The derived scalars (max concurrency, mean rate) are cached under
     a dirty flag: an activity untouched since the last assembly costs
     O(1) to re-render. Timelines are *not* duplicated into the cache —
     the per-case buffers stay the only O(events) state, and
     :meth:`timeline_snapshot` materializes labeled rows on demand.
+
+    ``window`` caps each per-case interval buffer: a buffer growing
+    past the cap is coarsened in place (adjacent intervals merged
+    pairwise), after which :attr:`approximate` latches True — the
+    concurrency sweep and the timeline then describe merged spans.
     """
 
-    __slots__ = ("activity", "event_count", "dur_sum", "bytes_sum",
-                 "has_transfers", "rids", "_case_timelines",
-                 "_case_rates", "_dirty", "_view_key", "_view")
+    __slots__ = ("activity", "window", "event_count", "dur_sum",
+                 "bytes_sum", "has_transfers", "approximate", "rids",
+                 "rate_count", "_rate_partials", "_case_timelines",
+                 "_dirty", "_view_key", "_view")
 
-    def __init__(self, activity: str) -> None:
+    def __init__(self, activity: str,
+                 window: int | None = None) -> None:
         self.activity = activity
+        self.window = window
         self.event_count = 0
         self.dur_sum = 0
         self.bytes_sum = 0
         self.has_transfers = False
+        self.approximate = False
         self.rids: set[int] = set()
-        #: case id -> [(start_us, end_us), ...] in sealed event order.
+        #: Events contributing to the Eq. 13 mean (size and dur > 0).
+        self.rate_count = 0
+        #: Exact non-overlapping partial sums of the per-event rates
+        #: (:func:`_exact_sum_step`): tiny, order-independent, and
+        #: ``fsum`` of it is the correctly rounded true rate sum.
+        self._rate_partials: list[float] = []
+        #: case id -> [(start_us, end_us), ...] in sealed event order
+        #: (coarsened in place once ``window`` is exceeded).
         self._case_timelines: dict[str, list[tuple[int, int]]] = {}
-        #: case id -> [bytes/second, ...] for rate-carrying events.
-        self._case_rates: dict[str, list[float]] = {}
         self._dirty = True
         self._view_key: tuple[str, ...] = ()
         self._view: tuple[int, float | None] = (0, None)
-
-    @property
-    def rate_count(self) -> int:
-        """Events contributing to the Eq. 13 mean (size and dur > 0)."""
-        return sum(len(rates) for rates in self._case_rates.values())
 
     @property
     def case_ids(self) -> set[str]:
@@ -175,14 +233,17 @@ class ActivityAccumulator:
             self.dur_sum += dur_us
             end = start_us + dur_us
             if size is not None and dur_us > 0:
-                self._case_rates.setdefault(case_id, []).append(
-                    size / (dur_us / 1e6))
+                _exact_sum_step(self._rate_partials,
+                                size / (dur_us / 1e6))
+                self.rate_count += 1
         if size is not None:
             self.has_transfers = True
             self.bytes_sum += size
         self.rids.add(rid)
-        self._case_timelines.setdefault(case_id, []).append(
-            (start_us, end))
+        buffer = self._case_timelines.setdefault(case_id, [])
+        buffer.append((start_us, end))
+        if self.window is not None and len(buffer) > self.window:
+            self._coarsen(buffer)
         self._dirty = True
 
     def add_case_chunk(self, case_id: str, *, rids: np.ndarray,
@@ -205,12 +266,33 @@ class ActivityAccumulator:
         rate_mask = transfer & valid_dur & (durs > 0)
         if rate_mask.any():
             rates = sizes[rate_mask] / (durs[rate_mask] / 1e6)
-            self._case_rates.setdefault(case_id, []).extend(
-                rates.tolist())
+            for rate in rates.tolist():
+                _exact_sum_step(self._rate_partials, rate)
+            self.rate_count += int(rate_mask.sum())
         self.rids.update(map(int, np.unique(rids)))
-        self._case_timelines.setdefault(case_id, []).extend(
-            zip(starts.tolist(), ends.tolist()))
+        buffer = self._case_timelines.setdefault(case_id, [])
+        buffer.extend(zip(starts.tolist(), ends.tolist()))
+        if self.window is not None and len(buffer) > self.window:
+            self._coarsen(buffer)
         self._dirty = True
+
+    def _coarsen(self, buffer: list[tuple[int, int]]) -> None:
+        """Merge adjacent intervals pairwise until the buffer fits the
+        window again.
+
+        Starts stay sorted (each merged interval keeps the earlier
+        start) and every original interval lies inside some merged one,
+        so the sweep over the coarse buffer can only over-count
+        concurrency — windowed ``mc`` is an upper bound on the exact
+        Eq. 16 value, never an under-report.
+        """
+        while len(buffer) > self.window:
+            buffer[:] = [
+                (buffer[i][0],
+                 max(buffer[i][1], buffer[i + 1][1])
+                 if i + 1 < len(buffer) else buffer[i][1])
+                for i in range(0, len(buffer), 2)]
+        self.approximate = True
 
     # -- assembled view ----------------------------------------------------
 
@@ -227,14 +309,12 @@ class ActivityAccumulator:
         if not self._dirty and self._view_key == ordered_cases:
             return self._view
         flat: list[tuple[int, int]] = []
-        rates: list[float] = []
         for case_id in ordered_cases:
             flat.extend(self._case_timelines[case_id])
-            rates.extend(self._case_rates.get(case_id, ()))
         mc = max_concurrency(np.array(flat, dtype=np.float64))
-        if rates:
-            mean_rate: float | None = float(
-                np.array(rates, dtype=np.float64).mean())
+        if self.rate_count:
+            mean_rate: float | None = (
+                math.fsum(self._rate_partials) / self.rate_count)
         else:
             mean_rate = None
         self._view = (mc, mean_rate)
@@ -286,9 +366,19 @@ class StatsAccumulator:
 
     State round-trips through :meth:`to_state` / :meth:`from_state`
     for the live checkpoint sidecar (version ≥ 2).
+
+    ``window`` (optional, ≥ 2) bounds the per-case interval buffers:
+    buffers exceeding it are coarsened and the affected activities
+    report ``approximate=True`` concurrency/timelines. Scalar
+    statistics — counts, sums, the Eq. 13 mean rate — are unaffected:
+    they are folded exactly regardless of windowing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, window: int | None = None) -> None:
+        if window is not None and window < 2:
+            raise ValueError(
+                f"window must be >= 2 intervals, got {window}")
+        self.window = window
         self._activities: dict[str, ActivityAccumulator] = {}
 
     def __len__(self) -> int:
@@ -303,7 +393,7 @@ class StatsAccumulator:
         acc = self._activities.get(activity)
         if acc is None:
             acc = self._activities[activity] = \
-                ActivityAccumulator(activity)
+                ActivityAccumulator(activity, window=self.window)
         return acc
 
     # -- feeding -----------------------------------------------------------
@@ -390,6 +480,7 @@ class StatsAccumulator:
                 max_concurrency=mc,
                 ranks=len(acc.rids),
                 cases=len(acc._case_timelines),
+                approximate=acc.approximate,
             )
             lazy[activity] = acc.timeline_snapshot(ordered)
         result = IOStatistics()
@@ -403,9 +494,12 @@ class StatsAccumulator:
     def to_state(self) -> dict:
         """JSON-serializable state (live checkpoint sidecars, v2+).
 
-        Rates are stored as JSON floats — ``repr``-based serialization
-        round-trips IEEE doubles exactly, so restored statistics stay
-        bit-identical to an uninterrupted run.
+        Floats (the exact-sum rate partials) are stored as JSON
+        numbers — ``repr``-based serialization round-trips IEEE
+        doubles exactly, so restored statistics stay bit-identical to
+        an uninterrupted run. The partials replace the per-case rate
+        lists older sidecars carried: O(1)-ish per activity instead of
+        one float per transfer event.
         """
         return {
             "activities": {
@@ -414,12 +508,12 @@ class StatsAccumulator:
                     "dur_sum": acc.dur_sum,
                     "bytes_sum": acc.bytes_sum,
                     "has_transfers": acc.has_transfers,
+                    "approximate": acc.approximate,
                     "rids": sorted(acc.rids),
+                    "rate_count": acc.rate_count,
+                    "rate_partials": list(acc._rate_partials),
                     "cases": {
-                        case: {
-                            "timeline": [[s, e] for s, e in rows],
-                            "rates": acc._case_rates.get(case, []),
-                        }
+                        case: {"timeline": [[s, e] for s, e in rows]}
                         for case, rows
                         in sorted(acc._case_timelines.items())
                     },
@@ -429,23 +523,37 @@ class StatsAccumulator:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "StatsAccumulator":
-        """Rebuild from :meth:`to_state` output."""
-        accumulator = cls()
+    def from_state(cls, state: dict,
+                   window: int | None = None) -> "StatsAccumulator":
+        """Rebuild from :meth:`to_state` output.
+
+        Also accepts the pre-v4 sidecar layout (per-case ``rates``
+        lists instead of ``rate_partials``): the legacy rates are
+        folded into exact partials in sorted case order — lossless,
+        because the exact sum is order-independent.
+        """
+        accumulator = cls(window=window)
         for activity, acc_state in state["activities"].items():
             acc = accumulator._accumulator(str(activity))
             acc.event_count = int(acc_state["event_count"])
             acc.dur_sum = int(acc_state["dur_sum"])
             acc.bytes_sum = int(acc_state["bytes_sum"])
             acc.has_transfers = bool(acc_state["has_transfers"])
+            acc.approximate = bool(acc_state.get("approximate", False))
             acc.rids = {int(r) for r in acc_state["rids"]}
-            for case, case_state in acc_state["cases"].items():
-                acc._case_timelines[str(case)] = [
-                    (int(s), int(e))
-                    for s, e in case_state["timeline"]]
-                rates = [float(r) for r in case_state["rates"]]
-                if rates:
-                    acc._case_rates[str(case)] = rates
+            if "rate_partials" in acc_state:
+                acc.rate_count = int(acc_state["rate_count"])
+                acc._rate_partials = [
+                    float(p) for p in acc_state["rate_partials"]]
+            for case, case_state in sorted(acc_state["cases"].items()):
+                buffer = [(int(s), int(e))
+                          for s, e in case_state["timeline"]]
+                acc._case_timelines[str(case)] = buffer
+                if window is not None and len(buffer) > window:
+                    acc._coarsen(buffer)
+                for rate in case_state.get("rates", ()):
+                    _exact_sum_step(acc._rate_partials, float(rate))
+                    acc.rate_count += 1
         return accumulator
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

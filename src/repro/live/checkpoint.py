@@ -11,14 +11,20 @@ already-parsed byte:
 - the incremental graph: edge counts, node frequencies and each case's
   tail activity (:meth:`~repro.core.incremental.IncrementalDFG.to_state`);
 - the statistics accumulators (since v2): per-activity counts, sums,
-  rank sets, and the per-case interval/rate buffers
+  rank sets, the exact-sum rate partials (v4; per-case rate lists
+  before that) and the per-case interval buffers
   (:meth:`~repro.core.statistics.StatsAccumulator.to_state`), so a
   restarted watcher renders *full-history* node annotations instead of
   statistics covering only its own lifetime;
 - the alert state (since v3): per-rule latch sets and the fired-alert
-  history of an attached :class:`~repro.alerts.AlertEngine`, so a
-  restarted watcher neither re-fires already-paged alerts nor forgets
-  them (``LiveIngest(alerts=...)``);
+  history of an attached :class:`~repro.alerts.AlertEngine` — since
+  v4 also per-subject cooldown timestamps and the compacted history
+  counts — so a restarted watcher neither re-fires already-paged
+  alerts nor forgets them (``LiveIngest(alerts=...)``);
+- the durable emit-journal offset (since v4): how many
+  ``--emit``-journal bytes were fsynced when this sidecar was saved,
+  so a restore can cut the journal back to exactly the records the
+  restored engine state accounts for (:mod:`repro.live.emit`);
 - engine counters and the settings the state depends on (mapping name,
   recursiveness, strictness), which are checked on load — resuming a
   checkpoint under a different mapping would silently corrupt the
@@ -28,14 +34,20 @@ Version history. **v1** (pre-statistics) is rejected with instructions
 to delete and re-watch: silently resuming one would render
 full-history graphs against current-process-only statistics — exactly
 the gap v2 closed, and the missing state cannot be reconstructed from
-the sidecar. **v2** (statistics, no alerts) is *upgraded in place*:
-alert state genuinely starts empty on a pre-alerting sidecar, so
-loading it as v3-with-no-alerts is lossless; the next save writes v3.
+the sidecar. **v2** (statistics, no alerts) and **v3** (alerts, O(n)
+per-case rate buffers) are *upgraded in place*: alert state genuinely
+starts empty on a pre-alerting sidecar, and v3's per-case rate lists
+fold losslessly into v4's exact partial sums (the exact sum is
+order-independent); the next save writes v4.
 
-The sidecar is written atomically (temp file + ``os.replace``), so a
-watcher killed mid-save leaves the previous checkpoint intact. File
-paths are stored relative to the trace directory, so a checkpoint
-travels with the directory (e.g. onto another node of the cluster).
+Durability. The sidecar is written atomically *and* durably: the temp
+file is fsynced before ``os.replace`` and the directory is fsynced
+after, so a crash or power loss at any point surfaces either the
+previous complete sidecar or the new complete sidecar — never a torn
+or empty one. A stale ``*.tmp`` from a kill between write and replace
+is removed on the next load. File paths are stored relative to the
+trace directory, so a checkpoint travels with the directory (e.g.
+onto another node of the cluster).
 """
 
 from __future__ import annotations
@@ -61,12 +73,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Bump when the state layout changes; loaders reject other versions.
 #: v2 added the statistics accumulators (full-history node annotations
 #: across restarts); v3 added the alert state (rule latches + fired
-#: history). v2 sidecars still load — see :func:`restore_engine`.
-CHECKPOINT_VERSION = 3
+#: history); v4 replaced per-case rate lists with exact-sum partials,
+#: added cooldown timestamps + compacted alert history, and the
+#: emit-journal offset. v2/v3 sidecars still load — see
+#: :func:`restore_engine`.
+CHECKPOINT_VERSION = 4
 
 #: Versions :func:`restore_engine` can load. v2 lacks only the alert
-#: state, which legitimately starts empty.
-_LOADABLE_VERSIONS = frozenset({2, CHECKPOINT_VERSION})
+#: state, which legitimately starts empty; v3 lacks only the v4
+#: additions, all of which upgrade in place.
+_LOADABLE_VERSIONS = frozenset({2, 3, CHECKPOINT_VERSION})
 
 
 def _record_to_state(record: ParsedRecord) -> dict:
@@ -122,15 +138,25 @@ def _tail_from_state(state: dict, directory: Path,
 
 
 def engine_state(engine: "LiveIngest") -> dict:
-    """The full resumable state of a :class:`LiveIngest`, as JSON data."""
+    """The full resumable state of a :class:`LiveIngest`, as JSON data.
+
+    When an emit journal is attached, it is fsynced *here* and the
+    durable offset recorded — the sidecar must never account for
+    records the journal does not durably hold (the restore path
+    truncates the journal back to this offset).
+    """
+    emit_offset = (engine.emit_journal.sync()
+                   if engine.emit_journal is not None else None)
     return {
         "version": CHECKPOINT_VERSION,
         "mapping": engine.mapping.name,
         "recursive": engine.recursive,
         "strict": engine.strict,
         "cids": sorted(engine.cids) if engine.cids is not None else None,
+        "window": engine.window,
         "n_polls": engine.n_polls,
         "total_events": engine.total_events,
+        "emit_offset": emit_offset,
         "files": [_tail_to_state(engine._tails[path], engine.directory)
                   for path in sorted(engine._tails)],
         "dfg": engine.incremental.to_state(),
@@ -178,7 +204,23 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
     engine.n_polls = int(state["n_polls"])
     engine.total_events = int(state["total_events"])
     engine.incremental = IncrementalDFG.from_state(state["dfg"])
-    engine.stats = StatsAccumulator.from_state(state["stats"])
+    # Passing the engine's window also upgrades an unwindowed (or
+    # pre-v4) sidecar in place: oversized buffers coarsen on load.
+    engine.stats = StatsAccumulator.from_state(state["stats"],
+                                               window=engine.window)
+    if engine.emit_journal is not None:
+        emit_offset = state.get("emit_offset")
+        if emit_offset is None:
+            if engine.total_events > 0:
+                raise ReproError(
+                    f"checkpoint accounts for {engine.total_events} "
+                    f"sealed events that were never emit-journaled — "
+                    f"--emit cannot reconstruct them; resume without "
+                    f"--emit, or delete the checkpoint (and any stale "
+                    f"journal) to re-watch from scratch")
+            engine.emit_journal.truncate_to(0)
+        else:
+            engine.emit_journal.truncate_to(int(emit_offset))
     # v2 → v3 upgrade in place: pre-alerting sidecars hold no alert
     # state, and empty is exactly what was true when they were written.
     from repro.alerts import empty_alert_state
@@ -196,32 +238,58 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
 
 def save_checkpoint(engine: "LiveIngest",
                     path: str | os.PathLike[str]) -> Path:
-    """Serialize the engine atomically to ``path``; returns the path.
+    """Serialize the engine atomically *and durably* to ``path``.
 
-    Cost: O(accumulated state), not O(delta) — the statistics buffers
-    carry a ``[start, end]`` pair (and possibly a rate) per sealed
-    event, so the sidecar grows with the watch and each save rewrites
-    it (compactly — no whitespace). That is the price of full-history
-    statistics surviving restarts; a watcher that cannot afford it can
-    checkpoint less often (``save_checkpoint`` is the caller's call,
-    one per poll in ``run_watch``) — windowed compaction of the
-    buffers is an open ROADMAP item.
+    The temp file is fsynced before ``os.replace`` and the directory
+    entry is fsynced after: a crash or power loss at any instant of
+    this function leaves either the previous complete sidecar or the
+    new complete one on disk — never a zero-length or torn file
+    (``os.replace`` alone guarantees only name atomicity, not that the
+    replacing *contents* reached the platter). Pinned by the
+    crash-consistency tests in ``tests/test_live``.
+
+    Cost: O(accumulated state), not O(delta) — each save rewrites the
+    whole sidecar (compactly — no whitespace). The interval buffers
+    dominate; bound them with ``LiveIngest(window=...)`` for week-long
+    watches, and bound a chatty alert history with the rules file's
+    ``history_limit``.
     """
     target = Path(path)
     payload = json.dumps(engine_state(engine), sort_keys=True,
                          separators=(",", ":"))
     temp = target.with_name(target.name + ".tmp")
-    temp.write_text(payload, encoding="utf-8")
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(temp, target)
+    _fsync_directory(target.parent)
     return target
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (the rename) to stable storage."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def load_checkpoint(engine: "LiveIngest",
                     path: str | os.PathLike[str]) -> None:
     """Restore a fresh engine from a sidecar written by
-    :func:`save_checkpoint`."""
+    :func:`save_checkpoint`.
+
+    A stale ``<name>.tmp`` next to the sidecar — a save killed between
+    temp write and replace — is removed: it may be torn, and the
+    sidecar proper is by construction the newest *complete* state.
+    """
+    target = Path(path)
+    stale = target.with_name(target.name + ".tmp")
+    stale.unlink(missing_ok=True)
     try:
-        state = json.loads(Path(path).read_text(encoding="utf-8"))
+        state = json.loads(target.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise ReproError(f"corrupt checkpoint {path}: {exc}") from exc
     restore_engine(engine, state)

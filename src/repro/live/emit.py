@@ -1,0 +1,167 @@
+"""Durable streaming emission: every sealed record survives restarts.
+
+``watch --emit run.elog`` asks the live engine to keep the *full*
+event log of a watched run — not just the graph and statistics the
+checkpoint carries — so that after any number of kill/restart cycles
+the run can be packed into an ``.elog`` byte-identical to batch
+ingestion of the final directory.
+
+The mechanism is a sidecar **journal** (``run.elog.journal``): an
+append-only JSONL file gaining one line per ``(case, sealed batch)``
+as records seal. Append-only is what makes it crash-safe to combine
+with the checkpoint:
+
+- :meth:`EmitJournal.sync` (flush + ``fsync``) runs *before* every
+  checkpoint save, and the checkpoint records the synced byte offset —
+  so the sidecar never claims records the journal does not durably
+  hold;
+- on restore, :meth:`EmitJournal.truncate_to` cuts the journal back to
+  the checkpointed offset — bytes past it (records sealed after the
+  last save, or a torn final line) describe trace bytes the restored
+  engine will re-read and re-seal, so dropping them is exactly what
+  prevents duplicates.
+
+Packing (:meth:`EmitJournal.pack`) replays the journal per case and
+streams the cases through
+:meth:`~repro.elstore.writer.EventLogWriter.add_case_records` in
+sorted-path order — the same columnarization
+(:func:`~repro.ingest.parallel.case_to_columns`) and the same case
+order as batch ``convert`` over the directory, which is what makes
+the output *byte*-identical, global string pools included. Cases the
+engine follows but that sealed nothing are packed empty, as batch
+does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro._util.errors import ReproError
+from repro.strace.naming import TraceFileName
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.live.engine import LiveIngest
+    from repro.strace.parser import ParsedRecord
+
+
+class EmitJournal:
+    """Append-only durable journal of sealed records + ``.elog`` pack.
+
+    Construct with the *destination* ``.elog`` path; the journal lives
+    next to it as ``<name>.journal`` and is deliberately kept after a
+    successful pack — it is the source of truth for a future life of
+    the same watch (delete both to start over).
+    """
+
+    def __init__(self, elog_path: str | os.PathLike[str]) -> None:
+        self.elog_path = Path(elog_path)
+        self.journal_path = self.elog_path.with_name(
+            self.elog_path.name + ".journal")
+        parent = self.journal_path.parent
+        if not parent.is_dir():
+            raise ReproError(
+                f"--emit {self.elog_path}: parent directory "
+                f"{parent} does not exist")
+        self._handle = None
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, name: TraceFileName,
+               records: "list[ParsedRecord]") -> None:
+        """Journal one sealed batch of one case (buffered)."""
+        from repro.live.checkpoint import _record_to_state
+
+        if self._handle is None:
+            self._handle = open(self.journal_path, "ab")
+        line = json.dumps(
+            {"cid": name.cid, "host": name.host, "rid": name.rid,
+             "records": [_record_to_state(r) for r in records]},
+            sort_keys=True, separators=(",", ":"))
+        self._handle.write(line.encode("utf-8") + b"\n")
+
+    def sync(self) -> int:
+        """Flush + fsync; returns the durable byte offset.
+
+        Called before every checkpoint save, so the offset the sidecar
+        records is never ahead of what the disk holds.
+        """
+        if self._handle is None:
+            return self.journal_path.stat().st_size \
+                if self.journal_path.exists() else 0
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        return self._handle.tell()
+
+    def truncate_to(self, offset: int) -> None:
+        """Cut the journal back to a checkpointed offset (restore path).
+
+        Records past the offset were sealed after the last checkpoint
+        save — the restored engine's tails will re-read those trace
+        bytes and re-journal them, so keeping the old lines would
+        duplicate them in the pack. Also disposes of a torn final line
+        from a crash mid-append.
+        """
+        if self._handle is not None:
+            raise ReproError(
+                "emit journal already open for append; truncate on "
+                "restore must happen before the first append")
+        current = self.journal_path.stat().st_size \
+            if self.journal_path.exists() else 0
+        if offset > current:
+            raise ReproError(
+                f"checkpoint claims {offset} durable emit-journal "
+                f"bytes but {self.journal_path} holds {current} — the "
+                f"journal was truncated or replaced behind the "
+                f"checkpoint; delete both and re-watch")
+        if current and offset < current:
+            with open(self.journal_path, "r+b") as handle:
+                handle.truncate(offset)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- packing -----------------------------------------------------------
+
+    def replay(self) -> dict[str, tuple[TraceFileName,
+                                        "list[ParsedRecord]"]]:
+        """case id -> (name, sealed records in sealed order)."""
+        from repro.live.checkpoint import _record_from_state
+
+        cases: dict[str, tuple[TraceFileName, list]] = {}
+        if self._handle is not None:
+            self._handle.flush()
+        if not self.journal_path.exists():
+            return cases
+        with open(self.journal_path, "rb") as handle:
+            for line in handle:
+                data = json.loads(line)
+                name = TraceFileName(cid=data["cid"], host=data["host"],
+                                     rid=int(data["rid"]))
+                entry = cases.setdefault(name.case_id, (name, []))
+                entry[1].extend(
+                    _record_from_state(r) for r in data["records"])
+        return cases
+
+    def pack(self, engine: "LiveIngest") -> Path:
+        """Write the ``.elog`` from the journal — byte-identical to
+        batch conversion of the directory in its current sealed state.
+
+        ``engine`` supplies the followed files (for case order and for
+        cases with nothing sealed); the records come exclusively from
+        the journal, so the pack covers every life of the watch, not
+        just the current process.
+        """
+        from repro.elstore.writer import EventLogWriter
+
+        replayed = self.replay()
+        with EventLogWriter(self.elog_path) as writer:
+            for path in sorted(engine._tails):
+                name = engine._tails[path].name
+                _, records = replayed.get(name.case_id, (name, []))
+                writer.add_case_records(name, records)
+        return self.elog_path

@@ -134,6 +134,20 @@ class LiveIngest:
         and :meth:`snapshot_log` stays empty — the same trade a
         checkpoint restart makes. :meth:`statistics` covers the full
         history either way.
+    window:
+        Optional cap (≥ 2) on the per-case interval buffers of the
+        statistics accumulators — the bounded-memory mode for
+        week-long watchers. Scalar statistics stay exact (and
+        bit-identical to batch); once a buffer exceeds the cap it is
+        coarsened and the activity's max concurrency / timeline are
+        reported as approximate upper bounds
+        (:class:`~repro.core.statistics.StatsAccumulator`).
+    emit:
+        Optional ``.elog`` destination: every sealed record is also
+        journaled durably (``<emit>.journal``) so :meth:`pack_emit`
+        can write the full event log of the run — byte-identical to
+        batch conversion, surviving kill/restart cycles when combined
+        with ``checkpoint`` (see :mod:`repro.live.emit`).
     checkpoint:
         Optional sidecar path. If the file exists, the engine resumes
         from it; :meth:`save_checkpoint` rewrites it atomically.
@@ -166,6 +180,8 @@ class LiveIngest:
                  recursive: bool = False,
                  add_endpoints: bool = True,
                  keep_records: bool = True,
+                 window: int | None = None,
+                 emit: str | os.PathLike[str] | None = None,
                  checkpoint: str | os.PathLike[str] | None = None,
                  alerts: "AlertEngine | None" = None) -> None:
         self.directory = Path(directory)
@@ -175,7 +191,12 @@ class LiveIngest:
         self.strict = strict
         self.recursive = recursive
         self.incremental = IncrementalDFG(add_endpoints=add_endpoints)
-        self.stats = StatsAccumulator()
+        if window is not None and window < 2:
+            raise ReproError(
+                f"window must be >= 2 intervals (got {window}); omit "
+                f"it for exact unbounded statistics")
+        self.window = window
+        self.stats = StatsAccumulator(window=window)
         self.keep_records = keep_records
         self.n_polls = 0
         self.total_events = 0
@@ -195,6 +216,12 @@ class LiveIngest:
         # without --rules still re-saves (and never loses) the alert
         # history a previous life accumulated.
         self._alert_state: dict | None = None
+        if emit is not None:
+            from repro.live.emit import EmitJournal
+
+            self.emit_journal: "EmitJournal | None" = EmitJournal(emit)
+        else:
+            self.emit_journal = None
         self.checkpoint_path = Path(checkpoint) if checkpoint else None
         if self.checkpoint_path is not None \
                 and self.checkpoint_path.exists():
@@ -202,6 +229,10 @@ class LiveIngest:
 
             load_checkpoint(self, self.checkpoint_path)
             self.restored = True
+        elif self.emit_journal is not None:
+            # A fresh watch owns its journal: leftover lines from an
+            # unrelated earlier run would pollute the pack.
+            self.emit_journal.truncate_to(0)
 
     # -- discovery ---------------------------------------------------------
 
@@ -289,6 +320,8 @@ class LiveIngest:
         case_id = name.case_id
         if self.keep_records:
             self._records.setdefault(case_id, []).extend(sealed)
+        if self.emit_journal is not None:
+            self.emit_journal.append(name, sealed)
         self.total_events += len(sealed)
         rid = name.rid
         feed = self.stats.feed_event
@@ -423,6 +456,15 @@ class LiveIngest:
             raise ReproError(
                 "no checkpoint path: pass one here or at construction")
         return save_checkpoint(self, target)
+
+    def pack_emit(self) -> Path:
+        """Write the ``--emit`` destination ``.elog`` from the durable
+        journal — the full run, across every life of this watch."""
+        if self.emit_journal is None:
+            raise ReproError(
+                "no emit destination: construct with emit=... "
+                "(the CLI's --emit)")
+        return self.emit_journal.pack(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"LiveIngest({str(self.directory)!r}, "

@@ -132,7 +132,8 @@ def run_watch(engine: LiveIngest, *,
               show_stats: bool = True,
               top: int = 5,
               out: Callable[[str], None] = print,
-              sleep: Callable[[float], None] = time.sleep) -> int:
+              sleep: Callable[[float], None] = time.sleep,
+              clock: Callable[[], float] = time.monotonic) -> int:
     """Poll → render → checkpoint → sleep, until stopped.
 
     ``polls`` bounds the number of refreshes (``1`` is the CLI's
@@ -153,11 +154,26 @@ def run_watch(engine: LiveIngest, *,
     silently break the restart-equals-batch guarantee — the last
     post-poll sidecar is always consistent. Returns a process exit
     code.
+
+    Scheduling is against *deadlines*, not fixed post-work sleeps:
+    each poll is due ``interval`` after the previous one was due
+    (``next = max(now, next + interval)``), so the work of a refresh —
+    parsing a burst of trace bytes, a slow sink — does not silently
+    stretch the cadence. A poll that overruns its successor's deadline
+    starts the successor immediately and re-anchors (no sleepless
+    catch-up bursts). ``clock`` is the monotonic time source, paired
+    with ``sleep`` for tests.
+
+    When the engine was constructed with ``emit=`` the destination
+    ``.elog`` is packed from the durable journal on *every* exit path
+    (poll budget exhausted or ^C), so the file on disk always reflects
+    everything sealed up to the stop.
     """
     view = WatchView(engine, show_dfg=show_dfg, show_stats=show_stats,
                      top=top)
     completed = 0
     try:
+        deadline = clock()
         while True:
             result = engine.poll()
             fired = (engine.alerts.evaluate(engine, result)
@@ -170,12 +186,25 @@ def run_watch(engine: LiveIngest, *,
                 engine.save_checkpoint()
             completed += 1
             if polls is not None and completed >= polls:
+                _pack_emit(engine, out)
                 return 0
-            sleep(interval)
+            deadline = max(clock(), deadline + interval)
+            delay = deadline - clock()
+            if delay > 0:
+                sleep(delay)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         out(f"stopped after {completed} poll(s); "
             + (f"checkpoint as of the last completed poll: "
                f"{engine.checkpoint_path}"
                if engine.checkpoint_path is not None and completed
                else "no checkpoint written"))
+        _pack_emit(engine, out)
         return 0
+
+
+def _pack_emit(engine: LiveIngest, out: Callable[[str], None]) -> None:
+    """Pack the ``--emit`` destination on watch exit, if configured."""
+    if engine.emit_journal is None:
+        return
+    packed = engine.pack_emit()
+    out(f"emitted event log: {packed}")

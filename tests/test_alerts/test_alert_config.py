@@ -48,7 +48,7 @@ class TestLoading:
     def test_toml_roundtrip(self, tmp_path):
         path = tmp_path / "rules.toml"
         path.write_text(GOOD_TOML)
-        rules, sinks, baseline = load_rules_file(path)
+        rules, sinks, baseline, history_limit = load_rules_file(path)
         assert [type(rule) for rule in rules] == \
             [NewEdgeRule, StatThresholdRule, WatermarkAgeRule]
         assert [rule.name for rule in rules] == \
@@ -59,6 +59,7 @@ class TestLoading:
         assert [type(sink) for sink in sinks] == \
             [StderrSink, JsonlSink, CommandSink]
         assert baseline == "sim:ls"
+        assert history_limit is None
 
     def test_json_equivalent(self, tmp_path):
         path = tmp_path / "rules.json"
@@ -66,10 +67,10 @@ class TestLoading:
             "rule": [{"name": "edges", "type": "new_edge"}],
             "sinks": {"jsonl": "a.jsonl"},
         }))
-        rules, sinks, baseline = load_rules_file(path)
-        assert isinstance(rules[0], NewEdgeRule)
-        assert isinstance(sinks[0], JsonlSink)
-        assert baseline is None
+        config = load_rules_file(path)
+        assert isinstance(config.rules[0], NewEdgeRule)
+        assert isinstance(config.sinks[0], JsonlSink)
+        assert config.baseline is None
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(AlertConfigError, match="cannot read"):

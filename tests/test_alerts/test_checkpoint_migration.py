@@ -1,9 +1,10 @@
-"""Sidecar version migration: v2 upgrades in place, v1 stays rejected,
-v3 round-trips alert state across kill/restart."""
+"""Sidecar version migration: v2/v3 upgrade in place, v1 stays
+rejected, alert state round-trips across kill/restart."""
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 import pytest
@@ -25,11 +26,39 @@ def checkpointed(tmp_path: Path, ls_file_bytes, write_files) -> Path:
     return sidecar
 
 
+def _downgrade_stats(stats_state: dict) -> None:
+    """Rewrite v4 exact-sum partials as the legacy per-case ``rates``
+    lists v2/v3 sidecars carried. ``[fsum(partials), 0, 0, ...]``
+    preserves both the count and the exact sum, so the upgrade on load
+    must reproduce the v4 state bit-identically."""
+    for acc_state in stats_state["activities"].values():
+        partials = acc_state.pop("rate_partials")
+        count = acc_state.pop("rate_count")
+        del acc_state["approximate"]
+        if count:
+            first = min(acc_state["cases"])
+            acc_state["cases"][first]["rates"] = \
+                [math.fsum(partials)] + [0.0] * (count - 1)
+
+
 def downgrade_to_v2(sidecar: Path) -> None:
     state = json.loads(sidecar.read_text())
-    assert state["version"] == CHECKPOINT_VERSION == 3
+    assert state["version"] == CHECKPOINT_VERSION == 4
     state["version"] = 2
     del state["alerts"]
+    del state["window"]
+    del state["emit_offset"]
+    _downgrade_stats(state["stats"])
+    sidecar.write_text(json.dumps(state))
+
+
+def downgrade_to_v3(sidecar: Path) -> None:
+    state = json.loads(sidecar.read_text())
+    assert state["version"] == CHECKPOINT_VERSION == 4
+    state["version"] = 3
+    del state["window"]
+    del state["emit_offset"]
+    _downgrade_stats(state["stats"])
     sidecar.write_text(json.dumps(state))
 
 
@@ -50,12 +79,11 @@ class TestV2Migration:
         assert all(rule.latch_state() == {"tripped": []}
                    for rule in alerts.rules)
 
-    def test_v2_upgrade_persists_as_v3_after_restart(self, tmp_path,
-                                                     ls_file_bytes,
-                                                     write_files):
+    def test_v2_upgrade_persists_as_current_after_restart(
+            self, tmp_path, ls_file_bytes, write_files):
         """The restart test pinning the migration: resume a v2
-        sidecar, poll, save — the rewritten sidecar is v3 with alert
-        state, and a third life restores it."""
+        sidecar, poll, save — the rewritten sidecar is current-version
+        with alert state, and a third life restores it."""
         sidecar = checkpointed(tmp_path, ls_file_bytes, write_files)
         downgrade_to_v2(sidecar)
         alerts = AlertEngine([NewEdgeRule("edges")])
@@ -65,7 +93,7 @@ class TestV2Migration:
         assert fired  # the latches really did start empty
         revived.save_checkpoint()
         state = json.loads(sidecar.read_text())
-        assert state["version"] == 3
+        assert state["version"] == CHECKPOINT_VERSION
         assert len(state["alerts"]["history"]) == len(fired)
         third = AlertEngine([NewEdgeRule("edges")])
         life3 = LiveIngest(tmp_path / "traces", checkpoint=sidecar,
@@ -81,8 +109,47 @@ class TestV2Migration:
         revived = LiveIngest(tmp_path / "traces", checkpoint=sidecar)
         revived.save_checkpoint()
         state = json.loads(sidecar.read_text())
-        assert state["version"] == 3
+        assert state["version"] == CHECKPOINT_VERSION
         assert state["alerts"] == {"rules": {}, "history": []}
+
+
+class TestV3Migration:
+    def test_v3_rates_fold_into_identical_partials(self, tmp_path,
+                                                   ls_file_bytes,
+                                                   write_files):
+        """A v3 sidecar (per-case rate lists) restores to statistics
+        bit-identical to the v4 sidecar it was downgraded from."""
+        sidecar = checkpointed(tmp_path, ls_file_bytes, write_files)
+        v4_state = json.loads(sidecar.read_text())
+        downgrade_to_v3(sidecar)
+        revived = LiveIngest(tmp_path / "traces", checkpoint=sidecar)
+        revived.save_checkpoint()
+        state = json.loads(sidecar.read_text())
+        assert state["version"] == CHECKPOINT_VERSION
+        for activity, acc_state in \
+                state["stats"]["activities"].items():
+            v4_acc = v4_state["stats"]["activities"][activity]
+            assert acc_state["rate_count"] == v4_acc["rate_count"]
+            assert math.fsum(acc_state["rate_partials"]) == \
+                math.fsum(v4_acc["rate_partials"])
+
+    def test_v3_keeps_alert_history(self, tmp_path, ls_file_bytes,
+                                    write_files):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        write_files(trace_dir, ls_file_bytes)
+        sidecar = tmp_path / "ckpt.json"
+        alerts = AlertEngine([NewEdgeRule("edges")])
+        engine = LiveIngest(trace_dir, checkpoint=sidecar,
+                            alerts=alerts)
+        fired = alerts.evaluate(engine, engine.poll())
+        assert fired
+        engine.save_checkpoint()
+        downgrade_to_v3(sidecar)
+        third = AlertEngine([NewEdgeRule("edges")])
+        life2 = LiveIngest(trace_dir, checkpoint=sidecar, alerts=third)
+        assert third.n_fired == len(fired)
+        assert third.evaluate(life2, life2.poll()) == []
 
 
 class TestV1StillRejected:

@@ -1,0 +1,174 @@
+"""The HTTP sink: delivery, auth sourcing, and the bounded retry
+budget that keeps a dead pager endpoint from stalling the poll loop."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+from repro.alerts import (
+    AlertConfigError,
+    AlertSinkWarning,
+    HttpSink,
+    load_rules_file,
+)
+from repro.alerts.model import Alert
+
+ALERT = Alert(rule="r", kind="new_edge", subject="a -> b",
+              message="m", value=1.0, threshold=0.0, n_poll=1,
+              total_events=10)
+
+
+class RecordingOpener:
+    """Scripted opener: raises per the script, then succeeds."""
+
+    def __init__(self, script=()):
+        self.script = list(script)
+        self.requests = []
+        self.timeouts = []
+
+    def __call__(self, request, timeout=None):
+        self.requests.append(request)
+        self.timeouts.append(timeout)
+        if self.script:
+            outcome = self.script.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+        return io.BytesIO(b"ok")
+
+
+def _http_error(code: int) -> urllib.error.HTTPError:
+    return urllib.error.HTTPError("http://x", code, "boom", {},
+                                  io.BytesIO(b""))
+
+
+class TestDelivery:
+    def test_posts_alert_json_with_content_type(self):
+        opener = RecordingOpener()
+        HttpSink("https://hooks.example/pager", timeout=3.0,
+                 opener=opener).emit(ALERT)
+        [request] = opener.requests
+        assert request.get_method() == "POST"
+        assert request.full_url == "https://hooks.example/pager"
+        assert request.get_header("Content-type") == "application/json"
+        assert json.loads(request.data) == ALERT.to_json()
+        assert opener.timeouts == [3.0]
+
+    def test_auth_header_from_environment(self, monkeypatch):
+        monkeypatch.setenv("PAGER_TOKEN", "Bearer sesame")
+        opener = RecordingOpener()
+        HttpSink("https://hooks.example/p", auth_env="PAGER_TOKEN",
+                 opener=opener).emit(ALERT)
+        [request] = opener.requests
+        assert request.get_header("Authorization") == "Bearer sesame"
+
+    def test_no_auth_header_without_auth_env(self):
+        opener = RecordingOpener()
+        HttpSink("https://hooks.example/p", opener=opener).emit(ALERT)
+        assert not opener.requests[0].has_header("Authorization")
+
+
+class TestRetries:
+    def test_network_error_retries_with_exponential_backoff(self):
+        naps: list[float] = []
+        opener = RecordingOpener([
+            urllib.error.URLError("refused"), TimeoutError("slow")])
+        HttpSink("https://h.example/p", retries=2, backoff=0.5,
+                 opener=opener, sleep=naps.append).emit(ALERT)
+        assert len(opener.requests) == 3  # two failures, then success
+        assert naps == [0.5, 1.0]  # doubling
+
+    def test_5xx_retries(self, recwarn):
+        opener = RecordingOpener([_http_error(503)])
+        HttpSink("https://h.example/p", retries=1, backoff=0,
+                 opener=opener, sleep=lambda _: None).emit(ALERT)
+        assert len(opener.requests) == 2
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, AlertSinkWarning)]
+
+    def test_4xx_never_retries(self):
+        opener = RecordingOpener([_http_error(404)] * 3)
+        with pytest.warns(AlertSinkWarning, match="HTTP 404.*") as got:
+            HttpSink("https://h.example/p", retries=2, backoff=0,
+                     opener=opener, sleep=lambda _: None).emit(ALERT)
+        assert len(opener.requests) == 1
+        assert "after 1 attempt(s)" in str(got[0].message)
+
+    def test_budget_exhaustion_warns_and_gives_up(self):
+        naps: list[float] = []
+        opener = RecordingOpener([urllib.error.URLError("dead")] * 5)
+        with pytest.warns(AlertSinkWarning,
+                          match="after 3 attempt"):
+            HttpSink("https://h.example/p", retries=2, backoff=0.25,
+                     opener=opener, sleep=naps.append).emit(ALERT)
+        assert len(opener.requests) == 3  # the budget, no more
+        assert naps == [0.25, 0.5]  # no sleep after the final attempt
+
+    def test_zero_retries_is_single_shot(self):
+        opener = RecordingOpener([urllib.error.URLError("dead")])
+        with pytest.warns(AlertSinkWarning, match="after 1 attempt"):
+            HttpSink("https://h.example/p", retries=0,
+                     opener=opener).emit(ALERT)
+        assert len(opener.requests) == 1
+
+
+class TestValidation:
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(AlertConfigError, match="http://"):
+            HttpSink("ftp://files.example/drop")
+
+    def test_bad_numbers_rejected(self):
+        with pytest.raises(AlertConfigError, match="timeout"):
+            HttpSink("https://h/p", timeout=0)
+        with pytest.raises(AlertConfigError, match="retries"):
+            HttpSink("https://h/p", retries=-1)
+        with pytest.raises(AlertConfigError, match="backoff"):
+            HttpSink("https://h/p", backoff=-0.5)
+
+    def test_missing_auth_env_fails_at_construction(self, monkeypatch):
+        monkeypatch.delenv("NOPE_TOKEN", raising=False)
+        with pytest.raises(AlertConfigError, match="NOPE_TOKEN"):
+            HttpSink("https://h/p", auth_env="NOPE_TOKEN")
+
+    def test_empty_auth_env_fails_too(self, monkeypatch):
+        monkeypatch.setenv("EMPTY_TOKEN", "")
+        with pytest.raises(AlertConfigError, match="EMPTY_TOKEN"):
+            HttpSink("https://h/p", auth_env="EMPTY_TOKEN")
+
+
+class TestRulesFileConfig:
+    def _load(self, tmp_path, sink_toml: str):
+        path = tmp_path / "rules.toml"
+        path.write_text(sink_toml
+                        + "[[rule]]\nname='x'\ntype='new_edge'\n")
+        return load_rules_file(path)
+
+    def test_url_string_form(self, tmp_path):
+        config = self._load(tmp_path,
+                            "[sinks]\nhttp='https://h.example/p'\n")
+        [sink] = config.sinks
+        assert isinstance(sink, HttpSink)
+        assert sink.url == "https://h.example/p"
+
+    def test_table_form_with_options(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TOK", "secret")
+        config = self._load(
+            tmp_path,
+            "[sinks.http]\nurl='https://h.example/p'\ntimeout=2.5\n"
+            "retries=4\nbackoff=1.0\nauth_env='TOK'\n")
+        [sink] = config.sinks
+        assert (sink.timeout, sink.retries, sink.backoff) == \
+            (2.5, 4, 1.0)
+
+    def test_table_without_url_rejected(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="url"):
+            self._load(tmp_path, "[sinks.http]\ntimeout=2.5\n")
+
+    def test_unknown_table_key_rejected(self, tmp_path):
+        with pytest.raises(AlertConfigError, match="colour"):
+            self._load(tmp_path,
+                       "[sinks.http]\nurl='https://h/p'\n"
+                       "colour='red'\n")

@@ -46,19 +46,23 @@ class TestDocsTree:
 
 
 class TestCopyPasteableRules:
-    def test_the_rules_md_example_validates(self):
+    def test_the_rules_md_example_validates(self, monkeypatch):
         """The fenced rules.toml in docs/rules.md must load through
         the real parser — a doc drift fails the suite."""
         from repro.alerts import RULE_TYPES
         from repro.alerts.config import parse_rules_data
 
+        monkeypatch.setenv("PAGER_TOKEN", "docs-example")
         text = (REPO / "docs/rules.md").read_text(encoding="utf-8")
         match = re.search(r"```toml\n(.*?)```", text, re.DOTALL)
         assert match, "docs/rules.md lost its ```toml example"
         data = tomllib.loads(match.group(1))
-        rules, sinks, baseline = parse_rules_data(
-            data, where="docs/rules.md example")
-        assert {rule.kind for rule in rules} == set(RULE_TYPES), \
+        config = parse_rules_data(data, where="docs/rules.md example")
+        assert {rule.kind for rule in config.rules} == \
+            set(RULE_TYPES), \
             "the example should exercise every rule type"
-        assert len(sinks) == 3
-        assert baseline == "elog:known-good.elog"
+        assert len(config.sinks) == 4
+        assert config.baseline == "elog:known-good.elog"
+        assert config.history_limit == 500
+        assert any(rule.cooldown > 0 for rule in config.rules), \
+            "the example should demonstrate cooldown"

@@ -1,0 +1,110 @@
+"""Soak smoke: week-long-watcher memory stays bounded under --window.
+
+Tier-2 (``--run-slow``). Feeds a six-figure event stream through the
+statistics accumulators and a long poll schedule through a LiveIngest,
+and asserts the bounded-memory claims directly: with a window, live
+heap (tracemalloc) and checkpoint size are a small fraction of the
+unbounded run's, and per-case buffers never exceed the window.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.core.statistics import StatsAccumulator
+from repro.live.engine import LiveIngest
+
+N_EVENTS = 100_000
+WINDOW = 64
+
+
+def _feed(accumulator: StatsAccumulator, n_events: int) -> None:
+    """Disjoint intervals: every event grows the exact buffer by 1."""
+    feed = accumulator.feed_event
+    for i in range(n_events):
+        feed("read:/data", "job_h_1", rid=1, start_us=10 * i,
+             dur_us=5, size=100)
+
+
+def _traced_feed(n_events: int, window: int | None) -> int:
+    """Net heap bytes held by a fed accumulator, via tracemalloc."""
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        accumulator = StatsAccumulator(window=window)
+        _feed(accumulator, n_events)
+        after, _ = tracemalloc.get_traced_memory()
+        assert accumulator is not None
+        return after - before
+    finally:
+        tracemalloc.stop()
+
+
+@pytest.mark.slow
+class TestAccumulatorSoak:
+    def test_windowed_heap_is_a_fraction_of_unbounded(self):
+        unbounded = _traced_feed(N_EVENTS, window=None)
+        windowed = _traced_feed(N_EVENTS, window=WINDOW)
+        # The unbounded run holds one interval tuple per event; the
+        # windowed run holds at most WINDOW per case. Allow generous
+        # slack for allocator noise — an order of magnitude is the
+        # point, not a constant factor.
+        assert windowed < unbounded / 10, (windowed, unbounded)
+
+    def test_windowed_state_stays_small_and_scalars_exact(self):
+        exact = StatsAccumulator()
+        windowed = StatsAccumulator(window=WINDOW)
+        _feed(exact, N_EVENTS)
+        _feed(windowed, N_EVENTS)
+        small = len(json.dumps(windowed.to_state()))
+        large = len(json.dumps(exact.to_state()))
+        assert small < large / 100, (small, large)
+        order = ("job_h_1",)
+        w = windowed.statistics(case_order=order)["read:/data"]
+        e = exact.statistics(case_order=order)["read:/data"]
+        assert w.event_count == e.event_count == N_EVENTS
+        assert w.total_bytes == e.total_bytes
+        assert w.process_data_rate == e.process_data_rate  # bit-exact
+        assert w.approximate and not e.approximate
+
+
+@pytest.mark.slow
+class TestWatcherSoak:
+    def _lines(self, start: int, count: int) -> bytes:
+        rows = []
+        for i in range(start, start + count):
+            stamp_us = i * 1000  # one event per millisecond
+            minute, rest = divmod(stamp_us, 60_000_000)
+            second, micro = divmod(rest, 1_000_000)
+            rows.append(
+                f"77  08:{minute:02d}:{second:02d}.{micro:06d}"
+                f" read(3</data/file>, ..., 100) = 100 <0.000050>"
+                .encode())
+        return b"\n".join(rows) + b"\n"
+
+    def test_checkpoint_size_is_bounded_under_window(self, tmp_path):
+        polls = 40
+        batch = 500  # events appended between polls
+        sizes = {}
+        for label, window in (("unbounded", None),
+                              ("windowed", WINDOW)):
+            trace_dir = tmp_path / label
+            trace_dir.mkdir()
+            sidecar = tmp_path / f"{label}.json"
+            engine = LiveIngest(trace_dir, checkpoint=sidecar,
+                                keep_records=False, window=window)
+            trace = trace_dir / "job_host1_7.st"
+            for poll in range(polls):
+                with open(trace, "ab") as handle:
+                    handle.write(self._lines(poll * batch, batch))
+                engine.poll()
+                engine.save_checkpoint()
+            sizes[label] = sidecar.stat().st_size
+            if window is not None:
+                for acc in engine.stats._activities.values():
+                    for buffer in acc._case_timelines.values():
+                        assert len(buffer) <= window
+        assert sizes["windowed"] < sizes["unbounded"] / 20, sizes

@@ -22,14 +22,46 @@ class TestRunWatch:
         _write_all(tmp_path, ls_file_bytes)
         outputs: list[str] = []
         naps: list[float] = []
+        now = [0.0]
+
+        def nap(delay: float) -> None:
+            naps.append(delay)
+            now[0] += delay
+
         code = run_watch(LiveIngest(tmp_path), interval=0.5, polls=3,
-                         out=outputs.append, sleep=naps.append)
+                         out=outputs.append, sleep=nap,
+                         clock=lambda: now[0])
         assert code == 0
         assert len(outputs) == 3
         assert naps == [0.5, 0.5]  # no sleep after the final poll
         assert "poll 1:" in outputs[0]
         assert "NODES" in outputs[0]  # first refresh renders the DFG
         assert "NODES" not in outputs[1]  # nothing changed: status only
+
+    def test_slow_polls_do_not_stretch_the_cadence(self, tmp_path,
+                                                   ls_file_bytes):
+        """Deadline scheduling: a refresh that burns clock time
+        shortens the following nap instead of shifting every later
+        poll; an overrun re-anchors instead of sleeping negatively."""
+        _write_all(tmp_path, ls_file_bytes)
+        naps: list[float] = []
+        now = [0.0]
+        work = iter([0.25, 1.5, 0.125, 0.0])  # per-poll render cost
+
+        def out(_: str) -> None:
+            now[0] += next(work)
+
+        def nap(delay: float) -> None:
+            naps.append(delay)
+            now[0] += delay
+
+        run_watch(LiveIngest(tmp_path), interval=1.0, polls=4,
+                  out=out, sleep=nap, clock=lambda: now[0])
+        # Poll 1 due at 0, works 0.25 → nap 0.75 to the 1.0 deadline.
+        # Poll 2 works 1.5 → overruns the 2.0 deadline (now 2.5);
+        # poll 3 starts immediately (no nap), re-anchoring at 2.5.
+        # Poll 3 works 0.125 → nap 0.875 to the re-anchored 3.5.
+        assert naps == [0.75, 0.875]
 
     def test_changes_are_highlighted_between_refreshes(self, tmp_path,
                                                        ls_file_bytes):
