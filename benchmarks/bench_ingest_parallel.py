@@ -32,6 +32,7 @@ or through pytest (excluded from tier-1; the files are bench_*.py)::
 from __future__ import annotations
 
 import argparse
+import json
 import time
 from pathlib import Path
 
@@ -266,10 +267,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--keep-dir", default=None,
                         help="build trace dirs here and keep them")
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the raw results (one entry per workload) as "
+             "a JSON document to PATH (e.g. BENCH_ingest.json) for "
+             "machine consumption")
     args = parser.parse_args(argv)
 
     import tempfile
 
+    results = []
     for name in sorted(WORKLOAD_BUILDERS):
         if args.keep_dir:
             directory = Path(args.keep_dir) / name
@@ -282,6 +289,16 @@ def main(argv: list[str] | None = None) -> int:
                                       workers=args.workers,
                                       repeats=args.repeats)
         report(result, args.workers)
+        results.append(result)
+    if args.json is not None:
+        args.json.write_text(json.dumps({
+            "bench": "ingest_parallel",
+            "params": {"workers": args.workers,
+                       "repeats": args.repeats,
+                       "cpus": available_cpus()},
+            "results": results,
+        }, indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 

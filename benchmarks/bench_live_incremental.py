@@ -38,6 +38,8 @@ or through pytest (excluded from tier-1; the files are bench_*.py)::
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import shutil
 import time
 from pathlib import Path
@@ -137,6 +139,56 @@ def run_growth(source_files: list[Path], live_dir: Path, *,
     }
 
 
+#: Fresh-engine repetitions per arm of the overhead comparison; the
+#: minimum over repeats filters scheduler noise out of a ms-scale loop.
+OVERHEAD_REPEATS = 5
+
+#: Absolute slack (seconds) added to the overhead guard so that clock
+#: resolution on a near-zero baseline cannot fail a healthy build.
+OVERHEAD_SLACK_S = 0.005
+
+_overhead_run = itertools.count()
+
+
+def measure_telemetry_overhead(source_files: list[Path], work_dir: Path,
+                               *, polls: int, files_per_poll: int,
+                               repeats: int = OVERHEAD_REPEATS) -> dict:
+    """Time the poll loop with telemetry off vs on, best-of-``repeats``.
+
+    Each run gets a fresh directory and a fresh engine so neither arm
+    benefits from warm page caches of the other's files; only the
+    ``engine.poll()`` calls are timed (copying the source files in is
+    setup, not pipeline work). The ratio bounds the cost of the span
+    and counter bookkeeping that ``--metrics-port``/``--metrics-log``
+    switch on — the docs promise it stays within 5%.
+    """
+    from repro.telemetry import Telemetry
+
+    def timed_loop(telemetry) -> float:
+        live = work_dir / f"overhead-{next(_overhead_run)}"
+        live.mkdir()
+        engine = LiveIngest(live, mapping=MAPPING, telemetry=telemetry)
+        total = 0.0
+        for round_index in range(polls):
+            batch = source_files[round_index * files_per_poll:
+                                 (round_index + 1) * files_per_poll]
+            for path in batch:
+                shutil.copy(path, live / path.name)
+            begin = time.perf_counter()
+            engine.poll()
+            total += time.perf_counter() - begin
+        return total
+
+    off_s = min(timed_loop(None) for _ in range(repeats))
+    on_s = min(timed_loop(Telemetry()) for _ in range(repeats))
+    return {
+        "off_s": off_s,
+        "on_s": on_s,
+        "overhead": on_s / off_s - 1.0,
+        "repeats": repeats,
+    }
+
+
 def report(result: dict) -> None:
     paper_vs_measured(
         f"live growth: {result['polls']} polls x "
@@ -191,6 +243,18 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) unless both the incremental-poll and the "
              "statistics-render advantage reach X — the CI smoke "
              "guard against either path regressing to O(total)")
+    parser.add_argument(
+        "--max-telemetry-overhead", type=float, default=None,
+        metavar="X",
+        help="also time the poll loop with telemetry on vs off and "
+             "fail (exit 1) when the instrumented loop exceeds the "
+             "uninstrumented one by more than the fraction X (plus "
+             f"{OVERHEAD_SLACK_S * 1e3:.0f} ms absolute slack for "
+             "clock resolution)")
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the raw results as a JSON document to PATH "
+             "(e.g. BENCH_live.json) for machine consumption")
     args = parser.parse_args(argv)
 
     import tempfile
@@ -204,18 +268,49 @@ def main(argv: list[str] | None = None) -> int:
                              files_per_poll=args.files_per_poll)
         result = run_growth(files, live, polls=args.polls,
                             files_per_poll=args.files_per_poll)
+        if args.max_telemetry_overhead is not None:
+            result["telemetry"] = measure_telemetry_overhead(
+                files, Path(tmp), polls=args.polls,
+                files_per_poll=args.files_per_poll)
     report(result)
+    if "telemetry" in result:
+        overhead = result["telemetry"]
+        print(f"telemetry overhead: poll loop "
+              f"{overhead['off_s'] * 1e3:.1f} ms off -> "
+              f"{overhead['on_s'] * 1e3:.1f} ms on "
+              f"({overhead['overhead'] * 100:+.1f}%, best of "
+              f"{overhead['repeats']})")
+    if args.json is not None:
+        args.json.write_text(json.dumps({
+            "bench": "live_incremental",
+            "params": {"polls": args.polls,
+                       "files_per_poll": args.files_per_poll},
+            "results": result,
+        }, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    failures = []
     if args.min_advantage is not None:
-        failed = [name for name, value
-                  in (("poll", result["advantage"]),
-                      ("statistics render", result["stats_advantage"]))
-                  if value < args.min_advantage]
-        if failed:
-            print(f"FAIL: {', '.join(failed)} advantage below "
-                  f"{args.min_advantage:.2f}x — the O(delta) path "
-                  f"regressed toward O(total)")
-            return 1
-    return 0
+        failures += [
+            f"{name} advantage {value:.2f}x below "
+            f"{args.min_advantage:.2f}x — the O(delta) path "
+            f"regressed toward O(total)"
+            for name, value
+            in (("poll", result["advantage"]),
+                ("statistics render", result["stats_advantage"]))
+            if value < args.min_advantage]
+    if args.max_telemetry_overhead is not None:
+        overhead = result["telemetry"]
+        budget = (overhead["off_s"] * (1.0 + args.max_telemetry_overhead)
+                  + OVERHEAD_SLACK_S)
+        if overhead["on_s"] > budget:
+            failures.append(
+                f"telemetry overhead {overhead['overhead'] * 100:.1f}% "
+                f"exceeds the {args.max_telemetry_overhead * 100:.0f}% "
+                f"budget ({overhead['on_s'] * 1e3:.1f} ms on vs "
+                f"{overhead['off_s'] * 1e3:.1f} ms off)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -57,6 +57,7 @@ from repro.alerts.sinks import (
     CommandSink,
     HttpSink,
     JsonlSink,
+    SinkFailureThrottle,
     StderrSink,
 )
 from repro.alerts.engine import AlertEngine, empty_alert_state
@@ -77,6 +78,7 @@ __all__ = [
     "Rule",
     "RULE_TYPES",
     "RulesFileConfig",
+    "SinkFailureThrottle",
     "StatThresholdRule",
     "StderrSink",
     "WatermarkAgeRule",

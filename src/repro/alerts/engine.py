@@ -34,15 +34,16 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from typing import TYPE_CHECKING, Callable
 
 from repro.alerts.config import load_rules_file
 from repro.alerts.model import Alert
 from repro.alerts.rules import AlertConfigError, RefreshContext, Rule
-from repro.alerts.sinks import AlertSink, AlertSinkWarning
+from repro.alerts.sinks import (AlertSink, SinkFailureThrottle,
+                                throttled_warn)
 from repro.core.dfg import DFG
 from repro.core.statistics import IOStatistics
+from repro.telemetry.spans import NULL_TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.live.engine import LiveIngest, PollResult
@@ -107,6 +108,10 @@ class AlertEngine:
         self._baseline_pair: tuple[DFG, IOStatistics] | None = None
         self._prev_dfg: DFG | None = None
         self._prev_stats: IOStatistics | None = None
+        # Warning throttles for sinks that *raise* out of emit() (a
+        # sink's own failure handling uses its .throttle); keyed by
+        # sink index so two instances of one class stay independent.
+        self._sink_throttles: dict[int, SinkFailureThrottle] = {}
 
     @classmethod
     def from_rules_file(cls, path: str | os.PathLike[str], *,
@@ -187,42 +192,91 @@ class AlertEngine:
         poll — the previous-snapshot baseline the ``against =
         "previous"`` rules compare to advances here.
         """
-        current = engine.snapshot_dfg()
-        stats = engine.statistics()
-        baseline_dfg, baseline_stats = self._baseline_for(engine)
-        ctx = RefreshContext(
-            n_poll=result.n_poll,
-            total_events=result.total_events,
-            current=current,
-            previous=self._prev_dfg,
-            stats=stats,
-            previous_stats=self._prev_stats,
-            baseline_dfg=baseline_dfg,
-            baseline_stats=baseline_stats,
-            watermark_ages=engine.watermark_ages(),
-            now=self.clock() if self.clock is not None else None,
-        )
-        fired: list[Alert] = []
-        for rule in self.rules:
-            fired.extend(rule.evaluate(ctx))
-        self._prev_dfg = current
-        self._prev_stats = stats
-        self.history.extend(fired)
-        self._compact()
+        telemetry = getattr(engine, "telemetry", None) or NULL_TELEMETRY
+        with telemetry.phase("alerts"):
+            current = engine.snapshot_dfg()
+            stats = engine.statistics()
+            baseline_dfg, baseline_stats = self._baseline_for(engine)
+            ctx = RefreshContext(
+                n_poll=result.n_poll,
+                total_events=result.total_events,
+                current=current,
+                previous=self._prev_dfg,
+                stats=stats,
+                previous_stats=self._prev_stats,
+                baseline_dfg=baseline_dfg,
+                baseline_stats=baseline_stats,
+                watermark_ages=engine.watermark_ages(),
+                now=self.clock() if self.clock is not None else None,
+            )
+            fired: list[Alert] = []
+            for rule in self.rules:
+                fired.extend(rule.evaluate(ctx))
+            self._prev_dfg = current
+            self._prev_stats = stats
+            self.history.extend(fired)
+            self._compact()
         for alert in fired:
-            for sink in self.sinks:
+            for index, sink in enumerate(self.sinks):
                 # The paging path must not take down the monitoring
                 # path: a crashing sink (full disk, dead pager, buggy
-                # user sink) warns, and the alert is already safe in
-                # the history above.
+                # user sink) warns — rate-limited per sink — and the
+                # alert is already safe in the history above.
+                label = f"{type(sink).__name__}#{index}"
+                began = time.perf_counter()
                 try:
-                    sink.emit(alert)
+                    with telemetry.phase(f"sink:{label}"):
+                        sink.emit(alert)
                 except Exception as exc:
-                    warnings.warn(
+                    throttled_warn(
+                        self._sink_throttle(index),
                         f"alert sink {type(sink).__name__} failed for "
-                        f"{alert.identity}: {exc}",
-                        AlertSinkWarning, stacklevel=2)
+                        f"{alert.identity}: {exc}")
+                else:
+                    self._sink_throttle(index).record_success()
+                if telemetry.enabled:
+                    telemetry.observe(
+                        "sink_seconds", time.perf_counter() - began,
+                        sink=label)
+        if telemetry.enabled:
+            if fired:
+                telemetry.count("alerts_fired_total", len(fired))
+            self._record_sink_metrics(telemetry)
         return fired
+
+    def _sink_throttle(self, index: int) -> SinkFailureThrottle:
+        throttle = self._sink_throttles.get(index)
+        if throttle is None:
+            throttle = self._sink_throttles[index] = SinkFailureThrottle()
+        return throttle
+
+    def _record_sink_metrics(self, telemetry) -> None:
+        """Mirror sink-owned tallies into the registry and publish the
+        worst failure streak (the ``/healthz`` sink check)."""
+        telemetry.count_total(
+            "alerts_suppressed_total",
+            sum(rule.n_suppressed for rule in self.rules))
+        worst_streak = 0
+        for index, sink in enumerate(self.sinks):
+            label = f"{type(sink).__name__}#{index}"
+            own = getattr(sink, "throttle", None)
+            raised = self._sink_throttles.get(index)
+            failures = suppressed = 0
+            for throttle in (own, raised):
+                if throttle is None:
+                    continue
+                failures += throttle.n_failures
+                suppressed += throttle.n_suppressed
+                worst_streak = max(worst_streak, throttle.streak)
+            telemetry.count_total("sink_failures_total", failures,
+                                  sink=label)
+            telemetry.count_total("sink_warnings_suppressed_total",
+                                  suppressed, sink=label)
+            retries = getattr(sink, "n_retries", None)
+            if retries is not None:
+                telemetry.count_total("sink_retries_total", retries,
+                                      sink=label)
+        telemetry.gauge_set("sink_failure_streak", worst_streak)
 
     def _baseline_for(self, engine: "LiveIngest",
                       ) -> tuple[DFG | None, IOStatistics | None]:

@@ -4,7 +4,10 @@ A sink is anything with an ``emit(alert)`` method. The engine fans
 every fired alert out to every registered sink *after* recording it in
 its history, so a crashing sink can never lose an alert — sink
 failures are reported as warnings and the watch keeps running (a
-paging path must not take down the monitoring path).
+paging path must not take down the monitoring path). Those warnings
+are rate-limited per sink by :class:`SinkFailureThrottle` (first
+failure of a streak + every Nth), with exact failure counts flowing
+into the telemetry registry instead of the terminal.
 
 Built-ins:
 
@@ -42,6 +45,76 @@ from repro.alerts.rules import AlertConfigError
 class AlertSinkWarning(UserWarning):
     """A sink failed to deliver an alert (the alert itself is safe in
     the engine history / checkpoint)."""
+
+
+#: Throttled sinks warn on the first failure of a streak and every
+#: Nth after it.
+DEFAULT_WARN_EVERY = 10
+
+
+class SinkFailureThrottle:
+    """Rate limiter for sink-failure warnings.
+
+    A persistently dead webhook used to warn on *every* poll with a
+    firing rule — hundreds of identical lines per hour that bury the
+    one warning that matters. The throttle collapses a failure streak
+    to its first warning plus every ``warn_every``-th, annotating each
+    emitted warning with how many were suppressed since the last one.
+    Any success resets the streak, so recovery (and the next outage's
+    first failure) always warns immediately.
+
+    The lifetime tallies (:attr:`n_failures`, :attr:`n_suppressed`)
+    feed the metrics registry
+    (``st_inspector_sink_failures_total`` /
+    ``..._warnings_suppressed_total``) and the :attr:`streak` feeds
+    the ``sink_failure_streak`` health gauge — the warnings get
+    quieter, the numbers stay exact.
+    """
+
+    __slots__ = ("warn_every", "streak", "n_failures", "n_suppressed",
+                 "_since_warn")
+
+    def __init__(self, warn_every: int = DEFAULT_WARN_EVERY) -> None:
+        if warn_every < 1:
+            raise AlertConfigError(
+                f"warn_every must be >= 1 (got {warn_every})")
+        self.warn_every = warn_every
+        #: Consecutive failures since the last success.
+        self.streak = 0
+        #: Lifetime failures (this process).
+        self.n_failures = 0
+        #: Lifetime warnings suppressed (this process).
+        self.n_suppressed = 0
+        self._since_warn = 0
+
+    def record_success(self) -> None:
+        self.streak = 0
+        self._since_warn = 0
+
+    def record_failure(self) -> tuple[bool, int]:
+        """Account one failure; returns ``(warn_now, n_suppressed_since
+        _last_warning)``."""
+        self.streak += 1
+        self.n_failures += 1
+        if self.streak == 1 or self.streak % self.warn_every == 0:
+            suppressed = self._since_warn
+            self._since_warn = 0
+            return True, suppressed
+        self._since_warn += 1
+        self.n_suppressed += 1
+        return False, 0
+
+
+def throttled_warn(throttle: SinkFailureThrottle, message: str, *,
+                   stacklevel: int = 3) -> None:
+    """Route one failure's warning through a throttle (see above)."""
+    warn_now, suppressed = throttle.record_failure()
+    if not warn_now:
+        return
+    if suppressed:
+        message += (f" ({suppressed} earlier failure warning(s) "
+                    f"suppressed)")
+    warnings.warn(message, AlertSinkWarning, stacklevel=stacklevel)
 
 
 @runtime_checkable
@@ -103,6 +176,7 @@ class CommandSink:
     def __init__(self, command: str, *, timeout: float = 30.0) -> None:
         self.command = command
         self.timeout = timeout
+        self.throttle = SinkFailureThrottle()
 
     def emit(self, alert: Alert) -> None:
         payload = json.dumps(alert.to_json(), sort_keys=True)
@@ -111,16 +185,18 @@ class CommandSink:
                 self.command, shell=True, input=payload.encode("utf-8"),
                 timeout=self.timeout, capture_output=True)
         except (OSError, subprocess.TimeoutExpired) as exc:
-            warnings.warn(
-                f"alert command sink failed for {alert.identity}: {exc}",
-                AlertSinkWarning, stacklevel=2)
+            throttled_warn(
+                self.throttle,
+                f"alert command sink failed for {alert.identity}: {exc}")
             return
         if completed.returncode != 0:
-            warnings.warn(
+            throttled_warn(
+                self.throttle,
                 f"alert command sink exited {completed.returncode} for "
                 f"{alert.identity}: "
-                f"{completed.stderr.decode(errors='replace').strip()}",
-                AlertSinkWarning, stacklevel=2)
+                f"{completed.stderr.decode(errors='replace').strip()}")
+        else:
+            self.throttle.record_success()
 
 
 class HttpSink:
@@ -187,6 +263,10 @@ class HttpSink:
         self._opener = opener if opener is not None \
             else urllib.request.urlopen
         self._sleep = sleep
+        self.throttle = SinkFailureThrottle()
+        #: Lifetime retry attempts (attempts beyond each emit's first),
+        #: mirrored into ``st_inspector_sink_retries_total``.
+        self.n_retries = 0
 
     def emit(self, alert: Alert) -> None:
         payload = json.dumps(alert.to_json(),
@@ -204,6 +284,8 @@ class HttpSink:
             try:
                 response = self._opener(request, timeout=self.timeout)
                 getattr(response, "close", lambda: None)()
+                self.n_retries += attempts - 1
+                self.throttle.record_success()
                 return
             except urllib.error.HTTPError as exc:
                 failure = f"HTTP {exc.code}"
@@ -216,7 +298,8 @@ class HttpSink:
                 if delay > 0:
                     self._sleep(delay)
                 delay *= 2
-        warnings.warn(
+        self.n_retries += attempts - 1
+        throttled_warn(
+            self.throttle,
             f"alert http sink {self.url} failed for {alert.identity} "
-            f"after {attempts} attempt(s): {failure}",
-            AlertSinkWarning, stacklevel=2)
+            f"after {attempts} attempt(s): {failure}")

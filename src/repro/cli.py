@@ -14,7 +14,10 @@ Subcommands cover the full paper pipeline plus the simulator:
 - ``timeline <source> --activity <a>`` — the Fig. 5 plot.
 - ``watch <dir>`` — live-monitor a growing trace directory
   (incremental ingestion, resumable ``--checkpoint``, declarative
-  ``--rules`` alerting).
+  ``--rules`` alerting, Prometheus/health exposition via
+  ``--metrics-port`` / ``--metrics-log``).
+- ``health <checkpoint>`` — offline health verdict from the telemetry
+  snapshot an instrumented watch persisted in its checkpoint.
 
 The full subcommand/flag reference lives in ``docs/cli.md``.
 
@@ -94,6 +97,20 @@ def _positive_int_arg(text: str) -> int:
             f"invalid int value: {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
+
+
+def _port_arg(text: str) -> int:
+    """argparse type for ``--metrics-port``: 0 (ephemeral) – 65535."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"must be a port number 0-65535 (got {value}; 0 binds an "
+            f"ephemeral port)")
     return value
 
 
@@ -373,6 +390,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
         raise ReproError(
             "--alert-log/--baseline require --rules (no rules, "
             "nothing to fire or compare)")
+    telemetry = None
+    if args.metrics_port is not None or args.metrics_log is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     engine = LiveIngest(
         args.directory,
         mapping=_mapping(args),
@@ -387,12 +409,42 @@ def cmd_watch(args: argparse.Namespace) -> int:
         emit=args.emit,
         checkpoint=args.checkpoint,
         # Attached before checkpoint load so a resumed sidecar (v3)
-        # restores rule latches and alert history into it.
+        # restores rule latches and alert history into it — and (v5)
+        # the telemetry counter bases.
         alerts=alerts,
+        telemetry=telemetry,
     )
     polls = 1 if args.once else args.polls
     return run_watch(engine, interval=args.interval, polls=polls,
-                     show_dfg=not args.no_dfg, top=args.top)
+                     show_dfg=not args.no_dfg, top=args.top,
+                     metrics_port=args.metrics_port,
+                     metrics_log=args.metrics_log)
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import health_from_snapshot, render_health
+
+    path = Path(args.checkpoint)
+    if not path.exists():
+        raise ReproError(f"no such checkpoint: {path}")
+    try:
+        state = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt checkpoint {path}: {exc}") from exc
+    snapshot = (state.get("telemetry") or {}).get("snapshot")
+    if not snapshot:
+        raise ReproError(
+            f"checkpoint {path} holds no telemetry snapshot — run the "
+            f"watch with --metrics-port or --metrics-log so polls are "
+            f"instrumented (sidecar version {state.get('version')!r})")
+    verdict = health_from_snapshot(snapshot)
+    if args.json:
+        print(json.dumps(verdict, sort_keys=True, indent=2))
+    else:
+        print(render_health(verdict))
+    return 0 if verdict["status"] == "ok" else 1
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -557,7 +609,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "ASCII DFG")
     p.add_argument("--top", type=int, default=5,
                    help="rows in the change-diff summary")
+    p.add_argument("--metrics-port", type=_port_arg, default=None,
+                   metavar="PORT",
+                   help="serve Prometheus text on 127.0.0.1:PORT"
+                        "/metrics and a JSON health verdict on "
+                        "/healthz for the life of the watch (0 binds "
+                        "an ephemeral port, announced on stdout); "
+                        "turns telemetry on")
+    p.add_argument("--metrics-log", default=None, metavar="FILE",
+                   help="append one JSON telemetry snapshot per poll "
+                        "to FILE (the offline twin of --metrics-port "
+                        "for hosts nothing scrapes); turns telemetry "
+                        "on")
     p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser("health",
+                       help="render the health verdict from a watch "
+                            "checkpoint's persisted telemetry snapshot")
+    p.add_argument("checkpoint", help="checkpoint sidecar written by "
+                                      "an instrumented watch (v5+)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw JSON verdict instead of the "
+                        "readable rendering")
+    p.set_defaults(fn=cmd_health)
 
     p = sub.add_parser("validate",
                        help="check the log against the Sec. III/IV "

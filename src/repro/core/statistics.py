@@ -389,6 +389,15 @@ class StatsAccumulator:
         """Denominator of Eq. 8 over everything folded so far."""
         return sum(acc.dur_sum for acc in self._activities.values())
 
+    def n_buffered_intervals(self) -> int:
+        """Interval entries held across all per-case buffers — the
+        memory the ``window`` cap bounds, surfaced as the
+        ``interval_buffer_entries`` telemetry gauge so an operator can
+        watch residency against the cap instead of guessing."""
+        return sum(len(buffer)
+                   for acc in self._activities.values()
+                   for buffer in acc._case_timelines.values())
+
     def _accumulator(self, activity: str) -> ActivityAccumulator:
         acc = self._activities.get(activity)
         if acc is None:

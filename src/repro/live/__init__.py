@@ -28,17 +28,21 @@ Layering (bottom → top):
   Sec. IV-B node annotations at O(delta); snapshot/diff views reuse
   :mod:`repro.core.diff` and :mod:`repro.core.coloring`.
 - :mod:`repro.live.checkpoint` — JSON sidecar serialization of the
-  full follower + graph + statistics state (version 2), so a killed
-  watcher restarts from the recorded byte offsets instead of
-  re-parsing gigabytes, with statistics still covering the full run.
+  full follower + graph + statistics state, so a killed watcher
+  restarts from the recorded byte offsets instead of re-parsing
+  gigabytes, with statistics still covering the full run.
 - :mod:`repro.live.watch` — the ``st-inspector watch`` refresh loop:
   periodic ASCII summary with change highlighting, an alert pane, and
   a sealing-starvation note in the status line.
 
-Sitting on top (separate package, evaluated by the watch loop):
+Sitting on top (separate packages, wired in by the watch loop):
 :mod:`repro.alerts` turns refresh deltas into *pages* — declarative
 threshold rules (``watch --rules rules.toml``) whose latches and fired
-history persist in the same checkpoint sidecar (version 3).
+history persist in the same checkpoint sidecar — and
+:mod:`repro.telemetry` makes the watcher itself observable: per-phase
+poll spans, a Prometheus-scrapeable metrics registry whose monotonic
+counters also persist in the sidecar, and a ``/healthz`` verdict
+(``watch --metrics-port``).
 """
 
 from repro.live.tail import FileTail

@@ -25,6 +25,10 @@ already-parsed byte:
   ``--emit``-journal bytes were fsynced when this sidecar was saved,
   so a restore can cut the journal back to exactly the records the
   restored engine state accounts for (:mod:`repro.live.emit`);
+- the telemetry snapshot (since v5): the monotonic counters and
+  histogram totals of an attached :class:`~repro.telemetry.Telemetry`,
+  restored as *bases* so scraped rates see a kill/restart as a flat
+  spot, not a counter reset (``LiveIngest(telemetry=...)``);
 - engine counters and the settings the state depends on (mapping name,
   recursiveness, strictness), which are checked on load — resuming a
   checkpoint under a different mapping would silently corrupt the
@@ -75,14 +79,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: across restarts); v3 added the alert state (rule latches + fired
 #: history); v4 replaced per-case rate lists with exact-sum partials,
 #: added cooldown timestamps + compacted alert history, and the
-#: emit-journal offset. v2/v3 sidecars still load — see
-#: :func:`restore_engine`.
-CHECKPOINT_VERSION = 4
+#: emit-journal offset; v5 added the telemetry snapshot (monotonic
+#: counter/histogram bases, so scraped rates survive kill/restart).
+#: v2–v4 sidecars still load — see :func:`restore_engine`.
+CHECKPOINT_VERSION = 5
 
 #: Versions :func:`restore_engine` can load. v2 lacks only the alert
-#: state, which legitimately starts empty; v3 lacks only the v4
-#: additions, all of which upgrade in place.
-_LOADABLE_VERSIONS = frozenset({2, 3, CHECKPOINT_VERSION})
+#: state, which legitimately starts empty; v3/v4 lack only later
+#: additions, all of which upgrade in place (a pre-v5 sidecar simply
+#: has no telemetry history — counters start their base at zero,
+#: which is what was true when it was written).
+_LOADABLE_VERSIONS = frozenset({2, 3, 4, CHECKPOINT_VERSION})
 
 
 def _record_to_state(record: ParsedRecord) -> dict:
@@ -162,6 +169,7 @@ def engine_state(engine: "LiveIngest") -> dict:
         "dfg": engine.incremental.to_state(),
         "stats": engine.stats.to_state(),
         "alerts": _alert_state(engine),
+        "telemetry": _telemetry_state(engine),
     }
 
 
@@ -177,6 +185,16 @@ def _alert_state(engine: "LiveIngest") -> dict:
     if engine._alert_state is not None:
         return engine._alert_state
     return empty_alert_state()
+
+
+def _telemetry_state(engine: "LiveIngest") -> dict | None:
+    """The telemetry state to persist: the live snapshot when
+    telemetry is on, the stashed previous-life state when it is off
+    (a watch restarted without --metrics-* must not erase the counter
+    history a previous life accumulated), else nothing."""
+    if engine.telemetry.enabled:
+        return engine.telemetry.to_state()
+    return engine._telemetry_state
 
 
 def restore_engine(engine: "LiveIngest", state: dict) -> None:
@@ -229,11 +247,18 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
     engine._alert_state = alert_state
     if engine.alerts is not None:
         engine.alerts.restore_state(alert_state)
+    # v4 → v5 upgrade in place: pre-telemetry sidecars hold no
+    # telemetry state; the bases legitimately start at zero.
+    telemetry_state = state.get("telemetry")
+    engine._telemetry_state = telemetry_state
+    if engine.telemetry.enabled:
+        engine.telemetry.restore_state(telemetry_state)
     for tail_state in state["files"]:
         tail = _tail_from_state(tail_state, engine.directory,
                                 engine.strict)
         engine._tails[tail.path] = tail
         engine._case_paths[tail.name.case_id] = tail.path
+        tail.telemetry = engine.telemetry
 
 
 def save_checkpoint(engine: "LiveIngest",

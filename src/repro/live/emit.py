@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING
 
 from repro._util.errors import ReproError
 from repro.strace.naming import TraceFileName
+from repro.telemetry.spans import NULL_TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.live.engine import LiveIngest
@@ -56,7 +57,10 @@ class EmitJournal:
     the same watch (delete both to start over).
     """
 
-    def __init__(self, elog_path: str | os.PathLike[str]) -> None:
+    def __init__(self, elog_path: str | os.PathLike[str], *,
+                 telemetry=None) -> None:
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         self.elog_path = Path(elog_path)
         self.journal_path = self.elog_path.with_name(
             self.elog_path.name + ".journal")
@@ -93,6 +97,7 @@ class EmitJournal:
                 if self.journal_path.exists() else 0
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        self.telemetry.count("journal_fsyncs_total")
         return self._handle.tell()
 
     def truncate_to(self, offset: int) -> None:

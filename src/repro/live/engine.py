@@ -56,6 +56,7 @@ from repro.core.mapping import CallTopDirs, Mapping, mapping_from_callable
 from repro.core.statistics import IOStatistics, StatsAccumulator
 from repro.live.tail import FileTail
 from repro.strace.naming import TraceFileName
+from repro.telemetry.spans import NULL_TELEMETRY
 from repro.strace.parser import ParsedRecord
 from repro.strace.reader import TraceCase, discover_trace_files
 
@@ -158,6 +159,14 @@ class LiveIngest:
         pass it *before* construction and a resumed sidecar restores
         the alert state into it — restarted watchers neither re-fire
         nor forget fired alerts.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` recording
+        per-phase poll timings and pipeline counters (see
+        :mod:`repro.telemetry`). Defaults to the shared no-op
+        instance, so the uninstrumented hot path is unchanged.
+        Attached here (like ``alerts``) so checkpoints can persist
+        the monotonic counters: a resumed sidecar restores them as
+        bases and scraped rates survive kill/restart.
 
     Unlike batch discovery, an empty (not-yet-populated) directory is
     a normal state for a watcher:
@@ -183,7 +192,8 @@ class LiveIngest:
                  window: int | None = None,
                  emit: str | os.PathLike[str] | None = None,
                  checkpoint: str | os.PathLike[str] | None = None,
-                 alerts: "AlertEngine | None" = None) -> None:
+                 alerts: "AlertEngine | None" = None,
+                 telemetry=None) -> None:
         self.directory = Path(directory)
         self.mapping = mapping_from_callable(
             mapping if mapping is not None else CallTopDirs(levels=2))
@@ -211,15 +221,20 @@ class LiveIngest:
         # live analogue of the batch broadcast in eventlog._apply_mapping.
         self._activity_memo: dict[tuple[str, str | None], str | None] = {}
         self.alerts = alerts
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
         # Alert state carried verbatim from a loaded sidecar when no
         # AlertEngine is attached this life, so a watch restarted
         # without --rules still re-saves (and never loses) the alert
-        # history a previous life accumulated.
+        # history a previous life accumulated. Telemetry state gets
+        # the same treatment for watches restarted with telemetry off.
         self._alert_state: dict | None = None
+        self._telemetry_state: dict | None = None
         if emit is not None:
             from repro.live.emit import EmitJournal
 
-            self.emit_journal: "EmitJournal | None" = EmitJournal(emit)
+            self.emit_journal: "EmitJournal | None" = EmitJournal(
+                emit, telemetry=self.telemetry)
         else:
             self.emit_journal = None
         self.checkpoint_path = Path(checkpoint) if checkpoint else None
@@ -261,9 +276,12 @@ class LiveIngest:
 
     def poll(self) -> PollResult:
         """One incremental pass: discover, tail, map, fold."""
+        telemetry = self.telemetry
         self.n_polls += 1
         result = PollResult(n_poll=self.n_polls)
-        for path, name in self.scan():
+        with telemetry.phase("scan"):
+            found = self.scan()
+        for path, name in found:
             tail = self._tail_for(path, name, result)
             before = tail.offset
             sealed = tail.poll()
@@ -272,6 +290,8 @@ class LiveIngest:
                 self._absorb(name, sealed)
                 result.sealed[name.case_id] = len(sealed)
         self._fill_result(result)
+        if telemetry.enabled:
+            self._count_poll(result)
         return result
 
     def finalize(self) -> PollResult:
@@ -281,9 +301,12 @@ class LiveIngest:
         semantics), and fold the remaining buffered records. After
         this, snapshots equal batch ingestion of the final directory.
         """
+        telemetry = self.telemetry
         self.n_polls += 1
         result = PollResult(n_poll=self.n_polls)
-        for path, name in self.scan():
+        with telemetry.phase("scan"):
+            found = self.scan()
+        for path, name in found:
             tail = self._tail_for(path, name, result)
             if tail.finished:  # repeated finalize is a no-op per file
                 continue
@@ -294,6 +317,9 @@ class LiveIngest:
                 self._absorb(name, sealed)
                 result.sealed[name.case_id] = len(sealed)
         self._fill_result(result)
+        if telemetry.enabled:
+            telemetry.count("finalizes_total")
+            self._count_poll(result)
         return result
 
     def _tail_for(self, path: Path, name: TraceFileName,
@@ -301,10 +327,12 @@ class LiveIngest:
         """The follower of a discovered file, registering new ones."""
         tail = self._tails.get(path)
         if tail is None:
-            tail = FileTail(path, name, strict=self.strict)
+            tail = FileTail(path, name, strict=self.strict,
+                            telemetry=self.telemetry)
             self._tails[path] = tail
             self._case_paths[name.case_id] = path
             result.new_files.append(name.case_id)
+            self.telemetry.count("files_discovered_total")
         return tail
 
     def _fill_result(self, result: PollResult) -> None:
@@ -315,24 +343,38 @@ class LiveIngest:
         result.n_buffered = sum(t.merger.n_buffered
                                 for t in self._tails.values())
 
+    def _count_poll(self, result: PollResult) -> None:
+        """Pipeline counters/gauges for one completed poll (telemetry
+        on only — the null facade never reaches this)."""
+        telemetry = self.telemetry
+        telemetry.count("polls_total")
+        if result.n_sealed:
+            telemetry.count("events_sealed_total", result.n_sealed)
+        if result.n_bytes:
+            telemetry.count("bytes_tailed_total", result.n_bytes)
+        telemetry.gauge_set("files_tracked", result.n_files)
+
     def _absorb(self, name: TraceFileName, sealed: list[ParsedRecord],
                 ) -> None:
+        telemetry = self.telemetry
         case_id = name.case_id
         if self.keep_records:
             self._records.setdefault(case_id, []).extend(sealed)
         if self.emit_journal is not None:
-            self.emit_journal.append(name, sealed)
+            with telemetry.phase("emit"):
+                self.emit_journal.append(name, sealed)
         self.total_events += len(sealed)
         rid = name.rid
         feed = self.stats.feed_event
         activities: list[str] = []
-        for record, activity in self._map_records(name, sealed):
-            if activity is None:
-                continue
-            activities.append(activity)
-            feed(activity, case_id, rid=rid, start_us=record.start_us,
-                 dur_us=record.dur_us, size=record.size)
-        self.incremental.extend_case(case_id, activities)
+        with telemetry.phase("fold"):
+            for record, activity in self._map_records(name, sealed):
+                if activity is None:
+                    continue
+                activities.append(activity)
+                feed(activity, case_id, rid=rid, start_us=record.start_us,
+                     dur_us=record.dur_us, size=record.size)
+            self.incremental.extend_case(case_id, activities)
 
     def _map_records(self, name: TraceFileName,
                      records: list[ParsedRecord],
@@ -378,7 +420,8 @@ class LiveIngest:
         activity therefore costs O(its history) per refresh, still
         far below rebuilding the whole snapshot log).
         """
-        return self.stats.statistics(case_order=self._case_order())
+        with self.telemetry.phase("stats"):
+            return self.stats.statistics(case_order=self._case_order())
 
     def _case_order(self) -> list[str]:
         """Case ids in sorted-path order — the batch interning order of
@@ -455,7 +498,10 @@ class LiveIngest:
         if target is None:
             raise ReproError(
                 "no checkpoint path: pass one here or at construction")
-        return save_checkpoint(self, target)
+        with self.telemetry.phase("checkpoint"):
+            saved = save_checkpoint(self, target)
+        self.telemetry.count("checkpoint_saves_total")
+        return saved
 
     def pack_emit(self) -> Path:
         """Write the ``--emit`` destination ``.elog`` from the durable

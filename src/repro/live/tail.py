@@ -38,6 +38,7 @@ from repro.strace.naming import TraceFileName
 from repro.strace.parser import ParsedRecord
 from repro.strace.resume import IncrementalMerger
 from repro.strace.tokenizer import Token, tokenize_line
+from repro.telemetry.spans import NULL_TELEMETRY
 
 
 class FileTail:
@@ -57,11 +58,12 @@ class FileTail:
     """
 
     __slots__ = ("path", "name", "strict", "default_pid", "offset",
-                 "carry", "lineno", "merger", "finished")
+                 "carry", "lineno", "merger", "finished", "telemetry")
 
     def __init__(self, path: str | os.PathLike[str],
                  name: TraceFileName | None = None, *,
-                 strict: bool = True, default_pid: int = 0) -> None:
+                 strict: bool = True, default_pid: int = 0,
+                 telemetry=None) -> None:
         from repro.strace.naming import parse_trace_filename
 
         self.path = Path(path)
@@ -73,6 +75,8 @@ class FileTail:
         self.lineno = 0
         self.merger = IncrementalMerger(path=str(self.path), strict=strict)
         self.finished = False
+        self.telemetry = telemetry if telemetry is not None \
+            else NULL_TELEMETRY
 
     # -- polling -----------------------------------------------------------
 
@@ -106,12 +110,14 @@ class FileTail:
                 path=str(self.path))
         if size == self.offset:
             return []
+        telemetry = self.telemetry
         records: list[ParsedRecord] = []
         with open(self.path, "rb") as handle:
             handle.seek(self.offset)
             remaining = size - self.offset
             while remaining:
-                chunk = handle.read(min(_CHUNK_BYTES, remaining))
+                with telemetry.phase("tail"):
+                    chunk = handle.read(min(_CHUNK_BYTES, remaining))
                 if not chunk:
                     raise TraceParseError(
                         f"trace file shrank to {self.offset} bytes "
@@ -120,7 +126,10 @@ class FileTail:
                         path=str(self.path))
                 remaining -= len(chunk)
                 self.offset += len(chunk)
-                records.extend(self.merger.feed(self._split_lines(chunk)))
+                with telemetry.phase("decode"):
+                    tokens = self._split_lines(chunk)
+                with telemetry.phase("seal"):
+                    records.extend(self.merger.feed(tokens))
         return records
 
     def finish(self) -> list[ParsedRecord]:
@@ -135,11 +144,13 @@ class FileTail:
         if carry.endswith(b"\r"):  # lone '\r' at EOF terminates the line
             carry = carry[:-1]
         if carry:
-            token = self._tokenize(carry)
+            with self.telemetry.phase("decode"):
+                token = self._tokenize(carry)
             if token is not None:
                 tokens.append(token)
-        records = self.merger.feed(tokens) if tokens else []
-        return records + self.merger.finish()
+        with self.telemetry.phase("seal"):
+            records = self.merger.feed(tokens) if tokens else []
+            return records + self.merger.finish()
 
     # -- internals ---------------------------------------------------------
 

@@ -24,9 +24,11 @@ it without a terminal or a clock; the CLI passes the defaults.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING, Callable
 
+from repro._util.errors import ReproError
 from repro.core.coloring import PartitionColoring
 from repro.core.dfg import DFG
 from repro.core.diff import DFGDiff
@@ -35,6 +37,7 @@ from repro.live.engine import LiveIngest, PollResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.alerts import Alert
+    from repro.telemetry.spans import PollSpan
 
 
 class WatchView:
@@ -59,6 +62,9 @@ class WatchView:
         """
         engine = self.engine
         lines = [self._status_line(result)]
+        telemetry_row = self._telemetry_line()
+        if telemetry_row:
+            lines.append(telemetry_row)
         if alerts:
             lines.append(self._alerts_pane(alerts))
         if result.changed or self._baseline is None:
@@ -98,6 +104,31 @@ class WatchView:
         return (f", sealing starved: {len(ages)} file(s), "
                 f"worst {worst} at {ages[worst] / 1e6:.3f}s")
 
+    def _telemetry_line(self) -> str:
+        """One TELEMETRY row under the status line when the engine is
+        instrumented: the completed poll's wall/CPU time, its heaviest
+        phases, and the two tallies an operator wants at a glance
+        (cadence overruns, sink failures). Empty — no row at all —
+        when telemetry is off, keeping the uninstrumented rendering
+        byte-identical."""
+        telemetry = self.engine.telemetry
+        span = telemetry.last_span
+        if span is None:
+            return ""
+        top = ", ".join(f"{p.name} {p.wall_s * 1e3:.1f}ms"
+                        for p in span.top_phases(3))
+        registry = telemetry.registry
+        overruns = registry.counter("poll_overruns_total").value
+        failures = registry.counter_sum("sink_failures_total")
+        extras = ""
+        if overruns:
+            extras += f", overruns {int(overruns)}"
+        if failures:
+            extras += f", sink failures {int(failures)}"
+        return (f"  TELEMETRY: poll {span.wall_s * 1e3:.1f}ms wall / "
+                f"{span.cpu_s * 1e3:.1f}ms cpu"
+                + (f" [{top}]" if top else "") + extras)
+
     def _alerts_pane(self, alerts: "list[Alert]") -> str:
         total = (self.engine.alerts.n_fired
                  if self.engine.alerts is not None else len(alerts))
@@ -131,6 +162,8 @@ def run_watch(engine: LiveIngest, *,
               show_dfg: bool = True,
               show_stats: bool = True,
               top: int = 5,
+              metrics_port: int | None = None,
+              metrics_log: str | os.PathLike[str] | None = None,
               out: Callable[[str], None] = print,
               sleep: Callable[[float], None] = time.sleep,
               clock: Callable[[], float] = time.monotonic) -> int:
@@ -168,27 +201,72 @@ def run_watch(engine: LiveIngest, *,
     ``.elog`` is packed from the durable journal on *every* exit path
     (poll budget exhausted or ^C), so the file on disk always reflects
     everything sealed up to the stop.
+
+    Telemetry (engine constructed with ``telemetry=``): every loop
+    iteration is one :class:`~repro.telemetry.PollSpan` covering poll,
+    alert evaluation and the checkpoint save; the rendering phase is
+    timed into the cumulative histograms but deliberately sits outside
+    the span, so the TELEMETRY row describes the poll it belongs to.
+    ``metrics_port`` serves ``/metrics`` + ``/healthz`` from a daemon
+    thread for the life of the loop (``0`` binds an ephemeral port,
+    announced via ``out``); ``metrics_log`` appends one JSON snapshot
+    line per poll. Both require an instrumented engine. A poll whose
+    work overran the interval logs a structured ``OVERRUN`` line —
+    with the span's phase breakdown when telemetry is on — instead of
+    silently re-anchoring the cadence.
     """
+    telemetry = engine.telemetry
+    if (metrics_port is not None or metrics_log is not None) \
+            and not telemetry.enabled:
+        raise ReproError(
+            "metrics exposition needs an instrumented engine: "
+            "construct LiveIngest(telemetry=Telemetry()) (the CLI "
+            "does this for --metrics-port/--metrics-log)")
+    server = None
+    if metrics_port is not None:
+        from repro.telemetry.exposition import MetricsServer
+
+        server = MetricsServer(telemetry, metrics_port)
+        out(f"serving metrics on http://{server.host}:{server.port}"
+            f"/metrics (health: /healthz)")
     view = WatchView(engine, show_dfg=show_dfg, show_stats=show_stats,
                      top=top)
     completed = 0
     try:
         deadline = clock()
         while True:
+            telemetry.begin_poll()
             result = engine.poll()
             fired = (engine.alerts.evaluate(engine, result)
                      if engine.alerts is not None else None)
-            out(view.refresh(result, fired))
             if engine.checkpoint_path is not None \
                     and (result.state_moved
                          or not engine.checkpoint_path.exists()
                          or fired):
                 engine.save_checkpoint()
+            if telemetry.enabled:
+                _record_engine_gauges(telemetry, engine)
+            span = telemetry.end_poll(result)
+            with telemetry.phase("render"):
+                text = view.refresh(result, fired)
+            out(text)
+            if metrics_log is not None:
+                from repro.telemetry.exposition import append_snapshot
+
+                append_snapshot(metrics_log, telemetry.snapshot())
             completed += 1
             if polls is not None and completed >= polls:
                 _pack_emit(engine, out)
                 return 0
-            deadline = max(clock(), deadline + interval)
+            due = deadline + interval
+            now = clock()
+            if interval > 0 and now > due:
+                telemetry.record_overrun(result.n_poll, now - due)
+                out(_overrun_line(result.n_poll, interval,
+                                  now - due, span))
+            else:
+                telemetry.record_cadence_ok()
+            deadline = max(now, due)
             delay = deadline - clock()
             if delay > 0:
                 sleep(delay)
@@ -200,6 +278,37 @@ def run_watch(engine: LiveIngest, *,
                else "no checkpoint written"))
         _pack_emit(engine, out)
         return 0
+    finally:
+        if server is not None:
+            server.close()
+
+
+def _record_engine_gauges(telemetry, engine: LiveIngest) -> None:
+    """Point-in-time engine gauges, refreshed once per poll (after the
+    checkpoint save, so they describe the state the sidecar holds)."""
+    ages = engine.watermark_ages()
+    telemetry.gauge_set("starving_files", len(ages))
+    telemetry.gauge_set(
+        "watermark_age_seconds",
+        max(ages.values()) / 1e6 if ages else 0.0)
+    telemetry.gauge_set("interval_buffer_entries",
+                        engine.stats.n_buffered_intervals())
+    telemetry.gauge_set("interval_buffer_window", engine.window or 0)
+    telemetry.update_rss()
+
+
+def _overrun_line(n_poll: int, interval: float, overshoot: float,
+                  span: "PollSpan | None") -> str:
+    """The structured overrun event: which poll, by how much, and —
+    when telemetry is on — where the time went."""
+    line = (f"OVERRUN poll {n_poll}: work exceeded the {interval:g}s "
+            f"interval by {overshoot:.3f}s; cadence re-anchored")
+    if span is not None:
+        breakdown = ", ".join(
+            f"{p.name} {p.wall_s:.3f}s" for p in span.top_phases(3))
+        if breakdown:
+            line += f" ({breakdown})"
+    return line
 
 
 def _pack_emit(engine: LiveIngest, out: Callable[[str], None]) -> None:

@@ -1,0 +1,154 @@
+"""Getting telemetry out of the process: Prometheus text + JSONL log.
+
+:func:`render_prometheus` turns a registry into the Prometheus text
+exposition format (version 0.0.4) — HELP/TYPE headers, cumulative
+``_bucket{le=...}`` histogram series, ``_sum``/``_count``. No client
+library: the format is a stable, trivially writable line protocol and
+the whole point of this package is zero dependencies.
+
+:class:`MetricsServer` serves ``/metrics`` and ``/healthz`` from a
+stdlib ``ThreadingHTTPServer`` on a daemon thread. It binds loopback
+by default — the watcher measures *itself*; exposing the port beyond
+the host is a deployment decision (SSH tunnel, sidecar proxy), not a
+default.
+
+:func:`append_snapshot` writes one JSON line per poll to the
+``--metrics-log`` file: the offline twin of the scrape endpoint, for
+runs on hosts where nothing scrapes (batch nodes behind a scheduler).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro._util.errors import ReproError
+from repro.telemetry.health import health_from_snapshot
+from repro.telemetry.metrics import PREFIX, MetricsRegistry, metric_spec
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels_text(labels: tuple, extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(str(v))}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for name, metrics in registry.families():
+        spec = metric_spec(name)
+        kind = spec[0]
+        full = PREFIX + name
+        lines.append(f"# HELP {full} {spec[1]}")
+        lines.append(f"# TYPE {full} {kind}")
+        for metric in metrics:
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                        list(metric.buckets) + [math.inf],
+                        metric.merged_counts()):
+                    cumulative += count
+                    le = _labels_text(
+                        metric.labels, f'le="{_format_value(bound)}"')
+                    lines.append(f"{full}_bucket{le} {cumulative}")
+                labels = _labels_text(metric.labels)
+                lines.append(
+                    f"{full}_sum{labels} "
+                    f"{_format_value(metric.merged_sum)}")
+                lines.append(
+                    f"{full}_count{labels} {metric.merged_count}")
+            else:
+                labels = _labels_text(metric.labels)
+                lines.append(
+                    f"{full}{labels} {_format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """``/metrics`` + ``/healthz`` on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    ``self.port`` after construction (tests and multi-watcher hosts).
+    The handler only *reads* telemetry — rendering takes the registry
+    lock per family, so a scrape races the poll loop by at most one
+    sample, never a torn line.
+    """
+
+    def __init__(self, telemetry, port: int,
+                 host: str = "127.0.0.1") -> None:
+        self._telemetry = telemetry
+
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = render_prometheus(
+                        outer._telemetry.registry).encode("utf-8")
+                    self._reply(200, body,
+                                "text/plain; version=0.0.4; "
+                                "charset=utf-8")
+                elif path == "/healthz":
+                    verdict = health_from_snapshot(
+                        outer._telemetry.snapshot())
+                    status = 503 if verdict["status"] == "failing" else 200
+                    body = json.dumps(
+                        verdict, sort_keys=True).encode("utf-8")
+                    self._reply(status, body, "application/json")
+                else:
+                    self._reply(404, b"not found\n", "text/plain")
+
+            def _reply(self, status: int, body: bytes,
+                       content_type: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes are routine; stderr belongs to alerts
+
+        try:
+            self._server = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as exc:
+            raise ReproError(
+                f"metrics server: cannot bind {host}:{port}: {exc}"
+            ) from exc
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="st-inspector-metrics", daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def append_snapshot(path: str | Path, snapshot: dict) -> None:
+    """Append one snapshot as a JSON line (the ``--metrics-log``)."""
+    line = json.dumps(snapshot, sort_keys=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")

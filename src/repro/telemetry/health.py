@@ -1,0 +1,99 @@
+"""The ``/healthz`` verdict: is this watcher keeping up?
+
+The verdict is computed **from a snapshot**, not from live objects —
+the same function serves the HTTP endpoint (live snapshot), the
+``st-inspector health`` subcommand (snapshot persisted in a
+checkpoint), and tests (hand-built snapshots). Three checks:
+
+``poll_overruns``
+    Consecutive polls whose work overran ``--interval``. One overrun
+    is load; a streak means the cadence has collapsed and every
+    "interval" is really "as fast as we can".
+
+``sinks``
+    Worst consecutive-failure streak across alert sinks. One failure
+    is a blip; a streak means pages are not being delivered.
+
+``sealing``
+    Worst watermark age across tracked files. A file whose tail ends
+    mid-call holds back its own sealing by design; an age beyond the
+    threshold means some producer died mid-write (or the format
+    assumption broke) and events are silently parked.
+
+Each check is ``ok`` below its warning threshold, ``warn`` below its
+failing threshold, ``fail`` at or beyond it. The overall status is
+``ok`` / ``degraded`` / ``failing`` — the worst check wins. The HTTP
+endpoint maps ``failing`` to a 503 so a dumb liveness prober works
+without parsing JSON.
+"""
+
+from __future__ import annotations
+
+#: check name -> (warn at >=, fail at >=), in the check's own unit.
+THRESHOLDS: dict[str, tuple[float, float]] = {
+    "poll_overruns": (1, 3),        # consecutive overruns
+    "sinks": (1, 3),                # consecutive delivery failures
+    "sealing": (60.0, 600.0),       # worst watermark age, trace seconds
+}
+
+_LEVELS = {"ok": 0, "warn": 1, "fail": 2}
+_STATUS = {0: "ok", 1: "degraded", 2: "failing"}
+
+
+def _grade(check: str, value: float) -> str:
+    warn_at, fail_at = THRESHOLDS[check]
+    if value >= fail_at:
+        return "fail"
+    if value >= warn_at:
+        return "warn"
+    return "ok"
+
+
+def _gauge(snapshot: dict, name: str) -> float:
+    for entry in snapshot.get("gauges", ()):
+        if entry.get("name") == name:
+            return float(entry.get("value", 0))
+    return 0.0
+
+
+def health_from_snapshot(snapshot: dict) -> dict:
+    """The health verdict for one telemetry snapshot (JSON-able)."""
+    values = {
+        "poll_overruns": _gauge(snapshot, "poll_overrun_streak"),
+        "sinks": _gauge(snapshot, "sink_failure_streak"),
+        "sealing": _gauge(snapshot, "watermark_age_seconds"),
+    }
+    checks = {}
+    worst = 0
+    for name, value in values.items():
+        grade = _grade(name, value)
+        worst = max(worst, _LEVELS[grade])
+        warn_at, fail_at = THRESHOLDS[name]
+        checks[name] = {"status": grade, "value": value,
+                        "warn_at": warn_at, "fail_at": fail_at}
+    return {
+        "status": _STATUS[worst],
+        "checks": checks,
+        "snapshot_unix_time": snapshot.get("unix_time"),
+        "last_poll": snapshot.get("last_poll"),
+    }
+
+
+def render_health(verdict: dict) -> str:
+    """Human-readable multi-line rendering (the ``health`` subcommand)."""
+    lines = [f"status: {verdict['status']}"]
+    for name, check in verdict["checks"].items():
+        lines.append(
+            f"  {name:<14} {check['status']:<5} value={check['value']:g} "
+            f"(warn>={check['warn_at']:g} fail>={check['fail_at']:g})")
+    last = verdict.get("last_poll")
+    if last:
+        phases = ", ".join(
+            f"{p['name']} {p['wall_s'] * 1000:.1f}ms"
+            for p in last.get("phases", ())[:3])
+        lines.append(
+            f"  last poll     #{last.get('n_poll', '?')} "
+            f"wall={last.get('wall_s', 0) * 1000:.1f}ms "
+            f"sealed={last.get('n_sealed', 0)}"
+            + (f" [{phases}]" if phases else ""))
+    return "\n".join(lines)

@@ -9,7 +9,8 @@ from pathlib import Path
 import pytest
 
 REPO = Path(__file__).resolve().parent.parent
-DOCS = ("docs/architecture.md", "docs/rules.md", "docs/cli.md")
+DOCS = ("docs/architecture.md", "docs/rules.md", "docs/cli.md",
+        "docs/observability.md")
 
 
 class TestDocsTree:

@@ -45,10 +45,16 @@ class TestRunWatch:
         poll; an overrun re-anchors instead of sleeping negatively."""
         _write_all(tmp_path, ls_file_bytes)
         naps: list[float] = []
+        events: list[str] = []
         now = [0.0]
         work = iter([0.25, 1.5, 0.125, 0.0])  # per-poll render cost
 
-        def out(_: str) -> None:
+        def out(text: str) -> None:
+            # The OVERRUN diagnostic is an extra out() between
+            # refreshes — announcement lines burn no render budget.
+            if text.startswith("OVERRUN"):
+                events.append(text)
+                return
             now[0] += next(work)
 
         def nap(delay: float) -> None:
@@ -62,6 +68,10 @@ class TestRunWatch:
         # poll 3 starts immediately (no nap), re-anchoring at 2.5.
         # Poll 3 works 0.125 → nap 0.875 to the re-anchored 3.5.
         assert naps == [0.75, 0.875]
+        # The overrun was announced, not silent: one structured event
+        # naming the poll and the overshoot.
+        assert events == ["OVERRUN poll 2: work exceeded the 1s "
+                          "interval by 0.500s; cadence re-anchored"]
 
     def test_changes_are_highlighted_between_refreshes(self, tmp_path,
                                                        ls_file_bytes):

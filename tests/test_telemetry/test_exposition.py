@@ -1,0 +1,134 @@
+"""Prometheus text rendering, the HTTP endpoint, the JSONL log."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro._util.errors import ReproError
+from repro.telemetry import (
+    MetricsServer,
+    Telemetry,
+    append_snapshot,
+    render_prometheus,
+)
+
+
+def build_telemetry() -> Telemetry:
+    telemetry = Telemetry(unix_clock=lambda: 1000.0)
+    telemetry.begin_poll()
+    telemetry.count("polls_total")
+    telemetry.count("events_sealed_total", 7)
+    telemetry.count("sink_failures_total", 2, sink="HttpSink#0")
+    telemetry.gauge_set("files_tracked", 3)
+    telemetry.observe("poll_seconds", 0.002)
+    telemetry.end_poll()
+    return telemetry
+
+
+class TestRenderPrometheus:
+    def test_help_type_and_prefix(self):
+        text = render_prometheus(build_telemetry().registry)
+        assert "# HELP st_inspector_polls_total " in text
+        assert "# TYPE st_inspector_polls_total counter" in text
+        assert "st_inspector_polls_total 1" in text
+        assert "st_inspector_files_tracked 3" in text
+
+    def test_labels_rendered(self):
+        text = render_prometheus(build_telemetry().registry)
+        assert ('st_inspector_sink_failures_total'
+                '{sink="HttpSink#0"} 2') in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(build_telemetry().registry)
+        lines = [line for line in text.splitlines()
+                 if line.startswith("st_inspector_poll_seconds_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert lines[-1].startswith(
+            'st_inspector_poll_seconds_bucket{le="+Inf"}')
+        # end_poll observed the (tiny) span wall too: 2 total.
+        assert counts[-1] == 2
+        assert "st_inspector_poll_seconds_count 2" in text
+
+    def test_label_values_are_escaped(self):
+        telemetry = Telemetry()
+        telemetry.count("sink_failures_total", sink='a"b\\c\nd')
+        text = render_prometheus(telemetry.registry)
+        assert r'{sink="a\"b\\c\nd"}' in text
+
+    def test_untouched_registry_renders_empty(self):
+        assert render_prometheus(Telemetry().registry) == "\n"
+
+
+class TestMetricsServer:
+    @pytest.fixture
+    def server(self):
+        telemetry = build_telemetry()
+        server = MetricsServer(telemetry, 0)  # ephemeral port
+        yield server, telemetry
+        server.close()
+
+    def _get(self, server: MetricsServer, path: str):
+        with urllib.request.urlopen(
+                f"http://{server.host}:{server.port}{path}",
+                timeout=5) as response:
+            return response.status, response.read(), response.headers
+
+    def test_metrics_endpoint(self, server):
+        server, _ = server
+        status, body, headers = self._get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4")
+        assert b"st_inspector_polls_total 1" in body
+
+    def test_healthz_ok(self, server):
+        server, _ = server
+        status, body, headers = self._get(server, "/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        verdict = json.loads(body)
+        assert verdict["status"] == "ok"
+        assert set(verdict["checks"]) == \
+            {"poll_overruns", "sinks", "sealing"}
+
+    def test_healthz_failing_is_503(self, server):
+        server, telemetry = server
+        for n in range(3):
+            telemetry.record_overrun(n + 1, 0.5)
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            self._get(server, "/healthz")
+        assert caught.value.code == 503
+        assert json.loads(caught.value.read())["status"] == "failing"
+
+    def test_unknown_path_is_404(self, server):
+        server, _ = server
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            self._get(server, "/nope")
+        assert caught.value.code == 404
+
+    def test_port_conflict_raises_repro_error(self, server):
+        server, telemetry = server
+        with pytest.raises(ReproError, match="cannot bind"):
+            MetricsServer(telemetry, server.port)
+
+
+class TestAppendSnapshot:
+    def test_appends_one_json_line_per_call(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        telemetry = build_telemetry()
+        append_snapshot(path, telemetry.snapshot())
+        telemetry.count("polls_total")
+        append_snapshot(path, telemetry.snapshot())
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert len(rows) == 2
+        totals = [
+            next(e["value"] for e in row["counters"]
+                 if e["name"] == "polls_total")
+            for row in rows]
+        assert totals == [1, 2]

@@ -1,0 +1,87 @@
+"""The health verdict: snapshot in, ok/degraded/failing out."""
+
+from __future__ import annotations
+
+from repro.telemetry import (
+    THRESHOLDS,
+    Telemetry,
+    health_from_snapshot,
+    render_health,
+)
+
+
+def snapshot_with(**gauges: float) -> dict:
+    return {"version": 1, "unix_time": 1000.0,
+            "counters": [], "histograms": [],
+            "gauges": [{"name": name, "labels": {}, "value": value}
+                       for name, value in gauges.items()],
+            "last_poll": None, "overrun_streak": 0}
+
+
+class TestVerdict:
+    def test_quiet_snapshot_is_ok(self):
+        verdict = health_from_snapshot(snapshot_with())
+        assert verdict["status"] == "ok"
+        assert all(check["status"] == "ok"
+                   for check in verdict["checks"].values())
+
+    def test_one_overrun_degrades(self):
+        verdict = health_from_snapshot(
+            snapshot_with(poll_overrun_streak=1))
+        assert verdict["status"] == "degraded"
+        assert verdict["checks"]["poll_overruns"]["status"] == "warn"
+
+    def test_overrun_streak_fails(self):
+        verdict = health_from_snapshot(
+            snapshot_with(poll_overrun_streak=3))
+        assert verdict["status"] == "failing"
+
+    def test_sink_streak_fails(self):
+        verdict = health_from_snapshot(
+            snapshot_with(sink_failure_streak=5))
+        assert verdict["status"] == "failing"
+        assert verdict["checks"]["sinks"]["status"] == "fail"
+
+    def test_sealing_age_grades_by_trace_seconds(self):
+        warn_at, fail_at = THRESHOLDS["sealing"]
+        assert health_from_snapshot(snapshot_with(
+            watermark_age_seconds=warn_at - 1))["status"] == "ok"
+        assert health_from_snapshot(snapshot_with(
+            watermark_age_seconds=warn_at))["status"] == "degraded"
+        assert health_from_snapshot(snapshot_with(
+            watermark_age_seconds=fail_at))["status"] == "failing"
+
+    def test_worst_check_wins(self):
+        verdict = health_from_snapshot(snapshot_with(
+            poll_overrun_streak=1,          # warn
+            sink_failure_streak=4))         # fail
+        assert verdict["status"] == "failing"
+
+    def test_live_snapshot_round_trips(self):
+        telemetry = Telemetry()
+        telemetry.begin_poll()
+        telemetry.count("polls_total")
+        telemetry.end_poll()
+        verdict = health_from_snapshot(telemetry.snapshot())
+        assert verdict["status"] == "ok"
+        assert verdict["last_poll"]["n_poll"] == 1
+
+
+class TestRenderHealth:
+    def test_renders_status_and_every_check(self):
+        text = render_health(health_from_snapshot(
+            snapshot_with(poll_overrun_streak=1)))
+        assert text.startswith("status: degraded")
+        for check in ("poll_overruns", "sinks", "sealing"):
+            assert check in text
+        assert "warn>=1" in text
+
+    def test_renders_the_last_poll_when_present(self):
+        telemetry = Telemetry()
+        telemetry.begin_poll()
+        with telemetry.phase("seal"):
+            pass
+        telemetry.end_poll()
+        text = render_health(health_from_snapshot(telemetry.snapshot()))
+        assert "last poll     #1" in text
+        assert "seal" in text
