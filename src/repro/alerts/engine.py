@@ -116,11 +116,14 @@ class AlertEngine:
     @classmethod
     def from_rules_file(cls, path: str | os.PathLike[str], *,
                         baseline: str | os.PathLike[str] | None = None,
+                        extra_sinks: "list[AlertSink] | None" = None,
                         ) -> "AlertEngine":
         """Build from a TOML/JSON rules file (see ``docs/rules.md``).
 
         ``baseline`` overrides the file's ``baseline =`` entry (the
-        CLI's ``--baseline`` flag). The configuration is
+        CLI's ``--baseline`` flag). ``extra_sinks`` are appended after
+        the file's ``[sinks]`` (the CLI's ``--alert-log`` jsonl sink,
+        a fleet job's per-job ``alert_log``). The configuration is
         :meth:`validate`-d before returning: a baseline-requiring rule
         without a baseline, or an unresolvable baseline source, fails
         here — at startup — not minutes into the first poll of a huge
@@ -128,7 +131,9 @@ class AlertEngine:
         """
         config = load_rules_file(path)
         chosen = baseline if baseline is not None else config.baseline
-        engine = cls(config.rules, sinks=config.sinks, baseline=chosen,
+        engine = cls(config.rules,
+                     sinks=[*config.sinks, *(extra_sinks or [])],
+                     baseline=chosen,
                      history_limit=config.history_limit)
         engine.validate()
         return engine

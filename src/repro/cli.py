@@ -16,8 +16,20 @@ Subcommands cover the full paper pipeline plus the simulator:
   (incremental ingestion, resumable ``--checkpoint``, declarative
   ``--rules`` alerting, Prometheus/health exposition via
   ``--metrics-port`` / ``--metrics-log``).
-- ``health <checkpoint>`` — offline health verdict from the telemetry
-  snapshot an instrumented watch persisted in its checkpoint.
+- ``fleet --jobs fleet.toml`` — live-monitor many trace directories
+  on one cooperative scheduler (:mod:`repro.fleet`): per-job
+  checkpoints/rules/emit, fault isolation with backoff restarts, one
+  shared metrics port with ``job``-labelled series.
+- ``health <checkpoint> [<checkpoint> ...]`` — offline health verdict
+  from the telemetry snapshots instrumented watches persisted in
+  their checkpoints; several paths aggregate worst-of (the fleet's
+  ``/healthz`` semantics).
+
+Exit codes: 0 success (for ``health``: every verdict ok), 2 a
+configuration/usage error (bad flags, missing files, malformed
+rules/fleet configs), 1 a runtime failure — a live loop that died
+mid-run (e.g. a tracked trace file vanished) or a non-ok health
+verdict.
 
 The full subcommand/flag reference lives in ``docs/cli.md``.
 
@@ -38,7 +50,6 @@ from repro._util.errors import ReproError
 from repro.core.coloring import PartitionColoring, StatisticsColoring
 from repro.core.dfg import DFG
 from repro.core.eventlog import EventLog
-from repro.core.mapping import CallOnly, CallPath, CallTopDirs, SiteVariables
 from repro.core.partition import PartitionEL
 from repro.core.render.viewer import DFGViewer
 from repro.core.statistics import IOStatistics
@@ -100,6 +111,19 @@ def _positive_int_arg(text: str) -> int:
     return value
 
 
+def _nonneg_int_arg(text: str) -> int:
+    """argparse type for ``--max-restarts``: an integer >= 0 (0 means
+    a failed job stops on its first failure, no restart attempts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {value})")
+    return value
+
+
 def _port_arg(text: str) -> int:
     """argparse type for ``--metrics-port``: 0 (ephemeral) – 65535."""
     try:
@@ -146,17 +170,9 @@ def _add_ingest_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _mapping(args: argparse.Namespace):
-    if args.mapping == "topdirs":
-        return CallTopDirs(levels=args.levels)
-    if args.mapping == "path":
-        return CallPath()
-    if args.mapping == "call":
-        return CallOnly()
-    if args.mapping == "site":
-        from repro.simulate.workloads.ior import JUWELS_SITE_VARIABLES
-        return SiteVariables(JUWELS_SITE_VARIABLES,
-                             extra_levels=args.levels - 1)
-    raise ReproError(f"unknown mapping {args.mapping!r}")
+    from repro.fleet.job import mapping_from_name
+
+    return mapping_from_name(args.mapping, args.levels)
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
@@ -373,60 +389,76 @@ def cmd_counters(args: argparse.Namespace) -> int:
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
-    from repro.live.engine import LiveIngest
+    from repro.fleet.job import JobSpec
     from repro.live.watch import run_watch
 
-    alerts = None
-    if args.rules:
-        from repro.alerts import AlertEngine, JsonlSink
-
-        # A malformed rules file raises AlertConfigError (a ReproError)
-        # naming the offending rule; main() turns it into exit 2.
-        alerts = AlertEngine.from_rules_file(args.rules,
-                                             baseline=args.baseline)
-        if args.alert_log:
-            alerts.add_sink(JsonlSink(args.alert_log))
-    elif args.alert_log or args.baseline:
-        raise ReproError(
-            "--alert-log/--baseline require --rules (no rules, "
-            "nothing to fire or compare)")
-    telemetry = None
-    if args.metrics_port is not None or args.metrics_log is not None:
-        from repro.telemetry import Telemetry
-
-        telemetry = Telemetry()
-    engine = LiveIngest(
-        args.directory,
-        mapping=_mapping(args),
-        strict=not args.lenient,
-        recursive=args.recursive,
-        # The graph and statistics are both maintained incrementally,
-        # so the watcher never needs the raw records: run every watch
-        # with the bounded-memory trade (use `convert` to persist the
-        # full event-log).
-        keep_records=False,
-        window=args.window,
-        emit=args.emit,
+    # JobSpec.build_engine is the old inline wiring, extracted: rules
+    # loading (a malformed file raises AlertConfigError naming the
+    # offending rule), sink flags, telemetry, checkpoint restore.
+    # Anything it raises is a *configuration* error → main() → exit 2.
+    spec = JobSpec(
+        source=args.directory,
+        interval=args.interval,
+        polls=1 if args.once else args.polls,
         checkpoint=args.checkpoint,
-        # Attached before checkpoint load so a resumed sidecar (v3)
-        # restores rule latches and alert history into it — and (v5)
-        # the telemetry counter bases.
-        alerts=alerts,
-        telemetry=telemetry,
+        rules=args.rules,
+        baseline=args.baseline,
+        alert_log=args.alert_log,
+        emit=args.emit,
+        window=args.window,
+        mapping=args.mapping,
+        levels=args.levels,
+        recursive=args.recursive,
+        lenient=args.lenient,
+        show_dfg=not args.no_dfg,
+        top=args.top,
+        telemetry=(args.metrics_port is not None
+                   or args.metrics_log is not None),
+        metrics_log=args.metrics_log,
     )
+    engine = spec.build_engine()
+    try:
+        return run_watch(engine, interval=args.interval,
+                         polls=spec.polls,
+                         show_dfg=spec.show_dfg, top=args.top,
+                         metrics_port=args.metrics_port,
+                         metrics_log=args.metrics_log)
+    except ReproError as exc:
+        # A failure *inside* the live loop (a tracked file vanishing,
+        # a torn trace) is a runtime error, not a usage error: exit 1,
+        # message instead of a traceback. The emit journal was already
+        # packed by run_watch's finally.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import load_fleet_config, run_fleet
+
+    # Config problems (missing file, bad keys, colliding write paths,
+    # missing trace directories, malformed rules) all surface here,
+    # before any poll → main() → exit 2.
+    specs = load_fleet_config(args.jobs)
     polls = 1 if args.once else args.polls
-    return run_watch(engine, interval=args.interval, polls=polls,
-                     show_dfg=not args.no_dfg, top=args.top,
-                     metrics_port=args.metrics_port,
-                     metrics_log=args.metrics_log)
+    jobs = []
+    for spec in specs:
+        spec = spec.with_overrides(
+            polls=polls,
+            telemetry=spec.telemetry or args.metrics_port is not None)
+        jobs.append(spec.build())
+    try:
+        return run_fleet(jobs, metrics_port=args.metrics_port,
+                         max_restarts=args.max_restarts)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
-def cmd_health(args: argparse.Namespace) -> int:
+def _health_verdict(path: Path) -> dict:
     import json
 
-    from repro.telemetry import health_from_snapshot, render_health
+    from repro.telemetry import health_from_snapshot
 
-    path = Path(args.checkpoint)
     if not path.exists():
         raise ReproError(f"no such checkpoint: {path}")
     try:
@@ -439,12 +471,37 @@ def cmd_health(args: argparse.Namespace) -> int:
             f"checkpoint {path} holds no telemetry snapshot — run the "
             f"watch with --metrics-port or --metrics-log so polls are "
             f"instrumented (sidecar version {state.get('version')!r})")
-    verdict = health_from_snapshot(snapshot)
+    return health_from_snapshot(snapshot)
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import render_health
+
+    verdicts = {str(path): _health_verdict(Path(path))
+                for path in args.checkpoints}
+    if len(verdicts) == 1:
+        # Single-checkpoint behavior is unchanged: plain verdict,
+        # no aggregation wrapper.
+        verdict = next(iter(verdicts.values()))
+        if args.json:
+            print(json.dumps(verdict, sort_keys=True, indent=2))
+        else:
+            print(render_health(verdict))
+        return 0 if verdict["status"] == "ok" else 1
+    from repro.telemetry.health import aggregate_health
+
+    combined = aggregate_health(verdicts)
     if args.json:
-        print(json.dumps(verdict, sort_keys=True, indent=2))
+        print(json.dumps(combined, sort_keys=True, indent=2))
     else:
-        print(render_health(verdict))
-    return 0 if verdict["status"] == "ok" else 1
+        for name, verdict in verdicts.items():
+            print(f"== {name}")
+            print(render_health(verdict))
+        print(f"fleet status: {combined['status']} "
+              f"({len(verdicts)} checkpoint(s), worst wins)")
+    return 0 if combined["status"] == "ok" else 1
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -623,11 +680,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "on")
     p.set_defaults(fn=cmd_watch)
 
+    p = sub.add_parser("fleet",
+                       help="run many watch jobs on one cooperative "
+                            "scheduler, from a fleet.toml")
+    p.add_argument("--jobs", required=True, metavar="FILE",
+                   help="fleet config (TOML, or *.json): top-level "
+                        "defaults fan out to every [jobs.NAME] table, "
+                        "per-job keys override (see docs/fleet.md)")
+    p.add_argument("--once", action="store_true",
+                   help="poll every job a single time and exit")
+    p.add_argument("--polls", type=_positive_int_arg, default=None,
+                   metavar="N",
+                   help="stop each job after N polls (default: run "
+                        "until ^C)")
+    p.add_argument("--metrics-port", type=_port_arg, default=None,
+                   metavar="PORT",
+                   help="serve every job's Prometheus series (tagged "
+                        "with a job=\"NAME\" label) on 127.0.0.1:PORT"
+                        "/metrics and the worst-of-jobs verdict on "
+                        "/healthz (0 binds an ephemeral port); turns "
+                        "telemetry on for every job")
+    p.add_argument("--max-restarts", type=_nonneg_int_arg,
+                   default=None, metavar="N",
+                   help="stop a job after N consecutive failed "
+                        "restart cycles instead of backing off "
+                        "forever (siblings keep running either way; "
+                        "default: unbounded)")
+    p.set_defaults(fn=cmd_fleet)
+
     p = sub.add_parser("health",
-                       help="render the health verdict from a watch "
-                            "checkpoint's persisted telemetry snapshot")
-    p.add_argument("checkpoint", help="checkpoint sidecar written by "
-                                      "an instrumented watch (v5+)")
+                       help="render the health verdict from watch "
+                            "checkpoints' persisted telemetry "
+                            "snapshots")
+    p.add_argument("checkpoints", nargs="+", metavar="checkpoint",
+                   help="checkpoint sidecar(s) written by "
+                        "instrumented watches (v5+); several "
+                        "aggregate worst-of, matching the fleet's "
+                        "/healthz")
     p.add_argument("--json", action="store_true",
                    help="print the raw JSON verdict instead of the "
                         "readable rendering")

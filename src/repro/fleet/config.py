@@ -1,0 +1,237 @@
+"""``fleet.toml`` — the declarative fleet definition.
+
+One file describes N watch jobs: top-level keys are *defaults* that
+fan out to every job (the shared rules file of the CI e2e, a common
+interval), ``[jobs.NAME]`` tables declare the jobs, and any key
+repeated inside a job table overrides the default for that job only.
+JSON is accepted for ``*.json`` paths (same shape), mirroring the
+rules loader.
+
+::
+
+    interval = 1.0
+    rules = "rules.toml"          # fans out to every job
+
+    [jobs.app1]
+    source = "traces/app1"
+    checkpoint = "app1.ckpt.json"
+
+    [jobs.app2]
+    source = "strace:traces/app2"
+    interval = 5.0                # override wins
+    emit = "app2.elog"
+
+Relative paths — ``source``, ``checkpoint``, ``emit``, ``alert_log``,
+``rules``, and path-shaped ``baseline`` specs — resolve against the
+directory of the config file, not the CWD, so a fleet file can live
+next to its trace tree and be launched from anywhere.
+
+Every validation error is a :class:`FleetConfigError` (a
+:class:`~repro._util.errors.ReproError`, so the CLI maps it to exit
+2) naming the offending job and key. Jobs writing to the same
+``checkpoint``/``emit``/``alert_log`` path are rejected up front —
+two engines appending to one journal corrupt it quietly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tomllib
+from pathlib import Path
+
+from repro._util.errors import ReproError
+from repro.fleet.job import JobSpec
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+#: Keys allowed at the top level (defaults fanning out to every job).
+DEFAULT_KEYS = ("interval", "rules", "baseline", "window", "mapping",
+                "levels", "recursive", "lenient", "dfg", "top")
+
+#: Keys allowed inside a ``[jobs.NAME]`` table.
+JOB_KEYS = DEFAULT_KEYS + ("source", "checkpoint", "emit", "alert_log")
+
+_MAPPINGS = ("topdirs", "path", "call", "site")
+
+
+class FleetConfigError(ReproError):
+    """A malformed fleet config — message names the job and key."""
+
+
+def _type_error(where: str, job: str | None, key: str,
+                want: str, got) -> FleetConfigError:
+    place = f"job {job!r}: " if job else ""
+    return FleetConfigError(
+        f"{where}: {place}key {key!r} must be {want} "
+        f"(got {got!r})")
+
+
+def _check_types(entry: dict, where: str, job: str | None) -> None:
+    for key, want, kinds in (
+            ("interval", "a number >= 0", (int, float)),
+            ("window", "an integer >= 2", (int,)),
+            ("levels", "an integer", (int,)),
+            ("top", "an integer >= 1", (int,)),
+            ("recursive", "a boolean", (bool,)),
+            ("lenient", "a boolean", (bool,)),
+            ("dfg", "a boolean", (bool,)),
+            ("source", "a string", (str,)),
+            ("rules", "a string", (str,)),
+            ("baseline", "a string", (str,)),
+            ("checkpoint", "a string", (str,)),
+            ("emit", "a string", (str,)),
+            ("alert_log", "a string", (str,)),
+            ("mapping", "a string", (str,))):
+        if key not in entry:
+            continue
+        value = entry[key]
+        # bool is an int subclass: a numeric key must not accept it.
+        if isinstance(value, bool) and bool not in kinds:
+            raise _type_error(where, job, key, want, value)
+        if not isinstance(value, kinds):
+            raise _type_error(where, job, key, want, value)
+    if "interval" in entry and entry["interval"] < 0:
+        raise _type_error(where, job, "interval", "a number >= 0",
+                          entry["interval"])
+    if "window" in entry and entry["window"] < 2:
+        raise _type_error(where, job, "window", "an integer >= 2",
+                          entry["window"])
+    if "top" in entry and entry["top"] < 1:
+        raise _type_error(where, job, "top", "an integer >= 1",
+                          entry["top"])
+    if "mapping" in entry and entry["mapping"] not in _MAPPINGS:
+        raise _type_error(where, job, "mapping",
+                          f"one of {_MAPPINGS}", entry["mapping"])
+
+
+def _resolve_path(base: Path, value: str | None) -> str | None:
+    if value is None:
+        return None
+    return str(base / value) if not os.path.isabs(value) else value
+
+
+def _resolve_source(base: Path, value: str) -> str:
+    """Join a path-shaped source spec onto the config directory,
+    preserving the scheme spelling (``strace:traces/a`` stays a
+    ``strace:`` URI; ``sim:`` and friends pass through untouched)."""
+    from repro.sources import parse_source_spec
+
+    spec = parse_source_spec(value)
+    if spec.scheme is None:
+        return _resolve_path(base, spec.target)
+    if spec.scheme in ("strace", "elog", "csv") \
+            and not os.path.isabs(spec.target):
+        options = "&".join(f"{k}={v}" for k, v in spec.options.items())
+        joined = f"{spec.scheme}:{base / spec.target}"
+        return f"{joined}?{options}" if options else joined
+    return value
+
+
+def parse_fleet_data(data: dict, *, where: str,
+                     base_dir: str | os.PathLike[str] = ".",
+                     ) -> list[JobSpec]:
+    """Validate an already-parsed config mapping into job specs.
+
+    Split from :func:`load_fleet_config` so the docs example in
+    ``docs/fleet.md`` can be parsed by the test suite without a file
+    on disk (the ``rules.md`` pattern).
+    """
+    base = Path(base_dir)
+    if not isinstance(data, dict):
+        raise FleetConfigError(
+            f"{where}: top level must be a table/object, "
+            f"got {type(data).__name__}")
+    unknown = sorted(set(data) - set(DEFAULT_KEYS) - {"jobs"})
+    if unknown:
+        raise FleetConfigError(
+            f"{where}: unknown top-level key(s) {unknown} — defaults "
+            f"are {sorted(DEFAULT_KEYS)}, jobs live under [jobs.NAME]")
+    defaults = {key: data[key] for key in DEFAULT_KEYS if key in data}
+    _check_types(defaults, where, None)
+    jobs_table = data.get("jobs")
+    if not isinstance(jobs_table, dict) or not jobs_table:
+        raise FleetConfigError(
+            f"{where}: no jobs — declare at least one [jobs.NAME] "
+            f"table with a source")
+    specs: list[JobSpec] = []
+    writers: dict[str, tuple[str, str]] = {}
+    for name, entry in jobs_table.items():
+        if not _NAME_RE.match(name):
+            raise FleetConfigError(
+                f"{where}: invalid job name {name!r} — use letters, "
+                f"digits, '.', '_' or '-'")
+        if not isinstance(entry, dict):
+            raise FleetConfigError(
+                f"{where}: job {name!r} must be a table/object, "
+                f"got {type(entry).__name__}")
+        unknown = sorted(set(entry) - set(JOB_KEYS))
+        if unknown:
+            raise FleetConfigError(
+                f"{where}: job {name!r}: unknown key(s) {unknown} — "
+                f"job keys are {sorted(JOB_KEYS)}")
+        _check_types(entry, where, name)
+        merged = {**defaults, **entry}
+        if "source" not in merged:
+            raise FleetConfigError(
+                f"{where}: job {name!r} has no source (the trace "
+                f"directory to watch)")
+        spec = JobSpec(
+            name=name,
+            source=_resolve_source(base, merged["source"]),
+            interval=float(merged.get("interval", 2.0)),
+            checkpoint=_resolve_path(base, merged.get("checkpoint")),
+            rules=_resolve_path(base, merged.get("rules")),
+            baseline=(_resolve_source(base, merged["baseline"])
+                      if merged.get("baseline") else None),
+            alert_log=_resolve_path(base, merged.get("alert_log")),
+            emit=_resolve_path(base, merged.get("emit")),
+            window=merged.get("window"),
+            mapping=merged.get("mapping", "topdirs"),
+            levels=merged.get("levels", 2),
+            recursive=merged.get("recursive", False),
+            lenient=merged.get("lenient", False),
+            show_dfg=merged.get("dfg", True),
+            top=merged.get("top", 5),
+        )
+        if spec.alert_log and not spec.rules:
+            raise FleetConfigError(
+                f"{where}: job {name!r} has alert_log but no rules "
+                f"(no rules, nothing to fire)")
+        if spec.baseline and not spec.rules:
+            raise FleetConfigError(
+                f"{where}: job {name!r} has baseline but no rules "
+                f"(no rules, nothing to compare)")
+        for key in ("checkpoint", "emit", "alert_log"):
+            value = getattr(spec, key)
+            if value is None:
+                continue
+            resolved = os.path.normpath(value)
+            if resolved in writers:
+                other, other_key = writers[resolved]
+                raise FleetConfigError(
+                    f"{where}: job {name!r} {key} {value!r} collides "
+                    f"with job {other!r} {other_key} — each job needs "
+                    f"its own write paths")
+            writers[resolved] = (name, key)
+        specs.append(spec)
+    return specs
+
+
+def load_fleet_config(path: str | os.PathLike[str]) -> list[JobSpec]:
+    """Load and validate a fleet file (TOML, or ``*.json``)."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise FleetConfigError(f"no such fleet config: {config_path}")
+    where = f"fleet config {config_path}"
+    try:
+        if config_path.suffix.lower() == ".json":
+            data = json.loads(config_path.read_text(encoding="utf-8"))
+        else:
+            with open(config_path, "rb") as handle:
+                data = tomllib.load(handle)
+    except (tomllib.TOMLDecodeError, json.JSONDecodeError) as exc:
+        raise FleetConfigError(f"{where}: parse error: {exc}") from exc
+    return parse_fleet_data(data, where=where,
+                            base_dir=config_path.parent)

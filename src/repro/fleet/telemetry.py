@@ -1,0 +1,49 @@
+"""One metrics endpoint for N jobs: the fleet telemetry provider.
+
+:class:`FleetTelemetry` is the object a
+:class:`~repro.telemetry.exposition.MetricsServer` serves when the
+fleet CLI gets ``--metrics-port``: ``render_metrics()`` merges every
+instrumented job's registry into one Prometheus exposition where each
+series carries a ``job`` label
+(:func:`~repro.telemetry.exposition.render_prometheus_fleet`), and
+``health_verdict()`` folds the per-job ``/healthz`` verdicts
+worst-of-jobs (:func:`~repro.telemetry.health.aggregate_health`) — a
+single ``failing`` job 503s the fleet endpoint, exactly what a
+liveness prober should see.
+
+The provider reads ``job.engine.telemetry`` *at scrape time*, not at
+construction: when the scheduler rebuilds a failed job the fresh
+engine's telemetry (counter bases restored from the job's checkpoint)
+is what the next scrape serves, with no re-registration step.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.telemetry.exposition import render_prometheus_fleet
+from repro.telemetry.health import aggregate_health, health_from_snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.job import WatchJob
+
+
+class FleetTelemetry:
+    """Duck-typed telemetry provider over a fleet's jobs."""
+
+    def __init__(self, jobs: "list[WatchJob]") -> None:
+        self._jobs = list(jobs)
+
+    def _instrumented(self):
+        return [(job.name, job.engine.telemetry) for job in self._jobs
+                if job.engine.telemetry.enabled]
+
+    def render_metrics(self) -> str:
+        return render_prometheus_fleet(
+            [(name, telemetry.registry)
+             for name, telemetry in self._instrumented()])
+
+    def health_verdict(self) -> dict:
+        return aggregate_health(
+            {name: health_from_snapshot(telemetry.snapshot())
+             for name, telemetry in self._instrumented()})

@@ -1,0 +1,47 @@
+"""The fleet presentation: interleaved per-job frames + status line.
+
+A fleet's stdout is N watch outputs interleaved by the scheduler, so
+every emitted line carries its job's name as a ``[name]`` prefix —
+strip the prefixes of one job's lines and you get exactly what a solo
+``st-inspector watch`` of that directory would have printed (the
+fleet ≡ independent-watchers equivalence is asserted that way).
+
+The status frame is one ``FLEET:`` line summarising every job's
+state and completed-poll count; the scheduler emits it at startup and
+on every state transition (``pending → running → failed → … → done``),
+so an operator tailing the stream can always reconstruct fleet health
+without parsing job frames.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fleet.job import WatchJob
+
+
+class FleetView:
+    """Stateless formatting of the interleaved multi-job stream."""
+
+    def frame(self, job: "WatchJob", text: str) -> str:
+        """One job refresh, every line tagged with the job name."""
+        body = text.rstrip("\n")
+        return "\n".join(f"[{job.name}] {line}"
+                         for line in body.split("\n")) + "\n"
+
+    def line(self, job: "WatchJob", line: str) -> str:
+        """One event line (overrun, failure, emit) tagged likewise."""
+        return f"[{job.name}] {line}"
+
+    def status_frame(self, jobs: "list[WatchJob]") -> str:
+        """The one-line fleet summary."""
+        parts = []
+        for job in jobs:
+            note = f"{job.state} {job.completed} poll(s)"
+            if job.failures:
+                note += f", {job.failures} failure(s)"
+            if job.restarts:
+                note += f", {job.restarts} restart(s)"
+            parts.append(f"{job.name} {note}")
+        return f"FLEET: {' | '.join(parts)}"

@@ -512,6 +512,15 @@ class LiveIngest:
                 "(the CLI's --emit)")
         return self.emit_journal.pack(self)
 
+    def close(self) -> None:
+        """Release held OS resources (the emit journal's append
+        handle). The engine object stays readable — statistics,
+        snapshots — but must not ingest further. Idempotent; the fleet
+        scheduler calls this before rebuilding a failed job so the
+        replacement engine is the journal's only appender."""
+        if self.emit_journal is not None:
+            self.emit_journal.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"LiveIngest({str(self.directory)!r}, "
                 f"{len(self._tails)} files, {self.total_events} events, "

@@ -37,7 +37,6 @@ from repro.live.engine import LiveIngest, PollResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.alerts import Alert
-    from repro.telemetry.spans import PollSpan
 
 
 class WatchView:
@@ -199,8 +198,8 @@ def run_watch(engine: LiveIngest, *,
 
     When the engine was constructed with ``emit=`` the destination
     ``.elog`` is packed from the durable journal on *every* exit path
-    (poll budget exhausted or ^C), so the file on disk always reflects
-    everything sealed up to the stop.
+    (poll budget exhausted, ^C, or an exception escaping the loop), so
+    the file on disk always reflects everything sealed up to the stop.
 
     Telemetry (engine constructed with ``telemetry=``): every loop
     iteration is one :class:`~repro.telemetry.PollSpan` covering poll,
@@ -214,7 +213,18 @@ def run_watch(engine: LiveIngest, *,
     work overran the interval logs a structured ``OVERRUN`` line —
     with the span's phase breakdown when telemetry is on — instead of
     silently re-anchoring the cadence.
+
+    Since the :mod:`repro.fleet` refactor this function is a one-job
+    fleet: the loop body lives in
+    :meth:`~repro.fleet.job.WatchJob.poll_once`, the cadence in
+    :class:`~repro.fleet.scheduler.FleetScheduler` (no view, no fault
+    isolation — exceptions propagate to the caller). The emitted
+    bytes are identical to the pre-refactor loop.
     """
+    # Lazy: repro.fleet.job imports WatchView from this module.
+    from repro.fleet.job import WatchJob
+    from repro.fleet.scheduler import FleetScheduler
+
     telemetry = engine.telemetry
     if (metrics_port is not None or metrics_log is not None) \
             and not telemetry.enabled:
@@ -229,91 +239,27 @@ def run_watch(engine: LiveIngest, *,
         server = MetricsServer(telemetry, metrics_port)
         out(f"serving metrics on http://{server.host}:{server.port}"
             f"/metrics (health: /healthz)")
-    view = WatchView(engine, show_dfg=show_dfg, show_stats=show_stats,
-                     top=top)
-    completed = 0
+    job = WatchJob(engine, interval=interval, polls=polls,
+                   show_dfg=show_dfg, show_stats=show_stats, top=top,
+                   metrics_log=metrics_log)
+    scheduler = FleetScheduler([job], out=out, sleep=sleep,
+                               clock=clock)
     try:
-        deadline = clock()
-        while True:
-            telemetry.begin_poll()
-            result = engine.poll()
-            fired = (engine.alerts.evaluate(engine, result)
-                     if engine.alerts is not None else None)
-            if engine.checkpoint_path is not None \
-                    and (result.state_moved
-                         or not engine.checkpoint_path.exists()
-                         or fired):
-                engine.save_checkpoint()
-            if telemetry.enabled:
-                _record_engine_gauges(telemetry, engine)
-            span = telemetry.end_poll(result)
-            with telemetry.phase("render"):
-                text = view.refresh(result, fired)
-            out(text)
-            if metrics_log is not None:
-                from repro.telemetry.exposition import append_snapshot
-
-                append_snapshot(metrics_log, telemetry.snapshot())
-            completed += 1
-            if polls is not None and completed >= polls:
-                _pack_emit(engine, out)
-                return 0
-            due = deadline + interval
-            now = clock()
-            if interval > 0 and now > due:
-                telemetry.record_overrun(result.n_poll, now - due)
-                out(_overrun_line(result.n_poll, interval,
-                                  now - due, span))
-            else:
-                telemetry.record_cadence_ok()
-            deadline = max(now, due)
-            delay = deadline - clock()
-            if delay > 0:
-                sleep(delay)
+        return scheduler.run()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
-        out(f"stopped after {completed} poll(s); "
+        out(f"stopped after {job.completed} poll(s); "
             + (f"checkpoint as of the last completed poll: "
                f"{engine.checkpoint_path}"
-               if engine.checkpoint_path is not None and completed
+               if engine.checkpoint_path is not None and job.completed
                else "no checkpoint written"))
-        _pack_emit(engine, out)
         return 0
     finally:
+        # Packs on *every* exit path — poll budget (already packed by
+        # the scheduler; idempotent no-op here), ^C (after the stop
+        # message), and an unexpected exception mid-watch: the durable
+        # journal always reaches the destination .elog.
+        packed = job.finalize()
+        if packed is not None:
+            out(f"emitted event log: {packed}")
         if server is not None:
             server.close()
-
-
-def _record_engine_gauges(telemetry, engine: LiveIngest) -> None:
-    """Point-in-time engine gauges, refreshed once per poll (after the
-    checkpoint save, so they describe the state the sidecar holds)."""
-    ages = engine.watermark_ages()
-    telemetry.gauge_set("starving_files", len(ages))
-    telemetry.gauge_set(
-        "watermark_age_seconds",
-        max(ages.values()) / 1e6 if ages else 0.0)
-    telemetry.gauge_set("interval_buffer_entries",
-                        engine.stats.n_buffered_intervals())
-    telemetry.gauge_set("interval_buffer_window", engine.window or 0)
-    telemetry.update_rss()
-
-
-def _overrun_line(n_poll: int, interval: float, overshoot: float,
-                  span: "PollSpan | None") -> str:
-    """The structured overrun event: which poll, by how much, and —
-    when telemetry is on — where the time went."""
-    line = (f"OVERRUN poll {n_poll}: work exceeded the {interval:g}s "
-            f"interval by {overshoot:.3f}s; cadence re-anchored")
-    if span is not None:
-        breakdown = ", ".join(
-            f"{p.name} {p.wall_s:.3f}s" for p in span.top_phases(3))
-        if breakdown:
-            line += f" ({breakdown})"
-    return line
-
-
-def _pack_emit(engine: LiveIngest, out: Callable[[str], None]) -> None:
-    """Pack the ``--emit`` destination on watch exit, if configured."""
-    if engine.emit_journal is None:
-        return
-    packed = engine.pack_emit()
-    out(f"emitted event log: {packed}")

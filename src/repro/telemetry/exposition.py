@@ -27,7 +27,8 @@ from pathlib import Path
 
 from repro._util.errors import ReproError
 from repro.telemetry.health import health_from_snapshot
-from repro.telemetry.metrics import PREFIX, MetricsRegistry, metric_spec
+from repro.telemetry.metrics import (METRICS, PREFIX, MetricsRegistry,
+                                     metric_spec)
 
 
 def _escape_label(value: str) -> str:
@@ -50,35 +51,64 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _render_family(lines: list[str], name: str,
+                   tagged: list[tuple[tuple, object]]) -> None:
+    """One metric family: a single HELP/TYPE header, then every series
+    — ``tagged`` pairs each metric with extra label pairs (the fleet's
+    ``job`` label; empty for a single-registry render)."""
+    spec = metric_spec(name)
+    kind = spec[0]
+    full = PREFIX + name
+    lines.append(f"# HELP {full} {spec[1]}")
+    lines.append(f"# TYPE {full} {kind}")
+    for extra, metric in tagged:
+        merged = tuple(sorted((*metric.labels, *extra)))
+        if kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(
+                    list(metric.buckets) + [math.inf],
+                    metric.merged_counts()):
+                cumulative += count
+                le = _labels_text(
+                    merged, f'le="{_format_value(bound)}"')
+                lines.append(f"{full}_bucket{le} {cumulative}")
+            labels = _labels_text(merged)
+            lines.append(
+                f"{full}_sum{labels} "
+                f"{_format_value(metric.merged_sum)}")
+            lines.append(
+                f"{full}_count{labels} {metric.merged_count}")
+        else:
+            labels = _labels_text(merged)
+            lines.append(
+                f"{full}{labels} {_format_value(metric.value)}")
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format 0.0.4."""
     lines: list[str] = []
     for name, metrics in registry.families():
-        spec = metric_spec(name)
-        kind = spec[0]
-        full = PREFIX + name
-        lines.append(f"# HELP {full} {spec[1]}")
-        lines.append(f"# TYPE {full} {kind}")
-        for metric in metrics:
-            if kind == "histogram":
-                cumulative = 0
-                for bound, count in zip(
-                        list(metric.buckets) + [math.inf],
-                        metric.merged_counts()):
-                    cumulative += count
-                    le = _labels_text(
-                        metric.labels, f'le="{_format_value(bound)}"')
-                    lines.append(f"{full}_bucket{le} {cumulative}")
-                labels = _labels_text(metric.labels)
-                lines.append(
-                    f"{full}_sum{labels} "
-                    f"{_format_value(metric.merged_sum)}")
-                lines.append(
-                    f"{full}_count{labels} {metric.merged_count}")
-            else:
-                labels = _labels_text(metric.labels)
-                lines.append(
-                    f"{full}{labels} {_format_value(metric.value)}")
+        _render_family(lines, name, [((), m) for m in metrics])
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus_fleet(
+        named: "list[tuple[str, MetricsRegistry]]") -> str:
+    """Many registries as one exposition, each series tagged with a
+    ``job`` label. One HELP/TYPE header per family (the text format
+    forbids repeats), families in declared :data:`METRICS` order,
+    series within a family ordered job-first — a fleet of N jobs
+    scrapes exactly like N watchers behind one endpoint."""
+    families: dict[str, list[tuple[tuple, object]]] = {}
+    for job, registry in named:
+        tag = (("job", job),)
+        for name, metrics in registry.families():
+            bucket = families.setdefault(name, [])
+            bucket.extend((tag, m) for m in metrics)
+    lines: list[str] = []
+    for name in METRICS:
+        if name in families:
+            _render_family(lines, name, families[name])
     return "\n".join(lines) + "\n"
 
 
@@ -90,6 +120,11 @@ class MetricsServer:
     The handler only *reads* telemetry — rendering takes the registry
     lock per family, so a scrape races the poll loop by at most one
     sample, never a torn line.
+
+    ``telemetry`` is either a single :class:`~repro.telemetry.Telemetry`
+    (``registry`` + ``snapshot()``) or a fleet provider exposing
+    ``render_metrics()`` / ``health_verdict()`` — one port serves a
+    whole :class:`~repro.fleet.FleetScheduler` that way.
     """
 
     def __init__(self, telemetry, port: int,
@@ -101,15 +136,21 @@ class MetricsServer:
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
                 path = self.path.split("?", 1)[0]
+                provider = outer._telemetry
                 if path == "/metrics":
-                    body = render_prometheus(
-                        outer._telemetry.registry).encode("utf-8")
-                    self._reply(200, body,
+                    if hasattr(provider, "render_metrics"):
+                        text = provider.render_metrics()
+                    else:
+                        text = render_prometheus(provider.registry)
+                    self._reply(200, text.encode("utf-8"),
                                 "text/plain; version=0.0.4; "
                                 "charset=utf-8")
                 elif path == "/healthz":
-                    verdict = health_from_snapshot(
-                        outer._telemetry.snapshot())
+                    if hasattr(provider, "health_verdict"):
+                        verdict = provider.health_verdict()
+                    else:
+                        verdict = health_from_snapshot(
+                            provider.snapshot())
                     status = 503 if verdict["status"] == "failing" else 200
                     body = json.dumps(
                         verdict, sort_keys=True).encode("utf-8")

@@ -79,6 +79,24 @@ def health_from_snapshot(snapshot: dict) -> dict:
     }
 
 
+_STATUS_LEVELS = {status: level for level, status in _STATUS.items()}
+
+
+def aggregate_health(verdicts: dict[str, dict]) -> dict:
+    """Fold per-job verdicts into one fleet verdict — worst job wins.
+
+    The same semantics back the fleet's ``/healthz`` endpoint and the
+    multi-checkpoint ``st-inspector health`` command: a fleet is only
+    ``ok`` when every job is, and a single ``failing`` job fails the
+    whole aggregate (one silent job is exactly what aggregation must
+    not hide). An empty fleet is vacuously ``ok``.
+    """
+    worst = 0
+    for verdict in verdicts.values():
+        worst = max(worst, _STATUS_LEVELS[verdict["status"]])
+    return {"status": _STATUS[worst], "jobs": dict(verdicts)}
+
+
 def render_health(verdict: dict) -> str:
     """Human-readable multi-line rendering (the ``health`` subcommand)."""
     lines = [f"status: {verdict['status']}"]

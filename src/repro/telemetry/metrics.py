@@ -74,6 +74,10 @@ METRICS: dict[str, tuple] = {
         "counter",
         "Polls whose work overran the interval, re-anchoring the "
         "watch cadence."),
+    "job_restarts_total": (
+        "counter",
+        "Fleet job restarts after a failed poll (scheduler fault "
+        "isolation)."),
     "phase_cpu_seconds_total": (
         "counter", "CPU seconds spent per poll phase.", None, ("phase",)),
     # gauges — point-in-time, not persisted

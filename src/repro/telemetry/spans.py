@@ -153,6 +153,9 @@ class NullTelemetry:
     def end_poll(self, result=None) -> None:
         return None
 
+    def abort_poll(self) -> None:
+        return None
+
     def phase(self, name: str) -> _NullContext:
         return _NULL_CONTEXT
 
@@ -219,6 +222,13 @@ class Telemetry:
         self.registry.histogram("poll_seconds").observe(span.wall_s)
         self.last_span = span
         return span
+
+    def abort_poll(self) -> None:
+        """Discard an open span after a failed poll (no observation —
+        a poll that raised measured nothing meaningful). The fleet
+        scheduler calls this before parking a job in ``failed`` state
+        so the next ``begin_poll`` does not trip the open-span guard."""
+        self._span = None
 
     # -- recording ------------------------------------------------------
 

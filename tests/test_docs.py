@@ -10,7 +10,7 @@ import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 DOCS = ("docs/architecture.md", "docs/rules.md", "docs/cli.md",
-        "docs/observability.md")
+        "docs/fleet.md", "docs/observability.md")
 
 
 class TestDocsTree:
@@ -67,3 +67,30 @@ class TestCopyPasteableRules:
         assert config.history_limit == 500
         assert any(rule.cooldown > 0 for rule in config.rules), \
             "the example should demonstrate cooldown"
+
+
+class TestCopyPasteableFleet:
+    def test_the_fleet_md_example_validates(self, tmp_path):
+        """The fenced fleet.toml in docs/fleet.md must load through
+        the real parser — a doc drift fails the suite."""
+        from repro.fleet import parse_fleet_data
+
+        text = (REPO / "docs/fleet.md").read_text(encoding="utf-8")
+        match = re.search(r"```toml\n(.*?)```", text, re.DOTALL)
+        assert match, "docs/fleet.md lost its ```toml example"
+        data = tomllib.loads(match.group(1))
+        specs = parse_fleet_data(data, where="docs/fleet.md example",
+                                 base_dir=tmp_path)
+        by_name = {spec.name: spec for spec in specs}
+        assert set(by_name) == {"app1", "app2", "app3"}
+        # The shared defaults fan out; per-job overrides win.
+        assert by_name["app1"].interval == 1.0
+        assert by_name["app2"].interval == 5.0
+        assert by_name["app1"].rules == str(tmp_path / "rules.toml")
+        assert by_name["app3"].rules == \
+            str(tmp_path / "app3-rules.toml")
+        # Scheme spelling is preserved, relative paths resolved.
+        assert by_name["app2"].source.startswith("strace:")
+        assert by_name["app2"].window == 512
+        assert by_name["app3"].alert_log == \
+            str(tmp_path / "app3-alerts.jsonl")

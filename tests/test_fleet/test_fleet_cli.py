@@ -1,0 +1,184 @@
+"""``st-inspector fleet`` / multi-checkpoint ``health`` / exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro._util.errors import ReproError
+from repro.cli import main
+from repro.live.engine import LiveIngest
+
+FAILING_SIDECAR = {
+    "version": 5,
+    "telemetry": {"snapshot": {
+        "gauges": [{"name": "poll_overrun_streak", "value": 5}],
+    }},
+}
+
+
+def _fleet_config(tmp_path, job_dir, names, extra=""):
+    """``extra`` lines are appended inside every job table."""
+    for name in names:
+        job_dir(name)
+    body = "".join(
+        f"[jobs.{name}]\nsource = \"{name}\"\n{extra}"
+        for name in names)
+    config = tmp_path / "fleet.toml"
+    config.write_text(body, encoding="utf-8")
+    return config
+
+
+class TestFleetCommand:
+    def test_once_interleaves_prefixed_frames(self, tmp_path, job_dir,
+                                              capsys):
+        config = _fleet_config(tmp_path, job_dir, ("app1", "app2"))
+        assert main(["fleet", "--jobs", str(config), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[app1] poll 1: " in out
+        assert "[app2] poll 1: " in out
+        assert ("FLEET: app1 pending 0 poll(s) | "
+                "app2 pending 0 poll(s)") in out
+        assert ("FLEET: app1 done 1 poll(s) | "
+                "app2 done 1 poll(s)") in out
+
+    def test_checkpoints_resume_across_runs(self, tmp_path, job_dir,
+                                            capsys):
+        config = _fleet_config(
+            tmp_path, job_dir, ("app1",),
+            extra='checkpoint = "app1.ckpt.json"\n')
+        assert main(["fleet", "--jobs", str(config), "--once"]) == 0
+        first = capsys.readouterr().out
+        assert "NODES" in first  # first run renders the full DFG
+        assert (tmp_path / "app1.ckpt.json").exists()
+        assert main(["fleet", "--jobs", str(config), "--once"]) == 0
+        second = capsys.readouterr().out
+        # The resumed run restored everything: poll numbering and the
+        # event total continue, and nothing is re-ingested.
+        assert "[app1] poll 2: 6 files, " in second
+        assert "75 events (+0 sealed" in second
+
+    def test_missing_config_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["fleet", "--jobs", str(tmp_path / "nope.toml")])
+        assert code == 2
+        assert "no such fleet config" in capsys.readouterr().err
+
+    def test_missing_trace_directory_is_a_usage_error(self, tmp_path,
+                                                      capsys):
+        config = tmp_path / "fleet.toml"
+        config.write_text('[jobs.a]\nsource = "missing"\n',
+                          encoding="utf-8")
+        code = main(["fleet", "--jobs", str(config)])
+        assert code == 2
+        assert "no such trace directory" in capsys.readouterr().err
+
+
+class TestWatchExitCodes:
+    def _poison_second_poll(self, monkeypatch):
+        real_poll = LiveIngest.poll
+        calls = {"n": 0}
+
+        def poll(self):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise ReproError("tracked trace file vanished")
+            return real_poll(self)
+
+        monkeypatch.setattr(LiveIngest, "poll", poll)
+
+    def test_runtime_failure_exits_1(self, monkeypatch, populated_dir,
+                                     capsys):
+        """A ReproError escaping the live loop is a *runtime* failure
+        (exit 1, message, no traceback) — distinct from the exit-2
+        configuration errors."""
+        self._poison_second_poll(monkeypatch)
+        code = main(["watch", str(populated_dir), "--polls", "2",
+                     "--interval", "0"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error: tracked trace file vanished" in captured.err
+        assert "poll 1: " in captured.out  # the first poll happened
+
+    def test_emit_packs_even_when_the_loop_dies(self, monkeypatch,
+                                                tmp_path,
+                                                populated_dir, capsys):
+        """The --emit journal reaches the destination .elog on the
+        exception path too, and the exit code still reports the
+        failure."""
+        self._poison_second_poll(monkeypatch)
+        emit = tmp_path / "run.elog"
+        code = main(["watch", str(populated_dir), "--polls", "2",
+                     "--interval", "0", "--emit", str(emit)])
+        assert code == 1
+        assert f"emitted event log: {emit}" in capsys.readouterr().out
+        assert emit.exists() and emit.stat().st_size > 0
+
+
+class TestMultiCheckpointHealth:
+    def _healthy_checkpoint(self, tmp_path, populated_dir, name):
+        path = tmp_path / name
+        assert main(["watch", str(populated_dir), "--once",
+                     "--checkpoint", str(path),
+                     "--metrics-log", str(tmp_path / f"{name}.mlog"),
+                     "--no-dfg"]) == 0
+        return path
+
+    def _failing_checkpoint(self, tmp_path, name):
+        path = tmp_path / name
+        path.write_text(json.dumps(FAILING_SIDECAR), encoding="utf-8")
+        return path
+
+    def test_all_ok_aggregates_to_ok(self, tmp_path, populated_dir,
+                                     capsys):
+        one = self._healthy_checkpoint(tmp_path, populated_dir,
+                                       "one.ckpt.json")
+        two = self._healthy_checkpoint(tmp_path, populated_dir,
+                                       "two.ckpt.json")
+        capsys.readouterr()
+        assert main(["health", str(one), str(two)]) == 0
+        out = capsys.readouterr().out
+        assert f"== {one}" in out and f"== {two}" in out
+        assert "fleet status: ok (2 checkpoint(s), worst wins)" in out
+
+    def test_worst_checkpoint_wins(self, tmp_path, populated_dir,
+                                   capsys):
+        good = self._healthy_checkpoint(tmp_path, populated_dir,
+                                        "good.ckpt.json")
+        bad = self._failing_checkpoint(tmp_path, "bad.ckpt.json")
+        capsys.readouterr()
+        assert main(["health", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert ("fleet status: failing (2 checkpoint(s), worst wins)"
+                in out)
+
+    def test_json_verdict_carries_per_checkpoint_detail(
+            self, tmp_path, populated_dir, capsys):
+        good = self._healthy_checkpoint(tmp_path, populated_dir,
+                                        "good.ckpt.json")
+        bad = self._failing_checkpoint(tmp_path, "bad.ckpt.json")
+        capsys.readouterr()
+        assert main(["health", str(good), str(bad), "--json"]) == 1
+        combined = json.loads(capsys.readouterr().out)
+        assert combined["status"] == "failing"
+        assert combined["jobs"][str(good)]["status"] == "ok"
+        assert combined["jobs"][str(bad)]["status"] == "failing"
+
+    def test_single_checkpoint_output_is_unwrapped(
+            self, tmp_path, populated_dir, capsys):
+        one = self._healthy_checkpoint(tmp_path, populated_dir,
+                                       "one.ckpt.json")
+        capsys.readouterr()
+        assert main(["health", str(one)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("status: ok")
+        assert "fleet status" not in out
+
+    def test_missing_checkpoint_is_a_usage_error(self, tmp_path,
+                                                 populated_dir,
+                                                 capsys):
+        one = self._healthy_checkpoint(tmp_path, populated_dir,
+                                       "one.ckpt.json")
+        capsys.readouterr()
+        code = main(["health", str(one),
+                     str(tmp_path / "ghost.ckpt.json")])
+        assert code == 2
+        assert "no such checkpoint" in capsys.readouterr().err

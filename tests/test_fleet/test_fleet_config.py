@@ -1,0 +1,206 @@
+"""``fleet.toml`` loading: fan-out defaults, overrides, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet import FleetConfigError, load_fleet_config
+from repro.fleet.config import parse_fleet_data
+
+
+def _write(tmp_path, text: str, name: str = "fleet.toml"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestFanOutAndOverrides:
+    def test_defaults_fan_out_and_per_job_overrides_win(self, tmp_path):
+        path = _write(tmp_path, """
+            interval = 1.5
+            rules = "shared-rules.toml"
+
+            [jobs.app1]
+            source = "traces/app1"
+            checkpoint = "app1.ckpt.json"
+
+            [jobs.app2]
+            source = "strace:traces/app2"
+            interval = 5.0
+            rules = "app2-rules.toml"
+            emit = "app2.elog"
+        """)
+        specs = load_fleet_config(path)
+        assert [spec.name for spec in specs] == ["app1", "app2"]
+        app1, app2 = specs
+        # The shared rules file fans out; the override wins.
+        assert app1.rules == str(tmp_path / "shared-rules.toml")
+        assert app2.rules == str(tmp_path / "app2-rules.toml")
+        assert app1.interval == 1.5
+        assert app2.interval == 5.0
+        # Relative paths resolve against the config file's directory,
+        # scheme spelling preserved.
+        assert app1.source == str(tmp_path / "traces/app1")
+        assert app2.source == f"strace:{tmp_path / 'traces/app2'}"
+        assert app1.checkpoint == str(tmp_path / "app1.ckpt.json")
+        assert app2.emit == str(tmp_path / "app2.elog")
+        assert app2.checkpoint is None
+
+    def test_absolute_paths_pass_through(self, tmp_path):
+        path = _write(tmp_path, f"""
+            [jobs.a]
+            source = "{tmp_path}/elsewhere"
+            checkpoint = "{tmp_path}/a.ckpt.json"
+        """)
+        (spec,) = load_fleet_config(path)
+        assert spec.source == f"{tmp_path}/elsewhere"
+        assert spec.checkpoint == f"{tmp_path}/a.ckpt.json"
+
+    def test_json_config_accepted(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps({
+            "interval": 3,
+            "jobs": {"only": {"source": "traces"}},
+        }), encoding="utf-8")
+        (spec,) = load_fleet_config(path)
+        assert spec.name == "only"
+        assert spec.interval == 3.0
+        assert spec.source == str(tmp_path / "traces")
+
+    def test_presentation_keys(self, tmp_path):
+        path = _write(tmp_path, """
+            dfg = false
+            top = 3
+
+            [jobs.a]
+            source = "traces"
+            window = 16
+            mapping = "call"
+            recursive = true
+        """)
+        (spec,) = load_fleet_config(path)
+        assert spec.show_dfg is False
+        assert spec.top == 3
+        assert spec.window == 16
+        assert spec.mapping == "call"
+        assert spec.recursive is True
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FleetConfigError, match="no such fleet"):
+            load_fleet_config(tmp_path / "nope.toml")
+
+    def test_parse_error_names_the_file(self, tmp_path):
+        path = _write(tmp_path, "interval = = 2")
+        with pytest.raises(FleetConfigError, match="parse error"):
+            load_fleet_config(path)
+
+    def test_no_jobs(self, tmp_path):
+        path = _write(tmp_path, "interval = 2.0")
+        with pytest.raises(FleetConfigError, match="no jobs"):
+            load_fleet_config(path)
+
+    def test_unknown_top_level_key(self, tmp_path):
+        path = _write(tmp_path, """
+            polls = 4
+            [jobs.a]
+            source = "traces"
+        """)
+        with pytest.raises(FleetConfigError,
+                           match=r"unknown top-level key\(s\) \['polls'\]"):
+            load_fleet_config(path)
+
+    def test_unknown_job_key_names_the_job(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.app1]
+            source = "traces"
+            chekpoint = "typo.json"
+        """)
+        with pytest.raises(FleetConfigError,
+                           match=r"job 'app1': unknown key\(s\)"):
+            load_fleet_config(path)
+
+    def test_invalid_job_name(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs."has space"]
+            source = "traces"
+        """)
+        with pytest.raises(FleetConfigError, match="invalid job name"):
+            load_fleet_config(path)
+
+    def test_missing_source_names_the_job(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.app1]
+            interval = 1.0
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="job 'app1' has no source"):
+            load_fleet_config(path)
+
+    def test_colliding_write_paths_rejected(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            checkpoint = "shared.ckpt.json"
+
+            [jobs.b]
+            source = "traces/b"
+            checkpoint = "shared.ckpt.json"
+        """)
+        with pytest.raises(FleetConfigError, match="collides"):
+            load_fleet_config(path)
+
+    def test_emit_checkpoint_cross_collision_rejected(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            emit = "out.elog"
+
+            [jobs.b]
+            source = "traces/b"
+            checkpoint = "out.elog"
+        """)
+        with pytest.raises(FleetConfigError, match="collides"):
+            load_fleet_config(path)
+
+    def test_alert_log_without_rules(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces"
+            alert_log = "alerts.jsonl"
+        """)
+        with pytest.raises(FleetConfigError, match="no rules"):
+            load_fleet_config(path)
+
+    @pytest.mark.parametrize("snippet,match", [
+        ("interval = \"soon\"", "'interval' must be a number"),
+        ("interval = -1", "'interval' must be a number >= 0"),
+        ("window = 1", "'window' must be an integer >= 2"),
+        ("recursive = \"yes\"", "'recursive' must be a boolean"),
+        ("mapping = \"routes\"", "'mapping' must be one of"),
+        ("top = 0", "'top' must be an integer >= 1"),
+    ])
+    def test_bad_value_types(self, tmp_path, snippet, match):
+        path = _write(tmp_path, f"""
+            [jobs.a]
+            source = "traces"
+            {snippet}
+        """)
+        with pytest.raises(FleetConfigError, match=match):
+            load_fleet_config(path)
+
+    def test_interval_rejects_boolean(self):
+        with pytest.raises(FleetConfigError, match="'interval' must be"):
+            parse_fleet_data(
+                {"jobs": {"a": {"source": "traces",
+                                "interval": True}}},
+                where="inline")
+
+    def test_parse_fleet_data_resolves_against_base_dir(self, tmp_path):
+        (spec,) = parse_fleet_data(
+            {"jobs": {"a": {"source": "traces"}}},
+            where="inline", base_dir=tmp_path)
+        assert spec.source == str(tmp_path / "traces")

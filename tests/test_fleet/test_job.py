@@ -1,0 +1,125 @@
+"""The job layer: spec resolution, lifecycle, rebuild-from-checkpoint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util.errors import ReproError
+from repro.core.mapping import CallOnly, CallPath, CallTopDirs
+from repro.fleet.job import JobSpec, WatchJob, mapping_from_name
+
+
+class TestMappingFromName:
+    def test_known_names(self):
+        assert isinstance(mapping_from_name("topdirs"), CallTopDirs)
+        assert isinstance(mapping_from_name("path"), CallPath)
+        assert isinstance(mapping_from_name("call"), CallOnly)
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError, match="unknown mapping"):
+            mapping_from_name("routes")
+
+
+class TestSpecResolution:
+    def test_bare_path_source(self, tmp_path):
+        spec = JobSpec(source=str(tmp_path / "traces"))
+        assert spec.resolve_directory() == tmp_path / "traces"
+
+    def test_strace_uri_source(self, tmp_path):
+        spec = JobSpec(source=f"strace:{tmp_path / 'traces'}")
+        assert spec.resolve_directory() == tmp_path / "traces"
+
+    def test_strace_uri_with_options_rejected(self, tmp_path):
+        spec = JobSpec(source=f"strace:{tmp_path}?pid_suffix=1")
+        with pytest.raises(ReproError, match="no .options"):
+            spec.resolve_directory()
+
+    def test_complete_artifact_scheme_rejected(self, tmp_path):
+        spec = JobSpec(source=f"elog:{tmp_path / 'run.elog'}",
+                       name="app1")
+        with pytest.raises(ReproError,
+                           match="cannot watch source"):
+            spec.resolve_directory()
+
+    def test_build_engine_missing_directory(self, tmp_path):
+        spec = JobSpec(source=str(tmp_path / "nope"), name="app1")
+        with pytest.raises(ReproError,
+                           match="no such trace directory"):
+            spec.build_engine()
+
+    def test_alert_log_without_rules_rejected(self, populated_dir):
+        spec = JobSpec(source=str(populated_dir),
+                       alert_log=str(populated_dir / "alerts.jsonl"))
+        with pytest.raises(ReproError, match="require --rules"):
+            spec.build_engine()
+
+    def test_with_overrides(self, tmp_path):
+        spec = JobSpec(source=str(tmp_path), interval=1.0)
+        derived = spec.with_overrides(polls=3, telemetry=True)
+        assert derived.polls == 3
+        assert derived.telemetry is True
+        assert derived.interval == 1.0
+        assert spec.polls is None  # the original is untouched
+
+
+class TestLifecycle:
+    def test_poll_once_and_exhaustion(self, populated_dir):
+        job = JobSpec(source=str(populated_dir), polls=2).build()
+        assert job.state == "pending"
+        assert not job.exhausted
+        outcome = job.poll_once()
+        assert outcome.text.startswith("poll 1: ")
+        assert outcome.result.n_files == 6
+        assert job.completed == 1
+        assert not job.exhausted
+        job.poll_once()
+        assert job.exhausted
+        job.close()
+
+    def test_unbounded_job_never_exhausts(self, populated_dir):
+        job = JobSpec(source=str(populated_dir)).build()
+        job.poll_once()
+        assert not job.exhausted
+        job.close()
+
+    def test_finalize_packs_once(self, tmp_path, populated_dir):
+        emit = tmp_path / "run.elog"
+        job = JobSpec(source=str(populated_dir), polls=1,
+                      emit=str(emit)).build()
+        job.poll_once()
+        packed = job.finalize()
+        assert packed is not None and packed.exists()
+        assert job.finalize() is None  # idempotent
+        job.close()
+
+    def test_finalize_without_emit(self, populated_dir):
+        job = JobSpec(source=str(populated_dir), polls=1).build()
+        job.poll_once()
+        assert job.finalize() is None
+        job.close()
+
+    def test_rebuild_without_spec_rejected(self, populated_dir):
+        from repro.live.engine import LiveIngest
+
+        job = WatchJob(LiveIngest(populated_dir))
+        with pytest.raises(ReproError, match="bare engine"):
+            job.rebuild()
+        job.close()
+
+    def test_rebuild_restores_from_checkpoint(self, tmp_path,
+                                              populated_dir):
+        spec = JobSpec(source=str(populated_dir),
+                       checkpoint=str(tmp_path / "job.ckpt.json"))
+        job = spec.build()
+        job.poll_once()  # ingests everything, saves the sidecar
+        before = job.engine.snapshot_dfg()
+        old_engine = job.engine
+        job.rebuild()
+        assert job.engine is not old_engine
+        # The fresh engine restored the sidecar: nothing to re-ingest,
+        # same graph — exactly a killed-and-restarted watch process.
+        result = job.engine.poll()
+        assert result.new_files == []
+        assert not result.changed
+        assert job.engine.snapshot_dfg() == before
+        job.close()

@@ -1,0 +1,204 @@
+"""The scheduler layer: cadence, round-robin, fault isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetScheduler, FleetView, JobSpec, run_fleet
+from repro.live.engine import LiveIngest
+
+
+class FakeClock:
+    """Monotonic time advanced only by sleeping (or by a test)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.naps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, delay: float) -> None:
+        self.naps.append(delay)
+        self.now += delay
+
+
+def _poison(monkeypatch, directory):
+    """Make every poll of ``directory`` raise — a job that can be
+    rebuilt (the directory exists) but never completes a poll."""
+    real_poll = LiveIngest.poll
+
+    def poll(self):
+        if self.directory == directory:
+            raise RuntimeError("boom")
+        return real_poll(self)
+
+    monkeypatch.setattr(LiveIngest, "poll", poll)
+
+
+class TestCadence:
+    def test_two_jobs_interleave_on_their_own_cadences(self, job_dir):
+        jobs = [
+            JobSpec(source=str(job_dir("a")),
+                    name="a", interval=1.0, polls=2).build(),
+            JobSpec(source=str(job_dir("b")),
+                    name="b", interval=2.0, polls=2).build(),
+        ]
+        clock = FakeClock()
+        frames: list[str] = []
+        code = FleetScheduler(jobs, out=frames.append,
+                              sleep=clock.sleep, clock=clock,
+                              view=FleetView()).run()
+        assert code == 0
+        # Each job sleeps to its own deadline; work costs no fake time.
+        assert clock.naps == [1.0, 1.0]
+        polls = [frame.split("\n", 1)[0] for frame in frames
+                 if not frame.startswith("FLEET:")]
+        assert [line.split(":")[0] for line in polls] == [
+            "[a] poll 1", "[b] poll 1", "[a] poll 2", "[b] poll 2"]
+        assert frames[0] == \
+            "FLEET: a pending 0 poll(s) | b pending 0 poll(s)"
+        assert frames[-1] == "FLEET: a done 2 poll(s) | b done 2 poll(s)"
+        for job in jobs:
+            job.close()
+
+    def test_zero_interval_jobs_round_robin(self, job_dir):
+        jobs = [
+            JobSpec(source=str(job_dir("a")),
+                    name="a", interval=0.0, polls=2).build(),
+            JobSpec(source=str(job_dir("b")),
+                    name="b", interval=0.0, polls=2).build(),
+        ]
+        clock = FakeClock()
+        frames: list[str] = []
+        FleetScheduler(jobs, out=frames.append, sleep=clock.sleep,
+                       clock=clock, view=FleetView()).run()
+        assert clock.naps == []  # never sleeps, never starves either
+        order = [frame[1] for frame in frames
+                 if not frame.startswith("FLEET:")]
+        assert order == ["a", "b", "a", "b"]
+        for job in jobs:
+            job.close()
+
+    def test_no_view_emits_raw_frames(self, populated_dir):
+        job = JobSpec(source=str(populated_dir), polls=1).build()
+        clock = FakeClock()
+        frames: list[str] = []
+        FleetScheduler([job], out=frames.append, sleep=clock.sleep,
+                       clock=clock).run()
+        assert len(frames) == 1
+        assert frames[0].startswith("poll 1: ")  # no [name] prefix
+        job.close()
+
+    def test_overrun_is_reported_per_job(self, monkeypatch, job_dir):
+        directory = job_dir("a")
+        clock = FakeClock()
+        real_poll = LiveIngest.poll
+
+        def slow_poll(self):
+            clock.now += 1.5  # one poll's work overruns the interval
+            return real_poll(self)
+
+        monkeypatch.setattr(LiveIngest, "poll", slow_poll)
+        job = JobSpec(source=str(directory), name="a", interval=1.0,
+                      polls=2).build()
+        frames: list[str] = []
+        FleetScheduler([job], out=frames.append, sleep=clock.sleep,
+                       clock=clock, view=FleetView()).run()
+        assert ("[a] OVERRUN poll 1: work exceeded the 1s interval by "
+                "0.500s; cadence re-anchored") in frames
+        job.close()
+
+
+class TestFaultIsolation:
+    def test_without_isolation_the_exception_propagates(
+            self, monkeypatch, job_dir):
+        directory = job_dir("a")
+        _poison(monkeypatch, directory)
+        job = JobSpec(source=str(directory), name="a").build()
+        clock = FakeClock()
+        with pytest.raises(RuntimeError, match="boom"):
+            FleetScheduler([job], out=lambda _: None,
+                           sleep=clock.sleep, clock=clock).run()
+        job.close()
+
+    def test_failed_job_backs_off_restarts_then_gives_up(
+            self, monkeypatch, job_dir):
+        directory = job_dir("b")
+        _poison(monkeypatch, directory)
+        job = JobSpec(source=str(directory), name="b",
+                      interval=1.0).build()
+        clock = FakeClock()
+        frames: list[str] = []
+        code = FleetScheduler([job], out=frames.append,
+                              sleep=clock.sleep, clock=clock,
+                              view=FleetView(), isolate=True,
+                              max_restarts=2).run()
+        assert code == 0
+        events = [f for f in frames if f.startswith("[b] JOB")]
+        assert events == [
+            "[b] JOB FAILED: boom; restart in 1s (failure 1)",
+            "[b] JOB RESTARTED (restart 1)",
+            "[b] JOB FAILED: boom; restart in 2s (failure 2)",
+            "[b] JOB RESTARTED (restart 2)",
+            "[b] JOB STOPPED: boom; gave up after 3 consecutive "
+            "failure(s)",
+        ]
+        # Exponential backoff from the interval: 1s, then 2s.
+        assert clock.naps == [1.0, 2.0]
+        assert job.state == "stopped"
+        assert job.restarts == 2
+        assert frames[-1] == \
+            "FLEET: b stopped 0 poll(s), 3 failure(s), 2 restart(s)"
+        job.close()
+
+    def test_poisoned_sibling_leaves_healthy_job_byte_identical(
+            self, monkeypatch, job_dir):
+        """Fault isolation is *total*: job a's frames with a poisoned
+        sibling are byte-identical to running a alone."""
+        dir_a = job_dir("a")
+        dir_a_solo = job_dir("a_solo")
+        dir_b = job_dir("b")
+        _poison(monkeypatch, dir_b)
+
+        def spec(directory):
+            return JobSpec(source=str(directory), name="a",
+                           interval=1.0, polls=3)
+
+        def frames_of_a(jobs):
+            clock = FakeClock()
+            frames: list[str] = []
+            FleetScheduler(jobs, out=frames.append, sleep=clock.sleep,
+                           clock=clock, view=FleetView(), isolate=True,
+                           max_restarts=1).run()
+            for job in jobs:
+                job.close()
+            return [f for f in frames if f.startswith("[a] ")]
+
+        with_sibling = frames_of_a([
+            spec(dir_a).build(),
+            JobSpec(source=str(dir_b), name="b", interval=1.0).build(),
+        ])
+        alone = frames_of_a([spec(dir_a_solo).build()])
+        assert with_sibling == alone
+
+
+class TestRunFleet:
+    def test_emit_packs_once_per_job(self, tmp_path, job_dir):
+        specs = [
+            JobSpec(source=str(job_dir(name)),
+                    name=name, interval=0.0, polls=1,
+                    emit=str(tmp_path / f"{name}.elog"))
+            for name in ("a", "b")
+        ]
+        clock = FakeClock()
+        frames: list[str] = []
+        code = run_fleet([spec.build() for spec in specs],
+                         out=frames.append, sleep=clock.sleep,
+                         clock=clock)
+        assert code == 0
+        for name in ("a", "b"):
+            emitted = [f for f in frames if f.startswith(
+                f"[{name}] emitted event log: ")]
+            assert len(emitted) == 1  # the finally does not re-pack
+            assert (tmp_path / f"{name}.elog").exists()

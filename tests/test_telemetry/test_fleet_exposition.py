@@ -1,0 +1,143 @@
+"""Fleet exposition: merged registries, ``job`` labels, worst-of
+health — and the MetricsServer duck-typing that serves them."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from types import SimpleNamespace
+
+from repro.telemetry import Telemetry
+from repro.telemetry.exposition import (MetricsServer,
+                                        render_prometheus_fleet)
+from repro.telemetry.health import aggregate_health
+
+
+def _telemetry(**counts) -> Telemetry:
+    telemetry = Telemetry()
+    for name, value in counts.items():
+        telemetry.count(name, value)
+    return telemetry
+
+
+class TestRenderPrometheusFleet:
+    def test_one_header_per_family_series_job_labelled(self):
+        app1 = _telemetry(polls_total=3)
+        app2 = _telemetry(polls_total=5)
+        text = render_prometheus_fleet(
+            [("app1", app1.registry), ("app2", app2.registry)])
+        # The 0.0.4 text format forbids repeated HELP/TYPE headers:
+        # one header, then every job's series.
+        assert text.count("# TYPE st_inspector_polls_total") == 1
+        assert 'st_inspector_polls_total{job="app1"} 3' in text
+        assert 'st_inspector_polls_total{job="app2"} 5' in text
+
+    def test_job_label_merges_sorted_with_metric_labels(self):
+        telemetry = Telemetry()
+        telemetry.count("sink_failures_total", 2, sink="HttpSink#0")
+        text = render_prometheus_fleet([("app1", telemetry.registry)])
+        # Merged label set is sorted: job before sink.
+        assert ('st_inspector_sink_failures_total'
+                '{job="app1",sink="HttpSink#0"} 2') in text
+
+    def test_empty_fleet_renders_empty(self):
+        assert render_prometheus_fleet([]) == "\n"
+
+
+class TestAggregateHealth:
+    def test_worst_job_wins(self):
+        combined = aggregate_health({
+            "a": {"status": "ok"},
+            "b": {"status": "degraded"},
+            "c": {"status": "ok"},
+        })
+        assert combined["status"] == "degraded"
+        assert set(combined["jobs"]) == {"a", "b", "c"}
+
+    def test_single_failing_job_fails_the_fleet(self):
+        combined = aggregate_health({
+            "a": {"status": "ok"},
+            "b": {"status": "failing"},
+        })
+        assert combined["status"] == "failing"
+
+    def test_empty_fleet_is_vacuously_ok(self):
+        assert aggregate_health({})["status"] == "ok"
+
+
+class _Provider:
+    """The duck type MetricsServer accepts in place of a Telemetry."""
+
+    def __init__(self, status: str) -> None:
+        self._status = status
+
+    def render_metrics(self) -> str:
+        return 'st_inspector_polls_total{job="app1"} 3\n'
+
+    def health_verdict(self) -> dict:
+        return {"status": self._status, "jobs": {}}
+
+
+class TestMetricsServerFleetProvider:
+    def _get(self, server: MetricsServer, path: str):
+        with urllib.request.urlopen(
+                f"http://{server.host}:{server.port}{path}",
+                timeout=5) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def test_metrics_come_from_render_metrics(self):
+        server = MetricsServer(_Provider("ok"), 0)
+        try:
+            status, body = self._get(server, "/metrics")
+            assert status == 200
+            assert 'st_inspector_polls_total{job="app1"} 3' in body
+        finally:
+            server.close()
+
+    def test_healthz_comes_from_health_verdict(self):
+        server = MetricsServer(_Provider("ok"), 0)
+        try:
+            status, body = self._get(server, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+        finally:
+            server.close()
+
+    def test_failing_fleet_healthz_is_503(self):
+        server = MetricsServer(_Provider("failing"), 0)
+        try:
+            try:
+                self._get(server, "/healthz")
+                raise AssertionError("expected a 503")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                verdict = json.loads(exc.read().decode("utf-8"))
+                assert verdict["status"] == "failing"
+        finally:
+            server.close()
+
+    def test_fleet_telemetry_end_to_end(self):
+        """FleetTelemetry over real jobs, scraped over HTTP."""
+        from repro.fleet.telemetry import FleetTelemetry
+
+        jobs = [
+            SimpleNamespace(
+                name=name,
+                engine=SimpleNamespace(
+                    telemetry=_telemetry(polls_total=count)))
+            for name, count in (("app1", 1), ("app2", 4))
+        ]
+        server = MetricsServer(FleetTelemetry(jobs), 0)
+        try:
+            status, body = self._get(server, "/metrics")
+            assert status == 200
+            assert 'st_inspector_polls_total{job="app1"} 1' in body
+            assert 'st_inspector_polls_total{job="app2"} 4' in body
+            status, body = self._get(server, "/healthz")
+            assert status == 200
+            verdict = json.loads(body)
+            assert verdict["status"] == "ok"
+            assert set(verdict["jobs"]) == {"app1", "app2"}
+        finally:
+            server.close()
