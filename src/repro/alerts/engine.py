@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from typing import TYPE_CHECKING, Callable
 
 from repro.alerts.config import load_rules_file
@@ -105,6 +106,15 @@ class AlertEngine:
         #: identity -> count of alerts compacted out of :attr:`history`
         #: (empty until a ``history_limit`` overflows).
         self.compacted: dict[tuple[str, str, str], int] = {}
+        #: Pre-compaction export callback: called with the full alert
+        #: records *about to* be folded into :attr:`compacted` counts,
+        #: before the fold discards their detail. The run catalog's
+        #: :class:`~repro.catalog.export.AlertExportBuffer` is the
+        #: standard consumer; any ``Callable[[list[Alert]], None]``
+        #: works. Without a hook, the first lossy compaction warns
+        #: once.
+        self.export_hook: Callable[[list[Alert]], None] | None = None
+        self._warned_compaction_loss = False
         self._baseline_pair: tuple[DFG, IOStatistics] | None = None
         self._prev_dfg: DFG | None = None
         self._prev_stats: IOStatistics | None = None
@@ -290,9 +300,17 @@ class AlertEngine:
         if self._baseline_pair is None:
             from repro.sources import open_source
 
-            log = open_source(self.baseline).event_log()
-            mapped = log.with_mapping(engine.mapping)
-            self._baseline_pair = (DFG(mapped), IOStatistics(mapped))
+            source = open_source(self.baseline)
+            supplier = getattr(source, "baseline_pair", None)
+            if supplier is not None:
+                # A source that stores aggregates rather than events
+                # (the run catalog) mines (DFG, stats) directly for
+                # the live mapping instead of replaying an event-log.
+                self._baseline_pair = supplier(engine.mapping)
+            else:
+                log = source.event_log()
+                mapped = log.with_mapping(engine.mapping)
+                self._baseline_pair = (DFG(mapped), IOStatistics(mapped))
         return self._baseline_pair
 
     def _compact(self) -> None:
@@ -303,13 +321,38 @@ class AlertEngine:
         the information :attr:`n_fired` and duplicate accounting need,
         at O(distinct identities) instead of O(firings). This is what
         bounds the sidecar under a flapping rule.
+
+        When an :attr:`export_hook` is attached, the full records are
+        handed to it *before* the fold, so detail loss is opt-out (the
+        run catalog captures them for the run's alert history);
+        without one, the first lossy compaction warns once.
         """
         if self.history_limit is None:
             return
         excess = len(self.history) - self.history_limit
         if excess <= 0:
             return
-        for alert in self.history[:excess]:
+        discarded = self.history[:excess]
+        if self.export_hook is not None:
+            try:
+                self.export_hook(discarded)
+            except Exception as exc:
+                # Export is a capture path, not the monitoring path: a
+                # failing hook must not take down compaction.
+                warnings.warn(
+                    f"alert export hook failed; {len(discarded)} "
+                    f"compacted alert(s) lost full detail: {exc}",
+                    RuntimeWarning, stacklevel=2)
+        elif not self._warned_compaction_loss:
+            self._warned_compaction_loss = True
+            warnings.warn(
+                f"alert history_limit={self.history_limit} reached: "
+                f"compaction is folding older alerts into counts and "
+                f"discarding their detail (attach an export hook or "
+                f"record runs to a catalog to capture them); this "
+                f"warning fires once per engine",
+                RuntimeWarning, stacklevel=2)
+        for alert in discarded:
             key = alert.identity
             self.compacted[key] = self.compacted.get(key, 0) + 1
         del self.history[:excess]

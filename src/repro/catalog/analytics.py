@@ -1,0 +1,145 @@
+"""Cross-run analytics: the query layer behind ``st-inspector runs``.
+
+Everything here reads a :class:`~repro.catalog.store.RunCatalog` and
+renders either text (the fixed-width tables of
+:mod:`repro.pipeline.report`) or plain-data payloads (the shared JSON
+serializer of :mod:`repro.pipeline.serialize`) — list with metadata
+filters, per-run show, DFG diff between any two cataloged runs via the
+real :class:`~repro.core.diff.DFGDiff`, and per-metric trend tables
+across a run history.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from typing import TYPE_CHECKING
+
+from repro.core.diff import DFGDiff
+from repro.pipeline.report import _table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.store import RunCatalog, RunRow
+
+
+def _when(recorded_at: float) -> str:
+    """UTC render of a ``recorded_at`` stamp (stable across hosts)."""
+    stamp = datetime.fromtimestamp(recorded_at, tz=timezone.utc)
+    return stamp.strftime("%Y-%m-%d %H:%M:%SZ")
+
+
+def runs_table(rows: "list[RunRow]") -> str:
+    """The ``runs list`` table, oldest first."""
+    if not rows:
+        return "(no matching runs)\n"
+    body = [[str(row.id), row.name, row.source, row.mapping,
+             _when(row.recorded_at), str(row.n_events),
+             str(row.n_cases), str(row.n_nodes), str(row.n_edges),
+             row.fingerprint[:12]]
+            for row in rows]
+    headers = ["id", "name", "source", "mapping", "recorded (UTC)",
+               "events", "cases", "nodes", "edges", "fingerprint"]
+    return _table(headers, body) + "\n"
+
+
+def show_run(catalog: "RunCatalog", row: "RunRow", *,
+             top: int | None = None) -> str:
+    """The ``runs show`` view: metadata, statistics table, alerts."""
+    from repro.pipeline.report import activity_report
+
+    window = row.window if row.window is not None else "unbounded"
+    polls = row.n_polls if row.n_polls is not None else "-"
+    span = (f"{row.wall_span_s:.1f} s"
+            if row.wall_span_s is not None else "-")
+    lines = [
+        f"run {row.id}: {row.name}",
+        f"  source:       {row.source}",
+        f"  mapping:      {row.mapping} (levels={row.levels}, "
+        f"window={window})",
+        f"  recorded:     {_when(row.recorded_at)} by st-inspector "
+        f"{row.tool_version}",
+        f"  wall span:    {span} ({polls} polls)",
+        f"  fingerprint:  {row.fingerprint}",
+        f"  size:         {row.n_events} events, {row.n_cases} cases, "
+        f"{row.n_nodes} nodes, {row.n_edges} edges",
+        "",
+        activity_report(catalog.statistics(row.id), top=top).rstrip(),
+    ]
+    alerts = catalog.alerts(row.id)
+    lines.append("")
+    lines.append(f"  fired alerts: {len(alerts)}")
+    for alert in alerts:
+        lines.append(f"    [poll {alert.n_poll}] {alert.rule}/"
+                     f"{alert.kind}: {alert.message}")
+    return "\n".join(lines) + "\n"
+
+
+def diff_runs(catalog: "RunCatalog", green_ref: str, red_ref: str,
+              ) -> "tuple[RunRow, RunRow, DFGDiff]":
+    """Resolve two run references and build their :class:`DFGDiff`.
+
+    Green is the first reference (matching the coloring convention:
+    deltas read green minus red). The diff carries both runs' restored
+    statistics, so activity-load deltas work exactly as in the batch
+    ``diff`` subcommand.
+    """
+    green = catalog.resolve(green_ref)
+    red = catalog.resolve(red_ref)
+    diff = DFGDiff(catalog.dfg(green.id), catalog.dfg(red.id),
+                   catalog.statistics(green.id),
+                   catalog.statistics(red.id))
+    return green, red, diff
+
+
+def trend_payload(catalog: "RunCatalog", metric: str, *,
+                  app: str | None = None, limit: int | None = None,
+                  activity: str | None = None) -> dict:
+    """Per-metric values across runs, oldest first.
+
+    Rows are activities (the union over the selected runs), ordered by
+    the newest run's value descending so the currently-heaviest
+    activity leads; a run missing an activity contributes ``null``.
+    """
+    per_run = list(catalog.metric_rows(metric, app=app, limit=limit))
+    runs = [{"id": row.id, "name": row.name,
+             "recorded_at": row.recorded_at} for row, _ in per_run]
+    activities: set[str] = set()
+    for _, values in per_run:
+        activities.update(values)
+    if activity is not None:
+        if activity not in activities:
+            from repro.catalog.schema import CatalogError
+            known = ", ".join(sorted(activities)[:8])
+            raise CatalogError(
+                f"activity {activity!r} appears in none of the "
+                f"selected runs (known: {known})")
+        activities = {activity}
+    latest = per_run[-1][1] if per_run else {}
+
+    def order(name: str):
+        return (-latest.get(name, float("-inf")), name)
+
+    series = [{"activity": name,
+               "values": [values.get(name) for _, values in per_run]}
+              for name in sorted(activities, key=order)]
+    return {"metric": metric, "runs": runs, "activities": series}
+
+
+def render_trend(payload: dict) -> str:
+    """Text table for a :func:`trend_payload` result."""
+    runs = payload["runs"]
+    if not runs:
+        return "(no matching runs)\n"
+    headers = ["activity"] + [f"#{r['id']} {r['name']}" for r in runs]
+    rows = []
+    for entry in payload["activities"]:
+        cells = [entry["activity"].replace("\n", " ")]
+        for value in entry["values"]:
+            if value is None:
+                cells.append("-")
+            elif float(value).is_integer():
+                cells.append(str(int(value)))
+            else:
+                cells.append(f"{value:.4g}")
+        rows.append(cells)
+    title = f"trend of {payload['metric']} across {len(runs)} runs"
+    return f"{title}\n{_table(headers, rows)}\n"

@@ -1,0 +1,46 @@
+"""Pre-compaction alert capture: :class:`AlertExportBuffer`.
+
+:class:`~repro.alerts.engine.AlertEngine` bounds its in-memory history
+at ``history_limit`` by folding the oldest alerts into per-identity
+counts — full detail (message, value, poll number) is discarded. The
+engine's ``export_hook`` fires with exactly those alerts *before* the
+fold; this buffer is the hook's standard consumer. A watch job attaches
+one per engine, and at finalize the buffer's contents plus the engine's
+surviving ``history`` reconstruct the complete fired-alert sequence for
+the catalog (ROADMAP item 5d). The hook is deliberately just a
+callable: anything accepting ``list[Alert]`` (a JSONL appender, a
+network forwarder) can stand in the same seam.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.alerts.model import Alert
+
+
+class AlertExportBuffer:
+    """Collects alerts the engine is about to compact away.
+
+    Alerts arrive oldest-first (the engine compacts from the front of
+    its history), so ``exported`` + the engine's remaining ``history``
+    is the full firing sequence in chronological order.
+    """
+
+    def __init__(self) -> None:
+        self.exported: "list[Alert]" = []
+
+    def __call__(self, alerts: "Iterable[Alert]") -> None:
+        self.exported.extend(alerts)
+
+    def full_history(self, remaining: "Iterable[Alert]",
+                     ) -> "tuple[Alert, ...]":
+        """Exported detail followed by the still-live history."""
+        return tuple(self.exported) + tuple(remaining)
+
+    def __len__(self) -> int:
+        return len(self.exported)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AlertExportBuffer(exported={len(self.exported)})"

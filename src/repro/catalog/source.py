@@ -1,0 +1,169 @@
+"""``catalog:`` — mined baselines from run history.
+
+``baseline = "catalog:cat.db?app=ior&agg=last"`` in a rules file makes
+the alert baseline *come from the catalog* instead of a hand-picked
+known-good run:
+
+- ``agg=last`` (default) — the newest matching run's DFG + statistics,
+  exactly as recorded;
+- ``agg=union&k=K`` — the per-edge union over the last ``K`` matching
+  runs (all matching runs when ``k`` is omitted): an edge is in the
+  baseline if *any* of the K runs observed it, with the maximum
+  observed count; node frequencies likewise per-node maxima; activity
+  statistics from the most recent run containing each activity. Union
+  baselines suppress new-edge alerts for anything seen recently, which
+  is what a week of known-good history is for.
+
+The seam is the rule engine's lazy baseline hook: an
+:class:`~repro.sources.base.TraceSource` normally supplies a baseline
+via ``event_log()``, but the catalog stores aggregates, not events —
+so :class:`CatalogSource` exposes :meth:`baseline_pair` and the engine
+duck-types on it. ``iter_cases`` therefore refuses with a pointer at
+the right tools; passing ``catalog:`` to ``convert`` is a usage error,
+not a silent empty log.
+
+The cataloged runs' mapping must match the live watch's mapping (same
+activity namespace, or the diff is meaningless); a mismatch raises at
+baseline-build time with both names in the message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro._util.errors import SourceError
+from repro.catalog.schema import CatalogError
+from repro.catalog.store import RunCatalog, RunRow
+from repro.core.dfg import DFG
+from repro.core.statistics import IOStatistics
+from repro.sources.base import SourceOptions, TraceSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.parallel import CaseColumns
+
+_AGGREGATES = ("last", "union")
+
+
+class CatalogSource(TraceSource):
+    """Alert baselines mined from a :class:`RunCatalog`.
+
+    Construction validates eagerly — the catalog must exist, be a
+    supported version, and hold at least one matching run — so
+    ``AlertEngine.validate()`` (and with it ``--rules`` parsing) fails
+    at configuration time. :meth:`baseline_pair` re-queries at call
+    time: by the moment a lazily-built baseline is first needed,
+    sibling fleet jobs may have appended newer runs, and ``last``
+    should mean *last*.
+    """
+
+    scheme: ClassVar[str] = "catalog"
+
+    def __init__(self, path: str, *, app: str | None = None,
+                 agg: str = "last", k: int | None = None) -> None:
+        if agg not in _AGGREGATES:
+            raise SourceError(
+                f"catalog: unknown agg={agg!r} "
+                f"(expected {' or '.join(_AGGREGATES)})")
+        if k is not None and agg != "union":
+            raise SourceError(
+                "catalog: k=N only applies to agg=union "
+                "(agg=last always takes the single newest run)")
+        if k is not None and k < 1:
+            raise SourceError(f"catalog: k must be >= 1, got {k}")
+        self.catalog = RunCatalog(path, create=False)
+        self.app = app
+        self.agg = agg
+        self.k = k
+        if not self._matching(limit=1):
+            raise CatalogError(
+                f"catalog {path} holds no"
+                f"{f' run named {app!r}' if app else ' runs'} to mine "
+                f"a baseline from (record one first, then point "
+                f"rules at it)")
+
+    @classmethod
+    def from_uri(cls, target: str, options: dict[str, str],
+                 opts: SourceOptions) -> "CatalogSource":
+        known = {"app", "agg", "k"}
+        unknown = sorted(set(options) - known)
+        if unknown:
+            raise SourceError(
+                f"catalog: unknown option(s) {unknown} "
+                f"(known: {sorted(known)})")
+        k: int | None = None
+        if "k" in options:
+            try:
+                k = int(options["k"])
+            except ValueError:
+                raise SourceError(
+                    f"catalog: k must be an integer, "
+                    f"got {options['k']!r}") from None
+        return cls(target, app=options.get("app"),
+                   agg=options.get("agg", "last"), k=k)
+
+    # -- TraceSource surface ------------------------------------------------
+
+    def iter_cases(self) -> "Iterator[CaseColumns]":
+        raise SourceError(
+            f"{self.describe()} stores per-run aggregates (DFG + "
+            f"statistics), not events — it cannot be converted or "
+            f"re-ingested. Use it as an alert baseline "
+            f"(baseline = \"catalog:...\") or query it with "
+            f"`st-inspector runs list/show/diff/trend`.")
+
+    def describe(self) -> str:
+        detail = f"agg={self.agg}" + (f", k={self.k}" if self.k else "")
+        if self.app:
+            detail = f"app={self.app!r}, {detail}"
+        return f"run catalog {self.catalog.path} ({detail})"
+
+    # -- the baseline seam --------------------------------------------------
+
+    def _matching(self, *, limit: int | None = None) -> list[RunRow]:
+        return self.catalog.last_runs(
+            limit if limit is not None else 10 ** 9, app=self.app)
+
+    def baseline_pair(self, mapping) -> tuple[DFG, IOStatistics]:
+        """Mine ``(DFG, IOStatistics)`` for the engine's baseline.
+
+        ``mapping`` is the live engine's mapping object; every mined
+        run must have been recorded under the same mapping name.
+        """
+        limit = 1 if self.agg == "last" else self.k
+        rows = self._matching(limit=limit)
+        if not rows:  # the catalog shrank since construction (rare)
+            raise CatalogError(
+                f"{self.describe()}: no matching runs left to mine")
+        for row in rows:
+            if row.mapping != mapping.name:
+                raise CatalogError(
+                    f"{self.describe()}: cataloged run {row.id} was "
+                    f"recorded under mapping {row.mapping!r} but the "
+                    f"live watch maps with {mapping.name!r} — baseline "
+                    f"and watch must share one activity mapping")
+        if self.agg == "last":
+            newest = rows[0]
+            return (self.catalog.dfg(newest.id),
+                    self.catalog.statistics(newest.id))
+        return self._union(rows)
+
+    def _union(self, rows: list[RunRow]) -> tuple[DFG, IOStatistics]:
+        """Per-edge union over ``rows`` (newest first)."""
+        edges: dict[tuple[str, str], int] = {}
+        freq: dict[str, int] = {}
+        stats_by_activity: dict = {}
+        for row in rows:  # newest first: first writer wins for stats
+            dfg = self.catalog.dfg(row.id)
+            for edge, count in dfg.edges().items():
+                edges[edge] = max(edges.get(edge, 0), count)
+            for node in dfg.nodes():
+                frequency = dfg.node_frequency(node)
+                freq[node] = max(freq.get(node, 0), frequency)
+            run_stats = self.catalog.statistics(row.id)
+            for activity in run_stats.activities():
+                stats_by_activity.setdefault(activity,
+                                             run_stats[activity])
+        merged = IOStatistics()
+        merged._stats = stats_by_activity
+        merged._total_dur_us = rows[0].total_dur_us
+        return DFG.from_counts(edges, freq), merged

@@ -1,0 +1,318 @@
+""":class:`RunCatalog` — record, restore, and query cataloged runs.
+
+Writes are transactional (:func:`~repro.catalog.schema.write_transaction`
+wraps every run insert in one ``BEGIN IMMEDIATE``), so ``runs list``
+can never observe a half-written run; restores rebuild the exact
+in-memory objects — :meth:`dfg` via :meth:`DFG.from_counts` and
+:meth:`statistics` by refilling :class:`IOStatistics` with the stored
+:class:`~repro.core.statistics.ActivityStats` rows, bit-identical to
+what ``compute_statistics`` produced (SQLite ``REAL`` stores IEEE
+doubles exactly; integers and booleans are lossless). The only thing a
+restored :class:`IOStatistics` cannot answer is :meth:`timeline` —
+per-event intervals are deliberately not cataloged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.alerts.model import Alert
+from repro.catalog.record import RunRecord
+from repro.catalog.schema import CatalogError, connect, write_transaction
+from repro.core.dfg import DFG
+from repro.core.statistics import ActivityStats, IOStatistics
+
+_RUN_COLUMNS = ("id", "name", "source", "mapping", "levels", "window",
+                "recorded_at", "wall_span_s", "tool_version",
+                "fingerprint", "n_events", "n_cases", "n_polls",
+                "total_dur_us", "n_nodes", "n_edges")
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One ``runs`` row — the metadata of a cataloged run."""
+
+    id: int
+    name: str
+    source: str
+    mapping: str
+    levels: int
+    window: int | None
+    recorded_at: float
+    wall_span_s: float | None
+    tool_version: str
+    fingerprint: str
+    n_events: int
+    n_cases: int
+    n_polls: int | None
+    total_dur_us: int
+    n_nodes: int
+    n_edges: int
+
+    def to_json(self) -> dict:
+        """Plain-data form (the shared ``runs list --json`` shape)."""
+        return {column: getattr(self, column)
+                for column in _RUN_COLUMNS}
+
+
+class RunCatalog:
+    """A persistent catalog of runs in one SQLite file.
+
+    ``RunCatalog(path)`` creates the file (and schema) if absent;
+    ``RunCatalog(path, create=False)`` requires an existing catalog —
+    the query layer's stance, so ``runs list typo.db`` fails with a
+    clear message instead of leaving an empty database behind.
+    Connections are per-operation: the object holds only the path, so
+    one instance is safe to share across fleet jobs and lives.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], *,
+                 create: bool = True) -> None:
+        self.path = Path(path)
+        # Validate (and on create=True initialize) eagerly so a bad
+        # catalog fails at configuration time, not mid-run.
+        connect(self.path, create=create).close()
+
+    # -- recording ---------------------------------------------------------
+
+    def record_run(self, record: RunRecord, *,
+                   clock=time.time) -> int:
+        """Commit one run atomically; returns its catalog id.
+
+        The insert order (run row, edges, nodes, stats, alerts) is
+        covered by a single transaction: a crash after any step leaves
+        the catalog exactly as before the call.
+        """
+
+        def work(conn) -> int:
+            run_id = self._insert_run(conn, record, clock())
+            self._insert_edges(conn, run_id, record)
+            self._insert_nodes(conn, run_id, record)
+            self._insert_stats(conn, run_id, record)
+            self._insert_alerts(conn, run_id, record)
+            return run_id
+
+        return write_transaction(self.path, work)
+
+    def _insert_run(self, conn, record: RunRecord,
+                    recorded_at: float) -> int:
+        cursor = conn.execute(
+            "INSERT INTO runs (name, source, mapping, levels, window, "
+            "recorded_at, wall_span_s, tool_version, fingerprint, "
+            "n_events, n_cases, n_polls, total_dur_us, n_nodes, "
+            "n_edges) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+            "?, ?)",
+            (record.name, record.source, record.mapping, record.levels,
+             record.window, recorded_at, record.wall_span_s,
+             record.tool_version, record.fingerprint, record.n_events,
+             record.n_cases, record.n_polls,
+             record.stats.total_duration_us, record.dfg.n_nodes,
+             record.dfg.n_edges))
+        return int(cursor.lastrowid)
+
+    def _insert_edges(self, conn, run_id: int,
+                      record: RunRecord) -> None:
+        conn.executemany(
+            "INSERT INTO edges (run_id, src, dst, count) "
+            "VALUES (?, ?, ?, ?)",
+            ((run_id, src, dst, count)
+             for (src, dst), count in sorted(record.dfg.edges().items())))
+
+    def _insert_nodes(self, conn, run_id: int,
+                      record: RunRecord) -> None:
+        conn.executemany(
+            "INSERT INTO nodes (run_id, activity, frequency) "
+            "VALUES (?, ?, ?)",
+            ((run_id, node, record.dfg.node_frequency(node))
+             for node in sorted(record.dfg.nodes())))
+
+    def _insert_stats(self, conn, run_id: int,
+                      record: RunRecord) -> None:
+        rows = (record.stats[activity]
+                for activity in sorted(record.stats.activities()))
+        conn.executemany(
+            "INSERT INTO stats (run_id, activity, event_count, "
+            "total_dur_us, relative_duration, total_bytes, "
+            "has_transfers, process_data_rate, max_concurrency, ranks, "
+            "cases, approximate) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, "
+            "?, ?, ?)",
+            ((run_id, s.activity, s.event_count, s.total_dur_us,
+              s.relative_duration, s.total_bytes, int(s.has_transfers),
+              s.process_data_rate, s.max_concurrency, s.ranks, s.cases,
+              int(s.approximate)) for s in rows))
+
+    def _insert_alerts(self, conn, run_id: int,
+                       record: RunRecord) -> None:
+        conn.executemany(
+            "INSERT INTO alerts (run_id, seq, rule, kind, subject, "
+            "message, value, threshold, n_poll, total_events) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            ((run_id, seq, a.rule, a.kind, a.subject, a.message,
+              a.value, a.threshold, a.n_poll, a.total_events)
+             for seq, a in enumerate(record.alerts)))
+
+    # -- lookup ------------------------------------------------------------
+
+    def _read(self):
+        return connect(self.path, create=False)
+
+    def list_runs(self, *, app: str | None = None,
+                  source: str | None = None,
+                  mapping: str | None = None,
+                  limit: int | None = None) -> list[RunRow]:
+        """Metadata rows, oldest first, with optional filters.
+
+        ``app`` matches the run name exactly; ``source`` is a
+        substring match on the recorded source URI; ``mapping``
+        matches the mapping name exactly.
+        """
+        clauses, params = [], []
+        if app is not None:
+            clauses.append("name = ?")
+            params.append(app)
+        if source is not None:
+            clauses.append("source LIKE ?")
+            params.append(f"%{source}%")
+        if mapping is not None:
+            clauses.append("mapping = ?")
+            params.append(mapping)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        tail = ""
+        if limit is not None:
+            # Newest N, presented oldest-first like the full listing.
+            tail = " ORDER BY id DESC LIMIT ?"
+            params.append(limit)
+        with self._read() as conn:
+            rows = conn.execute(
+                f"SELECT {', '.join(_RUN_COLUMNS)} FROM runs{where}"
+                f"{tail or ' ORDER BY id'}", params).fetchall()
+        result = [RunRow(*row) for row in rows]
+        if limit is not None:
+            result.reverse()
+        return result
+
+    def last_runs(self, k: int, *, app: str | None = None,
+                  ) -> list[RunRow]:
+        """The newest ``k`` (filtered) runs, newest first."""
+        rows = self.list_runs(app=app, limit=k)
+        return list(reversed(rows))
+
+    def get_run(self, run_id: int) -> RunRow:
+        with self._read() as conn:
+            row = conn.execute(
+                f"SELECT {', '.join(_RUN_COLUMNS)} FROM runs "
+                f"WHERE id = ?", (run_id,)).fetchone()
+        if row is None:
+            raise CatalogError(
+                f"no run {run_id} in catalog {self.path} "
+                f"(ids: see `st-inspector runs list {self.path}`)")
+        return RunRow(*row)
+
+    def resolve(self, ref: str | int) -> RunRow:
+        """A run reference: a numeric catalog id, or a run *name*
+        (resolving to that app's newest run)."""
+        text = str(ref)
+        if text.isdigit():
+            return self.get_run(int(text))
+        newest = self.last_runs(1, app=text)
+        if not newest:
+            raise CatalogError(
+                f"no run named {text!r} in catalog {self.path} "
+                f"(names: {self._known_names()})")
+        return newest[0]
+
+    def _known_names(self) -> str:
+        with self._read() as conn:
+            names = [row[0] for row in conn.execute(
+                "SELECT DISTINCT name FROM runs ORDER BY name "
+                "LIMIT 8")]
+        return ", ".join(names) if names else "(catalog is empty)"
+
+    # -- restore -----------------------------------------------------------
+
+    def dfg(self, run_id: int) -> DFG:
+        """The run's exact DFG (edge counts + node frequencies)."""
+        with self._read() as conn:
+            edges = {(src, dst): int(count) for src, dst, count in
+                     conn.execute("SELECT src, dst, count FROM edges "
+                                  "WHERE run_id = ?", (run_id,))}
+            freq = {activity: int(frequency) for activity, frequency in
+                    conn.execute("SELECT activity, frequency FROM "
+                                 "nodes WHERE run_id = ?", (run_id,))}
+        if not freq:
+            self.get_run(run_id)  # raises for an unknown id
+        return DFG.from_counts(edges, freq)
+
+    def statistics(self, run_id: int) -> IOStatistics:
+        """The run's Sec. IV-B statistics, bit-identical to what was
+        recorded (no timelines — those are not cataloged)."""
+        row = self.get_run(run_id)
+        stats: dict[str, ActivityStats] = {}
+        with self._read() as conn:
+            for (activity, event_count, total_dur_us,
+                 relative_duration, total_bytes, has_transfers,
+                 process_data_rate, max_concurrency, ranks, cases,
+                 approximate) in conn.execute(
+                     "SELECT activity, event_count, total_dur_us, "
+                     "relative_duration, total_bytes, has_transfers, "
+                     "process_data_rate, max_concurrency, ranks, "
+                     "cases, approximate FROM stats WHERE run_id = ?",
+                     (run_id,)):
+                stats[activity] = ActivityStats(
+                    activity=activity,
+                    event_count=int(event_count),
+                    total_dur_us=int(total_dur_us),
+                    relative_duration=float(relative_duration),
+                    total_bytes=int(total_bytes),
+                    has_transfers=bool(has_transfers),
+                    process_data_rate=(
+                        None if process_data_rate is None
+                        else float(process_data_rate)),
+                    max_concurrency=int(max_concurrency),
+                    ranks=int(ranks),
+                    cases=int(cases),
+                    approximate=bool(approximate))
+        restored = IOStatistics()
+        restored._stats = stats
+        restored._total_dur_us = int(row.total_dur_us)
+        return restored
+
+    def alerts(self, run_id: int) -> list[Alert]:
+        """The run's fired-alert history, in firing order."""
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT rule, kind, subject, message, value, "
+                "threshold, n_poll, total_events FROM alerts "
+                "WHERE run_id = ? ORDER BY seq", (run_id,)).fetchall()
+        return [Alert(rule=rule, kind=kind, subject=subject,
+                      message=message,
+                      value=None if value is None else float(value),
+                      threshold=(None if threshold is None
+                                 else float(threshold)),
+                      n_poll=int(n_poll),
+                      total_events=int(total_events))
+                for (rule, kind, subject, message, value, threshold,
+                     n_poll, total_events) in rows]
+
+    def metric_rows(self, metric: str, *, app: str | None = None,
+                    limit: int | None = None,
+                    ) -> Iterator[tuple[RunRow, dict[str, float]]]:
+        """Per-run ``{activity: metric value}`` maps, oldest first —
+        the raw material of the trend table."""
+        from repro.core.statistics import METRIC_NAMES
+
+        if metric not in METRIC_NAMES:
+            raise CatalogError(
+                f"unknown metric {metric!r} "
+                f"(known: {', '.join(METRIC_NAMES)})")
+        for row in self.list_runs(app=app, limit=limit):
+            stats = self.statistics(row.id)
+            yield row, {activity: stats.metric(activity, metric)
+                        for activity in stats.activities()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunCatalog({str(self.path)!r})"

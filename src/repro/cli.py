@@ -24,6 +24,11 @@ Subcommands cover the full paper pipeline plus the simulator:
   from the telemetry snapshots instrumented watches persisted in
   their checkpoints; several paths aggregate worst-of (the fleet's
   ``/healthz`` semantics).
+- ``runs list/show/diff/trend <cat.db>`` — query a run catalog
+  (:mod:`repro.catalog`): runs are recorded by ``convert``/``report``
+  ``--catalog``, ``watch --catalog``, or a fleet job's ``catalog``
+  key, and mined back as alert baselines via the ``catalog:`` source
+  scheme.
 
 Exit codes: 0 success (for ``health``: every verdict ok), 2 a
 configuration/usage error (bad flags, missing files, malformed
@@ -43,6 +48,8 @@ The full subcommand/flag reference lives in ``docs/cli.md``.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -191,6 +198,48 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                              "(Fig. 9 skips openat)")
 
 
+def _default_run_name(source) -> str:
+    """Run name when ``--run-name`` is omitted: the source target's
+    basename (``traces/app1`` → ``app1``, ``run.elog`` → ``run.elog``)."""
+    from repro.sources import parse_source_spec
+
+    target = parse_source_spec(str(source)).target
+    return os.path.basename(os.path.normpath(target)) or str(target)
+
+
+def _record_batch_run(args: argparse.Namespace, log: EventLog,
+                      mapping, levels: int) -> None:
+    """Commit a batch-layer run to ``--catalog`` (no-op without it)."""
+    if not getattr(args, "catalog", None):
+        return
+    from repro.catalog import RunCatalog, RunRecord
+
+    record = RunRecord.from_log(
+        log,
+        name=(getattr(args, "run_name", None)
+              or _default_run_name(args.source)),
+        source=str(args.source), mapping=mapping.name, levels=levels)
+    run_id = RunCatalog(args.catalog).record_run(record)
+    print(f"cataloged run {run_id} ({record.name!r}) in {args.catalog}")
+
+
+def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--catalog", default=None, metavar="FILE",
+                        help="record this run (DFG, per-activity "
+                             "statistics, metadata, fingerprint) into "
+                             "a run catalog (created if missing; see "
+                             "docs/catalog.md and `st-inspector runs`)")
+    parser.add_argument("--run-name", default=None, metavar="NAME",
+                        help="name the cataloged run is recorded "
+                             "under (default: the source's basename); "
+                             "`runs list --app NAME` and catalog: "
+                             "baselines filter on it")
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, sort_keys=True, indent=2))
+
+
 def _prepared_log(args: argparse.Namespace) -> EventLog:
     log = _load_args(args)
     if args.filter:
@@ -252,6 +301,17 @@ def cmd_convert(args: argparse.Namespace) -> int:
     store = EventLogStore(out)
     print(f"wrote {out} ({store.n_cases} cases, "
           f"{store.n_events} events)")
+    if args.catalog:
+        # Catalog the packed artifact under the default mapping (the
+        # paper's call+top-2-dirs — `report --catalog` records under
+        # whatever --mapping it was given instead).
+        from repro.fleet.job import mapping_from_name
+        from repro.sources import ElstoreSource
+
+        log = ElstoreSource(out).event_log()
+        mapping = mapping_from_name("topdirs", 2)
+        log.apply_mapping_fn(mapping)
+        _record_batch_run(args, log, mapping, 2)
     return 0
 
 
@@ -273,7 +333,13 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     log = _prepared_log(args)
     stats = IOStatistics(log)
-    print(activity_report(stats, top=args.top), end="")
+    if args.json:
+        from repro.pipeline.serialize import stats_payload
+
+        _print_json(stats_payload(stats, top=args.top))
+    else:
+        print(activity_report(stats, top=args.top), end="")
+    _record_batch_run(args, log, _mapping(args), args.levels)
     return 0
 
 
@@ -309,7 +375,12 @@ def cmd_diff(args: argparse.Namespace) -> int:
     green = [c.strip() for c in args.green.split(",") if c.strip()]
     green_log, red_log = PartitionEL(log, green)
     diff = DFGDiff.between(green_log, red_log)
-    print(diff.report(top=args.top), end="")
+    if args.json:
+        from repro.pipeline.serialize import diff_payload
+
+        _print_json(diff_payload(diff, top=args.top))
+    else:
+        print(diff.report(top=args.top), end="")
     return 0
 
 
@@ -415,6 +486,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
         telemetry=(args.metrics_port is not None
                    or args.metrics_log is not None),
         metrics_log=args.metrics_log,
+        catalog=args.catalog,
+        run_name=(args.run_name or _default_run_name(args.directory)
+                  if args.catalog else None),
     )
     engine = spec.build_engine()
     try:
@@ -422,7 +496,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
                          polls=spec.polls,
                          show_dfg=spec.show_dfg, top=args.top,
                          metrics_port=args.metrics_port,
-                         metrics_log=args.metrics_log)
+                         metrics_log=args.metrics_log,
+                         spec=spec)
     except ReproError as exc:
         # A failure *inside* the live loop (a tracked file vanishing,
         # a torn trace) is a runtime error, not a usage error: exit 1,
@@ -504,6 +579,79 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0 if combined["status"] == "ok" else 1
 
 
+def _open_catalog(args: argparse.Namespace):
+    """Query-side catalog open: the file must already exist."""
+    from repro.catalog import RunCatalog
+
+    return RunCatalog(args.catalog, create=False)
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.catalog import runs_table
+
+    catalog = _open_catalog(args)
+    rows = catalog.list_runs(app=args.app, source=args.source,
+                             mapping=args.mapping, limit=args.limit)
+    if args.json:
+        _print_json([row.to_json() for row in rows])
+    else:
+        print(runs_table(rows), end="")
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.catalog import show_run
+
+    catalog = _open_catalog(args)
+    row = catalog.resolve(args.run)
+    if args.json:
+        from repro.pipeline.serialize import stats_payload
+
+        _print_json({
+            "run": row.to_json(),
+            "statistics": stats_payload(catalog.statistics(row.id),
+                                        top=args.top),
+            "alerts": [alert.to_json()
+                       for alert in catalog.alerts(row.id)],
+        })
+    else:
+        print(show_run(catalog, row, top=args.top), end="")
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.catalog import diff_runs
+
+    catalog = _open_catalog(args)
+    green, red, diff = diff_runs(catalog, args.green, args.red)
+    if args.json:
+        from repro.pipeline.serialize import diff_payload
+
+        _print_json({
+            "green": green.to_json(),
+            "red": red.to_json(),
+            "diff": diff_payload(diff, top=args.top),
+        })
+    else:
+        print(f"green: run {green.id} ({green.name!r}), "
+              f"red: run {red.id} ({red.name!r})")
+        print(diff.report(top=args.top), end="")
+    return 0
+
+
+def cmd_runs_trend(args: argparse.Namespace) -> int:
+    from repro.catalog import render_trend, trend_payload
+
+    catalog = _open_catalog(args)
+    payload = trend_payload(catalog, args.metric, app=args.app,
+                            limit=args.limit, activity=args.activity)
+    if args.json:
+        _print_json(payload)
+    else:
+        print(render_trend(payload), end="")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.pipeline.validate import validate_event_log, \
         validation_report
@@ -558,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source", help=SOURCE_HELP)
     p.add_argument("output")
     _add_ingest_options(p)
+    _add_catalog_options(p)
     p.set_defaults(fn=cmd_convert)
 
     p = sub.add_parser("synthesize", help="build and render the DFG")
@@ -571,6 +720,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="per-activity statistics table")
     _add_pipeline_options(p)
     p.add_argument("--top", type=int, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit the statistics as JSON (the same shape "
+                        "`runs show --json` uses) instead of the table")
+    _add_catalog_options(p)
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("compare",
@@ -678,6 +831,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "to FILE (the offline twin of --metrics-port "
                         "for hosts nothing scrapes); turns telemetry "
                         "on")
+    _add_catalog_options(p)
     p.set_defaults(fn=cmd_watch)
 
     p = sub.add_parser("fleet",
@@ -722,6 +876,71 @@ def build_parser() -> argparse.ArgumentParser:
                         "readable rendering")
     p.set_defaults(fn=cmd_health)
 
+    p = sub.add_parser("runs",
+                       help="query a run catalog: list, show, diff "
+                            "and trend over recorded runs")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    q = runs_sub.add_parser("list", help="list cataloged runs with "
+                                         "metadata filters")
+    q.add_argument("catalog", help="run catalog (.db) written by "
+                                   "--catalog / a fleet catalog key")
+    q.add_argument("--app", default=None, metavar="NAME",
+                   help="only runs recorded under this run name")
+    q.add_argument("--source", default=None, metavar="SUBSTR",
+                   help="only runs whose source URI contains SUBSTR")
+    q.add_argument("--mapping", default=None, metavar="NAME",
+                   help="only runs recorded under this mapping name "
+                        "(e.g. call+top2dirs)")
+    q.add_argument("--limit", type=_positive_int_arg, default=None,
+                   metavar="N", help="newest N matching runs")
+    q.add_argument("--json", action="store_true",
+                   help="emit the metadata rows as JSON")
+    q.set_defaults(fn=cmd_runs_list)
+
+    q = runs_sub.add_parser("show", help="one run in full: metadata, "
+                                         "statistics, fired alerts")
+    q.add_argument("catalog", help="run catalog (.db)")
+    q.add_argument("run", help="run reference: a numeric catalog id, "
+                               "or a run name (resolves to that "
+                               "app's newest run)")
+    q.add_argument("--top", type=int, default=None,
+                   help="rows in the statistics table")
+    q.add_argument("--json", action="store_true",
+                   help="emit run + statistics + alerts as JSON "
+                        "(statistics share `report --json`'s shape)")
+    q.set_defaults(fn=cmd_runs_show)
+
+    q = runs_sub.add_parser("diff", help="DFG diff between two "
+                                         "cataloged runs (green - red)")
+    q.add_argument("catalog", help="run catalog (.db)")
+    q.add_argument("green", help="run reference for the green side")
+    q.add_argument("red", help="run reference for the red side")
+    q.add_argument("--top", type=int, default=10)
+    q.add_argument("--json", action="store_true",
+                   help="emit the diff as JSON (the same shape "
+                        "`diff --json` uses)")
+    q.set_defaults(fn=cmd_runs_diff)
+
+    q = runs_sub.add_parser("trend", help="one metric across a run "
+                                          "history, per activity")
+    q.add_argument("catalog", help="run catalog (.db)")
+    q.add_argument("--metric", default="relative_duration",
+                   choices=("relative_duration", "total_bytes",
+                            "max_concurrency", "event_count",
+                            "process_data_rate"),
+                   help="Sec. IV-B metric to trend (default: "
+                        "relative_duration)")
+    q.add_argument("--app", default=None, metavar="NAME",
+                   help="only runs recorded under this run name")
+    q.add_argument("--limit", type=_positive_int_arg, default=None,
+                   metavar="N", help="newest N matching runs")
+    q.add_argument("--activity", default=None,
+                   help="restrict the table to one activity row")
+    q.add_argument("--json", action="store_true",
+                   help="emit the trend series as JSON")
+    q.set_defaults(fn=cmd_runs_trend)
+
     p = sub.add_parser("validate",
                        help="check the log against the Sec. III/IV "
                             "preconditions")
@@ -748,6 +967,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--green", required=True,
                    help="comma-separated cids for the green subset")
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--json", action="store_true",
+                   help="emit the diff as JSON (the same shape "
+                        "`runs diff --json` uses) instead of the "
+                        "text report")
     p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser("html-report",

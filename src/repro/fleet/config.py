@@ -30,7 +30,10 @@ Every validation error is a :class:`FleetConfigError` (a
 :class:`~repro._util.errors.ReproError`, so the CLI maps it to exit
 2) naming the offending job and key. Jobs writing to the same
 ``checkpoint``/``emit``/``alert_log`` path are rejected up front —
-two engines appending to one journal corrupt it quietly.
+two engines appending to one journal corrupt it quietly. A shared
+``catalog`` is the exception (the run catalog is multi-writer by
+design), but a catalog path doubling as an exclusive write path, or
+two jobs recording under one run name into one catalog, is rejected.
 """
 
 from __future__ import annotations
@@ -47,11 +50,17 @@ from repro.fleet.job import JobSpec
 _NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 #: Keys allowed at the top level (defaults fanning out to every job).
+#: ``catalog`` fans out deliberately: the run catalog is multi-writer,
+#: so one shared ``catalog = "runs.db"`` is the normal fleet setup.
 DEFAULT_KEYS = ("interval", "rules", "baseline", "window", "mapping",
-                "levels", "recursive", "lenient", "dfg", "top")
+                "levels", "recursive", "lenient", "dfg", "top",
+                "catalog")
 
-#: Keys allowed inside a ``[jobs.NAME]`` table.
-JOB_KEYS = DEFAULT_KEYS + ("source", "checkpoint", "emit", "alert_log")
+#: Keys allowed inside a ``[jobs.NAME]`` table. ``run_name`` is
+#: job-level only — a default run name shared by every job would make
+#: their cataloged histories indistinguishable.
+JOB_KEYS = DEFAULT_KEYS + ("source", "checkpoint", "emit", "alert_log",
+                           "run_name")
 
 _MAPPINGS = ("topdirs", "path", "call", "site")
 
@@ -83,6 +92,8 @@ def _check_types(entry: dict, where: str, job: str | None) -> None:
             ("checkpoint", "a string", (str,)),
             ("emit", "a string", (str,)),
             ("alert_log", "a string", (str,)),
+            ("catalog", "a string", (str,)),
+            ("run_name", "a string", (str,)),
             ("mapping", "a string", (str,))):
         if key not in entry:
             continue
@@ -157,6 +168,8 @@ def parse_fleet_data(data: dict, *, where: str,
             f"table with a source")
     specs: list[JobSpec] = []
     writers: dict[str, tuple[str, str]] = {}
+    catalogs: dict[str, str] = {}
+    run_names: dict[tuple[str, str], str] = {}
     for name, entry in jobs_table.items():
         if not _NAME_RE.match(name):
             raise FleetConfigError(
@@ -194,7 +207,17 @@ def parse_fleet_data(data: dict, *, where: str,
             lenient=merged.get("lenient", False),
             show_dfg=merged.get("dfg", True),
             top=merged.get("top", 5),
+            catalog=_resolve_path(base, merged.get("catalog")),
+            run_name=merged.get("run_name"),
         )
+        if spec.run_name and not spec.catalog:
+            raise FleetConfigError(
+                f"{where}: job {name!r} has run_name but no catalog "
+                f"(run names label cataloged runs)")
+        if spec.catalog and not spec.run_name:
+            # Cataloged runs default to the job name so every job's
+            # history stays separable (runs list --app NAME).
+            spec = spec.with_overrides(run_name=name)
         if spec.alert_log and not spec.rules:
             raise FleetConfigError(
                 f"{where}: job {name!r} has alert_log but no rules "
@@ -215,7 +238,38 @@ def parse_fleet_data(data: dict, *, where: str,
                     f"with job {other!r} {other_key} — each job needs "
                     f"its own write paths")
             writers[resolved] = (name, key)
+        if spec.catalog:
+            # The catalog is multi-writer (WAL + transactional
+            # appends): jobs *sharing* a catalog is the point. What is
+            # rejected is a catalog path doubling as some job's
+            # exclusive write path, and two jobs recording under one
+            # run name into one catalog — their histories would
+            # interleave indistinguishably.
+            resolved = os.path.normpath(str(spec.catalog))
+            if resolved in writers:
+                other, other_key = writers[resolved]
+                raise FleetConfigError(
+                    f"{where}: job {name!r} catalog {spec.catalog!r} "
+                    f"collides with job {other!r} {other_key} — a run "
+                    f"catalog cannot double as a "
+                    f"checkpoint/emit/alert_log path")
+            catalogs[resolved] = name
+            key = (resolved, spec.run_name)
+            if key in run_names:
+                raise FleetConfigError(
+                    f"{where}: job {name!r} records run name "
+                    f"{spec.run_name!r} into the same catalog as job "
+                    f"{run_names[key]!r} — run names within one fleet "
+                    f"must be unique per catalog (set run_name)")
+            run_names[key] = name
         specs.append(spec)
+    for resolved, (job, key) in writers.items():
+        if resolved in catalogs:
+            raise FleetConfigError(
+                f"{where}: job {job!r} {key} {resolved!r} collides "
+                f"with job {catalogs[resolved]!r} catalog — a run "
+                f"catalog cannot double as a "
+                f"checkpoint/emit/alert_log path")
     return specs
 
 

@@ -27,6 +27,7 @@ span end → render. The scheduler owns everything between polls
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -93,6 +94,13 @@ class JobSpec:
     top: int = 5
     telemetry: bool = False
     metrics_log: str | os.PathLike[str] | None = None
+    #: Run catalog the job commits its finished run into (shared
+    #: between fleet jobs — the catalog is multi-writer).
+    catalog: str | os.PathLike[str] | None = None
+    #: Name the cataloged run is recorded under (defaults to the job
+    #: name; ``runs list --app NAME`` and ``catalog:...?app=NAME``
+    #: filter on it).
+    run_name: str | None = None
 
     def with_overrides(self, **changes) -> "JobSpec":
         return replace(self, **changes)
@@ -144,6 +152,18 @@ class JobSpec:
             raise ReproError(
                 "--alert-log/--baseline require --rules (no rules, "
                 "nothing to fire or compare)")
+        if self.catalog:
+            from repro.catalog import AlertExportBuffer, RunCatalog
+
+            # Create/validate the catalog now so a bad path or an
+            # unsupported schema version is a startup (exit 2) error,
+            # not a surprise at finalize after a week of watching.
+            RunCatalog(self.catalog)
+            if alerts is not None:
+                # Capture full alert detail before history_limit
+                # compaction folds it into counts (the finalize-time
+                # catalog commit stores exported + surviving history).
+                alerts.export_hook = AlertExportBuffer()
         telemetry = None
         if self.telemetry:
             from repro.telemetry import Telemetry
@@ -226,6 +246,8 @@ class WatchJob:
         self.deadline = 0.0
         self._order = 0
         self._emit_packed = False
+        self._cataloged = False
+        self._started = time.monotonic()
 
     @classmethod
     def from_spec(cls, spec: JobSpec) -> "WatchJob":
@@ -288,15 +310,52 @@ class WatchJob:
         self.view = WatchView(self.engine, show_dfg=self.show_dfg,
                               show_stats=self.show_stats, top=self.top)
         self._emit_packed = False
+        self._cataloged = False
 
     def finalize(self) -> Path | None:
-        """Pack the ``--emit`` destination once (idempotent); returns
-        the packed path the first time, None after (or with no emit)."""
-        if self.engine.emit_journal is None or self._emit_packed:
-            return None
-        packed = self.engine.pack_emit()
-        self._emit_packed = True
+        """Pack the ``--emit`` destination and commit the run to the
+        catalog, each once (idempotent); returns the packed path the
+        first time, None after (or with no emit)."""
+        packed = None
+        if self.engine.emit_journal is not None and not self._emit_packed:
+            packed = self.engine.pack_emit()
+            self._emit_packed = True
+        self._commit_catalog()
         return packed
+
+    def _commit_catalog(self) -> int | None:
+        """Record the finished run (DFG, statistics, alert history —
+        exported pre-compaction detail included) into the job's
+        catalog; returns the run id, or None without a catalog."""
+        spec = self.spec
+        if spec is None or not spec.catalog or self._cataloged:
+            return None
+        from repro.catalog import AlertExportBuffer, RunCatalog, RunRecord
+
+        engine = self.engine
+        alerts: tuple = ()
+        if engine.alerts is not None:
+            hook = engine.alerts.export_hook
+            if isinstance(hook, AlertExportBuffer):
+                alerts = hook.full_history(engine.alerts.history)
+            else:
+                alerts = tuple(engine.alerts.history)
+        record = RunRecord.create(
+            name=spec.run_name or spec.name,
+            source=str(spec.source),
+            mapping=engine.mapping.name,
+            levels=spec.levels,
+            dfg=engine.snapshot_dfg(),
+            stats=engine.statistics(),
+            n_events=engine.total_events,
+            n_cases=engine.incremental.n_cases,
+            alerts=alerts,
+            window=spec.window,
+            n_polls=engine.n_polls,
+            wall_span_s=time.monotonic() - self._started)
+        run_id = RunCatalog(spec.catalog).record_run(record)
+        self._cataloged = True
+        return run_id
 
     def close(self) -> None:
         self.engine.close()

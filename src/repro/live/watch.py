@@ -163,6 +163,7 @@ def run_watch(engine: LiveIngest, *,
               top: int = 5,
               metrics_port: int | None = None,
               metrics_log: str | os.PathLike[str] | None = None,
+              spec=None,
               out: Callable[[str], None] = print,
               sleep: Callable[[float], None] = time.sleep,
               clock: Callable[[], float] = time.monotonic) -> int:
@@ -239,9 +240,12 @@ def run_watch(engine: LiveIngest, *,
         server = MetricsServer(telemetry, metrics_port)
         out(f"serving metrics on http://{server.host}:{server.port}"
             f"/metrics (health: /healthz)")
+    # A JobSpec (the CLI passes its own) rides along for finalize-time
+    # policy the bare engine cannot carry — today the --catalog commit
+    # (run name, catalog path, recorded window/mapping metadata).
     job = WatchJob(engine, interval=interval, polls=polls,
                    show_dfg=show_dfg, show_stats=show_stats, top=top,
-                   metrics_log=metrics_log)
+                   metrics_log=metrics_log, spec=spec)
     scheduler = FleetScheduler([job], out=out, sleep=sleep,
                                clock=clock)
     try:

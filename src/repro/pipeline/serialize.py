@@ -1,0 +1,105 @@
+"""Machine-readable payloads for reports and diffs — one serializer.
+
+``report --json``, ``diff --json``, and the catalog's ``runs
+show/diff/trend --json`` all emit these shapes, so scripts parse one
+vocabulary no matter which subcommand produced the data. Payloads are
+plain dicts/lists of JSON-native values; callers ``json.dumps`` them.
+
+Numbers are emitted raw (no unit formatting): ``relative_duration`` in
+[0, 1], ``total_bytes`` in bytes, ``process_data_rate`` in bytes per
+second or ``null`` — the same quantities the text tables render
+human-readably.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.diff import DFGDiff
+    from repro.core.statistics import IOStatistics
+
+
+def stats_payload(stats: "IOStatistics", *,
+                  top: int | None = None) -> dict:
+    """Per-activity statistics, heaviest (by relative duration) first.
+
+    Every activity row carries the full Sec. IV-B vector plus the
+    ranks/cases/approximate bookkeeping fields.
+    """
+    activities = stats.activities()
+    if top is not None:
+        activities = activities[:top]
+    rows = []
+    for activity in activities:
+        s = stats[activity]
+        rows.append({
+            "activity": s.activity,
+            "event_count": s.event_count,
+            "total_dur_us": s.total_dur_us,
+            "relative_duration": s.relative_duration,
+            "total_bytes": s.total_bytes,
+            "has_transfers": s.has_transfers,
+            "process_data_rate": s.process_data_rate,
+            "max_concurrency": s.max_concurrency,
+            "ranks": s.ranks,
+            "cases": s.cases,
+            "approximate": s.approximate,
+        })
+    return {
+        "total_duration_us": stats.total_duration_us,
+        "n_activities": len(stats),
+        "activities": rows,
+    }
+
+
+def diff_payload(diff: "DFGDiff", *, top: int | None = None) -> dict:
+    """A :class:`~repro.core.diff.DFGDiff` as plain data.
+
+    Deltas read green minus red, matching the coloring convention and
+    the text report. ``activity_deltas`` is present only when the diff
+    carries statistics.
+    """
+    edge_deltas = diff.edge_deltas()
+    if top is not None:
+        edge_deltas = edge_deltas[:top]
+    payload = {
+        "jaccard_nodes": diff.jaccard_nodes(),
+        "jaccard_edges": diff.jaccard_edges(),
+        "total_count_delta": diff.total_count_delta(),
+        "added_edges": [list(edge) for edge in diff.added_edges()],
+        "vanished_edges": [list(edge) for edge in diff.vanished_edges()],
+        "edge_deltas": [
+            {
+                "src": delta.edge[0],
+                "dst": delta.edge[1],
+                "green_count": delta.green_count,
+                "red_count": delta.red_count,
+                "delta": delta.delta,
+                "status": delta.status,
+            }
+            for delta in edge_deltas
+        ],
+    }
+    if diff.green_stats is not None and diff.red_stats is not None:
+        activity_deltas = diff.activity_deltas()
+        if top is not None:
+            activity_deltas = activity_deltas[:top]
+        payload["activity_deltas"] = [
+            {
+                "activity": delta.activity,
+                "green_events": delta.green_events,
+                "red_events": delta.red_events,
+                "event_delta": delta.event_delta,
+                "green_relative_duration": delta.green_rd,
+                "red_relative_duration": delta.red_rd,
+                "relative_duration_delta": delta.rd_delta,
+                "green_bytes": delta.green_bytes,
+                "red_bytes": delta.red_bytes,
+                "green_rate": delta.green_rate,
+                "red_rate": delta.red_rate,
+                "rate_ratio": delta.rate_ratio,
+            }
+            for delta in activity_deltas
+        ]
+    return payload

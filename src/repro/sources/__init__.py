@@ -54,10 +54,19 @@ from repro.sources.simulation import SimulationSource
 from repro.sources.store import ElstoreSource
 from repro.sources.strace_dir import StraceDirSource
 
+def _catalog_factory(target, options, opts):
+    # Imported lazily: repro.catalog itself imports TraceSource from
+    # this package, so a module-level import here would be a cycle.
+    from repro.catalog.source import CatalogSource
+
+    return CatalogSource.from_uri(target, options, opts)
+
+
 register_source(StraceDirSource.scheme, StraceDirSource.from_uri)
 register_source(ElstoreSource.scheme, ElstoreSource.from_uri)
 register_source(CsvLogSource.scheme, CsvLogSource.from_uri)
 register_source(SimulationSource.scheme, SimulationSource.from_uri)
+register_source("catalog", _catalog_factory)
 
 __all__ = [
     "CSV_COLUMNS",

@@ -1,0 +1,125 @@
+"""The pre-compaction export seam (ROADMAP item 5d).
+
+``history_limit`` compaction used to silently degrade the oldest
+alerts to per-identity counts. Now an :attr:`AlertEngine.export_hook`
+receives the full records *before* the fold — the run catalog's
+:class:`~repro.catalog.export.AlertExportBuffer` is the standard
+consumer — and an engine compacting *without* a hook warns once that
+detail is being discarded. A hook that raises must not break
+compaction (the week-long watch survives; the operator is warned).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.alerts import AlertEngine, NewEdgeRule
+from repro.catalog import AlertExportBuffer
+from repro.live.engine import LiveIngest
+
+
+def _fired_engine(tmp_path, ls_file_bytes, write_files, *,
+                  history_limit, hook=None):
+    write_files(tmp_path, ls_file_bytes)
+    alerts = AlertEngine([NewEdgeRule("edges")],
+                         history_limit=history_limit)
+    if hook is not None:
+        alerts.export_hook = hook
+    engine = LiveIngest(tmp_path, alerts=alerts)
+    fired = alerts.evaluate(engine, engine.poll())
+    return alerts, fired
+
+
+class TestExportHook:
+    def test_hook_receives_exactly_the_discarded_records(
+            self, tmp_path, ls_file_bytes, write_files):
+        buffer = AlertExportBuffer()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a hooked engine is silent
+            alerts, fired = _fired_engine(
+                tmp_path, ls_file_bytes, write_files,
+                history_limit=3, hook=buffer)
+        assert len(fired) > 3
+        assert buffer.exported == fired[:-3]
+        assert len(buffer) == len(fired) - 3
+        # exported + surviving history = the full chronological run.
+        assert buffer.full_history(alerts.history) == tuple(fired)
+
+    def test_full_history_without_overflow(self, tmp_path,
+                                           ls_file_bytes,
+                                           write_files):
+        buffer = AlertExportBuffer()
+        alerts, fired = _fired_engine(tmp_path, ls_file_bytes,
+                                      write_files, history_limit=None,
+                                      hook=buffer)
+        assert buffer.exported == []
+        assert buffer.full_history(alerts.history) == tuple(fired)
+
+    def test_unhooked_compaction_warns_exactly_once(self, tmp_path,
+                                                    ls_file_bytes,
+                                                    write_files):
+        write_files(tmp_path, ls_file_bytes)
+        alerts = AlertEngine([NewEdgeRule("edges")], history_limit=2)
+        engine = LiveIngest(tmp_path, alerts=alerts)
+        with pytest.warns(RuntimeWarning,
+                          match="history_limit=2 reached"):
+            alerts.evaluate(engine, engine.poll())
+        # The latch: later compactions stay quiet (a week-long watch
+        # must not emit one warning per refresh).
+        alerts.history.extend(alerts.history[:3] * 2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            alerts._compact()
+        assert len(alerts.history) == 2
+
+    def test_failing_hook_warns_but_compaction_proceeds(
+            self, tmp_path, ls_file_bytes, write_files):
+        def broken(discarded):
+            raise OSError("export target went away")
+
+        with pytest.warns(RuntimeWarning,
+                          match="alert export hook failed"):
+            alerts, fired = _fired_engine(
+                tmp_path, ls_file_bytes, write_files,
+                history_limit=2, hook=broken)
+        assert len(alerts.history) == 2
+        assert alerts.n_fired == len(fired)  # totals stay exact
+
+
+class TestWatchJobIntegration:
+    def test_compacted_detail_reaches_the_catalog(self, tmp_path,
+                                                  ls_file_bytes,
+                                                  write_files):
+        """End to end: a watch whose history_limit is tighter than its
+        alert volume still catalogs *every* alert in full detail."""
+        from repro.catalog import RunCatalog
+        from repro.fleet.job import JobSpec
+
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        write_files(trace_dir, ls_file_bytes)
+        rules = tmp_path / "rules.toml"
+        rules.write_text("""
+history_limit = 2
+
+[[rule]]
+name = "edges"
+type = "new_edge"
+""")
+        catalog_path = tmp_path / "cat.db"
+        spec = JobSpec(name="app1", source=str(trace_dir),
+                       interval=0.0, rules=str(rules),
+                       catalog=str(catalog_path), run_name="app1")
+        job = spec.build()
+        job.poll_once()
+        job.finalize()
+        engine = job.engine.alerts
+        assert len(engine.history) == 2  # compaction really happened
+        catalog = RunCatalog(catalog_path, create=False)
+        (row,) = catalog.list_runs()
+        stored = catalog.alerts(row.id)
+        assert len(stored) == engine.n_fired > 2
+        # Chronological: the compacted records precede the survivors.
+        assert stored[-2:] == engine.history

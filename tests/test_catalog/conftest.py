@@ -1,0 +1,72 @@
+"""Fixtures for the run-catalog suite.
+
+Same devices as the live/fleet suites — the Fig. 1 workload rendered
+to per-file bytes, small IOR runs — plus a helper that loads a trace
+directory through the batch pipeline exactly as ``st-inspector
+report`` would (ingest, then apply the paper's call+top-dirs mapping),
+so catalog round-trips are always compared against the batch truth.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def ls_file_bytes() -> dict[str, bytes]:
+    """The Fig. 1 ``ls`` / ``ls -l`` traces as per-file bytes."""
+    from repro.simulate.workloads.ls import generate_fig1_traces
+
+    with tempfile.TemporaryDirectory() as scratch:
+        generate_fig1_traces(scratch)
+        return {path.name: path.read_bytes()
+                for path in sorted(Path(scratch).iterdir())}
+
+
+@pytest.fixture(scope="session")
+def ior_file_bytes() -> dict[str, bytes]:
+    """A small IOR run as per-file bytes (distinct DFG from Fig. 1)."""
+    from repro.simulate.strace_writer import (
+        EXPERIMENT_A_CALLS,
+        write_trace_files,
+    )
+    from repro.simulate.workloads.ior import IORConfig, simulate_ior
+
+    result = simulate_ior(IORConfig(
+        ranks=4, ranks_per_node=2, segments=2, cid="ior", seed=77))
+    with tempfile.TemporaryDirectory() as scratch:
+        paths = write_trace_files(result.recorders, scratch,
+                                  trace_calls=EXPERIMENT_A_CALLS)
+        return {path.name: path.read_bytes() for path in paths}
+
+
+def write_all(directory: Path, file_bytes: dict[str, bytes]) -> None:
+    for filename, content in file_bytes.items():
+        (directory / filename).write_bytes(content)
+
+
+@pytest.fixture
+def write_files():
+    """The directory-population helper, as a fixture."""
+    return write_all
+
+
+def mapped_log(directory, mapping: str = "topdirs", levels: int = 2):
+    """Batch-load a trace directory, mapping applied — the same path
+    ``st-inspector report`` takes. Returns ``(log, mapping_obj)``."""
+    from repro.fleet.job import mapping_from_name
+    from repro.sources import open_source
+
+    log = open_source(str(directory)).event_log()
+    mapping_obj = mapping_from_name(mapping, levels)
+    log.apply_mapping_fn(mapping_obj)
+    return log, mapping_obj
+
+
+@pytest.fixture
+def fig1_batch(fig1_dir):
+    """The Fig. 1 directory batch-loaded under the paper's mapping."""
+    return mapped_log(fig1_dir)

@@ -1,0 +1,279 @@
+"""``catalog:`` mined baselines drive the alert engine exactly like a
+hand-picked baseline would.
+
+The acceptance criterion: a rules file whose ``baseline`` is a
+``catalog:`` URI fires the *same alert identities* as the equivalent
+hand-picked directory baseline — including across a kill/restart of
+the watcher that recorded the baseline run. Union aggregation widens
+the baseline to everything seen over the last K runs; a mapping
+mismatch between the cataloged run and the live watch is a
+configuration error, not a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro._util.errors import ReproError, SourceError
+from repro.alerts import AlertEngine
+from repro.catalog import CatalogError, CatalogSource, RunCatalog, RunRecord
+from repro.core.statistics import IOStatistics
+from repro.live.engine import LiveIngest
+from repro.sources import open_source
+
+RULES = """
+baseline = "{baseline}"
+
+[[rule]]
+name = "new-relations"
+type = "new_edge"
+absent_from_baseline = true
+"""
+
+
+def _mapped_log(directory, mapping="topdirs", levels=2):
+    from repro.fleet.job import mapping_from_name
+
+    log = open_source(str(directory)).event_log()
+    mapping_obj = mapping_from_name(mapping, levels)
+    log.apply_mapping_fn(mapping_obj)
+    return log, mapping_obj
+
+
+def _record_dir(catalog: RunCatalog, directory, *, name,
+                mapping="topdirs", levels=2) -> int:
+    log, mapping_obj = _mapped_log(directory, mapping, levels)
+    return catalog.record_run(RunRecord.from_log(
+        log, name=name, source=str(directory),
+        mapping=mapping_obj.name, levels=levels))
+
+
+def _fired_identities(trace_dir: Path, rules_path: Path) -> Counter:
+    """One poll over a fully-written dir; the fired identity multiset."""
+    alerts = AlertEngine.from_rules_file(rules_path)
+    engine = LiveIngest(trace_dir, alerts=alerts)
+    fired = alerts.evaluate(engine, engine.poll())
+    return Counter(alert.identity for alert in fired)
+
+
+@pytest.fixture
+def dirs(tmp_path, ls_file_bytes, ior_file_bytes, write_files):
+    """baseline dir (ls only) and grown dir (ls + IOR: new edges)."""
+    baseline_dir = tmp_path / "baseline"
+    grown_dir = tmp_path / "grown"
+    baseline_dir.mkdir(), grown_dir.mkdir()
+    write_files(baseline_dir, ls_file_bytes)
+    write_files(grown_dir, {**ls_file_bytes, **ior_file_bytes})
+    return baseline_dir, grown_dir
+
+
+class TestMinedBaselineEquivalence:
+    def test_same_identities_as_hand_picked_baseline(self, tmp_path,
+                                                     dirs):
+        baseline_dir, grown_dir = dirs
+        catalog_path = tmp_path / "cat.db"
+        _record_dir(RunCatalog(catalog_path), baseline_dir,
+                    name="app1")
+
+        mined_rules = tmp_path / "mined.toml"
+        mined_rules.write_text(RULES.format(
+            baseline=f"catalog:{catalog_path.as_posix()}?app=app1"))
+        picked_rules = tmp_path / "picked.toml"
+        picked_rules.write_text(RULES.format(
+            baseline=baseline_dir.as_posix()))
+
+        mined = _fired_identities(grown_dir, mined_rules)
+        picked = _fired_identities(grown_dir, picked_rules)
+        assert mined == picked
+        assert mined  # the IOR files really did add edges
+
+    def test_last_means_newest_matching_run(self, tmp_path, dirs):
+        """With the *grown* dir recorded as the newest app1 run,
+        agg=last mines it and nothing is new any more."""
+        baseline_dir, grown_dir = dirs
+        catalog_path = tmp_path / "cat.db"
+        catalog = RunCatalog(catalog_path)
+        _record_dir(catalog, baseline_dir, name="app1")
+        _record_dir(catalog, grown_dir, name="app1")
+        rules = tmp_path / "rules.toml"
+        rules.write_text(RULES.format(
+            baseline=f"catalog:{catalog_path.as_posix()}?app=app1"))
+        assert _fired_identities(grown_dir, rules) == Counter()
+
+    def test_app_filter_selects_the_right_history(self, tmp_path,
+                                                  dirs):
+        """A newer run under a *different* name must not shadow the
+        selected app's baseline."""
+        baseline_dir, grown_dir = dirs
+        catalog_path = tmp_path / "cat.db"
+        catalog = RunCatalog(catalog_path)
+        _record_dir(catalog, baseline_dir, name="app1")
+        _record_dir(catalog, grown_dir, name="other")
+        rules = tmp_path / "rules.toml"
+        rules.write_text(RULES.format(
+            baseline=f"catalog:{catalog_path.as_posix()}?app=app1"))
+        assert _fired_identities(grown_dir, rules)
+
+
+class TestUnionAggregation:
+    def test_union_covers_every_mined_run(self, tmp_path,
+                                          ls_file_bytes,
+                                          ior_file_bytes,
+                                          write_files):
+        """Two disjoint runs (ls-only, ior-only) recorded separately:
+        agg=last over the older one fires on the combined dir, the
+        union over both suppresses everything."""
+        ls_dir, ior_dir = tmp_path / "ls", tmp_path / "ior"
+        combined = tmp_path / "combined"
+        for directory in (ls_dir, ior_dir, combined):
+            directory.mkdir()
+        write_files(ls_dir, ls_file_bytes)
+        write_files(ior_dir, ior_file_bytes)
+        write_files(combined, {**ls_file_bytes, **ior_file_bytes})
+        catalog_path = tmp_path / "cat.db"
+        catalog = RunCatalog(catalog_path)
+        _record_dir(catalog, ls_dir, name="app1")
+        _record_dir(catalog, ior_dir, name="app1")
+
+        last_rules = tmp_path / "last.toml"
+        last_rules.write_text(RULES.format(
+            baseline=f"catalog:{catalog_path.as_posix()}"
+                     f"?app=app1&agg=last"))
+        union_rules = tmp_path / "union.toml"
+        union_rules.write_text(RULES.format(
+            baseline=f"catalog:{catalog_path.as_posix()}"
+                     f"?app=app1&agg=union&k=2"))
+        # last = the ior-only run: the ls edges all look new.
+        assert _fired_identities(combined, last_rules)
+        # union of both runs covers the combined edge set exactly.
+        assert _fired_identities(combined, union_rules) == Counter()
+
+    def test_union_takes_per_edge_maxima(self, tmp_path, dirs):
+        baseline_dir, grown_dir = dirs
+        catalog_path = tmp_path / "cat.db"
+        catalog = RunCatalog(catalog_path)
+        small = _record_dir(catalog, baseline_dir, name="app1")
+        big = _record_dir(catalog, grown_dir, name="app1")
+        source = open_source(
+            f"catalog:{catalog_path.as_posix()}?app=app1&agg=union")
+        from repro.fleet.job import mapping_from_name
+
+        dfg, stats = source.baseline_pair(mapping_from_name("topdirs"))
+        small_dfg = catalog.dfg(small)
+        big_dfg = catalog.dfg(big)
+        for edge in set(small_dfg.edges()) | set(big_dfg.edges()):
+            assert dfg.edges()[edge] == max(
+                small_dfg.edges().get(edge, 0),
+                big_dfg.edges().get(edge, 0)), edge
+        assert isinstance(stats, IOStatistics)
+        assert len(stats)
+
+
+class TestConfigurationErrors:
+    def test_missing_run_fails_at_open(self, tmp_path, dirs):
+        baseline_dir, _ = dirs
+        catalog_path = tmp_path / "cat.db"
+        _record_dir(RunCatalog(catalog_path), baseline_dir,
+                    name="app1")
+        with pytest.raises(CatalogError, match="no run named 'ghost'"):
+            open_source(f"catalog:{catalog_path.as_posix()}?app=ghost")
+
+    def test_missing_catalog_fails_at_open(self, tmp_path):
+        with pytest.raises(CatalogError, match="no such run catalog"):
+            open_source(f"catalog:{tmp_path / 'nope.db'}")
+
+    def test_unknown_option_rejected(self, tmp_path, dirs):
+        baseline_dir, _ = dirs
+        catalog_path = tmp_path / "cat.db"
+        _record_dir(RunCatalog(catalog_path), baseline_dir, name="a")
+        with pytest.raises(SourceError, match="unknown option"):
+            open_source(f"catalog:{catalog_path.as_posix()}?frob=1")
+        with pytest.raises(SourceError, match="k must be an integer"):
+            open_source(f"catalog:{catalog_path.as_posix()}?"
+                        f"agg=union&k=three")
+        with pytest.raises(SourceError, match="unknown agg"):
+            CatalogSource(str(catalog_path), agg="median")
+        with pytest.raises(SourceError, match="only applies"):
+            CatalogSource(str(catalog_path), agg="last", k=3)
+
+    def test_mapping_mismatch_names_both_mappings(self, tmp_path,
+                                                  dirs):
+        """A baseline recorded under ``call`` cannot feed a watch
+        mapping with ``call+top2dirs``."""
+        baseline_dir, grown_dir = dirs
+        catalog_path = tmp_path / "cat.db"
+        _record_dir(RunCatalog(catalog_path), baseline_dir,
+                    name="app1", mapping="call")
+        rules = tmp_path / "rules.toml"
+        rules.write_text(RULES.format(
+            baseline=f"catalog:{catalog_path.as_posix()}?app=app1"))
+        alerts = AlertEngine.from_rules_file(rules)
+        engine = LiveIngest(grown_dir, alerts=alerts)
+        with pytest.raises(ReproError,
+                           match="'call'.*'call\\+top2dirs'"):
+            alerts.evaluate(engine, engine.poll())
+
+    def test_catalog_source_cannot_be_ingested(self, tmp_path, dirs):
+        baseline_dir, _ = dirs
+        catalog_path = tmp_path / "cat.db"
+        _record_dir(RunCatalog(catalog_path), baseline_dir, name="a")
+        source = open_source(f"catalog:{catalog_path.as_posix()}")
+        with pytest.raises(SourceError, match="per-run aggregates"):
+            source.event_log()
+
+
+class TestWriterKillRestart:
+    def test_restarted_watcher_records_batch_identical_run(
+            self, tmp_path, ls_file_bytes, ior_file_bytes,
+            write_files):
+        """Kill/restart of the recording watcher: life 1 sees half the
+        files, dies after its finalize; life 2 restores the checkpoint,
+        absorbs the rest, and the run *it* catalogs equals the batch
+        compute over the final directory — then serves as a mined
+        baseline with the same identities a hand-picked one yields."""
+        from repro.cli import main
+
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        names = sorted(ls_file_bytes)
+        write_files(trace_dir,
+                    {n: ls_file_bytes[n] for n in names[:3]})
+        catalog_path = tmp_path / "cat.db"
+        checkpoint = tmp_path / "ckpt.json"
+        argv = ["watch", str(trace_dir), "--once", "--interval", "0",
+                "--checkpoint", str(checkpoint),
+                "--catalog", str(catalog_path), "--run-name", "app1"]
+        assert main(argv) == 0  # life 1, then the simulated kill
+        write_files(trace_dir,
+                    {n: ls_file_bytes[n] for n in names[3:]})
+        assert main(argv) == 0  # life 2 restores and finishes
+
+        catalog = RunCatalog(catalog_path, create=False)
+        rows = catalog.list_runs(app="app1")
+        assert len(rows) == 2
+        final = rows[-1]
+        assert final.n_polls == 2  # poll count spans both lives
+        log, _ = _mapped_log(trace_dir)
+        batch = IOStatistics(log)
+        restored = catalog.statistics(final.id)
+        assert restored.total_duration_us == batch.total_duration_us
+        for activity in batch.activities():
+            assert restored[activity] == batch[activity]
+
+        # The restart-built run now serves as a mined baseline with
+        # hand-picked-identical behavior on a further-grown dir.
+        grown = tmp_path / "grown"
+        grown.mkdir()
+        write_files(grown, {**ls_file_bytes, **ior_file_bytes})
+        mined_rules = tmp_path / "mined.toml"
+        mined_rules.write_text(RULES.format(
+            baseline=f"catalog:{catalog_path.as_posix()}?app=app1"))
+        picked_rules = tmp_path / "picked.toml"
+        picked_rules.write_text(RULES.format(
+            baseline=trace_dir.as_posix()))
+        mined = _fired_identities(grown, mined_rules)
+        assert mined == _fired_identities(grown, picked_rules)
+        assert mined

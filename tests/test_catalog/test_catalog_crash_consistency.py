@@ -1,0 +1,156 @@
+"""Catalog crash-consistency: a kill at *any* instant of a commit
+leaves no trace of the half-written run.
+
+Same device as the checkpoint suite
+(``tests/test_live/test_crash_consistency.py``): each insert step of
+:meth:`RunCatalog.record_run` — the run row, the edge list, the node
+frequencies, the statistics vector, the alert history, and the final
+``COMMIT`` itself — is made to raise, aborting the write exactly where
+a SIGKILL would. The invariant: ``runs list`` never shows the aborted
+run, every restore of the *previous* runs stays intact, and the very
+next (unpatched) commit succeeds on the same file.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.catalog import CatalogError, RunCatalog, RunRecord
+from repro.catalog import schema as schema_module
+from repro.catalog import store as store_module
+from repro.core.dfg import DFG
+from repro.core.statistics import IOStatistics
+
+#: Which step of the transactional insert the simulated kill hits.
+KILL_POINTS = ("_insert_run", "_insert_edges", "_insert_nodes",
+               "_insert_stats", "_insert_alerts", "commit")
+
+
+def _kill_at(monkeypatch, point: str) -> None:
+    """Abort record_run at one step (inside the open transaction)."""
+    if point == "commit":
+        real_connect = schema_module.connect
+
+        class DyingCommit:
+            def __init__(self, conn):
+                self._conn = conn
+
+            def commit(self):
+                raise sqlite3.OperationalError(
+                    "disk I/O error (simulated kill at commit)")
+
+            def __getattr__(self, name):
+                return getattr(self._conn, name)
+
+        monkeypatch.setattr(
+            schema_module, "connect",
+            lambda path, *, create=False:
+                DyingCommit(real_connect(path, create=create)))
+    else:
+        def dying_step(self, conn, *args, **kwargs):
+            raise sqlite3.OperationalError(
+                f"disk I/O error (simulated kill in {point})")
+
+        monkeypatch.setattr(RunCatalog, point, dying_step)
+
+
+def _record(fig1_batch, name="fig1") -> RunRecord:
+    log, mapping = fig1_batch
+    return RunRecord.from_log(log, name=name, source="traces",
+                              mapping=mapping.name, levels=2)
+
+
+class TestKillDuringCommit:
+    @pytest.mark.parametrize("point", KILL_POINTS)
+    def test_aborted_run_is_never_visible(self, tmp_path, fig1_batch,
+                                          monkeypatch, point):
+        path = tmp_path / "cat.db"
+        catalog = RunCatalog(path)
+        survivor_id = catalog.record_run(_record(fig1_batch, "before"))
+        survivor_dfg = catalog.dfg(survivor_id)
+        with monkeypatch.context() as patched:
+            _kill_at(patched, point)
+            with pytest.raises(CatalogError):
+                catalog.record_run(_record(fig1_batch, "torn"))
+        # Invariant: the torn run never happened. A fresh reader of
+        # the same file (a sibling fleet job, a `runs list`) sees
+        # exactly the pre-crash catalog.
+        fresh = RunCatalog(path, create=False)
+        rows = fresh.list_runs()
+        assert [row.name for row in rows] == ["before"]
+        assert fresh.dfg(survivor_id) == survivor_dfg
+        # No orphaned child rows under any id, either.
+        with sqlite3.connect(path) as conn:
+            for table in ("edges", "nodes", "stats", "alerts"):
+                orphans = conn.execute(
+                    f"SELECT COUNT(*) FROM {table} WHERE run_id NOT "
+                    f"IN (SELECT id FROM runs)").fetchone()[0]
+                assert orphans == 0, table
+
+    @pytest.mark.parametrize("point", KILL_POINTS)
+    def test_next_commit_recovers(self, tmp_path, fig1_batch,
+                                  monkeypatch, point):
+        """After an aborted commit, the same catalog object (or a
+        revived one) lands the run cleanly — no lingering lock, no
+        poisoned connection state."""
+        path = tmp_path / "cat.db"
+        catalog = RunCatalog(path)
+        with monkeypatch.context() as patched:
+            _kill_at(patched, point)
+            with pytest.raises(CatalogError):
+                catalog.record_run(_record(fig1_batch, "torn"))
+        run_id = catalog.record_run(_record(fig1_batch, "after"))
+        assert [row.name for row in catalog.list_runs()] == ["after"]
+        batch = IOStatistics(fig1_batch[0])
+        restored = catalog.statistics(run_id)
+        for activity in batch.activities():
+            assert restored[activity] == batch[activity]
+
+    def test_reader_mid_transaction_sees_old_state(self, tmp_path,
+                                                   fig1_batch):
+        """WAL isolation, spelled out: a reader that opens while a
+        writer's transaction is in flight keeps seeing the previous
+        committed state."""
+        path = tmp_path / "cat.db"
+        catalog = RunCatalog(path)
+        catalog.record_run(_record(fig1_batch, "committed"))
+        record = _record(fig1_batch, "in-flight")
+        writer = schema_module.connect(path, create=True)
+        writer.execute("BEGIN IMMEDIATE")
+        try:
+            run_id = catalog._insert_run(writer, record, 1.0)
+            catalog._insert_edges(writer, run_id, record)
+            # Mid-transaction: a fresh reader sees only the commit.
+            reader = RunCatalog(path, create=False)
+            assert [row.name for row in reader.list_runs()] == \
+                ["committed"]
+        finally:
+            writer.rollback()
+            writer.close()
+        assert [row.name for row in catalog.list_runs()] == \
+            ["committed"]
+
+
+class TestRestoredObjectsStayConsistent:
+    def test_restore_after_crash_matches_batch(self, tmp_path,
+                                               fig1_batch,
+                                               monkeypatch):
+        """A crash between two good commits does not bend either
+        neighbor: both restore bit-identical to the batch compute."""
+        log, _ = fig1_batch
+        path = tmp_path / "cat.db"
+        catalog = RunCatalog(path)
+        first = catalog.record_run(_record(fig1_batch, "one"))
+        with monkeypatch.context() as patched:
+            _kill_at(patched, "_insert_stats")
+            with pytest.raises(CatalogError):
+                catalog.record_run(_record(fig1_batch, "torn"))
+        second = catalog.record_run(_record(fig1_batch, "two"))
+        batch_stats, batch_dfg = IOStatistics(log), DFG(log)
+        for run_id in (first, second):
+            assert catalog.dfg(run_id) == batch_dfg
+            restored = catalog.statistics(run_id)
+            for activity in batch_stats.activities():
+                assert restored[activity] == batch_stats[activity]

@@ -1,0 +1,120 @@
+"""The catalog's acceptance properties, under randomized workloads.
+
+Two laws, hypothesis-driven:
+
+1. **Record/restore is the identity on statistics.** For any trace
+   directory (a random non-empty subset of the Fig. 1 + IOR files,
+   under a random activity mapping), the statistics restored from the
+   catalog equal batch ``compute_statistics`` on the same directory —
+   every :class:`~repro.core.statistics.ActivityStats` field compared
+   with ``==``, floats bit-for-bit. Same for the DFG and the
+   fingerprint (recorded twice → identical).
+
+2. **``runs diff`` is ``DFGDiff`` of the live graphs.** Diffing two
+   cataloged runs renders the exact report that diffing the in-memory
+   DFGs (with their statistics) would — the catalog adds persistence,
+   not interpretation.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import RunCatalog, RunRecord, diff_runs
+from repro.core.dfg import DFG
+from repro.core.diff import DFGDiff
+from repro.core.statistics import IOStatistics
+
+
+def mapped_log(directory, mapping: str = "topdirs", levels: int = 2):
+    """Batch-load a trace directory exactly as ``report`` would."""
+    from repro.fleet.job import mapping_from_name
+    from repro.sources import open_source
+
+    log = open_source(str(directory)).event_log()
+    mapping_obj = mapping_from_name(mapping, levels)
+    log.apply_mapping_fn(mapping_obj)
+    return log, mapping_obj
+
+#: A workload: which of the 6+4 trace files to include (non-empty),
+#: and the mapping to view them under.
+subset = st.sets(st.integers(min_value=0, max_value=9), min_size=1)
+mappings = st.sampled_from([("topdirs", 1), ("topdirs", 2),
+                            ("topdirs", 3), ("call", 2), ("path", 2)])
+
+
+def _materialize(scratch: Path, indices, ls_file_bytes,
+                 ior_file_bytes) -> Path:
+    names = sorted(ls_file_bytes) + sorted(ior_file_bytes)
+    pool = {**ls_file_bytes, **ior_file_bytes}
+    directory = scratch / "traces"
+    directory.mkdir(parents=True)
+    for index in sorted(indices):
+        name = names[index % len(names)]
+        (directory / name).write_bytes(pool[name])
+    return directory
+
+
+class TestRecordRestoreIdentity:
+    @given(indices=subset, mapping=mappings)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_restored_stats_equal_batch_compute(self, ls_file_bytes,
+                                                ior_file_bytes,
+                                                indices, mapping):
+        name, levels = mapping
+        with tempfile.TemporaryDirectory() as scratch:
+            directory = _materialize(Path(scratch), indices,
+                                     ls_file_bytes, ior_file_bytes)
+            log, mapping_obj = mapped_log(directory, name, levels)
+            catalog = RunCatalog(Path(scratch) / "cat.db")
+            record = RunRecord.from_log(
+                log, name="run", source=str(directory),
+                mapping=mapping_obj.name, levels=levels)
+            run_id = catalog.record_run(record)
+            again = catalog.record_run(record)
+
+            batch_stats = IOStatistics(log)
+            restored = catalog.statistics(run_id)
+            assert restored.total_duration_us == \
+                batch_stats.total_duration_us
+            assert sorted(restored.activities()) == \
+                sorted(batch_stats.activities())
+            for activity in batch_stats.activities():
+                assert restored[activity] == batch_stats[activity]
+            assert catalog.dfg(run_id) == DFG(log)
+            # Content-determinism: same content, same fingerprint.
+            assert catalog.get_run(run_id).fingerprint == \
+                catalog.get_run(again).fingerprint
+
+
+class TestDiffEquivalence:
+    @given(green=subset, red=subset)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_runs_diff_equals_dfgdiff_of_live_graphs(self,
+                                                     ls_file_bytes,
+                                                     ior_file_bytes,
+                                                     green, red):
+        with tempfile.TemporaryDirectory() as scratch:
+            root = Path(scratch)
+            catalog = RunCatalog(root / "cat.db")
+            logs = {}
+            for label, indices in (("green", green), ("red", red)):
+                directory = _materialize(root / label, indices,
+                                         ls_file_bytes,
+                                         ior_file_bytes)
+                log, mapping_obj = mapped_log(directory)
+                logs[label] = log
+                catalog.record_run(RunRecord.from_log(
+                    log, name=label, source=str(directory),
+                    mapping=mapping_obj.name, levels=2))
+            _, _, cataloged = diff_runs(catalog, "green", "red")
+            live = DFGDiff(DFG(logs["green"]), DFG(logs["red"]),
+                           IOStatistics(logs["green"]),
+                           IOStatistics(logs["red"]))
+            assert cataloged.report(top=10) == live.report(top=10)

@@ -1,0 +1,251 @@
+"""RunCatalog round-trips: what goes in comes back bit-identical.
+
+The catalog's contract is that a restored run is indistinguishable
+from the in-memory objects the recorder held: the DFG compares equal
+(same edges, counts, node frequencies), every
+:class:`~repro.core.statistics.ActivityStats` field — floats included
+— compares equal (SQLite ``REAL`` is an IEEE double, so no rounding),
+and the fired-alert history returns in firing order. Plus the version
+discipline: a foreign or newer file is rejected with a
+:class:`CatalogError`, never silently re-initialized.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.alerts.model import Alert
+from repro.catalog import (
+    CATALOG_VERSION,
+    CatalogError,
+    RunCatalog,
+    RunRecord,
+    run_fingerprint,
+)
+from repro.core.dfg import DFG
+from repro.core.statistics import IOStatistics
+
+ALERTS = (
+    Alert(rule="edges", kind="new_edge", subject="a -> b",
+          message="new edge a -> b", value=3.0, n_poll=2,
+          total_events=40),
+    Alert(rule="busy", kind="stat_threshold", subject="read:/usr/lib",
+          message="event_count 18 > 5", value=18.0, threshold=5.0,
+          n_poll=3, total_events=75),
+)
+
+
+def _record(fig1_batch, *, name="fig1", alerts=()) -> RunRecord:
+    log, mapping = fig1_batch
+    return RunRecord.from_log(log, name=name, source="traces/fig1",
+                              mapping=mapping.name, levels=2,
+                              alerts=alerts)
+
+
+class TestRoundTrip:
+    def test_dfg_restores_equal(self, tmp_path, fig1_batch):
+        log, _ = fig1_batch
+        catalog = RunCatalog(tmp_path / "cat.db")
+        run_id = catalog.record_run(_record(fig1_batch))
+        restored = catalog.dfg(run_id)
+        original = DFG(log)
+        assert restored == original
+        assert restored.edges() == original.edges()
+        for activity in original.nodes():
+            assert restored.node_frequency(activity) == \
+                original.node_frequency(activity)
+
+    def test_statistics_restore_bit_identical(self, tmp_path,
+                                              fig1_batch):
+        log, _ = fig1_batch
+        catalog = RunCatalog(tmp_path / "cat.db")
+        run_id = catalog.record_run(_record(fig1_batch))
+        restored = catalog.statistics(run_id)
+        batch = IOStatistics(log)
+        assert restored.total_duration_us == batch.total_duration_us
+        assert sorted(restored.activities()) == \
+            sorted(batch.activities())
+        for activity in batch.activities():
+            # ActivityStats is a frozen dataclass: == compares every
+            # field, floats bit-for-bit.
+            assert restored[activity] == batch[activity], activity
+
+    def test_alerts_round_trip_in_firing_order(self, tmp_path,
+                                               fig1_batch):
+        catalog = RunCatalog(tmp_path / "cat.db")
+        run_id = catalog.record_run(
+            _record(fig1_batch, alerts=ALERTS))
+        assert catalog.alerts(run_id) == list(ALERTS)
+
+    def test_metadata_row(self, tmp_path, fig1_batch):
+        log, mapping = fig1_batch
+        catalog = RunCatalog(tmp_path / "cat.db")
+        record = _record(fig1_batch)
+        run_id = catalog.record_run(record, clock=lambda: 1234.5)
+        row = catalog.get_run(run_id)
+        assert row.name == "fig1"
+        assert row.source == "traces/fig1"
+        assert row.mapping == mapping.name == "call+top2dirs"
+        assert row.levels == 2
+        assert row.recorded_at == 1234.5
+        assert row.n_events == log.n_events
+        assert row.n_cases == log.n_cases
+        assert row.fingerprint == record.fingerprint == \
+            run_fingerprint(record.dfg, record.stats,
+                            n_events=log.n_events, n_cases=log.n_cases)
+        assert row.n_nodes == record.dfg.n_nodes
+        assert row.n_edges == record.dfg.n_edges
+
+    def test_fingerprint_is_content_deterministic(self, tmp_path,
+                                                  fig1_batch):
+        """Two records over identical content — different names,
+        different entry layers — fingerprint identically."""
+        catalog = RunCatalog(tmp_path / "cat.db")
+        first = catalog.record_run(_record(fig1_batch, name="a"))
+        second = catalog.record_run(_record(fig1_batch, name="b"))
+        assert catalog.get_run(first).fingerprint == \
+            catalog.get_run(second).fingerprint
+
+
+class TestLookup:
+    def _three_runs(self, tmp_path, fig1_batch) -> RunCatalog:
+        catalog = RunCatalog(tmp_path / "cat.db")
+        for name in ("app1", "app1", "app2"):
+            catalog.record_run(_record(fig1_batch, name=name))
+        return catalog
+
+    def test_list_runs_filters(self, tmp_path, fig1_batch):
+        catalog = self._three_runs(tmp_path, fig1_batch)
+        assert [row.id for row in catalog.list_runs()] == [1, 2, 3]
+        assert [row.id for row in catalog.list_runs(app="app1")] == \
+            [1, 2]
+        assert [row.id for row in
+                catalog.list_runs(source="fig1")] == [1, 2, 3]
+        assert catalog.list_runs(source="nowhere") == []
+        assert [row.id for row in
+                catalog.list_runs(mapping="call+top2dirs")] == [1, 2, 3]
+        # limit keeps the newest N, presented oldest-first.
+        assert [row.id for row in catalog.list_runs(limit=2)] == [2, 3]
+
+    def test_last_runs_newest_first(self, tmp_path, fig1_batch):
+        catalog = self._three_runs(tmp_path, fig1_batch)
+        assert [row.id for row in catalog.last_runs(2)] == [3, 2]
+        assert [row.id for row in
+                catalog.last_runs(5, app="app1")] == [2, 1]
+
+    def test_resolve_by_id_and_by_name(self, tmp_path, fig1_batch):
+        catalog = self._three_runs(tmp_path, fig1_batch)
+        assert catalog.resolve("3").id == 3
+        # A name resolves to that app's *newest* run.
+        assert catalog.resolve("app1").id == 2
+
+    def test_unknown_references_name_the_catalog(self, tmp_path,
+                                                 fig1_batch):
+        catalog = self._three_runs(tmp_path, fig1_batch)
+        with pytest.raises(CatalogError, match="no run 99"):
+            catalog.get_run(99)
+        with pytest.raises(CatalogError,
+                           match="no run named 'nope'.*app1, app2"):
+            catalog.resolve("nope")
+        with pytest.raises(CatalogError, match="no run 99"):
+            catalog.dfg(99)
+
+    def test_metric_rows_validates_the_metric(self, tmp_path,
+                                              fig1_batch):
+        catalog = self._three_runs(tmp_path, fig1_batch)
+        with pytest.raises(CatalogError, match="unknown metric"):
+            list(catalog.metric_rows("velocity"))
+        rows = list(catalog.metric_rows("event_count", app="app2"))
+        assert len(rows) == 1
+        row, values = rows[0]
+        assert row.name == "app2"
+        assert values["read:/usr/lib"] == 18
+
+
+class TestVersioning:
+    def test_missing_file_rejected_without_create(self, tmp_path):
+        with pytest.raises(CatalogError, match="no such run catalog"):
+            RunCatalog(tmp_path / "nope.db", create=False)
+        assert not (tmp_path / "nope.db").exists()
+
+    def test_newer_version_rejected(self, tmp_path, fig1_batch):
+        path = tmp_path / "cat.db"
+        catalog = RunCatalog(path)
+        catalog.record_run(_record(fig1_batch))
+        with sqlite3.connect(path) as conn:
+            conn.execute(f"PRAGMA user_version = {CATALOG_VERSION + 7}")
+        with pytest.raises(CatalogError,
+                           match="unsupported catalog version"):
+            RunCatalog(path, create=False)
+
+    def test_foreign_sqlite_database_rejected(self, tmp_path):
+        path = tmp_path / "other.db"
+        with sqlite3.connect(path) as conn:
+            conn.execute("CREATE TABLE visitors (id INTEGER)")
+        with pytest.raises(CatalogError, match="not a run catalog"):
+            RunCatalog(path)  # even the create=True writer refuses
+
+    def test_non_sqlite_file_rejected(self, tmp_path):
+        path = tmp_path / "not.db"
+        path.write_text("just some text, definitely not SQLite\n" * 20)
+        with pytest.raises(CatalogError, match="not a run catalog"):
+            RunCatalog(path, create=False)
+
+    def test_empty_file_needs_create(self, tmp_path, fig1_batch):
+        path = tmp_path / "empty.db"
+        path.touch()
+        with pytest.raises(CatalogError, match="empty"):
+            RunCatalog(path, create=False)
+        # The writer stance initializes it in place.
+        RunCatalog(path).record_run(_record(fig1_batch))
+        assert len(RunCatalog(path, create=False).list_runs()) == 1
+
+
+class TestConcurrency:
+    def test_busy_writer_retries_then_succeeds(self, tmp_path,
+                                               fig1_batch,
+                                               monkeypatch):
+        """A sibling job holding the write lock stalls, not breaks,
+        a commit: the retry loop lands it once the lock clears."""
+        path = tmp_path / "cat.db"
+        catalog = RunCatalog(path)
+        blocker = sqlite3.connect(path)
+        blocker.execute("BEGIN IMMEDIATE")
+        naps: list[float] = []
+
+        def release(delay: float) -> None:
+            naps.append(delay)
+            if len(naps) == 2:
+                blocker.rollback()
+                blocker.close()
+
+        from repro.catalog import schema as schema_module
+        monkeypatch.setattr(schema_module, "_BUSY_TIMEOUT_S", 0.05)
+        import functools
+        original = schema_module.write_transaction
+        monkeypatch.setattr(
+            schema_module, "write_transaction",
+            functools.partial(original, sleep=release))
+        # store.py imported the name directly; patch its binding too.
+        from repro.catalog import store as store_module
+        monkeypatch.setattr(
+            store_module, "write_transaction",
+            functools.partial(original, sleep=release))
+        run_id = catalog.record_run(_record(fig1_batch))
+        assert catalog.get_run(run_id).name == "fig1"
+        assert len(naps) >= 2  # it really did wait the lock out
+
+    def test_two_interleaved_writers_both_land(self, tmp_path,
+                                               fig1_batch):
+        """The multi-writer contract fleet jobs rely on: two catalog
+        handles over one file, alternating commits, no loss."""
+        path = tmp_path / "cat.db"
+        first, second = RunCatalog(path), RunCatalog(path)
+        ids = [first.record_run(_record(fig1_batch, name="a")),
+               second.record_run(_record(fig1_batch, name="b")),
+               first.record_run(_record(fig1_batch, name="a"))]
+        assert ids == [1, 2, 3]
+        assert [row.name for row in first.list_runs()] == \
+            ["a", "b", "a"]

@@ -10,7 +10,7 @@ import pytest
 
 REPO = Path(__file__).resolve().parent.parent
 DOCS = ("docs/architecture.md", "docs/rules.md", "docs/cli.md",
-        "docs/fleet.md", "docs/observability.md")
+        "docs/fleet.md", "docs/observability.md", "docs/catalog.md")
 
 
 class TestDocsTree:
@@ -67,6 +67,26 @@ class TestCopyPasteableRules:
         assert config.history_limit == 500
         assert any(rule.cooldown > 0 for rule in config.rules), \
             "the example should demonstrate cooldown"
+
+
+class TestCopyPasteableCatalog:
+    def test_the_catalog_md_example_validates(self):
+        """The fenced mined-baseline rules example in docs/catalog.md
+        must load through the real rules parser."""
+        from repro.alerts.config import parse_rules_data
+
+        text = (REPO / "docs/catalog.md").read_text(encoding="utf-8")
+        match = re.search(r"```toml\n(.*?)```", text, re.DOTALL)
+        assert match, "docs/catalog.md lost its ```toml example"
+        data = tomllib.loads(match.group(1))
+        config = parse_rules_data(data, where="docs/catalog.md example")
+        assert config.baseline.startswith("catalog:"), \
+            "the example should demonstrate a mined baseline"
+        kinds = {rule.kind for rule in config.rules}
+        assert "new_edge" in kinds
+        assert any(getattr(rule, "absent_from_baseline", False)
+                   for rule in config.rules), \
+            "the example should demonstrate absent_from_baseline"
 
 
 class TestCopyPasteableFleet:

@@ -204,3 +204,115 @@ class TestValidation:
             {"jobs": {"a": {"source": "traces"}}},
             where="inline", base_dir=tmp_path)
         assert spec.source == str(tmp_path / "traces")
+
+
+class TestCatalogKeys:
+    def test_shared_catalog_fans_out_run_names_default(self, tmp_path):
+        """One top-level catalog is the normal fleet setup: it fans
+        out to every job (multi-writer), and each job's run name
+        defaults to the job name so histories stay separable."""
+        path = _write(tmp_path, """
+            catalog = "runs.db"
+
+            [jobs.app1]
+            source = "traces/app1"
+
+            [jobs.app2]
+            source = "traces/app2"
+            run_name = "app2-nightly"
+        """)
+        app1, app2 = load_fleet_config(path)
+        assert app1.catalog == app2.catalog == str(tmp_path / "runs.db")
+        assert app1.run_name == "app1"
+        assert app2.run_name == "app2-nightly"
+
+    def test_run_name_without_catalog_rejected(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces"
+            run_name = "nightly"
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="run_name but no catalog"):
+            load_fleet_config(path)
+
+    def test_duplicate_run_names_in_one_catalog_rejected(self,
+                                                         tmp_path):
+        path = _write(tmp_path, """
+            catalog = "runs.db"
+
+            [jobs.a]
+            source = "traces/a"
+            run_name = "same"
+
+            [jobs.b]
+            source = "traces/b"
+            run_name = "same"
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="unique per catalog"):
+            load_fleet_config(path)
+
+    def test_same_run_name_in_different_catalogs_allowed(self,
+                                                         tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            catalog = "a.db"
+            run_name = "nightly"
+
+            [jobs.b]
+            source = "traces/b"
+            catalog = "b.db"
+            run_name = "nightly"
+        """)
+        a, b = load_fleet_config(path)
+        assert a.run_name == b.run_name == "nightly"
+        assert a.catalog != b.catalog
+
+    def test_catalog_colliding_with_writer_rejected(self, tmp_path):
+        """Both directions: a catalog declared after the writer it
+        collides with, and a writer declared after the catalog."""
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            emit = "runs.db"
+
+            [jobs.b]
+            source = "traces/b"
+            catalog = "runs.db"
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="cannot double as a"):
+            load_fleet_config(path)
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            catalog = "runs.db"
+
+            [jobs.b]
+            source = "traces/b"
+            checkpoint = "runs.db"
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="cannot double as a"):
+            load_fleet_config(path)
+
+    def test_catalog_type_checked(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces"
+            catalog = 7
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="'catalog' must be a string"):
+            load_fleet_config(path)
+
+    def test_catalog_path_resolves_against_config_dir(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces"
+            catalog = "state/runs.db"
+        """)
+        (spec,) = load_fleet_config(path)
+        assert spec.catalog == str(tmp_path / "state/runs.db")
