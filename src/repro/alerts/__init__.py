@@ -22,6 +22,9 @@ Layering (bottom → top):
   names the offending rule.
 - :mod:`repro.alerts.sinks` — stderr lines, JSONL streams, webhook
   commands.
+- :mod:`repro.alerts.queue` — the optional bounded background
+  :class:`~repro.alerts.queue.DeliveryQueue` (``[sinks.queue]``) that
+  keeps poll wall-time independent of sink latency.
 - :mod:`repro.alerts.engine` — :class:`AlertEngine`: evaluation,
   history, baseline resolution, checkpoint state.
 
@@ -51,6 +54,7 @@ from repro.alerts.config import (
     build_rule,
     load_rules_file,
 )
+from repro.alerts.queue import DeliveryQueue, QueueConfig
 from repro.alerts.sinks import (
     AlertSink,
     AlertSinkWarning,
@@ -70,10 +74,12 @@ __all__ = [
     "AlertSinkWarning",
     "ActivityLoadRatioRule",
     "CommandSink",
+    "DeliveryQueue",
     "EdgeWeightRatioRule",
     "HttpSink",
     "JsonlSink",
     "NewEdgeRule",
+    "QueueConfig",
     "RefreshContext",
     "Rule",
     "RULE_TYPES",

@@ -38,6 +38,7 @@ import tomllib
 from pathlib import Path
 from typing import NamedTuple
 
+from repro.alerts.queue import QueueConfig
 from repro.alerts.rules import RULE_TYPES, AlertConfigError, Rule
 from repro.alerts.sinks import (
     AlertSink,
@@ -64,6 +65,7 @@ class RulesFileConfig(NamedTuple):
     sinks: list[AlertSink]
     baseline: str | None
     history_limit: int | None
+    queue: QueueConfig | None = None
 
 
 def _accepted_options(rule_cls: type[Rule]) -> set[str]:
@@ -174,15 +176,43 @@ def _build_http_sink(value) -> HttpSink:
     return HttpSink(url, **options)
 
 
+def build_queue_config(value) -> QueueConfig:
+    """The ``[sinks.queue]`` table: background delivery settings.
+
+    An empty table enables the queue with defaults; the only option
+    is ``maxsize`` (bound on queued-but-undelivered alerts).
+    """
+    if not isinstance(value, dict):
+        raise AlertConfigError(
+            f"[sinks.queue] must be a table (got {value!r}); use an "
+            f"empty [sinks.queue] table for the defaults")
+    unknown = sorted(set(value) - {"maxsize"})
+    if unknown:
+        raise AlertConfigError(
+            f"[sinks.queue]: unknown option(s) {', '.join(unknown)} "
+            f"(known: maxsize)")
+    options: dict = {}
+    if "maxsize" in value:
+        raw = value["maxsize"]
+        if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+            raise AlertConfigError(
+                f"[sinks.queue]: maxsize must be a positive integer "
+                f"(got {raw!r})")
+        options["maxsize"] = raw
+    return QueueConfig(**options)
+
+
 def build_sinks(table: dict) -> list[AlertSink]:
-    """Construct the sink list from the ``[sinks]`` table."""
+    """Construct the sink list from the ``[sinks]`` table (the
+    ``queue`` entry is handled by :func:`build_queue_config`)."""
     if not isinstance(table, dict):
         raise AlertConfigError(f"[sinks] must be a table (got {table!r})")
-    unknown = sorted(set(table) - {"stderr", "jsonl", "command", "http"})
+    unknown = sorted(set(table)
+                     - {"stderr", "jsonl", "command", "http", "queue"})
     if unknown:
         raise AlertConfigError(
             f"[sinks]: unknown sink(s) {', '.join(unknown)} "
-            f"(known: stderr, jsonl, command, http)")
+            f"(known: stderr, jsonl, command, http, queue)")
     sinks: list[AlertSink] = []
     if table.get("stderr"):
         if not isinstance(table["stderr"], bool):
@@ -236,7 +266,11 @@ def parse_rules_data(data: dict, *, where: str = "rules data",
                 f"rule {rule.name!r}: duplicate rule name")
         seen.add(rule.name)
         rules.append(rule)
-    sinks = build_sinks(data.get("sinks", {}))
+    sinks_table = data.get("sinks", {})
+    sinks = build_sinks(sinks_table)
+    queue = None
+    if isinstance(sinks_table, dict) and "queue" in sinks_table:
+        queue = build_queue_config(sinks_table["queue"])
     baseline = data.get("baseline")
     if baseline is not None and (not isinstance(baseline, str)
                                  or not baseline):
@@ -251,7 +285,7 @@ def parse_rules_data(data: dict, *, where: str = "rules data",
         raise AlertConfigError(
             f"{where}: history_limit must be a positive integer "
             f"(got {history_limit!r})")
-    return RulesFileConfig(rules, sinks, baseline, history_limit)
+    return RulesFileConfig(rules, sinks, baseline, history_limit, queue)
 
 
 def load_rules_file(path: str | os.PathLike[str],

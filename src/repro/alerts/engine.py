@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.alerts.config import load_rules_file
 from repro.alerts.model import Alert
+from repro.alerts.queue import DeliveryQueue, QueueConfig
 from repro.alerts.rules import AlertConfigError, RefreshContext, Rule
 from repro.alerts.sinks import (AlertSink, SinkFailureThrottle,
                                 throttled_warn)
@@ -83,13 +84,22 @@ class AlertEngine:
     clock:
         Wall-clock source for rule cooldown windows (injectable for
         tests); ``None`` disables cooldown gating entirely.
+    queue:
+        Optional :class:`~repro.alerts.queue.QueueConfig`: route fired
+        alerts through a bounded background
+        :class:`~repro.alerts.queue.DeliveryQueue` instead of emitting
+        to the sinks inline, so poll wall-time stays independent of
+        sink latency. ``None`` (default) keeps synchronous delivery.
+        Call :meth:`shutdown` (the watch loop's ``finalize()`` does)
+        to drain it.
     """
 
     def __init__(self, rules: "list[Rule] | None" = None, *,
                  sinks: "list[AlertSink] | None" = None,
                  baseline: str | os.PathLike[str] | None = None,
                  history_limit: int | None = None,
-                 clock: Callable[[], float] | None = time.time) -> None:
+                 clock: Callable[[], float] | None = time.time,
+                 queue: QueueConfig | None = None) -> None:
         if history_limit is not None and history_limit < 1:
             raise AlertConfigError(
                 f"history_limit must be >= 1 (got {history_limit})")
@@ -122,6 +132,12 @@ class AlertEngine:
         # sink's own failure handling uses its .throttle); keyed by
         # sink index so two instances of one class stay independent.
         self._sink_throttles: dict[int, SinkFailureThrottle] = {}
+        #: Background delivery queue (``[sinks.queue]``), or ``None``
+        #: for synchronous inline delivery.
+        self.delivery: DeliveryQueue | None = None
+        if queue is not None:
+            self.delivery = DeliveryQueue(
+                self._deliver_alert, maxsize=queue.maxsize)
 
     @classmethod
     def from_rules_file(cls, path: str | os.PathLike[str], *,
@@ -144,7 +160,8 @@ class AlertEngine:
         engine = cls(config.rules,
                      sinks=[*config.sinks, *(extra_sinks or [])],
                      baseline=chosen,
-                     history_limit=config.history_limit)
+                     history_limit=config.history_limit,
+                     queue=config.queue)
         engine.validate()
         return engine
 
@@ -232,32 +249,77 @@ class AlertEngine:
             self.history.extend(fired)
             self._compact()
         for alert in fired:
-            for index, sink in enumerate(self.sinks):
-                # The paging path must not take down the monitoring
-                # path: a crashing sink (full disk, dead pager, buggy
-                # user sink) warns — rate-limited per sink — and the
-                # alert is already safe in the history above.
-                label = f"{type(sink).__name__}#{index}"
-                began = time.perf_counter()
-                try:
-                    with telemetry.phase(f"sink:{label}"):
-                        sink.emit(alert)
-                except Exception as exc:
-                    throttled_warn(
-                        self._sink_throttle(index),
-                        f"alert sink {type(sink).__name__} failed for "
-                        f"{alert.identity}: {exc}")
-                else:
-                    self._sink_throttle(index).record_success()
-                if telemetry.enabled:
-                    telemetry.observe(
-                        "sink_seconds", time.perf_counter() - began,
-                        sink=label)
+            if self.delivery is not None:
+                # Background road: evaluate() returns as soon as the
+                # alert is queued; the worker thread runs the same
+                # _deliver_alert fan-out later. The alert is already
+                # safe in the history (and the next checkpoint) above.
+                self.delivery.submit(alert, telemetry)
+            else:
+                self._deliver_alert(alert, telemetry, in_phase=True)
         if telemetry.enabled:
             if fired:
                 telemetry.count("alerts_fired_total", len(fired))
             self._record_sink_metrics(telemetry)
+            if self.delivery is not None:
+                telemetry.gauge_set("sink_queue_depth",
+                                    self.delivery.depth)
+                telemetry.count_total("sink_queue_dropped_total",
+                                      self.delivery.n_dropped)
+                telemetry.count_total("sink_queue_delivered_total",
+                                      self.delivery.n_delivered)
         return fired
+
+    def _deliver_alert(self, alert: Alert, telemetry,
+                       *, in_phase: bool = False) -> None:
+        """Fan one alert out to every sink.
+
+        Shared by inline delivery (from :meth:`evaluate`, inside the
+        poll) and the background :class:`DeliveryQueue` worker —
+        throttles, warnings and per-sink metrics are identical on both
+        roads. ``in_phase`` wraps each emit in a per-sink telemetry
+        phase; only the poll thread may do that (poll spans are not
+        thread-safe), so the queue worker leaves it off.
+        """
+        for index, sink in enumerate(self.sinks):
+            # The paging path must not take down the monitoring
+            # path: a crashing sink (full disk, dead pager, buggy
+            # user sink) warns — rate-limited per sink — and the
+            # alert is already safe in the history.
+            label = f"{type(sink).__name__}#{index}"
+            began = time.perf_counter()
+            try:
+                if in_phase:
+                    with telemetry.phase(f"sink:{label}"):
+                        sink.emit(alert)
+                else:
+                    sink.emit(alert)
+            except Exception as exc:
+                throttled_warn(
+                    self._sink_throttle(index),
+                    f"alert sink {type(sink).__name__} failed for "
+                    f"{alert.identity}: {exc}")
+            else:
+                self._sink_throttle(index).record_success()
+            if telemetry.enabled:
+                telemetry.observe(
+                    "sink_seconds", time.perf_counter() - began,
+                    sink=label)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every queued alert to reach the sinks (no-op and
+        True when delivery is synchronous)."""
+        if self.delivery is None:
+            return True
+        return self.delivery.drain(timeout)
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Drain and stop the background delivery queue. Idempotent;
+        a no-op (returning True) for synchronous engines. Called by
+        ``LiveIngest.close()`` / the watch loop's ``finalize()``."""
+        if self.delivery is None:
+            return True
+        return self.delivery.close(timeout)
 
     def _sink_throttle(self, index: int) -> SinkFailureThrottle:
         throttle = self._sink_throttles.get(index)

@@ -1,0 +1,198 @@
+"""Background alert delivery: a bounded worker-thread queue.
+
+Synchronous sink dispatch couples poll wall-time to sink latency — an
+HTTP sink retrying against a dead endpoint stalls the poll loop for
+seconds per alert, exactly when a week-long watcher can least afford
+to fall behind its cadence. :class:`DeliveryQueue` decouples them:
+:meth:`~repro.alerts.engine.AlertEngine.evaluate` *submits* fired
+alerts (O(1), never blocks) and a single daemon worker thread delivers
+them to the sinks in submission order.
+
+The queue is bounded with **drop-oldest** overflow: when a slow or
+dead sink lets ``maxsize`` alerts pile up, the oldest queued alert is
+dropped to admit the newest — the operator should see the most recent
+state of a flapping system, and every alert is already durable in the
+engine's history (and the checkpoint) before it is ever queued, so a
+drop loses a *notification*, not the record. Drops, depth and
+submit→delivered latency surface as declared telemetry metrics.
+
+Delivery is intentionally not persisted: a kill loses whatever was
+still queued, the same way it loses an alert fired a millisecond
+before SIGKILL reached a synchronous sink. Restart dedup (rule
+latches) already prevents re-fires either way.
+
+Enable via the rules file::
+
+    [sinks.queue]
+    maxsize = 256
+
+and drain at the end of a watch with
+:meth:`~repro.alerts.engine.AlertEngine.shutdown` (the watch loop's
+``finalize()`` does this).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.alerts.rules import AlertConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.alerts.model import Alert
+
+#: Default bound on queued-but-undelivered alerts.
+DEFAULT_MAXSIZE = 256
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Validated ``[sinks.queue]`` settings."""
+
+    maxsize: int = DEFAULT_MAXSIZE
+
+    def __post_init__(self) -> None:
+        if self.maxsize < 1:
+            raise AlertConfigError(
+                f"sinks.queue maxsize must be >= 1 "
+                f"(got {self.maxsize})")
+
+
+class DeliveryQueue:
+    """Bounded drop-oldest queue with one background delivery worker.
+
+    ``deliver`` is the per-alert fan-out callable — the alert engine
+    passes its own sink loop, so throttles, warnings and per-sink
+    metrics behave identically on both the inline and the queued
+    road. The worker starts lazily on the first submit and exits when
+    :meth:`close` has been called and the queue ran dry (close drains
+    by default — the finalize contract).
+    """
+
+    def __init__(self, deliver: "Callable[[Alert, object], None]", *,
+                 maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise AlertConfigError(
+                f"delivery queue maxsize must be >= 1 (got {maxsize})")
+        self._deliver = deliver
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._state = threading.Condition(threading.Lock())
+        self._in_flight = False
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        self._n_submitted = 0
+        self._n_dropped = 0
+        self._n_delivered = 0
+
+    # -- producer side (poll thread) ---------------------------------------
+
+    def submit(self, alert: "Alert", telemetry) -> None:
+        """Enqueue one alert for background delivery; never blocks.
+
+        On overflow the *oldest* queued alert is dropped (counted in
+        :attr:`n_dropped`); after :meth:`close` the alert is delivered
+        inline instead — a late firing must not vanish silently.
+        """
+        with self._state:
+            if not self._closed:
+                if len(self._items) >= self.maxsize:
+                    self._items.popleft()
+                    self._n_dropped += 1
+                self._items.append(
+                    (alert, telemetry, time.perf_counter()))
+                self._n_submitted += 1
+                if self._thread is None:
+                    self._thread = threading.Thread(
+                        target=self._run, name="alert-delivery",
+                        daemon=True)
+                    self._thread.start()
+                self._state.notify()
+                return
+        self._deliver(alert, telemetry)  # closed: deliver inline
+
+    # -- worker side -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._state:
+                while not self._items and not self._closed:
+                    self._state.wait()
+                if not self._items:  # closed and drained
+                    return
+                alert, telemetry, submitted = self._items.popleft()
+                self._in_flight = True
+            try:
+                self._deliver(alert, telemetry)
+            finally:
+                elapsed = time.perf_counter() - submitted
+                if getattr(telemetry, "enabled", False):
+                    telemetry.observe(
+                        "sink_queue_latency_seconds", elapsed)
+                with self._state:
+                    self._in_flight = False
+                    self._n_delivered += 1
+                    self._state.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every queued alert was handed to the sinks
+        (True) or the timeout elapsed first (False)."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._state:
+            while self._items or self._in_flight:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._state.wait(remaining)
+        return True
+
+    def close(self, timeout: float | None = None) -> bool:
+        """Drain, then stop the worker. Idempotent.
+
+        Returns False if the drain timed out — queued alerts may then
+        be lost when the process exits (they are still in the alert
+        history).
+        """
+        with self._state:
+            self._closed = True
+            self._state.notify_all()
+            thread = self._thread
+        drained = self.drain(timeout)
+        if thread is not None:
+            thread.join(timeout)
+        return drained
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Alerts queued and not yet picked up by the worker."""
+        with self._state:
+            return len(self._items)
+
+    @property
+    def n_dropped(self) -> int:
+        """Alerts evicted by drop-oldest overflow, ever."""
+        return self._n_dropped
+
+    @property
+    def n_delivered(self) -> int:
+        """Alerts the worker finished handing to the sinks, ever."""
+        return self._n_delivered
+
+    @property
+    def n_submitted(self) -> int:
+        """Alerts ever accepted by :meth:`submit`."""
+        return self._n_submitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DeliveryQueue(depth={self.depth}/{self.maxsize}, "
+                f"delivered={self._n_delivered}, "
+                f"dropped={self._n_dropped})")

@@ -477,6 +477,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
         alert_log=args.alert_log,
         emit=args.emit,
         window=args.window,
+        memory_budget=args.memory_budget,
+        compact_emit=args.compact_emit,
         mapping=args.mapping,
         levels=args.levels,
         recursive=args.recursive,
@@ -782,12 +784,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "(scalar stats stay exact; merge counts and "
                         "timelines become upper bounds, marked '~'; "
                         "default: unbounded)")
+    p.add_argument("--memory-budget", type=_positive_int_arg,
+                   default=None, metavar="BYTES",
+                   help="adaptive --window: derive and re-derive the "
+                        "per-case interval-buffer cap each poll so "
+                        "the measured buffer footprint stays under "
+                        "BYTES (mutually exclusive with --window)")
     p.add_argument("--emit", default=None, metavar="FILE",
                    help="stream sealed records to a durable journal "
                         "next to FILE and pack FILE as an .elog on "
                         "exit — byte-identical to batch `convert` of "
                         "the directory, surviving kill/restart cycles "
                         "(combine with --checkpoint)")
+    p.add_argument("--compact-emit", type=_positive_int_arg,
+                   default=None, metavar="BYTES",
+                   help="rolling journal compaction: whenever the "
+                        "checkpointed part of the --emit journal "
+                        "exceeds BYTES, pack it into FILE and "
+                        "truncate the journal, keeping disk usage "
+                        "O(window) over a week-long watch (requires "
+                        "--emit and --checkpoint; the final .elog "
+                        "stays byte-identical to batch `convert`)")
     p.add_argument("--rules", default=None, metavar="FILE",
                    help="alerting rules file (TOML, or *.json): "
                         "threshold rules over the refresh deltas, "

@@ -398,6 +398,61 @@ class StatsAccumulator:
                    for acc in self._activities.values()
                    for buffer in acc._case_timelines.values())
 
+    def n_interval_buffers(self) -> int:
+        """Per-(activity, case) buffers currently held — the divisor
+        an auto-window policy needs to turn a whole-accumulator byte
+        budget into a per-buffer cap."""
+        return sum(len(acc._case_timelines)
+                   for acc in self._activities.values())
+
+    def approx_buffer_bytes(self) -> int:
+        """Measured footprint of the interval buffers, in bytes.
+
+        Per-entry cost is sampled from an actual resident entry
+        (container slot + tuple + its two ints) rather than assumed,
+        so the ``--memory-budget`` policy tracks what this interpreter
+        actually pays per interval. Sums, sets and partials are not
+        counted — they are O(activities), not O(events).
+        """
+        import sys
+
+        entries = self.n_buffered_intervals()
+        if entries == 0:
+            return 0
+        sample: tuple[int, int] | None = None
+        for acc in self._activities.values():
+            for buffer in acc._case_timelines.values():
+                if buffer:
+                    sample = buffer[-1]
+                    break
+            if sample is not None:
+                break
+        per_entry = 8 + sys.getsizeof(sample) \
+            + sum(sys.getsizeof(v) for v in sample)
+        return entries * per_entry
+
+    def set_window(self, window: int | None) -> None:
+        """Re-cap the per-case interval buffers in place.
+
+        Shrinking coarsens oversized buffers immediately (same pairwise
+        merge as feed-time overflow); growing merely relaxes the cap —
+        already-coarsened history stays coarse, which is why affected
+        activities keep reporting ``approximate=True``. Scalar
+        statistics are untouched either way.
+        """
+        if window is not None and window < 2:
+            raise ValueError(
+                f"window must be >= 2 intervals, got {window}")
+        self.window = window
+        for acc in self._activities.values():
+            acc.window = window
+            if window is None:
+                continue
+            for buffer in acc._case_timelines.values():
+                if len(buffer) > window:
+                    acc._coarsen(buffer)
+                    acc._dirty = True
+
     def _accumulator(self, activity: str) -> ActivityAccumulator:
         acc = self._activities.get(activity)
         if acc is None:

@@ -54,13 +54,15 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 #: so one shared ``catalog = "runs.db"`` is the normal fleet setup.
 DEFAULT_KEYS = ("interval", "rules", "baseline", "window", "mapping",
                 "levels", "recursive", "lenient", "dfg", "top",
-                "catalog")
+                "catalog", "memory_budget")
 
 #: Keys allowed inside a ``[jobs.NAME]`` table. ``run_name`` is
 #: job-level only — a default run name shared by every job would make
-#: their cataloged histories indistinguishable.
+#: their cataloged histories indistinguishable; ``compact_emit`` is
+#: job-level only because it is meaningless without that job's own
+#: ``emit``/``checkpoint`` pair.
 JOB_KEYS = DEFAULT_KEYS + ("source", "checkpoint", "emit", "alert_log",
-                           "run_name")
+                           "run_name", "compact_emit")
 
 _MAPPINGS = ("topdirs", "path", "call", "site")
 
@@ -81,6 +83,8 @@ def _check_types(entry: dict, where: str, job: str | None) -> None:
     for key, want, kinds in (
             ("interval", "a number >= 0", (int, float)),
             ("window", "an integer >= 2", (int,)),
+            ("memory_budget", "an integer >= 1 (bytes)", (int,)),
+            ("compact_emit", "an integer >= 1 (bytes)", (int,)),
             ("levels", "an integer", (int,)),
             ("top", "an integer >= 1", (int,)),
             ("recursive", "a boolean", (bool,)),
@@ -109,6 +113,14 @@ def _check_types(entry: dict, where: str, job: str | None) -> None:
     if "window" in entry and entry["window"] < 2:
         raise _type_error(where, job, "window", "an integer >= 2",
                           entry["window"])
+    if "memory_budget" in entry and entry["memory_budget"] < 1:
+        raise _type_error(where, job, "memory_budget",
+                          "an integer >= 1 (bytes)",
+                          entry["memory_budget"])
+    if "compact_emit" in entry and entry["compact_emit"] < 1:
+        raise _type_error(where, job, "compact_emit",
+                          "an integer >= 1 (bytes)",
+                          entry["compact_emit"])
     if "top" in entry and entry["top"] < 1:
         raise _type_error(where, job, "top", "an integer >= 1",
                           entry["top"])
@@ -201,6 +213,8 @@ def parse_fleet_data(data: dict, *, where: str,
             alert_log=_resolve_path(base, merged.get("alert_log")),
             emit=_resolve_path(base, merged.get("emit")),
             window=merged.get("window"),
+            memory_budget=merged.get("memory_budget"),
+            compact_emit=merged.get("compact_emit"),
             mapping=merged.get("mapping", "topdirs"),
             levels=merged.get("levels", 2),
             recursive=merged.get("recursive", False),
@@ -226,10 +240,30 @@ def parse_fleet_data(data: dict, *, where: str,
             raise FleetConfigError(
                 f"{where}: job {name!r} has baseline but no rules "
                 f"(no rules, nothing to compare)")
-        for key in ("checkpoint", "emit", "alert_log"):
-            value = getattr(spec, key)
-            if value is None:
-                continue
+        if spec.window is not None and spec.memory_budget is not None:
+            raise FleetConfigError(
+                f"{where}: job {name!r} sets both window and "
+                f"memory_budget — the budget derives the window, pick "
+                f"one")
+        if spec.compact_emit is not None and not spec.emit:
+            raise FleetConfigError(
+                f"{where}: job {name!r} has compact_emit but no emit "
+                f"(there is no journal to compact)")
+        if spec.compact_emit is not None and not spec.checkpoint:
+            raise FleetConfigError(
+                f"{where}: job {name!r} has compact_emit but no "
+                f"checkpoint (compaction only packs journal bytes a "
+                f"durable sidecar already accounts for)")
+        write_paths = [(key, getattr(spec, key))
+                       for key in ("checkpoint", "emit", "alert_log")
+                       if getattr(spec, key) is not None]
+        if spec.emit is not None:
+            # The journal the engine appends next to its emit
+            # destination is a write path too — it must not collide
+            # with another job's paths or the shared catalog.
+            write_paths.append(("emit journal",
+                               f"{spec.emit}.journal"))
+        for key, value in write_paths:
             resolved = os.path.normpath(value)
             if resolved in writers:
                 other, other_key = writers[resolved]
@@ -252,7 +286,7 @@ def parse_fleet_data(data: dict, *, where: str,
                     f"{where}: job {name!r} catalog {spec.catalog!r} "
                     f"collides with job {other!r} {other_key} — a run "
                     f"catalog cannot double as a "
-                    f"checkpoint/emit/alert_log path")
+                    f"checkpoint/emit/journal/alert_log path")
             catalogs[resolved] = name
             key = (resolved, spec.run_name)
             if key in run_names:
@@ -269,7 +303,7 @@ def parse_fleet_data(data: dict, *, where: str,
                 f"{where}: job {job!r} {key} {resolved!r} collides "
                 f"with job {catalogs[resolved]!r} catalog — a run "
                 f"catalog cannot double as a "
-                f"checkpoint/emit/alert_log path")
+                f"checkpoint/emit/journal/alert_log path")
     return specs
 
 

@@ -85,6 +85,15 @@ class JobSpec:
     alert_log: str | os.PathLike[str] | None = None
     emit: str | os.PathLike[str] | None = None
     window: int | None = None
+    #: Adaptive interval-buffer budget (bytes): derives ``window``
+    #: from measured accumulator footprint instead of a fixed cap.
+    #: Mutually exclusive with ``window``.
+    memory_budget: int | None = None
+    #: Rolling journal compaction threshold (bytes of checkpointed
+    #: journal): pack the durable prefix into the ``emit`` destination
+    #: and truncate the journal whenever it exceeds this. Requires
+    #: both ``emit`` and ``checkpoint``.
+    compact_emit: int | None = None
     mapping: str = "topdirs"
     levels: int = 2
     recursive: bool = False
@@ -178,7 +187,9 @@ class JobSpec:
             # incrementally, so a watcher never needs the raw records.
             keep_records=False,
             window=self.window,
+            memory_budget=self.memory_budget,
             emit=self.emit,
+            compact_emit=self.compact_emit,
             checkpoint=self.checkpoint,
             # Attached before checkpoint load so a resumed sidecar
             # restores rule latches, alert history and telemetry
@@ -313,9 +324,14 @@ class WatchJob:
         self._cataloged = False
 
     def finalize(self) -> Path | None:
-        """Pack the ``--emit`` destination and commit the run to the
-        catalog, each once (idempotent); returns the packed path the
-        first time, None after (or with no emit)."""
+        """Drain background alert delivery, pack the ``--emit``
+        destination and commit the run to the catalog, each once
+        (idempotent); returns the packed path the first time, None
+        after (or with no emit)."""
+        if self.engine.alerts is not None:
+            # Queued alerts must reach their sinks before the run is
+            # declared finished (late submits deliver inline).
+            self.engine.alerts.shutdown()
         packed = None
         if self.engine.emit_journal is not None and not self._emit_packed:
             packed = self.engine.pack_emit()

@@ -80,16 +80,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: history); v4 replaced per-case rate lists with exact-sum partials,
 #: added cooldown timestamps + compacted alert history, and the
 #: emit-journal offset; v5 added the telemetry snapshot (monotonic
-#: counter/histogram bases, so scraped rates survive kill/restart).
-#: v2–v4 sidecars still load — see :func:`restore_engine`.
-CHECKPOINT_VERSION = 5
+#: counter/histogram bases, so scraped rates survive kill/restart);
+#: v6 added the emit-journal *pack* offset — how much of the journal
+#: was already compacted into the destination ``.elog`` when the
+#: sidecar was saved, cross-checked against the journal's own header
+#: on restore. v2–v5 sidecars still load — see :func:`restore_engine`.
+CHECKPOINT_VERSION = 6
 
 #: Versions :func:`restore_engine` can load. v2 lacks only the alert
-#: state, which legitimately starts empty; v3/v4 lack only later
+#: state, which legitimately starts empty; v3–v5 lack only later
 #: additions, all of which upgrade in place (a pre-v5 sidecar simply
 #: has no telemetry history — counters start their base at zero,
-#: which is what was true when it was written).
-_LOADABLE_VERSIONS = frozenset({2, 3, 4, CHECKPOINT_VERSION})
+#: which is what was true when it was written; a pre-v6 sidecar was
+#: written before rolling compaction existed, so its pack offset is
+#: legitimately zero).
+_LOADABLE_VERSIONS = frozenset({2, 3, 4, 5, CHECKPOINT_VERSION})
 
 
 def _record_to_state(record: ParsedRecord) -> dict:
@@ -154,6 +159,8 @@ def engine_state(engine: "LiveIngest") -> dict:
     """
     emit_offset = (engine.emit_journal.sync()
                    if engine.emit_journal is not None else None)
+    emit_packed = (engine.emit_journal.packed_offset
+                   if engine.emit_journal is not None else None)
     return {
         "version": CHECKPOINT_VERSION,
         "mapping": engine.mapping.name,
@@ -164,6 +171,7 @@ def engine_state(engine: "LiveIngest") -> dict:
         "n_polls": engine.n_polls,
         "total_events": engine.total_events,
         "emit_offset": emit_offset,
+        "emit_packed": emit_packed,
         "files": [_tail_to_state(engine._tails[path], engine.directory)
                   for path in sorted(engine._tails)],
         "dfg": engine.incremental.to_state(),
@@ -238,6 +246,25 @@ def restore_engine(engine: "LiveIngest", state: dict) -> None:
                     f"journal) to re-watch from scratch")
             engine.emit_journal.truncate_to(0)
         else:
+            # v6 cross-check: the journal's compaction base can only
+            # be *ahead* of the sidecar (a compaction ran after this
+            # save — its packed prefix is already durable in the
+            # .elog, and the header's per-case counts keep replay
+            # exact). A journal *behind* the sidecar's pack offset
+            # means the journal/.elog pair was swapped for older
+            # files, and the packed records the sidecar accounts for
+            # may be gone.
+            emit_packed = int(state.get("emit_packed") or 0)
+            if engine.emit_journal.packed_offset < emit_packed:
+                raise ReproError(
+                    f"checkpoint says {emit_packed} emit-journal "
+                    f"bytes were compacted into "
+                    f"{engine.emit_journal.elog_path} but the journal "
+                    f"header claims only "
+                    f"{engine.emit_journal.packed_offset} — the "
+                    f"journal was replaced behind the checkpoint; "
+                    f"delete checkpoint, journal and .elog and "
+                    f"re-watch")
             engine.emit_journal.truncate_to(int(emit_offset))
     # v2 → v3 upgrade in place: pre-alerting sidecars hold no alert
     # state, and empty is exactly what was true when they were written.

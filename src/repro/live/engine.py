@@ -143,12 +143,31 @@ class LiveIngest:
         coarsened and the activity's max concurrency / timeline are
         reported as approximate upper bounds
         (:class:`~repro.core.statistics.StatsAccumulator`).
+    memory_budget:
+        Alternative to ``window``: a byte budget for the interval
+        buffers. After every poll the engine measures the buffers'
+        actual footprint
+        (:meth:`~repro.core.statistics.StatsAccumulator.approx_buffer_bytes`)
+        and re-derives the per-buffer cap so the total stays within
+        the budget — the cap shrinks as the watch accumulates cases
+        instead of being a guessed constant. The floor is the minimum
+        window of 2 intervals per buffer; below that the budget is
+        best-effort. Mutually exclusive with ``window``.
     emit:
         Optional ``.elog`` destination: every sealed record is also
         journaled durably (``<emit>.journal``) so :meth:`pack_emit`
         can write the full event log of the run — byte-identical to
         batch conversion, surviving kill/restart cycles when combined
         with ``checkpoint`` (see :mod:`repro.live.emit`).
+    compact_emit:
+        Optional rolling-compaction threshold in journal bytes
+        (requires ``emit`` and ``checkpoint``). After each checkpoint
+        save, once the un-packed durable journal prefix exceeds this
+        many bytes it is packed into the destination ``.elog`` and
+        dropped from the journal
+        (:meth:`~repro.live.emit.EmitJournal.compact`), keeping the
+        journal's disk footprint O(threshold + recent) over a
+        week-long watch instead of O(events).
     checkpoint:
         Optional sidecar path. If the file exists, the engine resumes
         from it; :meth:`save_checkpoint` rewrites it atomically.
@@ -190,7 +209,9 @@ class LiveIngest:
                  add_endpoints: bool = True,
                  keep_records: bool = True,
                  window: int | None = None,
+                 memory_budget: int | None = None,
                  emit: str | os.PathLike[str] | None = None,
+                 compact_emit: int | None = None,
                  checkpoint: str | os.PathLike[str] | None = None,
                  alerts: "AlertEngine | None" = None,
                  telemetry=None) -> None:
@@ -205,6 +226,17 @@ class LiveIngest:
             raise ReproError(
                 f"window must be >= 2 intervals (got {window}); omit "
                 f"it for exact unbounded statistics")
+        if memory_budget is not None:
+            if window is not None:
+                raise ReproError(
+                    "window and memory_budget are mutually exclusive: "
+                    "a byte budget derives the window, a fixed window "
+                    "ignores the budget — pass one or the other")
+            if memory_budget < 1:
+                raise ReproError(
+                    f"memory_budget must be >= 1 byte, "
+                    f"got {memory_budget}")
+        self.memory_budget = memory_budget
         self.window = window
         self.stats = StatsAccumulator(window=window)
         self.keep_records = keep_records
@@ -237,6 +269,21 @@ class LiveIngest:
                 emit, telemetry=self.telemetry)
         else:
             self.emit_journal = None
+        if compact_emit is not None:
+            if compact_emit < 1:
+                raise ReproError(
+                    f"compact_emit must be >= 1 byte, got {compact_emit}")
+            if self.emit_journal is None:
+                raise ReproError(
+                    "compact_emit without emit: there is no journal "
+                    "to compact — pass emit=... (the CLI's --emit)")
+            if checkpoint is None:
+                raise ReproError(
+                    "compact_emit requires checkpoint=...: compaction "
+                    "only packs journal bytes a durable sidecar "
+                    "already accounts for, so without checkpoints it "
+                    "would never run")
+        self.compact_emit = compact_emit
         self.checkpoint_path = Path(checkpoint) if checkpoint else None
         if self.checkpoint_path is not None \
                 and self.checkpoint_path.exists():
@@ -245,9 +292,10 @@ class LiveIngest:
             load_checkpoint(self, self.checkpoint_path)
             self.restored = True
         elif self.emit_journal is not None:
-            # A fresh watch owns its journal: leftover lines from an
-            # unrelated earlier run would pollute the pack.
-            self.emit_journal.truncate_to(0)
+            # A fresh watch owns its journal: a leftover journal (and
+            # its compacted .elog prefix) from an earlier run would
+            # pollute the pack with records this engine re-seals.
+            self.emit_journal.reset()
 
     # -- discovery ---------------------------------------------------------
 
@@ -289,6 +337,7 @@ class LiveIngest:
             if sealed:
                 self._absorb(name, sealed)
                 result.sealed[name.case_id] = len(sealed)
+        self._adapt_window()
         self._fill_result(result)
         if telemetry.enabled:
             self._count_poll(result)
@@ -316,11 +365,35 @@ class LiveIngest:
             if sealed:
                 self._absorb(name, sealed)
                 result.sealed[name.case_id] = len(sealed)
+        self._adapt_window()
         self._fill_result(result)
         if telemetry.enabled:
             telemetry.count("finalizes_total")
             self._count_poll(result)
         return result
+
+    def _adapt_window(self) -> None:
+        """Re-derive the interval-buffer cap from the byte budget.
+
+        Runs after every poll when ``memory_budget`` is set: the
+        per-entry cost is *measured* from the resident buffers, the
+        budget is divided over the current buffer count, and the
+        accumulators are re-capped in place (shrinking coarsens
+        immediately). The cap floors at 2 intervals per buffer — the
+        smallest window that still yields a concurrency bound.
+        """
+        if self.memory_budget is None:
+            return
+        entries = self.stats.n_buffered_intervals()
+        n_buffers = self.stats.n_interval_buffers()
+        if entries == 0 or n_buffers == 0:
+            return
+        per_entry = self.stats.approx_buffer_bytes() / entries
+        target_entries = int(self.memory_budget / per_entry)
+        window = max(2, target_entries // n_buffers)
+        if window != self.window:
+            self.stats.set_window(window)
+            self.window = window
 
     def _tail_for(self, path: Path, name: TraceFileName,
                   result: PollResult) -> FileTail:
@@ -501,6 +574,18 @@ class LiveIngest:
         with self.telemetry.phase("checkpoint"):
             saved = save_checkpoint(self, target)
         self.telemetry.count("checkpoint_saves_total")
+        if (self.compact_emit is not None
+                and self.emit_journal is not None
+                and target == self.checkpoint_path):
+            # The sidecar just recorded the journal's durable offset
+            # (no appends happen between the save and here), so that
+            # offset is a safe compaction bound: a restore from this
+            # sidecar accounts for exactly the packed prefix.
+            durable = self.emit_journal.sync()
+            if durable - self.emit_journal.packed_offset \
+                    >= self.compact_emit:
+                with self.telemetry.phase("compact"):
+                    self.emit_journal.compact(self, up_to=durable)
         return saved
 
     def pack_emit(self) -> Path:
@@ -514,12 +599,15 @@ class LiveIngest:
 
     def close(self) -> None:
         """Release held OS resources (the emit journal's append
-        handle). The engine object stays readable — statistics,
-        snapshots — but must not ingest further. Idempotent; the fleet
-        scheduler calls this before rebuilding a failed job so the
-        replacement engine is the journal's only appender."""
+        handle) and drain any background alert delivery. The engine
+        object stays readable — statistics, snapshots — but must not
+        ingest further. Idempotent; the fleet scheduler calls this
+        before rebuilding a failed job so the replacement engine is
+        the journal's only appender (and the only delivery worker)."""
         if self.emit_journal is not None:
             self.emit_journal.close()
+        if self.alerts is not None:
+            self.alerts.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"LiveIngest({str(self.directory)!r}, "

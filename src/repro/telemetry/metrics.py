@@ -70,6 +70,17 @@ METRICS: dict[str, tuple] = {
     "checkpoint_saves_total": ("counter", "Checkpoint sidecar rewrites."),
     "journal_fsyncs_total": (
         "counter", "Durable emit-journal fsync barriers."),
+    "journal_compactions_total": (
+        "counter",
+        "Rolling journal compactions (checkpointed prefix packed into "
+        "the destination .elog, journal truncated)."),
+    "sink_queue_dropped_total": (
+        "counter",
+        "Alerts evicted from the background delivery queue by "
+        "drop-oldest overflow (still recorded in the history)."),
+    "sink_queue_delivered_total": (
+        "counter",
+        "Alerts the background delivery worker handed to the sinks."),
     "poll_overruns_total": (
         "counter",
         "Polls whose work overran the interval, re-anchoring the "
@@ -99,6 +110,12 @@ METRICS: dict[str, tuple] = {
         "gauge", "Consecutive polls that overran the interval."),
     "sink_failure_streak": (
         "gauge", "Worst consecutive-failure streak across alert sinks."),
+    "sink_queue_depth": (
+        "gauge", "Alerts queued for background delivery and not yet "
+                 "picked up by the worker."),
+    "emit_journal_bytes": (
+        "gauge", "On-disk size of the emit journal after the last "
+                 "sync/compaction (bounded by rolling compaction)."),
     # histograms — restart-aware like counters
     "poll_seconds": (
         "histogram", "Wall-clock duration of one poll span (poll + "
@@ -109,6 +126,9 @@ METRICS: dict[str, tuple] = {
     "sink_seconds": (
         "histogram", "Alert delivery latency per sink (includes "
         "retries).", SINK_BUCKETS, ("sink",)),
+    "sink_queue_latency_seconds": (
+        "histogram", "Submit-to-delivered latency of alerts routed "
+        "through the background delivery queue.", SINK_BUCKETS),
 }
 
 

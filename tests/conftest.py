@@ -5,6 +5,11 @@ paper's Fig. 2 trace listings; fixtures write them as properly named
 trace files (Fig. 1 convention). Simulator-based fixtures use reduced
 rank counts to keep the suite fast; the full 96-rank runs live in
 ``benchmarks/``.
+
+The per-file-bytes fixtures (``ls_file_bytes``/``ior_file_bytes``)
+are the raw material of every live/alerting/fleet replay: a workload
+rendered once per session, revealed into fresh directories in
+increments by the suites (see ``tests/strategies.py``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from __future__ import annotations
 from pathlib import Path
 
 import pytest
+
+from tests.strategies import write_all as write_all_files
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -74,6 +81,54 @@ FIG2C_TEXT = """\
 
 def _shift_pid(text: str, old: str, new: int) -> str:
     return text.replace(old, str(new))
+
+
+@pytest.fixture(scope="session")
+def ls_file_bytes() -> dict[str, bytes]:
+    """The Fig. 1 ``ls`` / ``ls -l`` traces as per-file bytes."""
+    import tempfile
+
+    from repro.simulate.workloads.ls import generate_fig1_traces
+
+    with tempfile.TemporaryDirectory() as scratch:
+        generate_fig1_traces(scratch)
+        return {path.name: path.read_bytes()
+                for path in sorted(Path(scratch).iterdir())}
+
+
+@pytest.fixture(scope="session")
+def ior_file_bytes() -> dict[str, bytes]:
+    """A small IOR run with a healthy share of unfinished/resumed
+    pairs (the state live polling must carry) as per-file bytes."""
+    import tempfile
+
+    from repro.simulate.strace_writer import (
+        EXPERIMENT_A_CALLS,
+        write_trace_files,
+    )
+    from repro.simulate.workloads.ior import IORConfig, simulate_ior
+
+    result = simulate_ior(IORConfig(
+        ranks=4, ranks_per_node=2, segments=2, cid="ior", seed=424))
+    with tempfile.TemporaryDirectory() as scratch:
+        paths = write_trace_files(
+            result.recorders, scratch,
+            trace_calls=EXPERIMENT_A_CALLS,
+            unfinished_probability=0.3, seed=11)
+        return {path.name: path.read_bytes() for path in paths}
+
+
+@pytest.fixture
+def write_files():
+    """The directory-population helper, as a fixture."""
+    return write_all_files
+
+
+@pytest.fixture(scope="session")
+def write_all():
+    """Session-scoped alias of the directory-population helper (the
+    fleet suite's spelling)."""
+    return write_all_files
 
 
 @pytest.fixture(scope="session")

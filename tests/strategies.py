@@ -1,0 +1,114 @@
+"""Shared hypothesis strategies + replay machinery for live suites.
+
+The live, alerting and compaction property suites all drive the same
+adversary: a finished trace directory revealed to a watcher in
+randomized increments — which file grows when, how many bytes land per
+step (cut at *arbitrary* positions, so lines and unfinished/resumed
+pairs split across polls), where polls and kill/restart cycles happen.
+This module holds the one schedule strategy and the byte-cutting
+replay helper those suites used to copy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from hypothesis import strategies as st
+
+
+def growth_steps(n_files: int = 4, max_steps: int = 30):
+    """A growth schedule: per step ``(file index, percent of the
+    file's remaining bytes to append, poll-after-this-step?)``.
+    Percentages are drawn as integers to keep shrinking effective."""
+    return st.lists(
+        st.tuples(st.integers(min_value=0, max_value=n_files - 1),
+                  st.integers(min_value=1, max_value=100),
+                  st.booleans()),
+        min_size=1, max_size=max_steps)
+
+
+def write_all(directory: Path | str,
+              file_bytes: dict[str, bytes]) -> None:
+    """Write a rendered workload's files into a directory at once."""
+    directory = Path(directory)
+    for filename, content in file_bytes.items():
+        (directory / filename).write_bytes(content)
+
+
+class DirectoryGrower:
+    """Reveals ``file_bytes`` into ``live_dir`` incrementally.
+
+    Owns the offset arithmetic every replay loop used to duplicate:
+    :meth:`apply` appends one schedule step's chunk (at least one byte
+    while any remain, so schedules always make progress);
+    :meth:`finish` appends every file's unrevealed tail. File names
+    are addressed by index modulo the file count, matching the
+    ``growth_steps`` strategy.
+    """
+
+    def __init__(self, live_dir: Path | str,
+                 file_bytes: dict[str, bytes]) -> None:
+        self.live_dir = Path(live_dir)
+        self.file_bytes = dict(file_bytes)
+        self.names = sorted(file_bytes)
+        self.offsets = {name: 0 for name in self.names}
+
+    def _append(self, name: str, chunk: int) -> int:
+        if chunk <= 0:
+            return 0
+        offset = self.offsets[name]
+        with open(self.live_dir / name, "ab") as handle:
+            handle.write(self.file_bytes[name][offset:offset + chunk])
+        self.offsets[name] = offset + chunk
+        return chunk
+
+    def apply(self, file_index: int, percent: int) -> int:
+        """One schedule step: append ``percent`` of the file's
+        remaining bytes (>= 1 while any remain); returns bytes
+        appended."""
+        name = self.names[file_index % len(self.names)]
+        remaining = len(self.file_bytes[name]) - self.offsets[name]
+        chunk = max(1, remaining * percent // 100) if remaining else 0
+        return self._append(name, chunk)
+
+    def finish_file(self, name: str) -> int:
+        """Append everything still unrevealed of one file."""
+        return self._append(
+            name, len(self.file_bytes[name]) - self.offsets[name])
+
+    def finish(self) -> int:
+        """Append every file's unrevealed tail; returns total bytes."""
+        return sum(self.finish_file(name) for name in self.names)
+
+    def each_finished(self):
+        """Yield every file name after appending its tail (for suites
+        that poll between per-file reveals)."""
+        for name in self.names:
+            self.finish_file(name)
+            yield name
+
+    @property
+    def done(self) -> bool:
+        return all(self.offsets[name] == len(self.file_bytes[name])
+                   for name in self.names)
+
+
+def replay_schedule(file_bytes: dict[str, bytes], schedule, *,
+                    live_dir: Path | str, poll, on_step=None) -> None:
+    """Run one growth schedule to completion.
+
+    ``poll()`` is called after every step whose flag is set and once
+    at the end (with everything revealed). ``on_step(step_index)``,
+    when given, runs after each schedule step — the hook where suites
+    place kill/restart cycles.
+    """
+    grower = DirectoryGrower(live_dir, file_bytes)
+    for step_index, (file_index, percent, do_poll) in \
+            enumerate(schedule):
+        grower.apply(file_index, percent)
+        if do_poll:
+            poll()
+        if on_step is not None:
+            on_step(step_index)
+    grower.finish()
+    poll()

@@ -1,47 +1,17 @@
 """Fixtures for the alerting suite.
 
-Reuses the live suite's device — workloads rendered to per-file bytes,
-replayed into fresh directories in increments — plus a hand-written
+Reuses the live suite's device — workloads rendered to per-file bytes
+(shared session fixtures in the root ``tests/conftest.py``), replayed
+into fresh directories in increments — plus a hand-written
 *starvation* trace: an ``<unfinished ...>`` call that never resumes,
 parking every later record of its file behind the seal watermark.
 """
 
 from __future__ import annotations
 
-import tempfile
 from pathlib import Path
 
 import pytest
-
-
-@pytest.fixture(scope="session")
-def ls_file_bytes() -> dict[str, bytes]:
-    """The Fig. 1 ``ls`` / ``ls -l`` traces as per-file bytes."""
-    from repro.simulate.workloads.ls import generate_fig1_traces
-
-    with tempfile.TemporaryDirectory() as scratch:
-        generate_fig1_traces(scratch)
-        return {path.name: path.read_bytes()
-                for path in sorted(Path(scratch).iterdir())}
-
-
-@pytest.fixture(scope="session")
-def ior_file_bytes() -> dict[str, bytes]:
-    """A small IOR run with unfinished/resumed pairs."""
-    from repro.simulate.strace_writer import (
-        EXPERIMENT_A_CALLS,
-        write_trace_files,
-    )
-    from repro.simulate.workloads.ior import IORConfig, simulate_ior
-
-    result = simulate_ior(IORConfig(
-        ranks=4, ranks_per_node=2, segments=2, cid="ior", seed=424))
-    with tempfile.TemporaryDirectory() as scratch:
-        paths = write_trace_files(
-            result.recorders, scratch,
-            trace_calls=EXPERIMENT_A_CALLS,
-            unfinished_probability=0.3, seed=11)
-        return {path.name: path.read_bytes() for path in paths}
 
 
 #: One file whose first call never resumes: the two later writes are
@@ -66,14 +36,3 @@ def starved_dir(tmp_path) -> Path:
         b"201  08:00:00.500000 write(5</data/log>, ..., 10) = 10"
         b" <0.000050>\n")
     return trace_dir
-
-
-def write_all(directory: Path, file_bytes: dict[str, bytes]) -> None:
-    for filename, content in file_bytes.items():
-        (directory / filename).write_bytes(content)
-
-
-@pytest.fixture
-def write_files():
-    """The directory-population helper, as a fixture."""
-    return write_all

@@ -48,7 +48,7 @@ class TestLoading:
     def test_toml_roundtrip(self, tmp_path):
         path = tmp_path / "rules.toml"
         path.write_text(GOOD_TOML)
-        rules, sinks, baseline, history_limit = load_rules_file(path)
+        rules, sinks, baseline, history_limit, queue = load_rules_file(path)
         assert [type(rule) for rule in rules] == \
             [NewEdgeRule, StatThresholdRule, WatermarkAgeRule]
         assert [rule.name for rule in rules] == \
@@ -60,6 +60,7 @@ class TestLoading:
             [StderrSink, JsonlSink, CommandSink]
         assert baseline == "sim:ls"
         assert history_limit is None
+        assert queue is None
 
     def test_json_equivalent(self, tmp_path):
         path = tmp_path / "rules.json"

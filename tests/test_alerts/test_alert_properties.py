@@ -33,14 +33,10 @@ from hypothesis import strategies as st
 
 from repro.alerts import AlertEngine
 from repro.live.engine import LiveIngest
+from tests.strategies import DirectoryGrower, growth_steps
 
-#: A growth schedule, as in the live suite: per step (file index,
-#: percent of remaining bytes, poll-after?).
-steps = st.lists(
-    st.tuples(st.integers(min_value=0, max_value=3),
-              st.integers(min_value=1, max_value=100),
-              st.booleans()),
-    min_size=1, max_size=25)
+#: The shared schedule strategy (see ``tests/strategies.py``).
+steps = growth_steps(n_files=4, max_steps=25)
 
 RULES_TEMPLATE = """
 baseline = "{baseline}"
@@ -106,41 +102,27 @@ def _replay_identities(file_bytes, schedule, rules_path, *,
         live_dir = Path(scratch) / "traces"
         live_dir.mkdir()
         sidecar = Path(scratch) / "ckpt.json"
-        alerts = AlertEngine.from_rules_file(rules_path)
         engine = LiveIngest(live_dir, checkpoint=sidecar,
-                            alerts=alerts)
-        names = sorted(file_bytes)
-        offsets = {name: 0 for name in names}
+                            alerts=AlertEngine.from_rules_file(
+                                rules_path))
 
         def poll_and_evaluate():
             engine.alerts.evaluate(engine, engine.poll())
 
+        grower = DirectoryGrower(live_dir, file_bytes)
         for step_index, (file_index, percent, poll) in \
                 enumerate(schedule):
-            name = names[file_index % len(names)]
-            content = file_bytes[name]
-            remaining = len(content) - offsets[name]
-            chunk = max(1, remaining * percent // 100) if remaining \
-                else 0
-            if chunk:
-                with open(live_dir / name, "ab") as handle:
-                    handle.write(
-                        content[offsets[name]:offsets[name] + chunk])
-                offsets[name] += chunk
+            grower.apply(file_index, percent)
             if poll:
                 poll_and_evaluate()
             if restart_after is not None and step_index == restart_after:
                 engine.save_checkpoint()
                 # Kill: a fresh process re-loads the rules file and
                 # resumes latches + history from the sidecar.
-                alerts = AlertEngine.from_rules_file(rules_path)
                 engine = LiveIngest(live_dir, checkpoint=sidecar,
-                                    alerts=alerts)
-        for name in names:
-            tail = file_bytes[name][offsets[name]:]
-            if tail:
-                with open(live_dir / name, "ab") as handle:
-                    handle.write(tail)
+                                    alerts=AlertEngine.from_rules_file(
+                                        rules_path))
+        for _ in grower.each_finished():
             poll_and_evaluate()
         engine.alerts.evaluate(engine, engine.finalize())
         return Counter(alert.identity

@@ -43,11 +43,12 @@ def _downgrade_stats(stats_state: dict) -> None:
 
 def downgrade_to_v2(sidecar: Path) -> None:
     state = json.loads(sidecar.read_text())
-    assert state["version"] == CHECKPOINT_VERSION == 5
+    assert state["version"] == CHECKPOINT_VERSION == 6
     state["version"] = 2
     del state["alerts"]
     del state["window"]
     del state["emit_offset"]
+    del state["emit_packed"]
     del state["telemetry"]
     _downgrade_stats(state["stats"])
     sidecar.write_text(json.dumps(state))
@@ -55,10 +56,11 @@ def downgrade_to_v2(sidecar: Path) -> None:
 
 def downgrade_to_v3(sidecar: Path) -> None:
     state = json.loads(sidecar.read_text())
-    assert state["version"] == CHECKPOINT_VERSION == 5
+    assert state["version"] == CHECKPOINT_VERSION == 6
     state["version"] = 3
     del state["window"]
     del state["emit_offset"]
+    del state["emit_packed"]
     del state["telemetry"]
     _downgrade_stats(state["stats"])
     sidecar.write_text(json.dumps(state))

@@ -235,7 +235,7 @@ class TestCheckpointIntegration:
         assert fired
         engine.save_checkpoint()
         state = json.loads(sidecar.read_text())
-        assert state["version"] == 5
+        assert state["version"] == 6
         assert len(state["alerts"]["history"]) == 2
         assert state["alerts"]["compacted"]
         revived_rules = AlertEngine(

@@ -10,20 +10,8 @@ so catalog round-trips are always compared against the batch truth.
 from __future__ import annotations
 
 import tempfile
-from pathlib import Path
 
 import pytest
-
-
-@pytest.fixture(scope="session")
-def ls_file_bytes() -> dict[str, bytes]:
-    """The Fig. 1 ``ls`` / ``ls -l`` traces as per-file bytes."""
-    from repro.simulate.workloads.ls import generate_fig1_traces
-
-    with tempfile.TemporaryDirectory() as scratch:
-        generate_fig1_traces(scratch)
-        return {path.name: path.read_bytes()
-                for path in sorted(Path(scratch).iterdir())}
 
 
 @pytest.fixture(scope="session")
@@ -41,17 +29,6 @@ def ior_file_bytes() -> dict[str, bytes]:
         paths = write_trace_files(result.recorders, scratch,
                                   trace_calls=EXPERIMENT_A_CALLS)
         return {path.name: path.read_bytes() for path in paths}
-
-
-def write_all(directory: Path, file_bytes: dict[str, bytes]) -> None:
-    for filename, content in file_bytes.items():
-        (directory / filename).write_bytes(content)
-
-
-@pytest.fixture
-def write_files():
-    """The directory-population helper, as a fixture."""
-    return write_all
 
 
 def mapped_log(directory, mapping: str = "topdirs", levels: int = 2):

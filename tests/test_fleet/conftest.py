@@ -1,8 +1,9 @@
 """Fixtures for the fleet-runtime suite.
 
 Same device as the live suite: a simulated workload rendered to
-per-file bytes once per session, replayed into per-job directories in
-time-ordered increments while a fake clock drives the scheduler.
+per-file bytes once per session (shared root-conftest fixtures),
+replayed into per-job directories in time-ordered increments while a
+fake clock drives the scheduler.
 """
 
 from __future__ import annotations
@@ -11,29 +12,7 @@ from pathlib import Path
 
 import pytest
 
-
-@pytest.fixture(scope="session")
-def ls_file_bytes() -> dict[str, bytes]:
-    """The Fig. 1 ``ls`` / ``ls -l`` traces as per-file bytes."""
-    import tempfile
-
-    from repro.simulate.workloads.ls import generate_fig1_traces
-
-    with tempfile.TemporaryDirectory() as scratch:
-        generate_fig1_traces(scratch)
-        return {path.name: path.read_bytes()
-                for path in sorted(Path(scratch).iterdir())}
-
-
-def _write_all(directory: Path, file_bytes: dict[str, bytes]) -> None:
-    for filename, content in file_bytes.items():
-        (directory / filename).write_bytes(content)
-
-
-@pytest.fixture(scope="session")
-def write_all():
-    """Write a rendered workload's files into a directory."""
-    return _write_all
+from tests.strategies import write_all as _write_all
 
 
 @pytest.fixture()

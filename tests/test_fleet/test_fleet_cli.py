@@ -182,3 +182,107 @@ class TestMultiCheckpointHealth:
                      str(tmp_path / "ghost.ckpt.json")])
         assert code == 2
         assert "no such checkpoint" in capsys.readouterr().err
+
+
+class TestHealthEdgeCases:
+    """Sidecar-version and corruption edges of ``st-inspector
+    health``: v6 compacting watches, mixed-version checkpoint lists,
+    and the exit-2 usage errors for unreadable sidecars."""
+
+    def _compacting_checkpoint(self, tmp_path, populated_dir, name):
+        """A checkpoint written by a watch that compacts its emit
+        journal — the newest (v6) sidecar shape."""
+        path = tmp_path / name
+        assert main(["watch", str(populated_dir), "--once",
+                     "--checkpoint", str(path),
+                     "--emit", str(tmp_path / f"{name}.elog"),
+                     "--compact-emit", "1",
+                     "--metrics-log",
+                     str(tmp_path / f"{name}.mlog"),
+                     "--no-dfg"]) == 0
+        return path
+
+    def test_v6_compacting_sidecar_reads_healthy(self, tmp_path,
+                                                 populated_dir,
+                                                 capsys):
+        one = self._compacting_checkpoint(tmp_path, populated_dir,
+                                          "v6.ckpt.json")
+        state = json.loads(one.read_text(encoding="utf-8"))
+        assert state["version"] == 6
+        capsys.readouterr()
+        assert main(["health", str(one)]) == 0
+        assert capsys.readouterr().out.startswith("status: ok")
+
+    def test_mixed_version_list_aggregates(self, tmp_path,
+                                           populated_dir, capsys):
+        """A fleet mid-upgrade: one v6 sidecar, one older v5 — the
+        aggregate still reads both and the worst status wins."""
+        new = self._compacting_checkpoint(tmp_path, populated_dir,
+                                          "new.ckpt.json")
+        old = tmp_path / "old.ckpt.json"
+        old.write_text(json.dumps(FAILING_SIDECAR), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["health", str(new), str(old), "--json"]) == 1
+        combined = json.loads(capsys.readouterr().out)
+        assert combined["status"] == "failing"
+        assert combined["jobs"][str(new)]["status"] == "ok"
+        assert combined["jobs"][str(old)]["status"] == "failing"
+
+    def test_corrupt_sidecar_is_a_usage_error(self, tmp_path,
+                                              populated_dir, capsys):
+        good = self._compacting_checkpoint(tmp_path, populated_dir,
+                                           "good.ckpt.json")
+        torn = tmp_path / "torn.ckpt.json"
+        torn.write_text('{"version": 6, "telem', encoding="utf-8")
+        capsys.readouterr()
+        code = main(["health", str(good), str(torn)])
+        assert code == 2
+        assert "corrupt checkpoint" in capsys.readouterr().err
+
+    def test_uninstrumented_sidecar_is_a_usage_error(self, tmp_path,
+                                                     populated_dir,
+                                                     capsys):
+        """A sidecar from a watch run without --metrics-log/-port has
+        no snapshot to judge — the error says how to get one and
+        names the sidecar version it did find."""
+        path = tmp_path / "plain.ckpt.json"
+        assert main(["watch", str(populated_dir), "--once",
+                     "--checkpoint", str(path), "--no-dfg"]) == 0
+        capsys.readouterr()
+        code = main(["health", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no telemetry snapshot" in err
+        assert "version 6" in err
+
+
+class TestCompactionConfigExitCodes:
+    def test_catalog_on_emit_journal_is_exit_2_naming_the_key(
+            self, tmp_path, job_dir, capsys):
+        """Shared catalog landing on a job's derived emit-journal
+        path: rejected at config load, exit 2, and the message names
+        the journal key so the operator can find the clash."""
+        for name in ("app1", "app2"):
+            job_dir(name)
+        config = tmp_path / "fleet.toml"
+        config.write_text(
+            '[jobs.app1]\nsource = "app1"\nemit = "run.elog"\n'
+            '[jobs.app2]\nsource = "app2"\n'
+            'catalog = "run.elog.journal"\n',
+            encoding="utf-8")
+        code = main(["fleet", "--jobs", str(config), "--once"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "emit journal" in err
+        assert "run.elog.journal" in err
+
+    def test_compact_emit_without_checkpoint_is_exit_2(
+            self, tmp_path, job_dir, capsys):
+        job_dir("app1")
+        config = tmp_path / "fleet.toml"
+        config.write_text(
+            '[jobs.app1]\nsource = "app1"\nemit = "run.elog"\n'
+            'compact_emit = 65536\n', encoding="utf-8")
+        code = main(["fleet", "--jobs", str(config), "--once"])
+        assert code == 2
+        assert "compact_emit" in capsys.readouterr().err

@@ -316,3 +316,142 @@ class TestCatalogKeys:
         """)
         (spec,) = load_fleet_config(path)
         assert spec.catalog == str(tmp_path / "state/runs.db")
+
+
+class TestCompactionAndBudgetKeys:
+    """The week-long-watcher keys: ``memory_budget`` (fans out) and
+    ``compact_emit`` (job-level only — it needs the job's own emit
+    and checkpoint paths)."""
+
+    def test_memory_budget_fans_out_from_defaults(self, tmp_path):
+        path = _write(tmp_path, """
+            memory_budget = 1048576
+
+            [jobs.a]
+            source = "traces/a"
+
+            [jobs.b]
+            source = "traces/b"
+            memory_budget = 4096
+        """)
+        by_name = {spec.name: spec for spec in load_fleet_config(path)}
+        assert by_name["a"].memory_budget == 1048576
+        assert by_name["b"].memory_budget == 4096
+
+    def test_compact_emit_is_not_a_defaults_key(self, tmp_path):
+        path = _write(tmp_path, """
+            compact_emit = 65536
+
+            [jobs.a]
+            source = "traces/a"
+        """)
+        with pytest.raises(FleetConfigError, match="compact_emit"):
+            load_fleet_config(path)
+
+    def test_compact_emit_requires_emit_and_checkpoint(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            checkpoint = "a.ckpt.json"
+            compact_emit = 65536
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="compact_emit but no emit"):
+            load_fleet_config(path)
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            emit = "a.elog"
+            compact_emit = 65536
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="compact_emit but no\\s+checkpoint"):
+            load_fleet_config(path)
+
+    def test_window_and_memory_budget_conflict(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            window = 64
+            memory_budget = 4096
+        """)
+        with pytest.raises(FleetConfigError, match="pick\\s+one"):
+            load_fleet_config(path)
+
+    @pytest.mark.parametrize("snippet,match", [
+        ("memory_budget = 0",
+         "'memory_budget' must be an integer >= 1"),
+        ("memory_budget = \"1M\"",
+         "'memory_budget' must be an integer >= 1"),
+        ("compact_emit = -4",
+         "'compact_emit' must be an integer >= 1"),
+    ])
+    def test_value_range_and_type_checks(self, tmp_path, snippet,
+                                         match):
+        path = _write(tmp_path, f"""
+            [jobs.a]
+            source = "traces/a"
+            emit = "a.elog"
+            checkpoint = "a.ckpt.json"
+            {snippet}
+        """)
+        with pytest.raises(FleetConfigError, match=match):
+            load_fleet_config(path)
+
+    def test_valid_compaction_job_loads(self, tmp_path):
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            emit = "a.elog"
+            checkpoint = "a.ckpt.json"
+            compact_emit = 65536
+            memory_budget = 1048576
+        """)
+        (spec,) = load_fleet_config(path)
+        assert spec.compact_emit == 65536
+        assert spec.memory_budget == 1048576
+
+    def test_catalog_colliding_with_emit_journal_rejected(
+            self, tmp_path):
+        """The derived ``<emit>.journal`` is a write path: a shared
+        catalog landing on it is rejected, and the error names the
+        journal key — both declaration orders."""
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            emit = "a.elog"
+
+            [jobs.b]
+            source = "traces/b"
+            catalog = "a.elog.journal"
+        """)
+        with pytest.raises(FleetConfigError,
+                           match="emit journal.*cannot double as a"):
+            load_fleet_config(path)
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            catalog = "b.elog.journal"
+
+            [jobs.b]
+            source = "traces/b"
+            emit = "b.elog"
+        """)
+        with pytest.raises(FleetConfigError, match="emit journal"):
+            load_fleet_config(path)
+
+    def test_two_jobs_emit_journals_collide(self, tmp_path):
+        """Two emits into one destination collide on the .elog itself
+        AND on the derived journal; one emit colliding with another
+        job's checkpoint named like a journal is caught too."""
+        path = _write(tmp_path, """
+            [jobs.a]
+            source = "traces/a"
+            checkpoint = "x.elog.journal"
+
+            [jobs.b]
+            source = "traces/b"
+            emit = "x.elog"
+        """)
+        with pytest.raises(FleetConfigError, match="collides"):
+            load_fleet_config(path)

@@ -1,57 +1,20 @@
 """Fixtures for the live-ingestion suite.
 
-The core device: a *source* workload is rendered to per-file bytes once
-per session, and individual tests replay those bytes into a fresh
-directory in increments — new files appearing, existing files growing,
-cut at arbitrary byte positions — polling a
+The core device: a *source* workload is rendered to per-file bytes
+once per session (``ls_file_bytes``/``ior_file_bytes``, shared from
+the root ``tests/conftest.py``), and individual tests replay those
+bytes into a fresh directory in increments — new files appearing,
+existing files growing, cut at arbitrary byte positions — polling a
 :class:`~repro.live.engine.LiveIngest` along the way. Equivalence is
 then asserted against one-shot batch ingestion of the final directory.
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import numpy as np
 import pytest
 
 from repro.core.frame import COLUMN_ORDER, FramePools
-
-
-@pytest.fixture(scope="session")
-def ior_file_bytes() -> dict[str, bytes]:
-    """``{filename: full content}`` of a small IOR run with a healthy
-    share of unfinished/resumed pairs (the state live polling must
-    carry)."""
-    import tempfile
-
-    from repro.simulate.strace_writer import (
-        EXPERIMENT_A_CALLS,
-        write_trace_files,
-    )
-    from repro.simulate.workloads.ior import IORConfig, simulate_ior
-
-    result = simulate_ior(IORConfig(
-        ranks=4, ranks_per_node=2, segments=2, cid="ior", seed=424))
-    with tempfile.TemporaryDirectory() as scratch:
-        paths = write_trace_files(
-            result.recorders, scratch,
-            trace_calls=EXPERIMENT_A_CALLS,
-            unfinished_probability=0.3, seed=11)
-        return {path.name: path.read_bytes() for path in paths}
-
-
-@pytest.fixture(scope="session")
-def ls_file_bytes() -> dict[str, bytes]:
-    """The Fig. 1 ``ls`` / ``ls -l`` traces as per-file bytes."""
-    import tempfile
-
-    from repro.simulate.workloads.ls import generate_fig1_traces
-
-    with tempfile.TemporaryDirectory() as scratch:
-        generate_fig1_traces(scratch)
-        return {path.name: path.read_bytes()
-                for path in sorted(Path(scratch).iterdir())}
 
 
 def pools_identical(a: FramePools, b: FramePools) -> bool:

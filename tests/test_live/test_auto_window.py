@@ -1,0 +1,102 @@
+"""Auto-window (``--memory-budget``): the cap is measured, not guessed.
+
+ROADMAP item 5a: instead of a fixed ``--window`` interval cap, the
+watcher takes a byte budget and re-derives the per-buffer cap after
+every poll from the buffers' *measured* footprint — shrinking as a
+week-long watch accumulates cases, flooring at the minimum window of
+2 intervals per buffer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util.errors import ReproError
+from repro.live.engine import LiveIngest
+from tests.strategies import write_all
+
+
+class TestConstruction:
+    def test_window_and_budget_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ReproError, match="mutually exclusive"):
+            LiveIngest(tmp_path, window=64, memory_budget=1 << 20)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_budget_must_be_positive(self, tmp_path, bad):
+        with pytest.raises(ReproError, match="memory_budget"):
+            LiveIngest(tmp_path, memory_budget=bad)
+
+    def test_compact_emit_requires_emit(self, tmp_path):
+        with pytest.raises(ReproError, match="no journal"):
+            LiveIngest(tmp_path, compact_emit=1024)
+
+    def test_compact_emit_requires_checkpoint(self, tmp_path):
+        with pytest.raises(ReproError, match="checkpoint"):
+            LiveIngest(tmp_path, emit=tmp_path / "run.elog",
+                       compact_emit=1024)
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_compact_emit_must_be_positive(self, tmp_path, bad):
+        with pytest.raises(ReproError, match="compact_emit"):
+            LiveIngest(tmp_path, emit=tmp_path / "run.elog",
+                       checkpoint=tmp_path / "ckpt.json",
+                       compact_emit=bad)
+
+
+class TestAdaptation:
+    def test_large_budget_leaves_buffers_unbounded_enough(
+            self, tmp_path, ior_file_bytes):
+        """A budget comfortably above the workload's footprint must
+        not coarsen anything: statistics equal the unbounded run's."""
+        from tests.test_live.test_statistics_live import (
+            assert_stats_equal,
+        )
+
+        write_all(tmp_path, ior_file_bytes)
+        budgeted = LiveIngest(tmp_path, memory_budget=64 << 20)
+        budgeted.poll()
+        budgeted.finalize()
+        unbounded = LiveIngest(tmp_path)  # same dir, fresh engine
+        unbounded.poll()
+        unbounded.finalize()
+        assert_stats_equal(budgeted.statistics(),
+                           unbounded.statistics())
+
+    def test_small_budget_caps_the_buffers(self, tmp_path,
+                                           ior_file_bytes):
+        """A tiny budget forces the cap down to (or near) the floor;
+        the buffered footprint lands in the budget's ballpark."""
+        write_all(tmp_path, ior_file_bytes)
+        engine = LiveIngest(tmp_path, memory_budget=1)
+        engine.poll()
+        assert engine.window == 2  # the floor
+        assert engine.stats.n_buffered_intervals() <= \
+            2 * engine.stats.n_interval_buffers()
+
+    def test_window_shrinks_as_cases_accumulate(self, tmp_path,
+                                                ior_file_bytes):
+        """The derived cap is per-buffer: with a budget sized to the
+        first file's buffers, revealing more files (more buffers)
+        drives the per-buffer window down, never up."""
+        names = sorted(ior_file_bytes)
+        (tmp_path / names[0]).write_bytes(ior_file_bytes[names[0]])
+        engine = LiveIngest(tmp_path, memory_budget=4096)
+        engine.poll()
+        first_window = engine.window
+        assert first_window is not None and first_window >= 2
+        for name in names[1:]:
+            (tmp_path / name).write_bytes(ior_file_bytes[name])
+        engine.poll()
+        assert engine.stats.n_interval_buffers() > 0
+        assert engine.window <= first_window
+
+    def test_budget_rides_the_fleet_jobspec(self, tmp_path,
+                                            ior_file_bytes):
+        from repro.fleet.job import JobSpec
+
+        write_all(tmp_path, ior_file_bytes)
+        spec = JobSpec(source=tmp_path, memory_budget=4096)
+        engine = spec.build_engine()
+        engine.poll()
+        assert engine.memory_budget == 4096
+        assert engine.window is not None  # adaptation engaged

@@ -21,6 +21,7 @@ import pytest
 from repro._util.errors import ReproError
 from repro.live import checkpoint as checkpoint_module
 from repro.live.engine import LiveIngest
+from tests.faultinject import CHECKPOINT_KILL_POINTS, kill_checkpoint_at
 
 
 def _grown(tmp_path: Path, ls_file_bytes) -> tuple[Path, Path]:
@@ -39,32 +40,11 @@ def _grown(tmp_path: Path, ls_file_bytes) -> tuple[Path, Path]:
     return trace_dir, sidecar
 
 
-#: Which os-level step of save_checkpoint the simulated kill hits.
-KILL_POINTS = ("temp_fsync", "replace", "dir_fsync")
-
-
-def _kill_at(monkeypatch, point: str) -> None:
-    """Make one durability step raise, aborting the save there."""
-    if point == "temp_fsync":
-        real = os.fsync
-
-        def dying_fsync(fd):
-            raise OSError("killed during temp fsync")
-
-        monkeypatch.setattr(checkpoint_module.os, "fsync", dying_fsync)
-        assert real  # keep a handle so the patch scope is obvious
-    elif point == "replace":
-        def dying_replace(src, dst):
-            raise OSError("killed before replace")
-
-        monkeypatch.setattr(checkpoint_module.os, "replace",
-                            dying_replace)
-    elif point == "dir_fsync":
-        def dying_dir_fsync(directory):
-            raise OSError("killed before directory fsync")
-
-        monkeypatch.setattr(checkpoint_module, "_fsync_directory",
-                            dying_dir_fsync)
+#: Which os-level step of save_checkpoint the simulated kill hits
+#: (re-exported so parametrized ids read locally; the harness lives in
+#: ``tests/faultinject.py``).
+KILL_POINTS = CHECKPOINT_KILL_POINTS
+_kill_at = kill_checkpoint_at
 
 
 class TestKillDuringSave:

@@ -89,7 +89,7 @@ class TestRestart:
         engine.poll()
         engine.save_checkpoint()
         state = json.loads(sidecar.read_text())
-        assert state["version"] == 5
+        assert state["version"] == 6
         assert state["files"][0]["path"] == name
         assert "stats" in state
         assert state["alerts"] == {"rules": {}, "history": []}

@@ -26,49 +26,32 @@ from repro.core.mapping import CallTopDirs
 from repro.ingest.summary import cases_summary
 from repro.live.engine import LiveIngest
 from repro.strace.reader import read_trace_dir
+from tests.strategies import growth_steps, replay_schedule
 
 MAPPING = CallTopDirs(levels=2)
 
-#: A growth schedule: per step, (file index, fraction of the file's
-#: remaining bytes to append, poll-after-this-step?). Fractions are
-#: drawn as integers to keep shrinking effective.
-steps = st.lists(
-    st.tuples(st.integers(min_value=0, max_value=3),
-              st.integers(min_value=1, max_value=100),
-              st.booleans()),
-    min_size=1, max_size=30)
+#: The shared schedule strategy (see ``tests/strategies.py``).
+steps = growth_steps(n_files=4, max_steps=30)
 
 
 def _replay(file_bytes: dict[str, bytes], schedule, *,
             live_dir: Path, engine: LiveIngest,
             restart_after: int | None = None,
             sidecar: Path | None = None) -> LiveIngest:
-    """Grow ``live_dir`` per the schedule, polling along the way."""
-    names = sorted(file_bytes)
-    offsets = {name: 0 for name in names}
-    for step_index, (file_index, percent, poll) in enumerate(schedule):
-        name = names[file_index % len(names)]
-        content = file_bytes[name]
-        remaining = len(content) - offsets[name]
-        chunk = max(1, remaining * percent // 100) if remaining else 0
-        if chunk:
-            with open(live_dir / name, "ab") as handle:
-                handle.write(content[offsets[name]:offsets[name] + chunk])
-            offsets[name] += chunk
-        if poll:
-            engine.poll()
+    """Grow ``live_dir`` per the schedule, polling along the way,
+    optionally killing + reviving the engine at one step."""
+    holder = {"engine": engine}
+
+    def on_step(step_index: int) -> None:
         if restart_after is not None and step_index == restart_after:
-            engine.save_checkpoint()
-            engine = LiveIngest(live_dir, checkpoint=sidecar)
-    # Reveal whatever the schedule left unrevealed, then close out.
-    for name in names:
-        tail = file_bytes[name][offsets[name]:]
-        if tail:
-            with open(live_dir / name, "ab") as handle:
-                handle.write(tail)
-    engine.poll()
-    engine.finalize()
-    return engine
+            holder["engine"].save_checkpoint()
+            holder["engine"] = LiveIngest(live_dir, checkpoint=sidecar)
+
+    replay_schedule(file_bytes, schedule, live_dir=live_dir,
+                    poll=lambda: holder["engine"].poll(),
+                    on_step=on_step)
+    holder["engine"].finalize()
+    return holder["engine"]
 
 
 def _assert_batch_identical(engine: LiveIngest, live_dir: Path) -> None:

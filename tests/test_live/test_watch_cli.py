@@ -252,3 +252,59 @@ class TestCli:
             dr = batch[activity].dr_label
             if dr is not None:
                 assert dr in out, activity
+
+
+class TestWeekLongWatcherFlags:
+    """``--memory-budget`` and ``--compact-emit`` on the watch CLI."""
+
+    @pytest.mark.parametrize("flags", [
+        ("--memory-budget", "0"),
+        ("--memory-budget", "-1"),
+        ("--memory-budget", "lots"),
+        ("--compact-emit", "0"),
+        ("--compact-emit", "many"),
+    ])
+    def test_invalid_values_are_parser_errors(self, tmp_path, flags,
+                                              capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["watch", str(tmp_path), *flags])
+        assert excinfo.value.code == 2
+        assert flags[0] in capsys.readouterr().err
+
+    def test_memory_budget_conflicts_with_window(self, tmp_path,
+                                                 ls_file_bytes,
+                                                 capsys):
+        _write_all(tmp_path, ls_file_bytes)
+        code = main(["watch", str(tmp_path), "--once",
+                     "--window", "64", "--memory-budget", "1048576"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_compact_emit_requires_emit_and_checkpoint(self, tmp_path,
+                                                       ls_file_bytes,
+                                                       capsys):
+        _write_all(tmp_path, ls_file_bytes)
+        assert main(["watch", str(tmp_path), "--once",
+                     "--compact-emit", "65536"]) == 2
+        assert "emit" in capsys.readouterr().err
+        assert main(["watch", str(tmp_path), "--once",
+                     "--emit", str(tmp_path / "run.elog"),
+                     "--compact-emit", "65536"]) == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_budgeted_compacting_watch_runs_end_to_end(self, tmp_path,
+                                                       ls_file_bytes,
+                                                       capsys):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        _write_all(trace_dir, ls_file_bytes)
+        elog = tmp_path / "run.elog"
+        code = main(["watch", str(trace_dir), "--once",
+                     "--memory-budget", "1048576",
+                     "--checkpoint", str(tmp_path / "ckpt.json"),
+                     "--emit", str(elog), "--compact-emit", "1"])
+        assert code == 0
+        assert f"emitted event log: {elog}" in capsys.readouterr().out
+        # The compaction left the journal header-only on exit.
+        journal = elog.with_name(elog.name + ".journal")
+        assert journal.stat().st_size < 256
